@@ -1,0 +1,32 @@
+//! Min-sum decoder throughput across RBER regimes: the latency behind
+//! the 1–20 µs tECC range of Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rif_events::SimRng;
+use rif_ldpc::bits::BitVec;
+use rif_ldpc::decoder::MinSumDecoder;
+use rif_ldpc::{Bsc, QcLdpcCode};
+
+fn bench_decode(c: &mut Criterion) {
+    let code = QcLdpcCode::medium();
+    let decoder = MinSumDecoder::new(&code);
+    let mut rng = SimRng::seed_from(1);
+    let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+
+    let mut group = c.benchmark_group("minsum_decode");
+    for &rber in &[0.001f64, 0.005, 0.0085, 0.015] {
+        let noisy = Bsc::new(rber).corrupt(&cw, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(rber), &noisy, |b, input| {
+            b.iter(|| decoder.decode(std::hint::black_box(input)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("encode_medium", |b| {
+        let data = BitVec::random(code.data_bits(), &mut rng);
+        b.iter(|| code.encode(std::hint::black_box(&data)))
+    });
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

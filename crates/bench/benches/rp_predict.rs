@@ -1,0 +1,32 @@
+//! End-to-end RP prediction cost (bit-accurate model and the closed-form
+//! behavioural model the simulator uses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rif_events::SimRng;
+use rif_ldpc::bits::BitVec;
+use rif_ldpc::{Bsc, QcLdpcCode};
+use rif_odear::rp::ReadRetryPredictor;
+use rif_odear::RpBehavior;
+
+fn bench_rp(c: &mut Criterion) {
+    let code = QcLdpcCode::paper();
+    let rp = ReadRetryPredictor::for_capability(&code, 0.0085);
+    let mut rng = SimRng::seed_from(3);
+    let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+    let sensed = Bsc::new(0.009).corrupt(&code.rearrange(&cw), &mut rng);
+
+    c.bench_function("rp_predict_bit_accurate", |b| {
+        b.iter(|| rp.predict(std::hint::black_box(&sensed)))
+    });
+
+    let behavior = RpBehavior::paper_default();
+    c.bench_function("rp_behavior_closed_form", |b| {
+        b.iter(|| behavior.retry_probability(std::hint::black_box(0.009)))
+    });
+    c.bench_function("rp_behavior_sample", |b| {
+        b.iter(|| behavior.sample_retry(std::hint::black_box(0.009), &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_rp);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Event-engine throughput: simulated host requests per second of wall
+//! time, per retry scheme — the cost of the reproduction itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rif_ssd::{RetryKind, Simulator, SsdConfig};
+use rif_workloads::WorkloadProfile;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut wl = WorkloadProfile::by_name("Ali124").expect("workload").config();
+    wl.mean_interarrival_ns = 3_000.0;
+    let trace = wl.generate(500, 7);
+
+    let mut group = c.benchmark_group("ssd_sim");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(20);
+    for scheme in [RetryKind::Zero, RetryKind::Sentinel, RetryKind::Rif] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &trace,
+            |b, t| {
+                b.iter(|| {
+                    let cfg = SsdConfig::small(scheme, 2000);
+                    Simulator::new(cfg).run(std::hint::black_box(t))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

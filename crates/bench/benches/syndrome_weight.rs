@@ -1,0 +1,32 @@
+//! The two on-die syndrome computations of §V: the exact full syndrome
+//! versus the hardware path (pruned first block row on the rearranged
+//! layout) — the speedup that makes RP implementable in a flash die.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rif_events::SimRng;
+use rif_ldpc::bits::BitVec;
+use rif_ldpc::{Bsc, QcLdpcCode};
+
+fn bench_syndrome(c: &mut Criterion) {
+    let code = QcLdpcCode::paper();
+    let mut rng = SimRng::seed_from(2);
+    let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+    let noisy = Bsc::new(0.0085).corrupt(&cw, &mut rng);
+    let rearranged = code.rearrange(&noisy);
+
+    c.bench_function("full_syndrome_weight", |b| {
+        b.iter(|| code.syndrome_weight(std::hint::black_box(&noisy)))
+    });
+    c.bench_function("pruned_syndrome_weight", |b| {
+        b.iter(|| code.pruned_syndrome_weight(std::hint::black_box(&noisy)))
+    });
+    c.bench_function("pruned_weight_rearranged_hw_path", |b| {
+        b.iter(|| code.pruned_weight_rearranged(std::hint::black_box(&rearranged)))
+    });
+    c.bench_function("rearrange_codeword", |b| {
+        b.iter(|| code.rearrange(std::hint::black_box(&noisy)))
+    });
+}
+
+criterion_group!(benches, bench_syndrome);
+criterion_main!(benches);

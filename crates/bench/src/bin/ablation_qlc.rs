@@ -1,0 +1,55 @@
+//! Extension — TLC vs QLC retry pressure (paper §VII).
+//!
+//! The paper argues read-retry optimization matters even more for denser
+//! cells. This harness quantifies it with the generalized MLC model:
+//! QLC's sixteen states share the TLC V_TH window, so the same retention
+//! drift crosses the ECC capability in a fraction of the time —
+//! compressing the usable refresh interval and multiplying the retry rate
+//! that RiF eliminates.
+
+use rif_bench::{HarnessOpts, TableWriter};
+use rif_flash::mlc::MlcModel;
+use rif_flash::vth::OperatingPoint;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let tlc = MlcModel::tlc();
+    let qlc = MlcModel::qlc();
+
+    let t = TableWriter::new(opts.csv, &[6, 14, 14, 16, 16]);
+    t.heading("Extension: TLC vs QLC capability-crossing days and retry pressure");
+    t.row(&[
+        "pe".into(),
+        "tlc_days".into(),
+        "qlc_days".into(),
+        "tlc_retry_30d".into(),
+        "qlc_retry_30d".into(),
+    ]);
+    for pe in [0u32, 200, 500, 1000, 2000] {
+        let dt = tlc.days_to_exceed(pe, 0.0085, 120.0);
+        let dq = qlc.days_to_exceed(pe, 0.0085, 120.0);
+        // Cold-read retry fraction under a 30-day refresh horizon.
+        let frac = |d: Option<f64>| match d {
+            Some(day) => format!("{:.2}", (1.0 - day / 30.0).clamp(0.0, 1.0)),
+            None => "0.00".into(),
+        };
+        let fmt = |d: Option<f64>| match d {
+            Some(day) => format!("{day:.1}"),
+            None => ">120".into(),
+        };
+        t.row(&[pe.to_string(), fmt(dt), fmt(dq), frac(dt), frac(dq)]);
+    }
+
+    if !opts.csv {
+        // RBER amplification at matched stress.
+        println!("\nRBER amplification (QLC / TLC) at matched stress:");
+        for &(pe, days) in &[(0u32, 5.0), (500, 5.0), (1000, 3.0)] {
+            let op = OperatingPoint::new(pe, days);
+            let ratio = qlc.rber_avg(op, 1.0) / tlc.rber_avg(op, 1.0).max(1e-12);
+            println!("  {pe:>4} P/E, {days:>3.0} days: {ratio:.0}x");
+        }
+        println!("\nWith QLC, nearly every cold read needs a retry within days of");
+        println!("programming — deciding retries on-die stops being an optimization");
+        println!("and becomes the only way to keep the channel usable.");
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 12 — intra-page RBER similarity among fixed-size chunks of a
+//! 16-KiB page, the basis of RP's chunk-based prediction (§V-A1).
+//!
+//! Paper anchors: the maximum (RBERmax − RBERmin)/RBERmax across 4-KiB
+//! chunks stays small (≈4.5 %-scale at heavy stress), growing as chunks
+//! shrink (≈3× worse at 1 KiB) — data randomization spreads errors
+//! uniformly, but smaller samples are noisier.
+
+use rif_bench::{HarnessOpts, TableWriter};
+use rif_flash::characterize::chunk_similarity;
+use rif_flash::rber::ErrorModel;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let model = ErrorModel::calibrated();
+    let pe_list = [0u32, 1000, 2000];
+    let days = [1u32, 3, 7, 14, 21, 28];
+    let chunk_kibs = [4usize, 2, 1];
+    let pages = opts.pick(200, 30);
+
+    let rows = chunk_similarity(&model, &pe_list, &days, &chunk_kibs, pages, opts.seed);
+
+    let t = TableWriter::new(opts.csv, &[6, 6, 10, 12]);
+    t.heading(&format!(
+        "Fig. 12: max (RBERmax-RBERmin)/RBERmax among chunks ({pages} pages/point)"
+    ));
+    t.row(&[
+        "pe".into(),
+        "day".into(),
+        "chunk_kib".into(),
+        "max_ratio".into(),
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.pe_cycles.to_string(),
+            r.day.to_string(),
+            r.chunk_kib.to_string(),
+            format!("{:.3}", r.max_ratio),
+        ]);
+    }
+    if !opts.csv {
+        // Summarize the chunk-size trend where prediction matters: the
+        // stressed conditions whose RBER approaches the capability. (At
+        // fresh conditions chunks hold a handful of errors and the ratio
+        // degenerates — a chunk with zero errors yields ratio 1.0.)
+        for &kib in &chunk_kibs {
+            let worst = rows
+                .iter()
+                .filter(|r| r.chunk_kib == kib && r.pe_cycles >= 1000 && r.day >= 7)
+                .map(|r| r.max_ratio)
+                .fold(0.0f64, f64::max);
+            println!(
+                "worst-case ratio at {kib}-KiB chunks (>=1K P/E, >=7 days): {:.1}%",
+                worst * 100.0
+            );
+        }
+        println!("\n4-KiB chunks track the page RBER closely enough for prediction;");
+        println!("1-KiB chunks roughly triple the spread — the paper picks 4 KiB.");
+    }
+}

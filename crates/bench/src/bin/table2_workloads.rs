@@ -1,0 +1,35 @@
+//! Table II — key I/O characteristics of the eight evaluation traces,
+//! recomputed from the synthetic generators and compared against the
+//! paper's published values.
+
+use rif_bench::{HarnessOpts, TableWriter};
+use rif_workloads::profiles::PAPER_WORKLOADS;
+use rif_workloads::TraceStats;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let n_requests = opts.pick(20_000, 2_000);
+
+    let t = TableWriter::new(opts.csv, &[8, 12, 12, 12, 12, 12]);
+    t.heading(&format!("Table II: workload characteristics ({n_requests} requests each)"));
+    t.row(&[
+        "trace".into(),
+        "read(paper)".into(),
+        "read(ours)".into(),
+        "cold(paper)".into(),
+        "cold(ours)".into(),
+        "GB moved".into(),
+    ]);
+    for wl in PAPER_WORKLOADS {
+        let trace = wl.generate(n_requests, opts.seed);
+        let s = TraceStats::compute(&trace);
+        t.row(&[
+            wl.name.into(),
+            format!("{:.2}", wl.read_ratio),
+            format!("{:.2}", s.read_ratio),
+            format!("{:.2}", wl.cold_read_ratio),
+            format!("{:.2}", s.cold_read_ratio),
+            format!("{:.2}", s.total_bytes as f64 / 1e9),
+        ]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — a reduced-cost run (smaller codes / fewer trials /
+//!   shorter traces) for smoke testing;
+//! * `--csv`   — machine-readable output instead of aligned text tables;
+//! * `--seed N` — override the default seed.
+
+use rif_ssd::{RetryKind, SimReport, Simulator, SsdConfig};
+use rif_workloads::{Trace, WorkloadProfile};
+
+/// Parsed command-line options common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Reduced-cost run.
+    pub quick: bool,
+    /// Emit CSV instead of a text table.
+    pub csv: bool,
+    /// Seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`, exiting with usage on unknown flags.
+    pub fn parse() -> Self {
+        let mut opts = HarnessOpts {
+            quick: false,
+            csv: false,
+            seed: 42,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--csv" => opts.csv = true,
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--help" | "-h" => usage("")
+                ,
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Picks between a full-scale and quick value.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--quick] [--csv] [--seed N]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+/// A simple aligned-text / CSV table writer.
+#[derive(Debug)]
+pub struct TableWriter {
+    csv: bool,
+    widths: Vec<usize>,
+}
+
+impl TableWriter {
+    /// Creates a writer; `widths` are the per-column widths in text mode.
+    pub fn new(csv: bool, widths: &[usize]) -> Self {
+        TableWriter {
+            csv,
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Prints one row of cells.
+    pub fn row(&self, cells: &[String]) {
+        if self.csv {
+            println!("{}", cells.join(","));
+        } else {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(self.widths.iter().chain(std::iter::repeat(&12)))
+                .map(|(c, w)| format!("{c:>w$}", w = *w))
+                .collect();
+            println!("{}", line.join(" "));
+        }
+    }
+
+    /// Prints a section heading (suppressed in CSV mode).
+    pub fn heading(&self, text: &str) {
+        if !self.csv {
+            println!("\n== {text} ==");
+        }
+    }
+}
+
+/// The three wear stages of the evaluation.
+pub const PE_STAGES: [u32; 3] = [0, 1000, 2000];
+
+/// Generates a device-saturating variant of a named workload: the paper
+/// measures SSD I/O bandwidth, so the offered load must exceed the host
+/// link.
+pub fn saturating_trace(profile: &WorkloadProfile, n_requests: usize, seed: u64) -> Trace {
+    let mut cfg = profile.config();
+    cfg.mean_interarrival_ns = 3_000.0; // ≈21 GB/s offered
+    cfg.generate(n_requests, seed)
+}
+
+/// Runs one paper-geometry simulation.
+pub fn run_paper_sim(retry: RetryKind, pe: u32, trace: &Trace, seed: u64) -> SimReport {
+    let mut cfg = SsdConfig::paper(retry, pe);
+    cfg.seed = seed;
+    Simulator::new(cfg).run(trace)
+}
+
+/// Geometric mean helper (Fig. 17's summary column).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pick_switches_on_quick() {
+        let q = HarnessOpts { quick: true, csv: false, seed: 1 };
+        let f = HarnessOpts { quick: false, csv: false, seed: 1 };
+        assert_eq!(q.pick(10, 2), 2);
+        assert_eq!(f.pick(10, 2), 10);
+    }
+
+    #[test]
+    fn saturating_trace_overdrives() {
+        let p = WorkloadProfile::by_name("Sys0").unwrap();
+        let t = saturating_trace(&p, 500, 1);
+        let offered = t.total_bytes() as f64 / t.span().as_secs();
+        assert!(offered > 12e9, "offered {offered}");
+    }
+}

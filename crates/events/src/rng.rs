@@ -1,0 +1,300 @@
+//! Deterministic random-number utilities.
+//!
+//! Every stochastic component of the reproduction (error injection, process
+//! variation, trace generation, prediction-accuracy sampling) draws from a
+//! [`SimRng`] seeded explicitly, so that any experiment can be re-run
+//! bit-identically.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable RNG with the convenience draws the simulator needs.
+///
+/// Wraps [`rand::rngs::SmallRng`] and adds Gaussian, Poisson-interarrival and
+/// Zipf sampling, which the `rand` core does not provide without `rand_distr`.
+///
+/// # Example
+///
+/// ```
+/// use rif_events::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Cached second Gaussian variate from Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child RNG; useful to give each simulated
+    /// component its own stream without correlation.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Box–Muller: draw u in (0,1] to avoid ln(0).
+        let u = 1.0 - self.uniform();
+        let v = self.uniform();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * v;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Log-normal variate: `exp(N(mu, sigma))`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.gaussian_with(mu, sigma).exp()
+    }
+
+    /// Exponential interarrival time with the given rate (events per unit
+    /// time); the building block of Poisson arrival processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    /// Samples `k` in `[0, n)` from a Zipf distribution with exponent `s`
+    /// using a precomputed [`ZipfTable`].
+    pub fn zipf(&mut self, table: &ZipfTable) -> usize {
+        table.sample(self.uniform())
+    }
+}
+
+/// Precomputed CDF for Zipf-distributed sampling over `n` ranks.
+///
+/// Trace generators use this to model hot/cold page popularity: rank 0 is
+/// the hottest LBA region.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the CDF for `n` ranks with exponent `s` (s = 0 is uniform;
+    /// larger s concentrates probability on low ranks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf table needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the table has no ranks (never: `new` rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Maps a uniform `u in [0,1)` to a rank.
+    pub fn sample(&self, u: f64) -> usize {
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = SimRng::seed_from(7);
+        let mut x = root.fork(1);
+        let mut y = root.fork(2);
+        let same = (0..32).all(|_| x.next_u64() == y.next_u64());
+        assert!(!same);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            let v = r.uniform_range(-3.0, 4.0);
+            assert!((-3.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SimRng::seed_from(11);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = r.gaussian();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = SimRng::seed_from(13);
+        let rate = 4.0;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let table = ZipfTable::new(100, 1.0);
+        let mut r = SimRng::seed_from(17);
+        let mut counts = [0usize; 100];
+        for _ in 0..50_000 {
+            counts[r.zipf(&table)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let table = ZipfTable::new(10, 0.0);
+        let mut r = SimRng::seed_from(19);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.zipf(&table)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 100_000.0;
+            assert!((frac - 0.1).abs() < 0.01, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_sample_edges() {
+        let table = ZipfTable::new(4, 1.2);
+        assert_eq!(table.sample(0.0), 0);
+        assert_eq!(table.sample(0.999_999_9), 3);
+        assert_eq!(table.len(), 4);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = SimRng::seed_from(23);
+        for _ in 0..1000 {
+            assert!(r.log_normal(0.0, 0.5) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Simulation clock types.
+//!
+//! All timing constants in the paper are given in microseconds or
+//! milliseconds (tR = 40 µs, tDMA = 13 µs, tBERS = 3.5 ms, ...). We keep the
+//! clock in integer nanoseconds so that every latency in Table I is exactly
+//! representable and event ordering is deterministic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the simulation.
+///
+/// # Example
+///
+/// ```
+/// use rif_events::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_us(40);
+/// assert_eq!(t.as_ns(), 40_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "infinite" deadline sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ns` nanoseconds after the origin.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant `us` microseconds after the origin.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after the origin.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant `s` seconds after the origin.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the origin (fractional).
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Seconds since the origin (fractional).
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` (a causality bug in the
+    /// caller's event handling).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "SimTime::since: earlier ({earlier:?}) is after self ({self:?})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating version of [`SimTime::since`], returning zero when
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `ns` nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding to the
+    /// nearest nanosecond.
+    pub fn from_us_f64(us: f64) -> Self {
+        assert!(us >= 0.0, "duration must be non-negative, got {us}");
+        SimDuration((us * 1e3).round() as u64)
+    }
+
+    /// Duration needed to move `bytes` over a link of `bytes_per_sec`
+    /// bandwidth, rounded up to the next nanosecond.
+    ///
+    /// This is how tDMA is derived from the 1.2 GB/s channel bandwidth: a
+    /// 16-KiB page takes ≈13 µs.
+    pub fn from_transfer(bytes: u64, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+        SimDuration(ns as u64)
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds in this duration (fractional).
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Seconds in this duration (fractional).
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} µs", self.as_us())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} µs", self.as_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_scale() {
+        assert_eq!(SimTime::from_us(1).as_ns(), 1_000);
+        assert_eq!(SimTime::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(SimDuration::from_us(40).as_us(), 40.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let t = SimTime::from_us(100);
+        let d = SimDuration::from_us(13);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn transfer_time_matches_table1_tdma() {
+        // 16-KiB page over a 1.2 GB/s channel ≈ 13.65 µs (paper rounds to 13).
+        let d = SimDuration::from_transfer(16 * 1024, 1_200_000_000);
+        assert!((d.as_us() - 13.653).abs() < 0.01, "got {}", d.as_us());
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 byte at 3 B/s needs 333333333.3 ns -> must round up.
+        let d = SimDuration::from_transfer(1, 3);
+        assert_eq!(d.as_ns(), 333_333_334);
+    }
+
+    #[test]
+    fn saturating_since_is_zero_for_future() {
+        let a = SimTime::from_us(5);
+        let b = SimTime::from_us(9);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_us(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn since_panics_on_causality_violation() {
+        let _ = SimTime::from_us(1).since(SimTime::from_us(2));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_us(10);
+        assert_eq!(d * 3, SimDuration::from_us(30));
+        assert_eq!(d / 2, SimDuration::from_us(5));
+        let total: SimDuration = vec![d, d, d].into_iter().sum();
+        assert_eq!(total, SimDuration::from_us(30));
+        assert_eq!(d.saturating_sub(SimDuration::from_us(20)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        assert_eq!(format!("{}", SimDuration::from_us(40)), "40.000 µs");
+        assert_eq!(format!("{}", SimTime::from_ns(1500)), "1.500 µs");
+    }
+}

@@ -1,0 +1,47 @@
+//! 3D TLC NAND flash substrate: geometry, threshold-voltage physics,
+//! error-rate models, read-reference-voltage machinery and chip timing.
+//!
+//! The paper grounds its evaluation in a real-device characterization of
+//! 160 3D TLC NAND chips (§III-A); the extended MQSim-E then replays those
+//! results through per-block RBER lookup tables (§VI-A). We do not have the
+//! chips, so this crate builds the closest synthetic equivalent:
+//!
+//! * [`geometry`] — channels / dies / planes / blocks / pages addressing
+//!   (Table I: 8 × 4 × 4 × 1888 × 576 × 16 KiB ≈ 2 TiB);
+//! * [`vth`] — an 8-state Gaussian threshold-voltage model with Gray-coded
+//!   LSB/CSB/MSB pages, P/E-cycling wear, retention loss and read disturb;
+//!   RBER is obtained by integrating distribution overlap at the active
+//!   read-reference voltages;
+//! * [`rber`] — [`rber::ErrorModel`]: calibrated constants (Fig. 4 anchors),
+//!   log-normal per-block process variation, and fast per-block interpolated
+//!   lookup tables exactly as the extended MQSim-E consumes them;
+//! * [`vref`] — read-reference voltage sets, the vendor retry sequence, and
+//!   numerically optimal V_REF via distribution-intersection search;
+//! * [`swift_read`] — the ones-count V_REF estimation of Swift-Read
+//!   (ISSCC'22), which the RVS module of a RiF die reuses (§IV-C);
+//! * [`randomizer`] — the LFSR data scrambler that justifies the uniform
+//!   intra-page error distribution (Fig. 12);
+//! * [`chip`] — flash command timing (tR / tPROG / tBERS / page-buffer
+//!   readout) shared with the SSD simulator;
+//! * [`characterize`] — the synthetic "160-chip campaign" regenerating
+//!   Fig. 4 (retention-to-failure distributions) and Fig. 12 (chunk RBER
+//!   similarity).
+
+pub mod characterize;
+pub mod chip;
+pub mod geometry;
+pub mod mlc;
+pub mod randomizer;
+pub mod sentinel;
+pub mod soft;
+pub mod rber;
+pub mod swift_read;
+pub mod vref;
+pub mod vth;
+
+pub use chip::FlashTiming;
+pub use geometry::{FlashGeometry, PageAddress, PageKind};
+pub use rber::{BlockProfile, ErrorModel};
+pub use vth::OperatingPoint;
+pub use vref::ReadVoltages;
+pub use vth::TlcModel;

@@ -1,0 +1,129 @@
+//! Page data randomization (scrambling).
+//!
+//! Modern flash controllers XOR page data with a pseudo-random keystream
+//! before programming (paper §III-B, §V-A1). Randomization makes the
+//! programmed V_TH states uniform regardless of the host data pattern,
+//! which is what gives Swift-Read its known expected ones-count and makes
+//! intra-page errors uniformly distributed (Fig. 12). The keystream is
+//! seeded by the physical page address so it can be regenerated on read.
+
+use rif_ldpc::bits::BitVec;
+
+/// A Fibonacci LFSR-based page scrambler.
+///
+/// Scrambling is an involution: applying it twice restores the data.
+///
+/// # Example
+///
+/// ```
+/// use rif_flash::randomizer::Randomizer;
+/// use rif_ldpc::bits::BitVec;
+///
+/// let r = Randomizer::new();
+/// let mut page = BitVec::zeros(1024);
+/// let scrambled = r.scramble(42, &page);
+/// assert_ne!(scrambled, page);
+/// page = r.scramble(42, &scrambled);
+/// assert!(page.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Randomizer;
+
+/// Maximal-length 32-bit LFSR taps: x³² + x²² + x² + x + 1.
+const TAPS: u32 = 0x8040_0003;
+
+impl Randomizer {
+    /// Creates a scrambler.
+    pub fn new() -> Self {
+        Randomizer
+    }
+
+    fn keystream_word(state: &mut u32) -> u64 {
+        let mut w = 0u64;
+        for bit in 0..64 {
+            let out = *state & 1;
+            let fb = (*state & TAPS).count_ones() & 1;
+            *state = (*state >> 1) | (fb << 31);
+            w |= (out as u64) << bit;
+        }
+        w
+    }
+
+    /// XORs the page-address-seeded keystream into `data`.
+    pub fn scramble(&self, page_seed: u64, data: &BitVec) -> BitVec {
+        // Mix the seed so adjacent page addresses get unrelated streams,
+        // and avoid the LFSR's all-zero fixed point.
+        let mut state = (page_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17) as u32)
+            | 1;
+        let mut out = data.clone();
+        let n_words = data.len() / 64;
+        let mut key = BitVec::zeros(n_words * 64);
+        for i in 0..n_words {
+            let w = Self::keystream_word(&mut state);
+            for b in 0..64 {
+                if (w >> b) & 1 == 1 {
+                    key.set(i * 64 + b, true);
+                }
+            }
+        }
+        out.xor_assign(&key);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rif_events::SimRng;
+
+    #[test]
+    fn scramble_is_involutive() {
+        let r = Randomizer::new();
+        let mut rng = SimRng::seed_from(3);
+        let data = BitVec::random(4096, &mut rng);
+        let once = r.scramble(1234, &data);
+        let twice = r.scramble(1234, &once);
+        assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn different_pages_get_different_streams() {
+        let r = Randomizer::new();
+        let zeros = BitVec::zeros(4096);
+        let a = r.scramble(1, &zeros);
+        let b = r.scramble(2, &zeros);
+        assert!(a.hamming_distance(&b) > 1000, "streams too similar");
+    }
+
+    #[test]
+    fn scrambled_constant_data_is_balanced() {
+        // The point of randomization: even pathological host patterns
+        // (all zeros) program a balanced mix of states.
+        let r = Randomizer::new();
+        let zeros = BitVec::zeros(64 * 1024);
+        let s = r.scramble(99, &zeros);
+        let frac = s.count_ones() as f64 / s.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "ones fraction {frac}");
+    }
+
+    #[test]
+    fn keystream_has_no_short_period() {
+        let r = Randomizer::new();
+        let zeros = BitVec::zeros(8192);
+        let s = r.scramble(7, &zeros);
+        // Compare the first and second half: a short-period stream would
+        // repeat and the halves would be identical.
+        let first = s.slice(0, 4096);
+        let second = s.slice(4096, 4096);
+        assert!(first.hamming_distance(&second) > 1500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r = Randomizer::new();
+        let zeros = BitVec::zeros(1024);
+        assert_eq!(r.scramble(5, &zeros), r.scramble(5, &zeros));
+    }
+}

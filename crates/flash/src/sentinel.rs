@@ -1,0 +1,207 @@
+//! Sentinel-cell V_REF estimation (Li et al., MICRO'20; paper §III-B).
+//!
+//! Sentinel stores a *known* bit pattern in spare cells of every page.
+//! After a decode failure, the controller re-reads the page, compares the
+//! sentinel cells against the expected pattern, and converts the observed
+//! sentinel error rate into a V_TH-drift estimate from which near-optimal
+//! references follow. Unlike Swift-Read's ones-count (which works on any
+//! sensed data), reading the sentinel cells of a CSB/MSB page requires
+//! reference voltages different from the failed read's — costing the
+//! extra off-chip read the paper's §III-B analysis charges to SENC.
+
+use rif_events::SimRng;
+
+use crate::geometry::PageKind;
+use crate::vref::ReadVoltages;
+use crate::vth::{OperatingPoint, TlcModel};
+
+/// The sentinel-cell estimator.
+///
+/// # Example
+///
+/// ```
+/// use rif_flash::sentinel::SentinelCells;
+/// use rif_flash::{TlcModel, PageKind, OperatingPoint};
+/// use rif_events::SimRng;
+///
+/// let s = SentinelCells::new(TlcModel::calibrated());
+/// let mut rng = SimRng::seed_from(2);
+/// let op = OperatingPoint::new(1000, 20.0);
+/// let refs = s.select_refs(op, 1.0, PageKind::Csb, &mut rng);
+/// let m = TlcModel::calibrated();
+/// assert!(m.rber(op, 1.0, refs.as_array(), PageKind::Csb) < 0.0085);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelCells {
+    model: TlcModel,
+    default_refs: [f64; 7],
+    cells: usize,
+}
+
+impl SentinelCells {
+    /// Builds an estimator with the default 2 048 sentinel cells per page
+    /// (a typical spare-area budget).
+    pub fn new(model: TlcModel) -> Self {
+        Self::with_cells(model, 2048)
+    }
+
+    /// Builds an estimator with a custom sentinel-cell count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn with_cells(model: TlcModel, cells: usize) -> Self {
+        assert!(cells > 0, "need at least one sentinel cell");
+        let default_refs = model.default_refs();
+        SentinelCells {
+            model,
+            default_refs,
+            cells,
+        }
+    }
+
+    /// Number of sentinel cells per page.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// True when reading this page kind's sentinel cells needs reference
+    /// voltages different from the page's own read — forcing a separate
+    /// off-chip read (the SENC overhead of §III-B). In our TLC mapping
+    /// only the LSB read shares its references.
+    pub fn needs_separate_read(kind: PageKind) -> bool {
+        kind != PageKind::Lsb
+    }
+
+    /// Simulates the measurement: reads the sentinel cells at the default
+    /// references and returns the observed error rate against the known
+    /// pattern (true RBER plus binomial sampling noise over the cells).
+    pub fn observe_error_rate(
+        &self,
+        op: OperatingPoint,
+        process_factor: f64,
+        kind: PageKind,
+        rng: &mut SimRng,
+    ) -> f64 {
+        let p = self.model.rber(op, process_factor, &self.default_refs, kind);
+        let noise = (p * (1.0 - p) / self.cells as f64).sqrt();
+        (p + rng.gaussian_with(0.0, noise)).clamp(0.0, 1.0)
+    }
+
+    /// Inverts an observed sentinel error rate into an effective
+    /// retention age (the drift magnitude) and returns the optimal
+    /// references for that age.
+    pub fn refs_from_error_rate(
+        &self,
+        pe_cycles: u32,
+        kind: PageKind,
+        observed_rber: f64,
+    ) -> ReadVoltages {
+        let rber_of = |days: f64| {
+            self.model.rber(
+                OperatingPoint::new(pe_cycles, days),
+                1.0,
+                &self.default_refs,
+                kind,
+            )
+        };
+        let (mut lo, mut hi) = (0.0_f64, 60.0_f64);
+        let target = observed_rber.clamp(rber_of(lo), rber_of(hi));
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if rber_of(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let est_days = 0.5 * (lo + hi);
+        let params = self
+            .model
+            .state_params(OperatingPoint::new(pe_cycles, est_days), 1.0);
+        ReadVoltages::new(self.model.optimal_refs(params))
+    }
+
+    /// Full Sentinel flow: measure the sentinel error rate, invert it,
+    /// select references.
+    pub fn select_refs(
+        &self,
+        op: OperatingPoint,
+        process_factor: f64,
+        kind: PageKind,
+        rng: &mut SimRng,
+    ) -> ReadVoltages {
+        let observed = self.observe_error_rate(op, process_factor, kind, rng);
+        self.refs_from_error_rate(op.pe_cycles, kind, observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_refs_recover_aged_pages() {
+        let model = TlcModel::calibrated();
+        let s = SentinelCells::new(model.clone());
+        let mut rng = SimRng::seed_from(4);
+        for &(pe, days) in &[(0u32, 25.0), (1000, 18.0), (2000, 12.0)] {
+            let op = OperatingPoint::new(pe, days);
+            for kind in PageKind::ALL {
+                let refs = s.select_refs(op, 1.0, kind, &mut rng);
+                let rber = model.rber(op, 1.0, refs.as_array(), kind);
+                assert!(rber < 0.0085, "pe={pe} d={days} {kind}: RBER {rber}");
+            }
+        }
+    }
+
+    #[test]
+    fn separate_read_needed_for_csb_and_msb() {
+        assert!(!SentinelCells::needs_separate_read(PageKind::Lsb));
+        assert!(SentinelCells::needs_separate_read(PageKind::Csb));
+        assert!(SentinelCells::needs_separate_read(PageKind::Msb));
+    }
+
+    #[test]
+    fn fewer_cells_noisier_estimates() {
+        let model = TlcModel::calibrated();
+        let op = OperatingPoint::new(1000, 15.0);
+        let spread = |cells: usize| {
+            let s = SentinelCells::with_cells(model.clone(), cells);
+            let mut rng = SimRng::seed_from(6);
+            let obs: Vec<f64> = (0..300)
+                .map(|_| s.observe_error_rate(op, 1.0, PageKind::Csb, &mut rng))
+                .collect();
+            let mean = obs.iter().sum::<f64>() / obs.len() as f64;
+            (obs.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / obs.len() as f64).sqrt()
+        };
+        assert!(spread(128) > spread(8192), "noise did not shrink with cells");
+    }
+
+    #[test]
+    fn estimation_tracks_weak_blocks() {
+        // Like Swift-Read, the sentinel measurement sees the *actual*
+        // drift of a weak block, not just its nominal age.
+        let model = TlcModel::calibrated();
+        let s = SentinelCells::new(model.clone());
+        let mut rng = SimRng::seed_from(8);
+        let op = OperatingPoint::new(1000, 18.0);
+        let refs = s.select_refs(op, 1.5, PageKind::Msb, &mut rng);
+        let after = model.rber(op, 1.5, refs.as_array(), PageKind::Msb);
+        let before = model.rber(op, 1.5, &model.default_refs(), PageKind::Msb);
+        assert!(after < before * 0.3, "sentinel {after} vs default {before}");
+    }
+
+    #[test]
+    fn inversion_is_deterministic_and_clamped() {
+        let s = SentinelCells::new(TlcModel::calibrated());
+        let a = s.refs_from_error_rate(500, PageKind::Csb, 0.005);
+        let b = s.refs_from_error_rate(500, PageKind::Csb, 0.005);
+        assert_eq!(a, b);
+        // Absurd observations still yield ordered references.
+        let hi = s.refs_from_error_rate(500, PageKind::Csb, 0.4);
+        for r in 1..=6 {
+            assert!(hi.get(r) < hi.get(r + 1));
+        }
+    }
+}

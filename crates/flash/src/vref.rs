@@ -1,0 +1,210 @@
+//! Read-reference voltage sets and the vendor read-retry sequence.
+//!
+//! A TLC read compares cell V_TH against a subset of seven references
+//! R1–R7. When decoding fails, a conventional controller walks a
+//! *predetermined sequence* of reference sets supplied by the flash vendor
+//! (paper §II-B2), stepping the references downward because retention loss
+//! shifts distributions down.
+
+use crate::vth::{StateParam, TlcModel};
+
+/// A complete set of seven read-reference voltages.
+///
+/// # Example
+///
+/// ```
+/// use rif_flash::ReadVoltages;
+///
+/// let refs = ReadVoltages::new([0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5]);
+/// let shifted = refs.offset_all(-0.1);
+/// assert!((shifted.get(1) - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadVoltages {
+    refs: [f64; 7],
+}
+
+impl ReadVoltages {
+    /// Wraps seven reference voltages, R1 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the references are not strictly increasing.
+    pub fn new(refs: [f64; 7]) -> Self {
+        for w in refs.windows(2) {
+            assert!(w[0] < w[1], "read references must be strictly increasing");
+        }
+        ReadVoltages { refs }
+    }
+
+    /// Reference `Rr` for `r` in 1–7.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ r ≤ 7`.
+    pub fn get(&self, r: usize) -> f64 {
+        assert!((1..=7).contains(&r), "reference index {r} out of range");
+        self.refs[r - 1]
+    }
+
+    /// All seven references as an array (R1 first).
+    pub fn as_array(&self) -> &[f64; 7] {
+        &self.refs
+    }
+
+    /// A copy with every reference shifted by `delta`.
+    pub fn offset_all(&self, delta: f64) -> ReadVoltages {
+        let mut refs = self.refs;
+        for v in &mut refs {
+            *v += delta;
+        }
+        ReadVoltages { refs }
+    }
+
+    /// A copy with per-reference offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets break the strict ordering.
+    pub fn offset_each(&self, deltas: &[f64; 7]) -> ReadVoltages {
+        let mut refs = self.refs;
+        for (v, d) in refs.iter_mut().zip(deltas) {
+            *v += d;
+        }
+        ReadVoltages::new(refs)
+    }
+}
+
+impl From<[f64; 7]> for ReadVoltages {
+    fn from(refs: [f64; 7]) -> Self {
+        ReadVoltages::new(refs)
+    }
+}
+
+/// The vendor's predetermined read-retry V_REF sequence: retry level `k`
+/// applies a uniform downward offset of `k · step` to all references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrySequence {
+    step: f64,
+    max_level: usize,
+}
+
+impl RetrySequence {
+    /// The default sequence: a normalized 0.04-V step per level, up to 8
+    /// levels — enough to track a month of retention loss in the
+    /// calibrated model.
+    pub fn vendor_default() -> Self {
+        RetrySequence {
+            step: 0.04,
+            max_level: 8,
+        }
+    }
+
+    /// Builds a custom sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `step > 0` and `max_level > 0`.
+    pub fn new(step: f64, max_level: usize) -> Self {
+        assert!(step > 0.0, "retry step must be positive");
+        assert!(max_level > 0, "need at least one retry level");
+        RetrySequence { step, max_level }
+    }
+
+    /// Number of levels in the sequence.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// References at retry level `level` (level 0 = `base`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds [`RetrySequence::max_level`].
+    pub fn refs_at(&self, base: ReadVoltages, level: usize) -> ReadVoltages {
+        assert!(level <= self.max_level, "retry level {level} out of range");
+        base.offset_all(-(self.step * level as f64))
+    }
+}
+
+/// Helper: the calibrated model's references packaged as [`ReadVoltages`].
+pub fn default_voltages(model: &TlcModel) -> ReadVoltages {
+    ReadVoltages::new(model.default_refs())
+}
+
+/// Helper: optimal references for the given state distributions.
+pub fn optimal_voltages(model: &TlcModel, params: [StateParam; 8]) -> ReadVoltages {
+    ReadVoltages::new(model.optimal_refs(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vth::OperatingPoint;
+
+    #[test]
+    fn new_validates_ordering() {
+        let _ = ReadVoltages::new([0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn new_rejects_unordered() {
+        let _ = ReadVoltages::new([0.5, 0.4, 2.5, 3.5, 4.5, 5.5, 6.5]);
+    }
+
+    #[test]
+    fn offsets_apply() {
+        let v = ReadVoltages::new([0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5]);
+        let down = v.offset_all(-0.2);
+        for r in 1..=7 {
+            assert!((down.get(r) - (v.get(r) - 0.2)).abs() < 1e-12);
+        }
+        let each = v.offset_each(&[0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1]);
+        assert!((each.get(1) - 0.6).abs() < 1e-12);
+        assert!((each.get(4) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_sequence_steps_down() {
+        let model = TlcModel::calibrated();
+        let base = default_voltages(&model);
+        let seq = RetrySequence::vendor_default();
+        let mut last = base.get(4);
+        for level in 1..=seq.max_level() {
+            let v = seq.refs_at(base, level).get(4);
+            assert!(v < last, "level {level} did not lower R4");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn retry_sequence_eventually_improves_aged_page_rber() {
+        // Walking the vendor sequence must find a level whose RBER is far
+        // below the default-reference RBER for a retention-shifted page —
+        // this is why read-retry works at all (§II-B2).
+        let model = TlcModel::calibrated();
+        let base = default_voltages(&model);
+        let seq = RetrySequence::vendor_default();
+        let op = OperatingPoint::new(1000, 20.0);
+        let default_rber = model.rber_avg(op, 1.0, base.as_array());
+        let best = (1..=seq.max_level())
+            .map(|l| model.rber_avg(op, 1.0, seq.refs_at(base, l).as_array()))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best < default_rber * 0.3,
+            "sequence best {best} vs default {default_rber}"
+        );
+    }
+
+    #[test]
+    fn optimal_voltages_match_model() {
+        let model = TlcModel::calibrated();
+        let params = model.state_params(OperatingPoint::new(500, 10.0), 1.0);
+        let v = optimal_voltages(&model, params);
+        let direct = model.optimal_refs(params);
+        for r in 1..=7 {
+            assert!((v.get(r) - direct[r - 1]).abs() < 1e-12);
+        }
+    }
+}

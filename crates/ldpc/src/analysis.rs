@@ -1,0 +1,167 @@
+//! Monte-Carlo sweeps over the real code, regenerating the raw data behind
+//! Fig. 3 (decoding capability) and Fig. 10 (RBER ↔ syndrome-weight
+//! correlation).
+
+use rif_events::SimRng;
+
+use crate::bits::BitVec;
+use crate::channel::Bsc;
+use crate::code::QcLdpcCode;
+use crate::decoder::MinSumDecoder;
+
+/// One point of a decoding-capability sweep (Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapabilityPoint {
+    /// Raw bit-error rate injected.
+    pub rber: f64,
+    /// Fraction of trials in which min-sum decoding failed.
+    pub failure_probability: f64,
+    /// Mean number of decoder iterations across trials.
+    pub avg_iterations: f64,
+    /// Number of Monte-Carlo trials behind this point.
+    pub trials: usize,
+}
+
+/// One point of a syndrome-weight sweep (Fig. 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyndromePoint {
+    /// Raw bit-error rate injected.
+    pub rber: f64,
+    /// Mean full syndrome weight (all `r·t` checks).
+    pub avg_full_weight: f64,
+    /// Mean pruned syndrome weight (first block row only, as RP computes).
+    pub avg_pruned_weight: f64,
+    /// Number of Monte-Carlo trials behind this point.
+    pub trials: usize,
+}
+
+/// Runs `trials` encode → corrupt-at-`rber` → decode rounds per RBER point.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn capability_sweep(
+    code: &QcLdpcCode,
+    rbers: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<CapabilityPoint> {
+    assert!(trials > 0, "need at least one trial");
+    let decoder = MinSumDecoder::new(code);
+    let mut rng = SimRng::seed_from(seed);
+    let mut out = Vec::with_capacity(rbers.len());
+    for &rber in rbers {
+        let channel = Bsc::new(rber);
+        let mut failures = 0usize;
+        let mut iters = 0u64;
+        for _ in 0..trials {
+            let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+            let noisy = channel.corrupt(&cw, &mut rng);
+            let res = decoder.decode(&noisy);
+            if !res.success {
+                failures += 1;
+            }
+            iters += u64::from(res.iterations);
+        }
+        out.push(CapabilityPoint {
+            rber,
+            failure_probability: failures as f64 / trials as f64,
+            avg_iterations: iters as f64 / trials as f64,
+            trials,
+        });
+    }
+    out
+}
+
+/// Runs `trials` encode → corrupt rounds per RBER point, recording average
+/// full and pruned syndrome weights.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn syndrome_sweep(
+    code: &QcLdpcCode,
+    rbers: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<SyndromePoint> {
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = SimRng::seed_from(seed);
+    let mut out = Vec::with_capacity(rbers.len());
+    for &rber in rbers {
+        let channel = Bsc::new(rber);
+        let mut full = 0u64;
+        let mut pruned = 0u64;
+        for _ in 0..trials {
+            let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+            let noisy = channel.corrupt(&cw, &mut rng);
+            full += code.syndrome_weight(&noisy) as u64;
+            pruned += code.pruned_syndrome_weight(&noisy) as u64;
+        }
+        out.push(SyndromePoint {
+            rber,
+            avg_full_weight: full as f64 / trials as f64,
+            avg_pruned_weight: pruned as f64 / trials as f64,
+            trials,
+        });
+    }
+    out
+}
+
+/// The RP correctability threshold ρs for `code`: the expected pruned
+/// syndrome weight at the correction-capability RBER (paper §IV-B sets
+/// ρs to the syndrome weight corresponding to RBER = 0.0085).
+pub fn rho_s(code: &QcLdpcCode, capability_rber: f64) -> usize {
+    code.expected_pruned_weight(capability_rber).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_sweep_shows_waterfall() {
+        let code = QcLdpcCode::small_test();
+        let points = capability_sweep(&code, &[0.001, 0.02], 30, 99);
+        assert!(points[0].failure_probability < 0.2, "low RBER should mostly decode");
+        assert!(points[1].failure_probability > 0.8, "high RBER should mostly fail");
+        assert!(points[1].avg_iterations > points[0].avg_iterations);
+    }
+
+    #[test]
+    fn syndrome_sweep_monotone_in_rber() {
+        let code = QcLdpcCode::small_test();
+        let points = syndrome_sweep(&code, &[0.001, 0.004, 0.012], 50, 7);
+        assert!(points[0].avg_full_weight < points[1].avg_full_weight);
+        assert!(points[1].avg_full_weight < points[2].avg_full_weight);
+        assert!(points[0].avg_pruned_weight < points[2].avg_pruned_weight);
+        // Pruned weight is always a subset of the full weight.
+        for p in &points {
+            assert!(p.avg_pruned_weight <= p.avg_full_weight);
+        }
+    }
+
+    #[test]
+    fn rho_s_is_positive_and_below_t() {
+        let code = QcLdpcCode::small_test();
+        let rho = rho_s(&code, 0.0085);
+        assert!(rho > 0);
+        assert!(rho < code.matrix().t());
+    }
+
+    #[test]
+    fn rho_s_scales_with_circulant_size() {
+        let small = rho_s(&QcLdpcCode::small_test(), 0.0085);
+        let medium = rho_s(&QcLdpcCode::medium(), 0.0085);
+        // Same expected per-check probability, 4x the checks.
+        let ratio = medium as f64 / small as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn sweep_rejects_zero_trials() {
+        let code = QcLdpcCode::small_test();
+        let _ = capability_sweep(&code, &[0.01], 0, 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Word-packed bit vectors sized in multiples of 64 bits.
+//!
+//! Codewords, syndromes and page buffers are all multiples of 64 bits in
+//! this reproduction (circulant sizes are required to be word-aligned), so a
+//! `Vec<u64>` representation with hardware popcount keeps the Monte-Carlo
+//! loops of Figs. 3/10/11/14 fast.
+
+use rif_events::SimRng;
+
+/// A fixed-length bit vector packed into 64-bit words.
+///
+/// # Example
+///
+/// ```
+/// use rif_ldpc::bits::BitVec;
+///
+/// let mut v = BitVec::zeros(128);
+/// v.set(3, true);
+/// v.set(127, true);
+/// assert_eq!(v.count_ones(), 2);
+/// assert!(v.get(3) && v.get(127) && !v.get(64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not a multiple of 64 (all users of this crate work
+    /// on word-aligned segments).
+    pub fn zeros(len: usize) -> Self {
+        assert!(len % 64 == 0, "BitVec length must be a multiple of 64, got {len}");
+        BitVec {
+            words: vec![0; len / 64],
+            len,
+        }
+    }
+
+    /// Creates a uniformly random vector of `len` bits.
+    pub fn random(len: usize, rng: &mut SimRng) -> Self {
+        let mut v = BitVec::zeros(len);
+        for w in &mut v.words {
+            *w = rng.next_u64();
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// XORs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns bits `[start, start + n)` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start` and `n` are multiples of 64 and in range.
+    pub fn slice(&self, start: usize, n: usize) -> BitVec {
+        assert!(start % 64 == 0 && n % 64 == 0, "slice must be word-aligned");
+        assert!(start + n <= self.len, "slice out of range");
+        BitVec {
+            words: self.words[start / 64..(start + n) / 64].to_vec(),
+            len: n,
+        }
+    }
+
+    /// Overwrites bits `[start, start + src.len())` with `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start` is a multiple of 64 and the span is in range.
+    pub fn copy_from(&mut self, start: usize, src: &BitVec) {
+        assert!(start % 64 == 0, "copy_from offset must be word-aligned");
+        assert!(start + src.len <= self.len, "copy_from out of range");
+        let w0 = start / 64;
+        self.words[w0..w0 + src.words.len()].copy_from_slice(&src.words);
+    }
+
+    /// Rotates the whole vector left by `s` bit positions: output bit `k`
+    /// equals input bit `(k + s) mod len`.
+    ///
+    /// This is exactly the per-segment rotation of the codeword
+    /// rearrangement scheme (paper Fig. 15): rotating segment `j` left by
+    /// `C(1,j)` turns the circulant `Q(C(1,j))` into the identity.
+    pub fn rotate_left(&self, s: usize) -> BitVec {
+        let n = self.len;
+        if n == 0 {
+            return self.clone();
+        }
+        let s = s % n;
+        if s == 0 {
+            return self.clone();
+        }
+        let nw = self.words.len();
+        let word_shift = s / 64;
+        let bit_shift = s % 64;
+        let mut out = BitVec::zeros(n);
+        for w in 0..nw {
+            let lo = self.words[(w + word_shift) % nw];
+            if bit_shift == 0 {
+                out.words[w] = lo;
+            } else {
+                let hi = self.words[(w + word_shift + 1) % nw];
+                out.words[w] = (lo >> bit_shift) | (hi << (64 - bit_shift));
+            }
+        }
+        out
+    }
+
+    /// Rotates right by `s`: inverse of [`BitVec::rotate_left`].
+    pub fn rotate_right(&self, s: usize) -> BitVec {
+        if self.len == 0 {
+            return self.clone();
+        }
+        self.rotate_left(self.len - (s % self.len))
+    }
+
+    /// Iterator over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Raw word storage (read-only).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec[len={}, ones={}]", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = BitVec::zeros(192);
+        assert!(v.is_zero());
+        v.set(0, true);
+        v.set(191, true);
+        v.flip(100);
+        v.flip(100);
+        assert!(v.get(0));
+        assert!(v.get(191));
+        assert!(!v.get(100));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn rejects_unaligned_length() {
+        let _ = BitVec::zeros(100);
+    }
+
+    #[test]
+    fn xor_and_distance() {
+        let mut rng = SimRng::seed_from(5);
+        let a = BitVec::random(256, &mut rng);
+        let b = BitVec::random(256, &mut rng);
+        let d = a.hamming_distance(&b);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        assert_eq!(c.count_ones(), d);
+        c.xor_assign(&b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn rotate_left_matches_naive() {
+        let mut rng = SimRng::seed_from(9);
+        let v = BitVec::random(256, &mut rng);
+        for s in [0usize, 1, 63, 64, 65, 128, 255, 256, 300] {
+            let r = v.rotate_left(s);
+            for k in 0..256 {
+                assert_eq!(r.get(k), v.get((k + s) % 256), "s={s} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_roundtrip() {
+        let mut rng = SimRng::seed_from(10);
+        let v = BitVec::random(1024, &mut rng);
+        for s in [1usize, 17, 64, 500, 1023] {
+            assert_eq!(v.rotate_left(s).rotate_right(s), v);
+        }
+    }
+
+    #[test]
+    fn slice_and_copy_roundtrip() {
+        let mut rng = SimRng::seed_from(11);
+        let v = BitVec::random(512, &mut rng);
+        let s = v.slice(128, 192);
+        assert_eq!(s.len(), 192);
+        for k in 0..192 {
+            assert_eq!(s.get(k), v.get(128 + k));
+        }
+        let mut w = BitVec::zeros(512);
+        w.copy_from(128, &s);
+        for k in 0..192 {
+            assert_eq!(w.get(128 + k), v.get(128 + k));
+        }
+        assert_eq!(w.count_ones(), s.count_ones());
+    }
+
+    #[test]
+    fn iter_ones_yields_exactly_set_bits() {
+        let mut v = BitVec::zeros(192);
+        for &i in &[0usize, 5, 63, 64, 65, 191] {
+            v.set(i, true);
+        }
+        let got: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 191]);
+    }
+
+    #[test]
+    fn random_is_roughly_half_ones() {
+        let mut rng = SimRng::seed_from(12);
+        let v = BitVec::random(64 * 1024, &mut rng);
+        let frac = v.count_ones() as f64 / v.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+}

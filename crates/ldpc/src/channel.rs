@@ -1,0 +1,304 @@
+//! Binary symmetric channel (BSC) error injection.
+//!
+//! The NAND read path is modelled as a BSC whose crossover probability is
+//! the page's RBER (paper §III, §VI-A): thanks to data randomization the
+//! raw bit errors of a sensed page are uniformly distributed (Fig. 12), so
+//! independent flips are the right noise model.
+
+use crate::bits::BitVec;
+use rif_events::SimRng;
+
+/// A binary symmetric channel with crossover probability `p`.
+///
+/// # Example
+///
+/// ```
+/// use rif_ldpc::{Bsc, bits::BitVec};
+/// use rif_events::SimRng;
+///
+/// let mut rng = SimRng::seed_from(9);
+/// let clean = BitVec::zeros(64 * 1024);
+/// let noisy = Bsc::new(0.01).corrupt(&clean, &mut rng);
+/// let rate = noisy.count_ones() as f64 / clean.len() as f64;
+/// assert!((rate - 0.01).abs() < 0.003);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bsc {
+    p: f64,
+}
+
+impl Bsc {
+    /// Creates a channel with crossover probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "crossover probability {p} out of range");
+        Bsc { p }
+    }
+
+    /// The crossover probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Returns a copy of `input` with each bit independently flipped with
+    /// probability `p`.
+    ///
+    /// Uses geometric gap sampling, so the cost is proportional to the
+    /// number of flips rather than the vector length — essential for the
+    /// 10⁵-page Monte-Carlo sweeps of Figs. 11/14.
+    pub fn corrupt(&self, input: &BitVec, rng: &mut SimRng) -> BitVec {
+        let mut out = input.clone();
+        self.corrupt_in_place(&mut out, rng);
+        out
+    }
+
+    /// In-place variant of [`Bsc::corrupt`].
+    pub fn corrupt_in_place(&self, data: &mut BitVec, rng: &mut SimRng) {
+        if self.p <= 0.0 {
+            return;
+        }
+        if self.p >= 1.0 {
+            for i in 0..data.len() {
+                data.flip(i);
+            }
+            return;
+        }
+        let ln_q = (1.0 - self.p).ln();
+        let mut i: usize = 0;
+        loop {
+            // Geometric gap: number of untouched bits before the next flip.
+            let u = 1.0 - rng.uniform();
+            let gap = (u.ln() / ln_q).floor() as usize;
+            i = match i.checked_add(gap) {
+                Some(v) => v,
+                None => break,
+            };
+            if i >= data.len() {
+                break;
+            }
+            data.flip(i);
+            i += 1;
+        }
+    }
+
+    /// Flips exactly `k` distinct, uniformly chosen bit positions.
+    ///
+    /// Used when an experiment needs a page with a *known* RBER (e.g. the
+    /// "10⁵ test pages with the same RBER value" validation of Fig. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > input.len()`.
+    pub fn corrupt_exact(input: &BitVec, k: usize, rng: &mut SimRng) -> BitVec {
+        assert!(k <= input.len(), "cannot flip {k} of {} bits", input.len());
+        let mut out = input.clone();
+        if k == 0 {
+            return out;
+        }
+        // Floyd's algorithm for k distinct samples without replacement.
+        let n = input.len();
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        for j in (n - k)..n {
+            let r = rng.index(j + 1);
+            let pick = if chosen.contains(&r) { j } else { r };
+            chosen.insert(pick);
+            out.flip(pick);
+        }
+        out
+    }
+}
+
+/// A soft-output read channel: each transmitted bit yields a
+/// log-likelihood ratio rather than a hard decision.
+///
+/// Models the *soft sensing* fallback of modern SSDs: re-sensing a page
+/// at several reference-voltage offsets bins each cell by how far its
+/// V_TH sits from the decision boundary, which maps (through the Gaussian
+/// V_TH model) onto an LLR. We use the standard binary-input AWGN
+/// abstraction: a `0`-bit produces `N(+μ, 1)` and a `1`-bit `N(−μ, 1)`,
+/// with `μ` chosen so the *hard-decision* error rate of the soft read
+/// equals the page's RBER. Feeding these LLRs to
+/// [`crate::decoder::MinSumDecoder::decode_llr`] decodes well beyond the
+/// hard-decision capability — the last-resort tier below read-retry.
+///
+/// # Example
+///
+/// ```
+/// use rif_ldpc::channel::SoftChannel;
+/// use rif_ldpc::bits::BitVec;
+/// use rif_events::SimRng;
+///
+/// let mut rng = SimRng::seed_from(3);
+/// let ch = SoftChannel::new(0.01);
+/// let llrs = ch.transmit(&BitVec::zeros(256), &mut rng);
+/// // Most LLRs lean toward 0 (positive).
+/// let positive = llrs.iter().filter(|&&l| l > 0.0).count();
+/// assert!(positive > 240);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftChannel {
+    /// Mean LLR magnitude (μ of the equivalent AWGN channel).
+    mu: f64,
+}
+
+impl SoftChannel {
+    /// Creates a soft channel whose hard-decision error rate is `rber`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rber < 0.5`.
+    pub fn new(rber: f64) -> Self {
+        assert!(
+            rber > 0.0 && rber < 0.5,
+            "soft channel needs 0 < rber < 0.5, got {rber}"
+        );
+        // P(N(mu,1) < 0) = rber  =>  mu = -Phi^{-1}(rber).
+        SoftChannel {
+            mu: -crate::model::normal_quantile(rber),
+        }
+    }
+
+    /// The equivalent hard-decision error rate.
+    pub fn hard_error_rate(&self) -> f64 {
+        crate::model::normal_cdf(-self.mu)
+    }
+
+    /// Produces one LLR per transmitted bit. The LLR of an observation
+    /// `y ~ N(±μ, 1)` is `2μy`, positive when leaning toward bit 0.
+    pub fn transmit(&self, input: &BitVec, rng: &mut SimRng) -> Vec<f32> {
+        (0..input.len())
+            .map(|i| {
+                let sign = if input.get(i) { -1.0 } else { 1.0 };
+                let y = rng.gaussian_with(sign * self.mu, 1.0);
+                (2.0 * self.mu * y) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::QcLdpcCode;
+    use crate::decoder::MinSumDecoder;
+
+    #[test]
+    fn corrupt_rate_matches_p() {
+        let mut rng = SimRng::seed_from(1);
+        let clean = BitVec::zeros(64 * 4096);
+        for &p in &[0.001, 0.005, 0.02] {
+            let noisy = Bsc::new(p).corrupt(&clean, &mut rng);
+            let rate = noisy.count_ones() as f64 / clean.len() as f64;
+            assert!((rate - p).abs() < p * 0.5 + 2e-4, "p={p} rate={rate}");
+        }
+    }
+
+    #[test]
+    fn zero_p_is_identity() {
+        let mut rng = SimRng::seed_from(2);
+        let v = BitVec::random(1024, &mut rng);
+        assert_eq!(Bsc::new(0.0).corrupt(&v, &mut rng), v);
+    }
+
+    #[test]
+    fn one_p_flips_everything() {
+        let mut rng = SimRng::seed_from(3);
+        let v = BitVec::random(256, &mut rng);
+        let w = Bsc::new(1.0).corrupt(&v, &mut rng);
+        assert_eq!(v.hamming_distance(&w), 256);
+    }
+
+    #[test]
+    fn corrupt_exact_flips_exactly_k() {
+        let mut rng = SimRng::seed_from(4);
+        let v = BitVec::random(2048, &mut rng);
+        for &k in &[0usize, 1, 17, 2048] {
+            let w = Bsc::corrupt_exact(&v, k, &mut rng);
+            assert_eq!(v.hamming_distance(&w), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn corrupt_exact_positions_are_uniform() {
+        let mut rng = SimRng::seed_from(5);
+        let v = BitVec::zeros(128);
+        let mut hits = vec![0u32; 128];
+        for _ in 0..4000 {
+            let w = Bsc::corrupt_exact(&v, 4, &mut rng);
+            for i in w.iter_ones() {
+                hits[i] += 1;
+            }
+        }
+        // Each position expects 4000*4/128 = 125 hits.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((50..250).contains(&h), "position {i} hit {h} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let _ = Bsc::new(1.5);
+    }
+
+    #[test]
+    fn soft_hard_error_rate_matches_construction() {
+        for &p in &[0.001, 0.0085, 0.05] {
+            let ch = SoftChannel::new(p);
+            // The erf approximation carries ~1.5e-7 absolute error, which
+            // dominates the relative error at small p.
+            assert!((ch.hard_error_rate() - p).abs() < 2e-4, "p={p}");
+        }
+    }
+
+    #[test]
+    fn soft_llr_signs_track_bits_statistically() {
+        let mut rng = SimRng::seed_from(8);
+        let ch = SoftChannel::new(0.02);
+        let mut data = BitVec::zeros(4096);
+        for i in 2048..4096 {
+            data.set(i, true);
+        }
+        let llrs = ch.transmit(&data, &mut rng);
+        let err0 = llrs[..2048].iter().filter(|&&l| l < 0.0).count() as f64 / 2048.0;
+        let err1 = llrs[2048..].iter().filter(|&&l| l > 0.0).count() as f64 / 2048.0;
+        assert!((err0 - 0.02).abs() < 0.01, "err0 {err0}");
+        assert!((err1 - 0.02).abs() < 0.01, "err1 {err1}");
+    }
+
+    #[test]
+    fn soft_decoding_beats_hard_capability() {
+        // The point of soft sensing: at an RBER where hard decoding is
+        // hopeless (well past the waterfall), soft LLRs still decode.
+        let code = QcLdpcCode::small_test();
+        let dec = MinSumDecoder::new(&code);
+        let mut rng = SimRng::seed_from(9);
+        let rber = 0.02; // hard decoding fails ~always here (cap ≈ 0.011)
+        let mut hard_ok = 0;
+        let mut soft_ok = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+            let noisy = Bsc::new(rber).corrupt(&cw, &mut rng);
+            if dec.decode(&noisy).success {
+                hard_ok += 1;
+            }
+            let llrs = SoftChannel::new(rber).transmit(&cw, &mut rng);
+            let out = dec.decode_llr(&llrs);
+            if out.success && out.decoded == cw {
+                soft_ok += 1;
+            }
+        }
+        assert!(hard_ok <= trials / 4, "hard decoding too strong: {hard_ok}/{trials}");
+        assert!(soft_ok >= trials * 3 / 4, "soft decoding too weak: {soft_ok}/{trials}");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < rber < 0.5")]
+    fn soft_channel_rejects_half() {
+        let _ = SoftChannel::new(0.5);
+    }
+}

@@ -1,0 +1,343 @@
+//! RP prediction-accuracy measurement (Figs. 11 and 14) and the
+//! closed-form behaviour model the SSD simulator consumes.
+//!
+//! The paper validates RP by generating 10⁵ test pages per RBER value and
+//! comparing RP's verdict against the real QC-LDPC decoder's outcome
+//! (§IV-B). [`measure_accuracy`] is that experiment. For the event-level
+//! simulator, §VI-A states that "a probability-based model is used using
+//! the RP prediction accuracy function" — [`RpBehavior`] is that model,
+//! with the retry probability in closed form: the pruned syndrome weight
+//! is Binomial(t, q(RBER)), so `P(retry) = P(W > ρs)` follows from the
+//! normal approximation.
+
+use rif_events::SimRng;
+use rif_ldpc::bits::BitVec;
+use rif_ldpc::channel::Bsc;
+use rif_ldpc::decoder::MinSumDecoder;
+use rif_ldpc::model::normal_cdf;
+use rif_ldpc::QcLdpcCode;
+
+use crate::rp::ReadRetryPredictor;
+
+/// One point of an RP-accuracy sweep (the bars of Figs. 11/14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyPoint {
+    /// Raw bit-error rate of the test pages.
+    pub rber: f64,
+    /// Fraction of pages where RP's verdict matched the decoder outcome.
+    pub accuracy: f64,
+    /// Fraction of correctable pages RP flagged for retry (unnecessary
+    /// in-die retries — cheap, §IV-B).
+    pub false_retry_rate: f64,
+    /// Fraction of uncorrectable pages RP let through (wasted off-chip
+    /// transfers — the costly misprediction).
+    pub missed_retry_rate: f64,
+    /// Monte-Carlo trials behind this point.
+    pub trials: usize,
+}
+
+/// Runs the Fig. 11/14 validation: per RBER, corrupts `trials` encoded
+/// pages, compares RP (with or without the chunk/pruning approximations —
+/// RP as passed in) against the real min-sum decoder.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn measure_accuracy(
+    code: &QcLdpcCode,
+    rp: &ReadRetryPredictor,
+    rbers: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<AccuracyPoint> {
+    measure_accuracy_with(
+        code,
+        |c, noisy| rp.predict(&c.rearrange(noisy)).retry_needed,
+        rbers,
+        trials,
+        seed,
+    )
+}
+
+/// Generalized accuracy measurement: `predict_fail` receives the noisy
+/// codeword in *original* layout and returns the predictor's verdict.
+/// Fig. 11 uses a full-syndrome predictor here; Fig. 14 uses the
+/// approximate RP hardware path.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn measure_accuracy_with<F>(
+    code: &QcLdpcCode,
+    mut predict_fail: F,
+    rbers: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<AccuracyPoint>
+where
+    F: FnMut(&QcLdpcCode, &BitVec) -> bool,
+{
+    assert!(trials > 0, "need at least one trial");
+    let decoder = MinSumDecoder::new(code);
+    let mut rng = SimRng::seed_from(seed);
+    let mut out = Vec::with_capacity(rbers.len());
+    for &rber in rbers {
+        let channel = Bsc::new(rber);
+        let mut correct = 0usize;
+        let mut false_retry = 0usize;
+        let mut missed_retry = 0usize;
+        let mut correctable = 0usize;
+        for _ in 0..trials {
+            let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+            let noisy = channel.corrupt(&cw, &mut rng);
+            let predicted_fail = predict_fail(code, &noisy);
+            let actual_fail = !decoder.decode(&noisy).success;
+            if predicted_fail == actual_fail {
+                correct += 1;
+            }
+            if actual_fail {
+                if !predicted_fail {
+                    missed_retry += 1;
+                }
+            } else {
+                correctable += 1;
+                if predicted_fail {
+                    false_retry += 1;
+                }
+            }
+        }
+        let uncorrectable = trials - correctable;
+        out.push(AccuracyPoint {
+            rber,
+            accuracy: correct as f64 / trials as f64,
+            false_retry_rate: if correctable > 0 {
+                false_retry as f64 / correctable as f64
+            } else {
+                0.0
+            },
+            missed_retry_rate: if uncorrectable > 0 {
+                missed_retry as f64 / uncorrectable as f64
+            } else {
+                0.0
+            },
+            trials,
+        });
+    }
+    out
+}
+
+/// Mean accuracy over the points with RBER above `capability` — the
+/// headline "99.1 % / 98.7 % prediction accuracy for uncorrectable pages".
+pub fn mean_accuracy_above(points: &[AccuracyPoint], capability: f64) -> f64 {
+    let above: Vec<f64> = points
+        .iter()
+        .filter(|p| p.rber > capability)
+        .map(|p| p.accuracy)
+        .collect();
+    if above.is_empty() {
+        return 0.0;
+    }
+    above.iter().sum::<f64>() / above.len() as f64
+}
+
+/// Closed-form RP behaviour for the event-level simulator.
+///
+/// The pruned syndrome weight of a chunk at RBER `p` is
+/// `W ~ Binomial(t, q)` with `q = (1 − (1−2p)^w0)/2`; RP retries when
+/// `W > ρs`. The normal approximation gives the retry probability
+/// directly, so the simulator never touches real codewords.
+///
+/// # Example
+///
+/// ```
+/// use rif_odear::RpBehavior;
+///
+/// let rp = RpBehavior::paper_default();
+/// // At the capability, the threshold splits the weight distribution:
+/// // retry probability ≈ one half (the 50.3 % accuracy point of Fig. 11).
+/// let p = rp.retry_probability(0.0085);
+/// assert!((p - 0.5).abs() < 0.1);
+/// // Far above, RP always retries; far below, never.
+/// assert!(rp.retry_probability(0.012) > 0.999);
+/// assert!(rp.retry_probability(0.005) < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpBehavior {
+    /// Circulant size (number of pruned syndromes computed).
+    t: usize,
+    /// Row weight of the first block row.
+    row_weight: usize,
+    /// The correctability threshold ρs.
+    rho_s: usize,
+}
+
+impl RpBehavior {
+    /// The paper's configuration: t = 1024 syndromes of row weight 34
+    /// (32 data blocks + 2 parity blocks in the first block row),
+    /// ρs calibrated at RBER 0.0085.
+    pub fn paper_default() -> Self {
+        Self::calibrated(1024, 34, 0.0085)
+    }
+
+    /// Builds a behaviour model for a code with `t` pruned syndromes of
+    /// `row_weight`, thresholded at the expected weight at
+    /// `capability_rber`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `row_weight` is zero.
+    pub fn calibrated(t: usize, row_weight: usize, capability_rber: f64) -> Self {
+        assert!(t > 0 && row_weight > 0, "degenerate code geometry");
+        let q = QcLdpcCode::syndrome_probability(row_weight, capability_rber);
+        RpBehavior {
+            t,
+            row_weight,
+            rho_s: (t as f64 * q).round() as usize,
+        }
+    }
+
+    /// Builds a behaviour model with an explicit threshold (for ablation
+    /// studies sweeping ρs away from the calibrated point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `row_weight` is zero.
+    pub fn with_rho(t: usize, row_weight: usize, rho_s: usize) -> Self {
+        assert!(t > 0 && row_weight > 0, "degenerate code geometry");
+        RpBehavior { t, row_weight, rho_s }
+    }
+
+    /// Builds the behaviour model matching a concrete bit-level RP.
+    pub fn from_predictor(rp: &ReadRetryPredictor) -> Self {
+        let h = rp.code().matrix();
+        RpBehavior {
+            t: h.t(),
+            row_weight: h.row_weight(0),
+            rho_s: rp.rho_s(),
+        }
+    }
+
+    /// The threshold ρs.
+    pub fn rho_s(&self) -> usize {
+        self.rho_s
+    }
+
+    /// Probability that RP flags a page of the given RBER for an in-die
+    /// retry.
+    pub fn retry_probability(&self, rber: f64) -> f64 {
+        let q = QcLdpcCode::syndrome_probability(self.row_weight, rber.clamp(0.0, 0.5));
+        let mean = self.t as f64 * q;
+        let var = self.t as f64 * q * (1.0 - q);
+        if var <= 0.0 {
+            return if mean > self.rho_s as f64 { 1.0 } else { 0.0 };
+        }
+        // Continuity-corrected normal tail of Binomial(t, q) above rho_s.
+        1.0 - normal_cdf((self.rho_s as f64 + 0.5 - mean) / var.sqrt())
+    }
+
+    /// Samples RP's verdict for a page of the given RBER.
+    pub fn sample_retry(&self, rber: f64, rng: &mut SimRng) -> bool {
+        rng.chance(self.retry_probability(rber))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_high_far_from_capability() {
+        let code = QcLdpcCode::small_test();
+        let rp = ReadRetryPredictor::for_capability(&code, 0.0085);
+        let pts = measure_accuracy(&code, &rp, &[0.003, 0.016], 60, 5);
+        assert!(pts[0].accuracy > 0.9, "below-cap accuracy {}", pts[0].accuracy);
+        assert!(pts[1].accuracy > 0.9, "above-cap accuracy {}", pts[1].accuracy);
+    }
+
+    #[test]
+    fn accuracy_degrades_at_capability() {
+        // Fig. 11: accuracy drops to ≈50 % when RBER equals the capability
+        // (both the decoder outcome and the weight threshold are coin
+        // flips there, decided by independent noise).
+        let code = QcLdpcCode::small_test();
+        // For the small code the min-sum waterfall sits near 0.012; use a
+        // threshold calibrated there to probe the boundary effect.
+        let rp = ReadRetryPredictor::for_capability(&code, 0.012);
+        let pts = measure_accuracy(&code, &rp, &[0.012], 80, 6);
+        assert!(
+            pts[0].accuracy < 0.9,
+            "boundary accuracy suspiciously high: {}",
+            pts[0].accuracy
+        );
+    }
+
+    #[test]
+    fn mean_accuracy_above_filters_correctly() {
+        let pts = vec![
+            AccuracyPoint { rber: 0.005, accuracy: 0.2, false_retry_rate: 0.0, missed_retry_rate: 0.0, trials: 1 },
+            AccuracyPoint { rber: 0.010, accuracy: 0.9, false_retry_rate: 0.0, missed_retry_rate: 0.0, trials: 1 },
+            AccuracyPoint { rber: 0.012, accuracy: 1.0, false_retry_rate: 0.0, missed_retry_rate: 0.0, trials: 1 },
+        ];
+        assert!((mean_accuracy_above(&pts, 0.0085) - 0.95).abs() < 1e-12);
+        assert_eq!(mean_accuracy_above(&pts, 0.05), 0.0);
+    }
+
+    #[test]
+    fn behavior_matches_bit_level_rp() {
+        // The closed-form retry probability must track the Monte-Carlo
+        // retry rate of the real RP hardware model.
+        let code = QcLdpcCode::small_test();
+        let rp = ReadRetryPredictor::for_capability(&code, 0.0085);
+        let behavior = RpBehavior::from_predictor(&rp);
+        let mut rng = SimRng::seed_from(7);
+        for &rber in &[0.006, 0.0085, 0.012] {
+            let trials = 200;
+            let mut retries = 0;
+            for _ in 0..trials {
+                let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+                let noisy = Bsc::new(rber).corrupt(&code.rearrange(&cw), &mut rng);
+                if rp.predict(&noisy).retry_needed {
+                    retries += 1;
+                }
+            }
+            let mc = retries as f64 / trials as f64;
+            let analytic = behavior.retry_probability(rber);
+            assert!(
+                (mc - analytic).abs() < 0.12,
+                "rber {rber}: MC {mc} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_probability_is_monotone() {
+        let rp = RpBehavior::paper_default();
+        let mut last = 0.0;
+        for i in 0..50 {
+            let p = rp.retry_probability(i as f64 * 0.0005);
+            assert!(p >= last - 1e-12, "not monotone at step {i}");
+            last = p;
+        }
+        assert!(last > 0.999);
+    }
+
+    #[test]
+    fn sample_retry_tracks_probability() {
+        let rp = RpBehavior::paper_default();
+        let mut rng = SimRng::seed_from(8);
+        let trials = 20_000;
+        let rate = (0..trials).filter(|_| rp.sample_retry(0.0085, &mut rng)).count() as f64
+            / trials as f64;
+        let expect = rp.retry_probability(0.0085);
+        assert!((rate - expect).abs() < 0.02, "rate {rate} expect {expect}");
+    }
+
+    #[test]
+    fn paper_default_rho_s_scale() {
+        // With t = 1024 and w0 = 34, q(0.0085) ≈ 0.22 ⇒ ρs ≈ 230. The
+        // paper's ρs = 3830 corresponds to its different (undisclosed)
+        // syndrome accounting; what matters is consistency with our code.
+        let rp = RpBehavior::paper_default();
+        assert!((200..260).contains(&rp.rho_s()), "rho_s {}", rp.rho_s());
+    }
+}

@@ -1,0 +1,194 @@
+//! Word-level model of the RP hardware datapath (paper Fig. 16).
+//!
+//! The RP module streams the sensed chunk out of the page buffer in
+//! 128-bit words: each cycle fetches one word of one segment into the
+//! segment register, XORs it into the syndrome register, and — once all
+//! participating segments contributed a given word position — counts the
+//! syndrome word's ones into the accumulator. Every stage is pipelined,
+//! so the latency is *fetch-bound*: `(participating segments × t) /
+//! word_bits` cycles plus a two-stage drain. At the paper's page-buffer
+//! readout rate (one 128-bit word per 10-ns cycle, i.e. 16 KiB per
+//! 10 µs) a 4-KiB chunk predicts in ≈2.5 µs — Table I's tPRED.
+//!
+//! [`RpPipeline::process`] executes the datapath word-by-word on a real
+//! sensed chunk and is verified against the mathematical pruned syndrome
+//! weight.
+
+use rif_events::SimDuration;
+use rif_ldpc::bits::BitVec;
+use rif_ldpc::QcLdpcCode;
+
+/// One execution of the RP datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineRun {
+    /// The accumulated syndrome weight (equals the pruned weight).
+    pub syndrome_weight: usize,
+    /// Fetch cycles consumed (including the pipeline drain).
+    pub cycles: u64,
+}
+
+/// The Fig. 16 datapath model.
+///
+/// # Example
+///
+/// ```
+/// use rif_odear::pipeline::RpPipeline;
+///
+/// let p = RpPipeline::paper();
+/// // The paper's code: 34 participating segments of 1024 bits.
+/// let lat = p.latency(34 * 1024);
+/// assert!((lat.as_us() - 2.5).abs() < 0.3); // Table I: tPRED = 2.5 µs
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpPipeline {
+    /// Page-buffer word width in bits (128 in the paper's reference).
+    pub word_bits: usize,
+    /// Datapath clock in Hz (100 MHz at the 130-nm synthesis point).
+    pub clock_hz: u64,
+}
+
+impl RpPipeline {
+    /// The paper's parameters: 128-bit words at 100 MHz.
+    pub fn paper() -> Self {
+        RpPipeline {
+            word_bits: 128,
+            clock_hz: 100_000_000,
+        }
+    }
+
+    /// Fetch cycles to stream `chunk_bits` through the pipeline: one word
+    /// per cycle plus the two-stage (XOR, popcount) drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bits` is not word-aligned.
+    pub fn cycles(&self, chunk_bits: usize) -> u64 {
+        assert!(
+            chunk_bits % self.word_bits == 0,
+            "chunk must be a multiple of the {}-bit word",
+            self.word_bits
+        );
+        (chunk_bits / self.word_bits) as u64 + 2
+    }
+
+    /// Wall-clock latency of a prediction over `chunk_bits`.
+    pub fn latency(&self, chunk_bits: usize) -> SimDuration {
+        let ns = self.cycles(chunk_bits) * 1_000_000_000 / self.clock_hz;
+        SimDuration::from_ns(ns)
+    }
+
+    /// Executes the datapath on a sensed chunk in rearranged (on-flash)
+    /// layout: word-by-word XOR across the first-block-row segments, then
+    /// per-word popcount into the accumulator — exactly the hardware's
+    /// data movement, and provably equal to
+    /// [`QcLdpcCode::pruned_weight_rearranged`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is not one codeword long or the circulant size
+    /// is not word-aligned.
+    pub fn process(&self, code: &QcLdpcCode, sensed: &BitVec) -> PipelineRun {
+        let h = code.matrix();
+        assert_eq!(sensed.len(), code.n(), "codeword length mismatch");
+        assert!(
+            h.t() % self.word_bits == 0,
+            "circulant size must be word-aligned"
+        );
+        let words_per_segment = h.t() / self.word_bits;
+        let participating: Vec<usize> = (0..h.cols_b())
+            .filter(|&j| h.coeff(0, j).is_some())
+            .collect();
+
+        let words = sensed.as_words();
+        let words_per_64 = self.word_bits / 64;
+        let mut weight = 0usize;
+        let mut fetches = 0u64;
+        // Walk syndrome word positions; for each, fetch the matching word
+        // of every participating segment, XOR, popcount, accumulate.
+        for w in 0..words_per_segment {
+            let mut acc = vec![0u64; words_per_64];
+            for &j in &participating {
+                let seg_word_base = (j * h.t()) / 64 + w * words_per_64;
+                for (k, a) in acc.iter_mut().enumerate() {
+                    *a ^= words[seg_word_base + k];
+                }
+                fetches += 1;
+            }
+            weight += acc.iter().map(|x| x.count_ones() as usize).sum::<usize>();
+        }
+        PipelineRun {
+            syndrome_weight: weight,
+            cycles: fetches + 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rif_events::SimRng;
+    use rif_ldpc::Bsc;
+
+    #[test]
+    fn paper_tpred_anchor() {
+        let p = RpPipeline::paper();
+        // 34 participating segments × 1024 bits = 272 words -> 2.74 µs,
+        // the paper's "about 2.5 µs" for a 4-KiB chunk.
+        let lat = p.latency(34 * 1024);
+        assert!((2.4..3.0).contains(&lat.as_us()), "latency {}", lat.as_us());
+        // A full 16-KiB page would quadruple it — why chunking matters.
+        let full = p.latency(4 * 34 * 1024);
+        assert!(full.as_ns() > lat.as_ns() * 3);
+    }
+
+    #[test]
+    fn datapath_weight_matches_mathematical_definition() {
+        // small_test's 64-bit circulants need a 64-bit datapath.
+        let code = QcLdpcCode::small_test();
+        let p = RpPipeline { word_bits: 64, clock_hz: 100_000_000 };
+        let mut rng = SimRng::seed_from(3);
+        for &rber in &[0.0, 0.002, 0.01, 0.05] {
+            let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+            let sensed = Bsc::new(rber).corrupt(&code.rearrange(&cw), &mut rng);
+            let run = p.process(&code, &sensed);
+            assert_eq!(
+                run.syndrome_weight,
+                code.pruned_weight_rearranged(&sensed),
+                "rber {rber}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_count_matches_fetch_bound_model() {
+        // The medium code's 256-bit circulants stream cleanly through the
+        // paper's 128-bit datapath.
+        let code = QcLdpcCode::medium();
+        let p = RpPipeline::paper();
+        let mut rng = SimRng::seed_from(4);
+        let sensed = code.rearrange(&code.encode(&BitVec::random(code.data_bits(), &mut rng)));
+        let run = p.process(&code, &sensed);
+        let h = code.matrix();
+        let participating = (0..h.cols_b()).filter(|&j| h.coeff(0, j).is_some()).count();
+        let words_per_segment = h.t() / 128;
+        assert_eq!(run.cycles, (participating * words_per_segment) as u64 + 2);
+        assert_eq!(run.syndrome_weight, code.pruned_weight_rearranged(&sensed));
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn rejects_unaligned_circulants() {
+        // 64-bit circulants cannot stream through the 128-bit datapath.
+        let code = QcLdpcCode::small_test();
+        let sensed = BitVec::zeros(code.n());
+        let _ = RpPipeline::paper().process(&code, &sensed);
+    }
+
+    #[test]
+    fn latency_scales_linearly_with_chunk() {
+        let p = RpPipeline::paper();
+        let one = p.latency(128 * 100).as_ns();
+        let two = p.latency(128 * 200).as_ns();
+        assert!((two as i64 - 2 * one as i64).abs() <= 30, "{one} vs {two}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Power / performance / area model of the RP module (paper §VI-C).
+//!
+//! The paper synthesizes RP with Synopsys Design Compiler at 130 nm /
+//! 100 MHz and reports: 0.012 mm² area, 1.28 mW power, ≈3.2 nJ per
+//! prediction — against 907 nJ saved for every avoided off-chip transfer
+//! of an unrecoverable 16-KiB page. This module encodes those constants
+//! and the arithmetic behind the "negligible overhead, net energy win"
+//! conclusion.
+
+/// The RP module's synthesis-derived PPA constants and energy arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use rif_odear::PpaModel;
+///
+/// let ppa = PpaModel::paper();
+/// // Area overhead relative to a 101 mm² die is ~0.01 %.
+/// assert!(ppa.area_overhead_fraction() < 2e-4);
+/// // RP pays for itself whenever more than ~0.35 % of reads would have
+/// // transferred an unrecoverable page.
+/// assert!(ppa.break_even_retry_rate() < 0.005);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpaModel {
+    /// RP module area (mm², 130 nm process).
+    pub rp_area_mm2: f64,
+    /// RP module power at 100 MHz (mW).
+    pub rp_power_mw: f64,
+    /// Energy per read-retry prediction (nJ), for the default 4-KiB chunk.
+    pub prediction_energy_nj: f64,
+    /// Energy of an off-chip transfer of one unrecoverable 16-KiB page
+    /// (nJ) — what RiF saves per avoided transfer.
+    pub transfer_energy_nj: f64,
+    /// Reference die area (mm²) of a modern 512-Gb 3D NAND die.
+    pub die_area_mm2: f64,
+}
+
+impl PpaModel {
+    /// The §VI-C constants.
+    pub fn paper() -> Self {
+        PpaModel {
+            rp_area_mm2: 0.012,
+            rp_power_mw: 1.28,
+            prediction_energy_nj: 3.2,
+            transfer_energy_nj: 907.0,
+            die_area_mm2: 101.0,
+        }
+    }
+
+    /// RP area as a fraction of the flash die.
+    pub fn area_overhead_fraction(&self) -> f64 {
+        self.rp_area_mm2 / self.die_area_mm2
+    }
+
+    /// Prediction energy for a non-default chunk size: the pipeline is
+    /// fetch-bound, so energy scales linearly with the chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_kib` is zero.
+    pub fn prediction_energy_for_chunk(&self, chunk_kib: usize) -> f64 {
+        assert!(chunk_kib > 0, "chunk must be non-empty");
+        self.prediction_energy_nj * chunk_kib as f64 / 4.0
+    }
+
+    /// Net energy delta (nJ) over `reads` page reads of which a fraction
+    /// `uncorrectable_rate` would have shipped an unrecoverable page
+    /// off-chip: every read pays one prediction, every avoided transfer
+    /// refunds `transfer_energy_nj`. Negative = RiF saves energy.
+    pub fn net_energy_nj(&self, reads: u64, uncorrectable_rate: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&uncorrectable_rate),
+            "rate {uncorrectable_rate} out of range"
+        );
+        reads as f64
+            * (self.prediction_energy_nj - uncorrectable_rate * self.transfer_energy_nj)
+    }
+
+    /// The uncorrectable-read fraction above which RP saves net energy.
+    pub fn break_even_retry_rate(&self) -> f64 {
+        self.prediction_energy_nj / self.transfer_energy_nj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let p = PpaModel::paper();
+        assert_eq!(p.rp_area_mm2, 0.012);
+        assert_eq!(p.rp_power_mw, 1.28);
+        assert_eq!(p.prediction_energy_nj, 3.2);
+        assert_eq!(p.transfer_energy_nj, 907.0);
+    }
+
+    #[test]
+    fn area_overhead_is_negligible() {
+        // §VI-C: "the space overhead of the RP module seems negligible."
+        let f = PpaModel::paper().area_overhead_fraction();
+        assert!(f < 1.5e-4, "area fraction {f}");
+    }
+
+    #[test]
+    fn break_even_rate_is_tiny() {
+        let r = PpaModel::paper().break_even_retry_rate();
+        assert!((r - 3.2 / 907.0).abs() < 1e-12);
+        assert!(r < 0.004);
+    }
+
+    #[test]
+    fn net_energy_sign_flips_at_break_even() {
+        let p = PpaModel::paper();
+        let r = p.break_even_retry_rate();
+        assert!(p.net_energy_nj(1_000, r * 0.5) > 0.0);
+        assert!(p.net_energy_nj(1_000, r * 2.0) < 0.0);
+        assert!(p.net_energy_nj(1_000, r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_energy_scales_linearly() {
+        let p = PpaModel::paper();
+        assert_eq!(p.prediction_energy_for_chunk(4), 3.2);
+        assert_eq!(p.prediction_energy_for_chunk(1), 0.8);
+        assert_eq!(p.prediction_energy_for_chunk(16), 12.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn net_energy_rejects_bad_rate() {
+        let _ = PpaModel::paper().net_energy_nj(1, 1.5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Simulated-SSD configuration (Table I).
+
+use rif_events::SimDuration;
+use rif_flash::chip::FlashTiming;
+use rif_flash::geometry::FlashGeometry;
+use rif_flash::rber::ErrorModel;
+use rif_ldpc::EccModel;
+use rif_odear::RpBehavior;
+
+use crate::retry::RetryKind;
+
+/// Full configuration of a simulated SSD run.
+///
+/// # Example
+///
+/// ```
+/// use rif_ssd::{SsdConfig, RetryKind};
+///
+/// let cfg = SsdConfig::paper(RetryKind::Rif, 1000);
+/// assert_eq!(cfg.geometry.channels, 8);
+/// assert_eq!(cfg.pe_cycles, 1000);
+/// assert_eq!(cfg.host_bw_bytes_per_sec, 8_000_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsdConfig {
+    /// Flash array geometry (Table I).
+    pub geometry: FlashGeometry,
+    /// Flash and channel timing (Table I).
+    pub timing: FlashTiming,
+    /// Host interface bandwidth (PCIe 4.0 ×4: 8 GB/s).
+    pub host_bw_bytes_per_sec: u64,
+    /// The read-retry scheme under test.
+    pub retry: RetryKind,
+    /// P/E-cycle count of every block (the experiment's wear stage).
+    pub pe_cycles: u32,
+    /// Behavioural ECC model (failure probability, tECC).
+    pub ecc: EccModel,
+    /// NAND error model (RBER vs stress).
+    pub error_model: ErrorModel,
+    /// RP behaviour model (for `RPSSD` / `RiFSSD`).
+    pub rp: RpBehavior,
+    /// Channel-level ECC engine input buffer, in 16-KiB pages. When full,
+    /// the channel cannot start further read transfers (the ECCWAIT
+    /// mechanism of §III-B3).
+    pub ecc_buffer_pages: usize,
+    /// Maximum host requests in flight (NVMe queue depth).
+    pub queue_depth: usize,
+    /// Refresh horizon: never-written data carries a uniform random age in
+    /// `[0, refresh_days]` (§IV-B footnote 3: blocks refreshed monthly).
+    pub refresh_days: f64,
+    /// RNG seed for all stochastic draws of the run.
+    pub seed: u64,
+    /// Program/erase suspend-resume: when enabled, an arriving read
+    /// preempts an in-flight program or erase on its die (the remainder
+    /// resumes afterwards plus [`SsdConfig::suspend_overhead`]). An
+    /// enterprise-SSD latency feature of MQSim-class simulators; off by
+    /// default to match the paper's configuration.
+    pub read_suspend: bool,
+    /// Extra die time to resume a suspended program/erase.
+    pub suspend_overhead: SimDuration,
+    /// Test hook: when set, decode failures are not sampled — the first
+    /// decode of slot `s` fails iff `s` is in this list, and retried reads
+    /// always succeed. Used by the Fig. 7/8 timeline and unit tests.
+    pub forced_failure_slots: Option<Vec<u64>>,
+}
+
+impl SsdConfig {
+    /// The Table I configuration for the given scheme and wear stage.
+    pub fn paper(retry: RetryKind, pe_cycles: u32) -> Self {
+        SsdConfig {
+            geometry: FlashGeometry::paper(),
+            timing: FlashTiming::paper(),
+            host_bw_bytes_per_sec: 8_000_000_000,
+            retry,
+            pe_cycles,
+            ecc: EccModel::paper_default(),
+            error_model: ErrorModel::calibrated(),
+            rp: RpBehavior::paper_default(),
+            ecc_buffer_pages: 2,
+            queue_depth: 64,
+            refresh_days: 30.0,
+            seed: 0x5EED,
+            read_suspend: false,
+            suspend_overhead: SimDuration::from_us(20),
+            forced_failure_slots: None,
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests (same topology,
+    /// fewer blocks).
+    pub fn small(retry: RetryKind, pe_cycles: u32) -> Self {
+        SsdConfig {
+            geometry: FlashGeometry::small(),
+            ..Self::paper(retry, pe_cycles)
+        }
+    }
+
+    /// Per-page DMA time on a flash channel.
+    pub fn t_dma(&self) -> SimDuration {
+        self.timing.t_dma_page
+    }
+
+    /// Host-link transfer time for `bytes`.
+    pub fn host_transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_transfer(bytes, self.host_bw_bytes_per_sec)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration cannot drive a simulation (zero
+    /// queue depth, zero ECC buffer, or a host link slower than a single
+    /// channel would make the channel model meaningless).
+    pub fn validate(&self) {
+        assert!(self.queue_depth > 0, "queue depth must be positive");
+        assert!(self.ecc_buffer_pages > 0, "ECC buffer must hold at least one page");
+        assert!(self.refresh_days > 0.0, "refresh horizon must be positive");
+        assert!(
+            self.host_bw_bytes_per_sec > 0,
+            "host bandwidth must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let c = SsdConfig::paper(RetryKind::Zero, 0);
+        assert_eq!(c.geometry.dies_per_channel, 4);
+        assert_eq!(c.geometry.planes_per_die, 4);
+        assert_eq!(c.geometry.blocks_per_plane, 1888);
+        assert_eq!(c.geometry.pages_per_block, 576);
+        assert_eq!(c.timing.t_r.as_us(), 40.0);
+        assert_eq!(c.t_dma().as_us(), 13.0);
+        assert!((c.ecc.correction_capability() - 0.0085).abs() < 1e-9);
+        c.validate();
+    }
+
+    #[test]
+    fn host_transfer_scales() {
+        let c = SsdConfig::paper(RetryKind::Zero, 0);
+        let t64k = c.host_transfer(64 * 1024);
+        // 64 KiB at 8 GB/s = 8.192 µs.
+        assert!((t64k.as_us() - 8.192).abs() < 0.01, "{}", t64k.as_us());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn validate_rejects_zero_qd() {
+        let mut c = SsdConfig::small(RetryKind::Zero, 0);
+        c.queue_depth = 0;
+        c.validate();
+    }
+}

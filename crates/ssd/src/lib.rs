@@ -1,0 +1,40 @@
+//! Discrete-event SSD simulator with read-retry schemes — the equivalent
+//! of the paper's extended MQSim-E (§III-B1, §VI-A).
+//!
+//! The simulator models the full read path of the target SSD of Fig. 5 /
+//! Table I: host interface (8 GB/s), 8 flash channels (1.2 GB/s each) with
+//! one channel-level LDPC engine per channel (finite input buffer), 4 dies
+//! per channel with 4 planes each, multi-plane senses, per-page DMA
+//! transfers, RBER-dependent ECC decode latency, and per-scheme read-retry
+//! behaviour:
+//!
+//! | Config | Scheme |
+//! |--------|--------|
+//! | `SSDzero` | hypothetical, no retries (upper bound) |
+//! | `SSDone`  | ideal reactive retry, N_RR = 1 |
+//! | `SENC`    | Sentinel (MICRO'20): extra sentinel-cell read for CSB/MSB pages |
+//! | `SWR`     | Swift-Read (ISSCC'22): 2×tR in-die retry command |
+//! | `SWR+`    | SWR plus proactive V_REF tracking |
+//! | `RPSSD`   | RP at the controller: early-terminates hopeless decodes |
+//! | `RiFSSD`  | the proposed scheme: on-die RP + RVS |
+//!
+//! Modules: [`config`] (Table I parameters), [`ftl`] (slot-granular page
+//! mapping, write allocation, greedy GC), [`retention`] (per-slot data
+//! ages driving retry frequency), [`retry`] (scheme behaviours),
+//! [`report`] (bandwidth/latency/channel-usage results), [`simulator`]
+//! (the event engine), and [`timeline`] (the 256-KiB worked example of
+//! Figs. 7/8).
+
+pub mod config;
+pub mod ftl;
+pub mod refresh;
+pub mod report;
+pub mod retention;
+pub mod retry;
+pub mod simulator;
+pub mod timeline;
+
+pub use config::SsdConfig;
+pub use report::{ChannelUsage, SimReport};
+pub use retry::RetryKind;
+pub use simulator::Simulator;

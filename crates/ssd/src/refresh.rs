@@ -1,0 +1,127 @@
+//! Refresh (data-scrubbing) policy analytics.
+//!
+//! The paper's RP validation assumes "programmed flash blocks are
+//! refreshed every month" (§IV-B, footnote 3): periodic rewriting bounds
+//! retention age and therefore the retry rate. Refresh is not free — it
+//! consumes program bandwidth and P/E endurance. [`RefreshPolicy`]
+//! quantifies that trade-off; the `ablation_refresh` harness sweeps the
+//! interval against simulated bandwidth.
+
+use rif_flash::geometry::FlashGeometry;
+use rif_flash::rber::{BlockProfile, ErrorModel};
+
+/// A periodic whole-device refresh policy.
+///
+/// # Example
+///
+/// ```
+/// use rif_ssd::refresh::RefreshPolicy;
+/// use rif_flash::FlashGeometry;
+///
+/// let policy = RefreshPolicy::monthly();
+/// let g = FlashGeometry::paper();
+/// // Refreshing 2 TiB monthly costs < 1 MB/s of write bandwidth...
+/// assert!(policy.write_bandwidth(&g) < 1e6);
+/// // ...but a 2-day interval would cost ~13 MB/s.
+/// assert!(RefreshPolicy::new(2.0).write_bandwidth(&g) > 1e7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshPolicy {
+    interval_days: f64,
+}
+
+impl RefreshPolicy {
+    /// The paper's monthly refresh.
+    pub fn monthly() -> Self {
+        RefreshPolicy {
+            interval_days: 30.0,
+        }
+    }
+
+    /// A policy refreshing every `interval_days`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the interval is positive.
+    pub fn new(interval_days: f64) -> Self {
+        assert!(interval_days > 0.0, "refresh interval must be positive");
+        RefreshPolicy { interval_days }
+    }
+
+    /// The refresh interval in days.
+    pub fn interval_days(&self) -> f64 {
+        self.interval_days
+    }
+
+    /// Bytes rewritten per day to keep every block within the interval.
+    pub fn bytes_per_day(&self, g: &FlashGeometry) -> f64 {
+        g.capacity_bytes() as f64 / self.interval_days
+    }
+
+    /// Sustained write bandwidth (bytes/s) consumed by refresh.
+    pub fn write_bandwidth(&self, g: &FlashGeometry) -> f64 {
+        self.bytes_per_day(g) / 86_400.0
+    }
+
+    /// P/E cycles per year added by refresh alone.
+    pub fn pe_cycles_per_year(&self) -> f64 {
+        365.25 / self.interval_days
+    }
+
+    /// Fraction of *cold* reads that need a retry under this policy at
+    /// `pe_cycles`: cold ages are uniform over the interval, so the
+    /// fraction is the share of the interval past the median block's
+    /// capability-crossing day.
+    pub fn cold_retry_fraction(&self, model: &ErrorModel, pe_cycles: u32, cap: f64) -> f64 {
+        match model.days_to_exceed(BlockProfile::median(), pe_cycles, cap, self.interval_days) {
+            Some(day) => (1.0 - day / self.interval_days).clamp(0.0, 1.0),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monthly_matches_paper_assumption() {
+        assert_eq!(RefreshPolicy::monthly().interval_days(), 30.0);
+        assert!((RefreshPolicy::monthly().pe_cycles_per_year() - 12.175).abs() < 0.01);
+    }
+
+    #[test]
+    fn shorter_interval_costs_more_writes() {
+        let g = FlashGeometry::paper();
+        let weekly = RefreshPolicy::new(7.0).write_bandwidth(&g);
+        let monthly = RefreshPolicy::monthly().write_bandwidth(&g);
+        assert!(weekly > monthly * 4.0);
+    }
+
+    #[test]
+    fn retry_fraction_shrinks_with_shorter_interval() {
+        let model = ErrorModel::calibrated();
+        let f30 = RefreshPolicy::new(30.0).cold_retry_fraction(&model, 1000, 0.0085);
+        let f7 = RefreshPolicy::new(7.0).cold_retry_fraction(&model, 1000, 0.0085);
+        // At 1K P/E the median block crosses at ≈8 days, so a 7-day
+        // refresh nearly eliminates cold retries while a monthly one
+        // leaves most cold reads retrying.
+        assert!(f30 > 0.6, "30-day fraction {f30}");
+        assert!(f7 < 0.1, "7-day fraction {f7}");
+    }
+
+    #[test]
+    fn retry_fraction_grows_with_wear() {
+        let model = ErrorModel::calibrated();
+        let p = RefreshPolicy::monthly();
+        let f0 = p.cold_retry_fraction(&model, 0, 0.0085);
+        let f2k = p.cold_retry_fraction(&model, 2000, 0.0085);
+        assert!(f2k > f0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_interval() {
+        let _ = RefreshPolicy::new(0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulation results: bandwidth, latency distributions, channel-usage
+//! breakdowns and retry statistics.
+
+use rif_events::{LatencyHistogram, SimDuration};
+
+use crate::retry::RetryKind;
+
+/// How a flash channel's time divided among the four states of Fig. 18.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChannelUsage {
+    /// Channel idle with nothing to do.
+    pub idle: f64,
+    /// Transferring pages that decode successfully (useful work).
+    pub cor: f64,
+    /// Transferring uncorrectable pages or retry-overhead data (wasted).
+    pub uncor: f64,
+    /// Idle because the channel-level ECC buffer is full (wasted).
+    pub eccwait: f64,
+}
+
+impl ChannelUsage {
+    /// Builds from a four-state fraction vector (IDLE, COR, UNCOR,
+    /// ECCWAIT).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fractions` has exactly four entries.
+    pub fn from_fractions(fractions: &[f64]) -> Self {
+        assert_eq!(fractions.len(), 4, "expected 4 channel states");
+        ChannelUsage {
+            idle: fractions[0],
+            cor: fractions[1],
+            uncor: fractions[2],
+            eccwait: fractions[3],
+        }
+    }
+
+    /// Fraction of channel time wasted on retry overheads
+    /// (UNCOR + ECCWAIT).
+    pub fn wasted(&self) -> f64 {
+        self.uncor + self.eccwait
+    }
+
+    /// Element-wise mean of several usages.
+    pub fn mean(usages: &[ChannelUsage]) -> ChannelUsage {
+        let n = usages.len().max(1) as f64;
+        let mut m = ChannelUsage::default();
+        for u in usages {
+            m.idle += u.idle / n;
+            m.cor += u.cor / n;
+            m.uncor += u.uncor / n;
+            m.eccwait += u.eccwait / n;
+        }
+        m
+    }
+}
+
+/// The results of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The scheme that produced this report.
+    pub scheme: RetryKind,
+    /// The wear stage of the run.
+    pub pe_cycles: u32,
+    /// Host requests completed.
+    pub completed_requests: u64,
+    /// Total bytes moved for completed requests (reads + writes).
+    pub completed_bytes: u64,
+    /// Bytes of completed host reads.
+    pub read_bytes: u64,
+    /// Time of the last completion.
+    pub makespan: SimDuration,
+    /// Host-read latency distribution (arrival → data delivered).
+    pub read_latency: LatencyHistogram,
+    /// Per-channel usage breakdown.
+    pub per_channel_usage: Vec<ChannelUsage>,
+    /// Page decodes that failed at the off-chip ECC engine.
+    pub decode_failures: u64,
+    /// In-die retries performed by RiF's ODEAR engine.
+    pub in_die_retries: u64,
+    /// Pages transferred off-chip although uncorrectable (plus sentinel
+    /// overhead transfers) — the UNCOR traffic.
+    pub uncor_page_transfers: u64,
+    /// Total page senses issued to dies.
+    pub page_senses: u64,
+    /// Valid-slot relocations performed by garbage collection.
+    pub gc_relocations: u64,
+}
+
+impl SimReport {
+    /// Aggregate I/O bandwidth in MB/s (decimal megabytes, as the paper
+    /// reports).
+    pub fn io_bandwidth_mbps(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.completed_bytes as f64 / 1e6 / self.makespan.as_secs()
+    }
+
+    /// Read-only bandwidth in MB/s.
+    pub fn read_bandwidth_mbps(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.read_bytes as f64 / 1e6 / self.makespan.as_secs()
+    }
+
+    /// Mean channel usage across all channels.
+    pub fn channel_usage(&self) -> ChannelUsage {
+        ChannelUsage::mean(&self.per_channel_usage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_from_fractions_and_wasted() {
+        let u = ChannelUsage::from_fractions(&[0.1, 0.6, 0.2, 0.1]);
+        assert_eq!(u.cor, 0.6);
+        assert!((u.wasted() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_mean() {
+        let a = ChannelUsage { idle: 0.2, cor: 0.8, uncor: 0.0, eccwait: 0.0 };
+        let b = ChannelUsage { idle: 0.0, cor: 0.4, uncor: 0.4, eccwait: 0.2 };
+        let m = ChannelUsage::mean(&[a, b]);
+        assert!((m.idle - 0.1).abs() < 1e-12);
+        assert!((m.cor - 0.6).abs() < 1e-12);
+        assert!((m.uncor - 0.2).abs() < 1e-12);
+        assert!((m.eccwait - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_computation() {
+        let r = SimReport {
+            scheme: RetryKind::Zero,
+            pe_cycles: 0,
+            completed_requests: 1,
+            completed_bytes: 8_000_000_000,
+            read_bytes: 8_000_000_000,
+            makespan: SimDuration::from_secs(1),
+            read_latency: LatencyHistogram::new(),
+            per_channel_usage: vec![],
+            decode_failures: 0,
+            in_die_retries: 0,
+            uncor_page_transfers: 0,
+            page_senses: 0,
+            gc_relocations: 0,
+        };
+        assert!((r.io_bandwidth_mbps() - 8000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 channel states")]
+    fn from_fractions_validates() {
+        let _ = ChannelUsage::from_fractions(&[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,150 @@
+//! The evaluated read-retry schemes (§III-B, §VI-A).
+
+use std::fmt;
+
+use rif_flash::geometry::PageKind;
+
+/// Which read-retry solution the simulated SSD employs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetryKind {
+    /// `SSDzero`: a hypothetical SSD whose ECC always succeeds — the
+    /// performance upper bound.
+    Zero,
+    /// `SSDone`: an idealized reactive solution with N_RR = 1 — one failed
+    /// decode, then a perfect re-read.
+    IdealOne,
+    /// `SENC` (Sentinel, MICRO'20): reactive; reading the sentinel cells
+    /// of a failed CSB/MSB page requires an extra off-chip read before the
+    /// corrective re-read.
+    Sentinel,
+    /// `SWR` (Swift-Read, ISSCC'22): reactive; the retry is a single flash
+    /// command doing two senses in-die, then one transfer.
+    SwiftRead,
+    /// `SWR+`: SWR with proactive V_REF tracking that cancels part of the
+    /// drift, lowering the initial failure probability.
+    SwiftReadPlus,
+    /// `RPSSD`: the RP predictor placed in the *controller* — failed pages
+    /// still cross the channel, but their hopeless 20-µs decodes are cut
+    /// short by a 2.5-µs syndrome check.
+    RpSsd,
+    /// `RiFSSD`: the proposed scheme — on-die RP + RVS; uncorrectable
+    /// senses never leave the die.
+    Rif,
+}
+
+impl RetryKind {
+    /// Every scheme, in the presentation order of Fig. 17.
+    pub const ALL: [RetryKind; 7] = [
+        RetryKind::Sentinel,
+        RetryKind::SwiftRead,
+        RetryKind::SwiftReadPlus,
+        RetryKind::RpSsd,
+        RetryKind::Rif,
+        RetryKind::IdealOne,
+        RetryKind::Zero,
+    ];
+
+    /// The paper's label for this configuration.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RetryKind::Zero => "SSDzero",
+            RetryKind::IdealOne => "SSDone",
+            RetryKind::Sentinel => "SENC",
+            RetryKind::SwiftRead => "SWR",
+            RetryKind::SwiftReadPlus => "SWR+",
+            RetryKind::RpSsd => "RPSSD",
+            RetryKind::Rif => "RiFSSD",
+        }
+    }
+
+    /// Looks a scheme up by its paper label.
+    pub fn by_label(label: &str) -> Option<RetryKind> {
+        RetryKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+
+    /// True when a failed decode of a page of `kind` needs an extra
+    /// off-chip sentinel-cell read before the corrective re-read
+    /// (§III-B: sentinel cells of some page types use different V_REF
+    /// values than the failed page itself; only the LSB read shares its
+    /// references in our TLC mapping).
+    pub fn sentinel_extra_read(&self, kind: PageKind) -> bool {
+        matches!(self, RetryKind::Sentinel) && kind != PageKind::Lsb
+    }
+
+    /// The initial-read RBER for this scheme, given the page's RBER at
+    /// default references and at near-optimal references.
+    ///
+    /// `SWR+` proactively tracks V_REF per block, but tracking is
+    /// periodic and block-granular, so it lags the actual drift of any
+    /// individual page: it cancels only a modest share of the excess RBER
+    /// (weight 0.15 in log space), leaving most stale cold pages still in
+    /// need of a retry — consistent with Fig. 17, where SWR+ improves on
+    /// SWR by far less than RiF does. Every other scheme first reads at
+    /// the defaults.
+    pub fn initial_rber(&self, rber_default: f64, rber_optimal: f64) -> f64 {
+        match self {
+            RetryKind::SwiftReadPlus => {
+                const TRACKING_WEIGHT: f64 = 0.15;
+                rber_default * (rber_optimal / rber_default).powf(TRACKING_WEIGHT)
+            }
+            _ => rber_default,
+        }
+    }
+
+    /// True for schemes carrying an RP module (controller- or die-side).
+    pub fn has_predictor(&self) -> bool {
+        matches!(self, RetryKind::RpSsd | RetryKind::Rif)
+    }
+}
+
+impl fmt::Display for RetryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for k in RetryKind::ALL {
+            assert_eq!(RetryKind::by_label(k.label()), Some(k));
+        }
+        assert_eq!(RetryKind::by_label("nope"), None);
+    }
+
+    #[test]
+    fn sentinel_extra_read_only_for_senc_nonlsb() {
+        assert!(RetryKind::Sentinel.sentinel_extra_read(PageKind::Csb));
+        assert!(RetryKind::Sentinel.sentinel_extra_read(PageKind::Msb));
+        assert!(!RetryKind::Sentinel.sentinel_extra_read(PageKind::Lsb));
+        assert!(!RetryKind::SwiftRead.sentinel_extra_read(PageKind::Csb));
+        assert!(!RetryKind::Rif.sentinel_extra_read(PageKind::Msb));
+    }
+
+    #[test]
+    fn swr_plus_initial_rber_between_default_and_optimal() {
+        let d = 0.01;
+        let o = 0.0004;
+        let r = RetryKind::SwiftReadPlus.initial_rber(d, o);
+        assert!(r < d && r > o, "got {r}");
+        assert_eq!(RetryKind::SwiftRead.initial_rber(d, o), d);
+        assert_eq!(RetryKind::Rif.initial_rber(d, o), d);
+    }
+
+    #[test]
+    fn predictor_flag() {
+        assert!(RetryKind::Rif.has_predictor());
+        assert!(RetryKind::RpSsd.has_predictor());
+        assert!(!RetryKind::Sentinel.has_predictor());
+        assert!(!RetryKind::Zero.has_predictor());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(format!("{}", RetryKind::Rif), "RiFSSD");
+        assert_eq!(format!("{}", RetryKind::SwiftReadPlus), "SWR+");
+    }
+}

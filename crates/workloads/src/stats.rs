@@ -1,0 +1,142 @@
+//! Trace statistics: regenerates Table II's characteristics from any
+//! trace, generated or parsed.
+
+use std::collections::HashSet;
+
+use rif_events::SimDuration;
+
+use crate::trace::Trace;
+
+/// Key I/O characteristics of a trace (the columns of Table II plus
+/// volume/intensity figures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: usize,
+    /// Fraction of requests that are reads.
+    pub read_ratio: f64,
+    /// Fraction of reads addressing pages never written in this trace —
+    /// the cold reads whose long retention age triggers read-retry.
+    pub cold_read_ratio: f64,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Bytes moved by reads.
+    pub read_bytes: u64,
+    /// Trace duration (arrival of the last request).
+    pub duration: SimDuration,
+    /// Mean request size in bytes.
+    pub mean_request_bytes: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    ///
+    /// Cold reads are counted page-wise at 16-KiB granularity: a read
+    /// request is cold when *none* of the pages it touches is ever written
+    /// anywhere in the trace (the paper's definition: "reads to pages that
+    /// are not updated at all during the workload simulation").
+    pub fn compute(trace: &Trace) -> Self {
+        const PAGE: u64 = 16 * 1024;
+        let mut written: HashSet<u64> = HashSet::new();
+        for r in trace {
+            if !r.is_read() {
+                let first = r.offset / PAGE;
+                let last = (r.end().saturating_sub(1)) / PAGE;
+                for p in first..=last {
+                    written.insert(p);
+                }
+            }
+        }
+        let mut reads = 0usize;
+        let mut cold = 0usize;
+        for r in trace {
+            if r.is_read() {
+                reads += 1;
+                let first = r.offset / PAGE;
+                let last = (r.end().saturating_sub(1)) / PAGE;
+                if (first..=last).all(|p| !written.contains(&p)) {
+                    cold += 1;
+                }
+            }
+        }
+        let n = trace.len();
+        TraceStats {
+            requests: n,
+            read_ratio: if n > 0 { reads as f64 / n as f64 } else { 0.0 },
+            cold_read_ratio: if reads > 0 { cold as f64 / reads as f64 } else { 0.0 },
+            total_bytes: trace.total_bytes(),
+            read_bytes: trace.read_bytes(),
+            duration: trace.span().since(rif_events::SimTime::ZERO),
+            mean_request_bytes: if n > 0 {
+                trace.total_bytes() as f64 / n as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{IoOp, IoRequest};
+    use rif_events::SimTime;
+
+    fn req(us: u64, op: IoOp, offset: u64, bytes: u32) -> IoRequest {
+        IoRequest {
+            arrival: SimTime::from_us(us),
+            op,
+            offset,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn ratios_on_tiny_trace() {
+        // Write page 0; read page 0 (hot) and page 10 (cold).
+        let t = Trace::new(vec![
+            req(0, IoOp::Write, 0, 16384),
+            req(1, IoOp::Read, 0, 16384),
+            req(2, IoOp::Read, 10 * 16384, 16384),
+        ]);
+        let s = TraceStats::compute(&t);
+        assert!((s.read_ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.cold_read_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.total_bytes, 3 * 16384);
+        assert_eq!(s.read_bytes, 2 * 16384);
+    }
+
+    #[test]
+    fn cold_requires_all_pages_unwritten() {
+        // A 32-KiB read straddling one written and one unwritten page is
+        // not cold.
+        let t = Trace::new(vec![
+            req(0, IoOp::Write, 16384, 16384), // page 1 written
+            req(1, IoOp::Read, 0, 32768),      // reads pages 0 and 1
+        ]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.cold_read_ratio, 0.0);
+    }
+
+    #[test]
+    fn write_order_does_not_matter() {
+        // A page written *after* it is read still disqualifies the read
+        // from being cold (the paper's definition is over the whole trace).
+        let t = Trace::new(vec![
+            req(0, IoOp::Read, 0, 16384),
+            req(1, IoOp::Write, 0, 16384),
+        ]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.cold_read_ratio, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let s = TraceStats::compute(&Trace::default());
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.read_ratio, 0.0);
+        assert_eq!(s.cold_read_ratio, 0.0);
+        assert_eq!(s.mean_request_bytes, 0.0);
+    }
+}

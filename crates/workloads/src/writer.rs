@@ -1,0 +1,80 @@
+//! CSV block-trace export: the inverse of [`crate::parser`], so synthetic
+//! traces can be archived, plotted, or fed to external simulators.
+
+use std::fmt::Write as _;
+
+use crate::trace::Trace;
+
+/// Serializes a trace into the CSV shape [`crate::parser::parse_csv`]
+/// accepts (`timestamp_us,R|W,offset_bytes,length_bytes`).
+///
+/// # Example
+///
+/// ```
+/// use rif_workloads::{SynthConfig, parser, writer};
+///
+/// let trace = SynthConfig::default().generate(100, 1);
+/// let text = writer::to_csv(&trace);
+/// let back = parser::parse_csv(&text).unwrap();
+/// assert_eq!(back.len(), trace.len());
+/// ```
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 32 + 64);
+    out.push_str("# timestamp_us,op,offset_bytes,length_bytes\n");
+    for r in trace {
+        let op = if r.is_read() { 'R' } else { 'W' };
+        writeln!(
+            out,
+            "{},{},{},{}",
+            r.arrival.as_ns() / 1_000,
+            op,
+            r.offset,
+            r.bytes
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_csv;
+    use crate::synth::SynthConfig;
+    use crate::trace::{IoOp, IoRequest};
+    use rif_events::SimTime;
+
+    #[test]
+    fn roundtrip_preserves_requests() {
+        let trace = SynthConfig::default().generate(500, 9);
+        let back = parse_csv(&to_csv(&trace)).expect("roundtrip parse");
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.bytes, b.bytes);
+            // Timestamps round to microseconds.
+            assert!(a.arrival.as_ns().abs_diff(b.arrival.as_ns()) < 1_000);
+        }
+    }
+
+    #[test]
+    fn header_is_a_comment() {
+        let trace = Trace::new(vec![IoRequest {
+            arrival: SimTime::from_us(5),
+            op: IoOp::Write,
+            offset: 4096,
+            bytes: 16384,
+        }]);
+        let text = to_csv(&trace);
+        assert!(text.starts_with('#'));
+        assert!(text.contains("5,W,4096,16384"));
+    }
+
+    #[test]
+    fn empty_trace_is_just_the_header() {
+        let text = to_csv(&Trace::default());
+        assert_eq!(text.lines().count(), 1);
+        assert!(parse_csv(&text).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate one workload on a conventional SSD and a
+//! RiF-enabled SSD, and print the headline comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rif::prelude::*;
+
+fn main() {
+    // The paper's most read-intensive workload (Table II): 96 % reads,
+    // 79 % of them to cold pages whose month-scale retention age makes
+    // read-retry the common case.
+    let profile = WorkloadProfile::by_name("Ali124").expect("table workload");
+    let mut cfg = profile.config();
+    // Over-drive the device so we measure the SSD, not the workload.
+    cfg.mean_interarrival_ns = 3_000.0;
+    let trace = cfg.generate(4_000, 42);
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "workload {}: {} requests, read ratio {:.2}, cold-read ratio {:.2}",
+        profile.name, stats.requests, stats.read_ratio, stats.cold_read_ratio
+    );
+
+    // 2K P/E cycles: the paper's most worn stage, where read-retry
+    // pressure peaks.
+    for retry in [RetryKind::Sentinel, RetryKind::Rif, RetryKind::Zero] {
+        let report = Simulator::new(SsdConfig::paper(retry, 2000)).run(&trace);
+        let usage = report.channel_usage();
+        println!(
+            "{:8}  {:6.0} MB/s | p99 read latency {:8.1} µs | channel wasted {:4.1} %",
+            retry.label(),
+            report.io_bandwidth_mbps(),
+            report
+                .read_latency
+                .percentile(99.0)
+                .map(|d| d.as_us())
+                .unwrap_or(0.0),
+            usage.wasted() * 100.0,
+        );
+    }
+    println!(
+        "\nRiF keeps uncorrectable senses inside the die: no UNCOR transfers,\n\
+         no 20-µs hopeless decodes — bandwidth tracks the no-retry bound."
+    );
+}

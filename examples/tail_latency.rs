@@ -1,0 +1,56 @@
+//! Read-latency tail analysis (the Fig. 19 view): CDF and percentile
+//! table for Ali124 across schemes and wear stages.
+//!
+//! ```sh
+//! cargo run --release --example tail_latency
+//! ```
+
+use rif::prelude::*;
+
+fn main() {
+    let mut wl = WorkloadProfile::by_name("Ali124").expect("table workload").config();
+    wl.mean_interarrival_ns = 4_000.0;
+    let trace = wl.generate(4_000, 13);
+
+    for pe in [0u32, 1000, 2000] {
+        println!("\n== Ali124 @ {pe} P/E cycles ==");
+        println!(
+            "{:8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "scheme", "p50 µs", "p99 µs", "p99.9", "p99.99", "max"
+        );
+        let mut senc_tail = 0.0;
+        for retry in [
+            RetryKind::Sentinel,
+            RetryKind::SwiftRead,
+            RetryKind::SwiftReadPlus,
+            RetryKind::Rif,
+        ] {
+            let report = Simulator::new(SsdConfig::paper(retry, pe)).run(&trace);
+            let p = |q: f64| {
+                report
+                    .read_latency
+                    .percentile(q)
+                    .map(|d| d.as_us())
+                    .unwrap_or(0.0)
+            };
+            let tail = p(99.99);
+            if retry == RetryKind::Sentinel {
+                senc_tail = tail;
+            }
+            let cut = if retry == RetryKind::Rif && senc_tail > 0.0 {
+                format!("  (p99.99 {:.1} % below SENC)", (1.0 - tail / senc_tail) * 100.0)
+            } else {
+                String::new()
+            };
+            println!(
+                "{:8} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}{cut}",
+                retry.label(),
+                p(50.0),
+                p(99.0),
+                p(99.9),
+                tail,
+                report.read_latency.max().as_us(),
+            );
+        }
+    }
+}

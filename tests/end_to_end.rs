@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: workload generation → SSD simulation →
+//! report invariants, across schemes and wear stages.
+
+use rif::prelude::*;
+
+fn saturating_trace(name: &str, n: usize, seed: u64) -> Trace {
+    let mut cfg = WorkloadProfile::by_name(name).expect("workload").config();
+    cfg.mean_interarrival_ns = 2_500.0;
+    cfg.generate(n, seed)
+}
+
+fn run_small(retry: RetryKind, pe: u32, trace: &Trace) -> SimReport {
+    Simulator::new(SsdConfig::small(retry, pe)).run(trace)
+}
+
+#[test]
+fn all_schemes_complete_every_request() {
+    let trace = saturating_trace("Sys0", 400, 3);
+    for retry in RetryKind::ALL {
+        let report = run_small(retry, 1000, &trace);
+        assert_eq!(
+            report.completed_requests,
+            trace.len() as u64,
+            "{retry} dropped requests"
+        );
+        assert_eq!(report.completed_bytes, trace.total_bytes());
+        assert_eq!(report.read_bytes, trace.read_bytes());
+    }
+}
+
+#[test]
+fn bandwidth_ordering_matches_fig17_at_high_wear() {
+    let trace = saturating_trace("Ali121", 700, 5);
+    let bw = |retry| run_small(retry, 2000, &trace).io_bandwidth_mbps();
+    let senc = bw(RetryKind::Sentinel);
+    let swr = bw(RetryKind::SwiftRead);
+    let swrp = bw(RetryKind::SwiftReadPlus);
+    let rpssd = bw(RetryKind::RpSsd);
+    let rif = bw(RetryKind::Rif);
+    let zero = bw(RetryKind::Zero);
+    assert!(senc < swr * 1.02, "SENC {senc} vs SWR {swr}");
+    assert!(swr < swrp, "SWR {swr} vs SWR+ {swrp}");
+    assert!(swrp < rpssd * 1.05, "SWR+ {swrp} vs RPSSD {rpssd}");
+    assert!(rpssd < rif, "RPSSD {rpssd} vs RiF {rif}");
+    // Fig. 17: RiF within ~2 % of the no-retry bound.
+    assert!(rif > zero * 0.95, "RiF {rif} vs SSDzero {zero}");
+    assert!(rif <= zero * 1.03, "RiF {rif} exceeds SSDzero {zero}");
+}
+
+#[test]
+fn retry_pressure_grows_with_pe_cycles() {
+    let trace = saturating_trace("Sys1", 400, 7);
+    let mut last_failures = 0;
+    for pe in [0u32, 1000, 2000] {
+        let report = run_small(RetryKind::IdealOne, pe, &trace);
+        assert!(
+            report.decode_failures >= last_failures,
+            "failures dropped at {pe} P/E"
+        );
+        last_failures = report.decode_failures;
+    }
+    assert!(last_failures > 0, "no retries even at 2K P/E");
+}
+
+#[test]
+fn rif_eliminates_uncor_traffic() {
+    let trace = saturating_trace("Ali124", 500, 9);
+    let senc = run_small(RetryKind::Sentinel, 2000, &trace);
+    let rif = run_small(RetryKind::Rif, 2000, &trace);
+    assert!(senc.uncor_page_transfers > 100, "SENC shows no UNCOR traffic");
+    // Fig. 18: RiF wastes ≈1.8 % where SENC wastes half the channel.
+    let rif_waste = rif.uncor_page_transfers as f64 / senc.uncor_page_transfers as f64;
+    assert!(rif_waste < 0.1, "RiF UNCOR ratio {rif_waste}");
+    assert!(rif.in_die_retries > 0);
+    assert!(rif.channel_usage().wasted() < senc.channel_usage().wasted() * 0.3);
+}
+
+#[test]
+fn rpssd_cuts_eccwait_but_not_uncor() {
+    let trace = saturating_trace("Ali124", 500, 11);
+    let one = run_small(RetryKind::IdealOne, 2000, &trace);
+    let rpssd = run_small(RetryKind::RpSsd, 2000, &trace);
+    // RPSSD still ships uncorrectable pages across the channel...
+    assert!(rpssd.uncor_page_transfers > 0);
+    // ...but its early-terminated decodes shrink ECCWAIT (§VI-B).
+    assert!(
+        rpssd.channel_usage().eccwait < one.channel_usage().eccwait,
+        "RPSSD eccwait {} vs SSDone {}",
+        rpssd.channel_usage().eccwait,
+        one.channel_usage().eccwait
+    );
+}
+
+#[test]
+fn tail_latency_shrinks_under_rif() {
+    let mut cfg = WorkloadProfile::by_name("Ali124").expect("workload").config();
+    // Moderate load so latency reflects the device, not the backlog.
+    cfg.mean_interarrival_ns = 9_000.0;
+    let trace = cfg.generate(600, 13);
+    let senc = run_small(RetryKind::Sentinel, 2000, &trace);
+    let rif = run_small(RetryKind::Rif, 2000, &trace);
+    let senc_tail = senc.read_latency.percentile(99.0).unwrap().as_us();
+    let rif_tail = rif.read_latency.percentile(99.0).unwrap().as_us();
+    assert!(
+        rif_tail < senc_tail,
+        "p99: RiF {rif_tail} vs SENC {senc_tail}"
+    );
+}
+
+#[test]
+fn write_heavy_workload_flows_through() {
+    // Ali2 is 73 % writes: exercises allocation, programs and retention
+    // resets end to end.
+    let trace = saturating_trace("Ali2", 400, 15);
+    let report = run_small(RetryKind::Rif, 1000, &trace);
+    assert_eq!(report.completed_requests, 400);
+    // Writes dominate: most bytes are not read bytes.
+    assert!(report.read_bytes < report.completed_bytes / 2);
+}
+
+#[test]
+fn reports_are_reproducible() {
+    let trace = saturating_trace("Ali46", 300, 17);
+    let a = run_small(RetryKind::SwiftRead, 1000, &trace);
+    let b = run_small(RetryKind::SwiftRead, 1000, &trace);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.decode_failures, b.decode_failures);
+    assert_eq!(a.uncor_page_transfers, b.uncor_page_transfers);
+    assert_eq!(
+        a.read_latency.percentile(99.0),
+        b.read_latency.percentile(99.0)
+    );
+}
+
+#[test]
+fn channel_usage_is_conserved_for_every_scheme() {
+    let trace = saturating_trace("Ali295", 300, 19);
+    for retry in RetryKind::ALL {
+        let report = run_small(retry, 2000, &trace);
+        for (i, u) in report.per_channel_usage.iter().enumerate() {
+            let sum = u.idle + u.cor + u.uncor + u.eccwait;
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{retry} channel {i} usage sums to {sum}"
+            );
+        }
+    }
+}
+
+#[test]
+fn timeline_example_matches_paper_ordering() {
+    use rif::ssd::timeline::example_256k;
+    let zero = example_256k(RetryKind::Zero).total;
+    let one = example_256k(RetryKind::IdealOne).total;
+    let rif = example_256k(RetryKind::Rif).total;
+    assert!(zero < rif, "SSDzero {zero} vs RiF {rif}");
+    assert!(rif < one, "RiF {rif} vs SSDone {one}");
+}
