@@ -6,7 +6,9 @@ use rif_ssd::{RetryKind, Simulator, SsdConfig};
 use rif_workloads::WorkloadProfile;
 
 fn bench_sim(c: &mut Criterion) {
-    let mut wl = WorkloadProfile::by_name("Ali124").expect("workload").config();
+    let mut wl = WorkloadProfile::by_name("Ali124")
+        .expect("workload")
+        .config();
     wl.mean_interarrival_ns = 3_000.0;
     let trace = wl.generate(500, 7);
 

@@ -47,10 +47,8 @@ fn main() {
         // syndromes (256 per KiB for the paper's t = 1024 code).
         let syndromes = 1024 * chunk_kib / 4;
         let rp = RpBehavior::calibrated(syndromes, 34, 0.0085);
-        let tpred = ReadRetryPredictor::prediction_latency(
-            chunk_kib * 1024 * 8,
-            SimDuration::from_us(10),
-        );
+        let tpred =
+            ReadRetryPredictor::prediction_latency(chunk_kib * 1024 * 8, SimDuration::from_us(10));
         // Uncertainty band: RBER span where the verdict is a coin flip.
         let band = crossing(&rp, 0.9) - crossing(&rp, 0.1);
 

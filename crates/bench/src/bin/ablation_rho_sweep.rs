@@ -8,6 +8,7 @@
 //! that choice is.
 
 use rif_bench::{saturating_trace, HarnessOpts, TableWriter};
+use rif_events::parallel_trials;
 use rif_odear::RpBehavior;
 use rif_ssd::{RetryKind, Simulator, SsdConfig};
 use rif_workloads::WorkloadProfile;
@@ -30,12 +31,18 @@ fn main() {
         "uncor_xfers".into(),
         "misses".into(),
     ]);
-    for mult in [0.5f64, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0] {
-        let rho = (calibrated as f64 * mult).round() as usize;
+    // Each ρs point is an independent deterministic simulation, so the
+    // sweep fans the points out across the worker pool; rows are printed
+    // in multiplier order regardless of completion order or --threads.
+    let mults = [0.5f64, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0];
+    let reports = parallel_trials(opts.threads, mults.len(), |i| {
+        let rho = (calibrated as f64 * mults[i]).round() as usize;
         let mut cfg = SsdConfig::paper(RetryKind::Rif, 2000);
         cfg.rp = RpBehavior::with_rho(1024, 34, rho);
         cfg.seed = opts.seed;
-        let report = Simulator::new(cfg).run(&trace);
+        (rho, Simulator::new(cfg).run(&trace))
+    });
+    for (mult, (rho, report)) in mults.iter().zip(&reports) {
         t.row(&[
             format!("{mult:.2}"),
             rho.to_string(),

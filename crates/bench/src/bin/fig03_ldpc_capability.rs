@@ -34,7 +34,7 @@ fn main() {
         "model_iters".into(),
     ]);
 
-    let points = capability_sweep(&code, &rbers, trials, opts.seed);
+    let points = capability_sweep(&code, &rbers, trials, opts.seed, opts.threads);
     let model = EccModel::paper_default();
     for p in &points {
         t.row(&[

@@ -35,7 +35,14 @@ fn main() {
         // Heat-map style rows, like the figure.
         print!("{:>6} |", "P/E");
         for d in 0..=max_day {
-            print!("{}", if d % 5 == 0 { format!("{d:>3}") } else { "   ".into() });
+            print!(
+                "{}",
+                if d % 5 == 0 {
+                    format!("{d:>3}")
+                } else {
+                    "   ".into()
+                }
+            );
         }
         println!();
         for &pe in &pe_list {
@@ -59,7 +66,10 @@ fn main() {
             println!();
         }
         println!("\nonset and median of the failure-day distribution:");
-        println!("{:>6} {:>10} {:>10} {:>10}", "P/E", "first", "median", "survive");
+        println!(
+            "{:>6} {:>10} {:>10} {:>10}",
+            "P/E", "first", "median", "survive"
+        );
         for &pe in &pe_list {
             let first = map
                 .first_failure_day(pe)

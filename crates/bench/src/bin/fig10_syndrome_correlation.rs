@@ -31,7 +31,7 @@ fn main() {
         "analytic_full".into(),
         "analytic_pruned".into(),
     ]);
-    for p in syndrome_sweep(&code, &rbers, trials, opts.seed) {
+    for p in syndrome_sweep(&code, &rbers, trials, opts.seed, opts.threads) {
         t.row(&[
             format!("{:.3}", p.rber),
             format!("{:.1}", p.avg_full_weight),

@@ -39,6 +39,7 @@ fn main() {
         &rbers,
         trials,
         opts.seed,
+        opts.threads,
     );
     for p in &points {
         t.row(&[

@@ -24,7 +24,7 @@ fn main() {
     // With approximations: the RP hardware path — pruned syndrome on the
     // rearranged layout of a single chunk.
     let rp = ReadRetryPredictor::for_capability(&code, capability);
-    let approx = measure_accuracy(&code, &rp, &rbers, trials, opts.seed);
+    let approx = measure_accuracy(&code, &rp, &rbers, trials, opts.seed, opts.threads);
 
     // Without: full syndrome weight of the page.
     let rho_full = code.expected_full_weight(capability).round() as usize;
@@ -34,6 +34,7 @@ fn main() {
         &rbers,
         trials,
         opts.seed + 1,
+        opts.threads,
     );
 
     let t = TableWriter::new(opts.csv, &[10, 16, 16]);
@@ -42,11 +43,7 @@ fn main() {
         rp.rho_s(),
         trials
     ));
-    t.row(&[
-        "rber".into(),
-        "with_approx".into(),
-        "without".into(),
-    ]);
+    t.row(&["rber".into(), "with_approx".into(), "without".into()]);
     for (a, e) in approx.iter().zip(&exact) {
         t.row(&[
             format!("{:.3}", a.rber),

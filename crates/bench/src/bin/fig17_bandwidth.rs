@@ -42,8 +42,14 @@ fn main() {
         }
         t.row(&summary);
         if !opts.csv {
-            let rif_idx = schemes.iter().position(|s| *s == RetryKind::Rif).expect("rif");
-            let zero_idx = schemes.iter().position(|s| *s == RetryKind::Zero).expect("zero");
+            let rif_idx = schemes
+                .iter()
+                .position(|s| *s == RetryKind::Rif)
+                .expect("rif");
+            let zero_idx = schemes
+                .iter()
+                .position(|s| *s == RetryKind::Zero)
+                .expect("zero");
             let rif = geomean(&norm[rif_idx]);
             let zero = geomean(&norm[zero_idx]);
             println!(

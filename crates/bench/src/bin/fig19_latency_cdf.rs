@@ -14,7 +14,9 @@ fn main() {
     // Latency is measured at a high-but-sustainable load so tails show
     // device behaviour, not unbounded backlog growth (the paper replays
     // its traces at recorded intensity).
-    let mut wl = WorkloadProfile::by_name("Ali124").expect("table workload").config();
+    let mut wl = WorkloadProfile::by_name("Ali124")
+        .expect("table workload")
+        .config();
     wl.mean_interarrival_ns = 20_000.0;
     let trace = wl.generate(n_requests, opts.seed);
     let schemes = [
@@ -27,7 +29,9 @@ fn main() {
 
     for pe in PE_STAGES {
         let t = TableWriter::new(opts.csv, &[8, 10, 10, 10, 10, 10]);
-        t.heading(&format!("Fig. 19 @ {pe} P/E: Ali124 read-latency percentiles (µs)"));
+        t.heading(&format!(
+            "Fig. 19 @ {pe} P/E: Ali124 read-latency percentiles (µs)"
+        ));
         t.row(&[
             "scheme".into(),
             "p50".into(),

@@ -13,16 +13,27 @@ fn main() {
     let opts = HarnessOpts::parse();
     let ppa = PpaModel::paper();
     println!("== §VI-C: RP module PPA ==");
-    println!("area: {:.3} mm²  ({:.4}% of a {:.0} mm² die)",
-        ppa.rp_area_mm2, ppa.area_overhead_fraction() * 100.0, ppa.die_area_mm2);
+    println!(
+        "area: {:.3} mm²  ({:.4}% of a {:.0} mm² die)",
+        ppa.rp_area_mm2,
+        ppa.area_overhead_fraction() * 100.0,
+        ppa.die_area_mm2
+    );
     println!("power: {:.2} mW @ 130 nm, 100 MHz", ppa.rp_power_mw);
-    println!("energy: {:.1} nJ/prediction vs {:.0} nJ/avoided transfer",
-        ppa.prediction_energy_nj, ppa.transfer_energy_nj);
-    println!("break-even uncorrectable-read rate: {:.3}%",
-        ppa.break_even_retry_rate() * 100.0);
+    println!(
+        "energy: {:.1} nJ/prediction vs {:.0} nJ/avoided transfer",
+        ppa.prediction_energy_nj, ppa.transfer_energy_nj
+    );
+    println!(
+        "break-even uncorrectable-read rate: {:.3}%",
+        ppa.break_even_retry_rate() * 100.0
+    );
     println!("\nchunk-size scaling of prediction energy:");
     for kib in [1usize, 2, 4, 16] {
-        println!("  {kib:>2}-KiB chunk: {:.1} nJ", ppa.prediction_energy_for_chunk(kib));
+        println!(
+            "  {kib:>2}-KiB chunk: {:.1} nJ",
+            ppa.prediction_energy_for_chunk(kib)
+        );
     }
 
     // Tie to the simulator: the uncorrectable-transfer rate SSDone
@@ -39,7 +50,11 @@ fn main() {
             "  {pe:>4} P/E: uncorrectable rate {:>5.1}% -> net {:+.1} nJ/read ({})",
             rate * 100.0,
             net,
-            if net < 0.0 { "RiF saves energy" } else { "RiF costs energy" }
+            if net < 0.0 {
+                "RiF saves energy"
+            } else {
+                "RiF costs energy"
+            }
         );
     }
 }

@@ -1,0 +1,133 @@
+//! Decode-kernel performance smoke test.
+//!
+//! Times the word-packed min-sum fast path against its scalar reference
+//! (`decode_llr_reference`) on `QcLdpcCode::small_test` at three RBER
+//! points spanning the waterfall, plus the rotate-XOR syndrome-weight
+//! throughput, and writes the numbers to `BENCH_ldpc.json` at the repo
+//! root for trend tracking.
+//!
+//! `--quick` shrinks the corpus and the timing window; `--seed` reseeds
+//! the corpus.
+
+use std::time::Instant;
+
+use rif_bench::{HarnessOpts, TableWriter};
+use rif_events::SimRng;
+use rif_ldpc::bits::BitVec;
+use rif_ldpc::channel::Bsc;
+use rif_ldpc::decoder::MinSumDecoder;
+use rif_ldpc::QcLdpcCode;
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ldpc.json");
+
+/// RBER points: comfortably correctable, at the capability, mostly failing.
+const RBERS: [f64; 3] = [0.004, 0.0085, 0.012];
+
+fn corpus(code: &QcLdpcCode, rber: f64, count: usize, seed: u64) -> Vec<BitVec> {
+    let mut rng = SimRng::seed_from(seed);
+    let channel = Bsc::new(rber);
+    (0..count)
+        .map(|_| {
+            let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+            channel.corrupt(&cw, &mut rng)
+        })
+        .collect()
+}
+
+/// Decodes the corpus repeatedly for at least `window_ms`, returning
+/// codewords per second.
+fn throughput<F: Fn(&BitVec)>(words: &[BitVec], window_ms: u64, decode: F) -> f64 {
+    // One untimed pass to settle caches.
+    for w in words {
+        decode(w);
+    }
+    let start = Instant::now();
+    let mut decoded = 0usize;
+    loop {
+        for w in words {
+            decode(w);
+        }
+        decoded += words.len();
+        if start.elapsed().as_millis() as u64 >= window_ms {
+            break;
+        }
+    }
+    decoded as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let code = QcLdpcCode::small_test();
+    let decoder = MinSumDecoder::new(&code);
+    let count = opts.pick(60, 15);
+    let window_ms = opts.pick(400, 80);
+
+    let t = TableWriter::new(opts.csv, &[10, 14, 14, 10]);
+    t.heading(&format!(
+        "perf_smoke: min-sum fast path vs scalar reference (n = {}, {} codewords/point)",
+        code.n(),
+        count
+    ));
+    t.row(&[
+        "rber".into(),
+        "fast_cw_s".into(),
+        "ref_cw_s".into(),
+        "speedup".into(),
+    ]);
+
+    let mut points = Vec::new();
+    for (i, &rber) in RBERS.iter().enumerate() {
+        let words = corpus(&code, rber, count, opts.seed + i as u64);
+        let fast = throughput(&words, window_ms, |w| {
+            std::hint::black_box(decoder.decode(w));
+        });
+        let reference = throughput(&words, window_ms, |w| {
+            std::hint::black_box(decoder.decode_reference(w));
+        });
+        let speedup = fast / reference;
+        t.row(&[
+            format!("{rber:.4}"),
+            format!("{fast:.0}"),
+            format!("{reference:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        points.push((rber, fast, reference, speedup));
+    }
+
+    // Word-packed syndrome-weight throughput (the RP module's primitive).
+    let words = corpus(&code, 0.0085, count, opts.seed + 100);
+    let syn_per_s = throughput(&words, window_ms, |w| {
+        std::hint::black_box(code.syndrome_weight(w));
+    });
+
+    let speedup_geomean = rif_bench::geomean(&points.iter().map(|p| p.3).collect::<Vec<_>>());
+    if !opts.csv {
+        println!("\nsyndrome_weight: {syn_per_s:.0} codewords/s");
+        println!("decode speedup geomean: {speedup_geomean:.2}x");
+    }
+
+    let json_points: Vec<String> = points
+        .iter()
+        .map(|(rber, fast, reference, speedup)| {
+            format!(
+                "    {{\"rber\": {rber}, \"fast_cw_per_s\": {fast:.1}, \
+                 \"reference_cw_per_s\": {reference:.1}, \"speedup\": {speedup:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"ldpc_decode_smoke\",\n  \"code\": \"small_test\",\n  \
+         \"codewords_per_point\": {count},\n  \"decode\": [\n{}\n  ],\n  \
+         \"decode_speedup_geomean\": {speedup_geomean:.3},\n  \
+         \"syndrome_weight_cw_per_s\": {syn_per_s:.1}\n}}\n",
+        json_points.join(",\n")
+    );
+    match std::fs::write(OUT_PATH, &json) {
+        Ok(()) => {
+            if !opts.csv {
+                println!("wrote {OUT_PATH}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not write {OUT_PATH}: {e}"),
+    }
+}

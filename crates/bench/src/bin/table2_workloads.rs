@@ -11,7 +11,9 @@ fn main() {
     let n_requests = opts.pick(20_000, 2_000);
 
     let t = TableWriter::new(opts.csv, &[8, 12, 12, 12, 12, 12]);
-    t.heading(&format!("Table II: workload characteristics ({n_requests} requests each)"));
+    t.heading(&format!(
+        "Table II: workload characteristics ({n_requests} requests each)"
+    ));
     t.row(&[
         "trace".into(),
         "read(paper)".into(),

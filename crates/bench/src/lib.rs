@@ -5,13 +5,16 @@
 //! * `--quick` — a reduced-cost run (smaller codes / fewer trials /
 //!   shorter traces) for smoke testing;
 //! * `--csv`   — machine-readable output instead of aligned text tables;
-//! * `--seed N` — override the default seed.
+//! * `--seed N` — override the default seed;
+//! * `--threads N` — worker threads for the Monte-Carlo sweeps. Trials
+//!   use one RNG stream each, so the output is byte-identical for every
+//!   thread count.
 
 use rif_ssd::{RetryKind, SimReport, Simulator, SsdConfig};
 use rif_workloads::{Trace, WorkloadProfile};
 
 /// Parsed command-line options common to all experiment binaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessOpts {
     /// Reduced-cost run.
     pub quick: bool,
@@ -19,17 +22,57 @@ pub struct HarnessOpts {
     pub csv: bool,
     /// Seed for all stochastic components.
     pub seed: u64,
+    /// Worker threads for trial fan-out (≥ 1; does not affect results).
+    pub threads: usize,
 }
 
-impl HarnessOpts {
-    /// Parses `std::env::args`, exiting with usage on unknown flags.
-    pub fn parse() -> Self {
-        let mut opts = HarnessOpts {
+/// Why [`HarnessOpts::parse_from`] rejected an argument list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help`/`-h` was given: print usage and exit successfully.
+    Help,
+    /// A flag was unknown or malformed.
+    Invalid(String),
+}
+
+const USAGE: &str = "usage: <bin> [--quick] [--csv] [--seed N] [--threads N]";
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
             quick: false,
             csv: false,
             seed: 42,
-        };
-        let mut args = std::env::args().skip(1);
+            threads: 1,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`, printing usage and exiting on `--help`
+    /// (status 0) or on unknown/malformed flags (status 2).
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(ParseError::Help) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(ParseError::Invalid(msg)) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure parsing core of [`HarnessOpts::parse`].
+    pub fn parse_from<I>(args: I) -> Result<Self, ParseError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut opts = HarnessOpts::default();
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => opts.quick = true,
@@ -38,14 +81,22 @@ impl HarnessOpts {
                     opts.seed = args
                         .next()
                         .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                        .ok_or_else(|| ParseError::Invalid("--seed needs an integer".into()))?;
                 }
-                "--help" | "-h" => usage("")
-                ,
-                other => usage(&format!("unknown flag {other}")),
+                "--threads" => {
+                    opts.threads = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| {
+                            ParseError::Invalid("--threads needs an integer ≥ 1".into())
+                        })?;
+                }
+                "--help" | "-h" => return Err(ParseError::Help),
+                other => return Err(ParseError::Invalid(format!("unknown flag {other}"))),
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// Picks between a full-scale and quick value.
@@ -56,14 +107,6 @@ impl HarnessOpts {
             full
         }
     }
-}
-
-fn usage(msg: &str) -> ! {
-    if !msg.is_empty() {
-        eprintln!("error: {msg}");
-    }
-    eprintln!("usage: <bin> [--quick] [--csv] [--seed N]");
-    std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
 
 /// A simple aligned-text / CSV table writer.
@@ -144,10 +187,58 @@ mod tests {
 
     #[test]
     fn pick_switches_on_quick() {
-        let q = HarnessOpts { quick: true, csv: false, seed: 1 };
-        let f = HarnessOpts { quick: false, csv: false, seed: 1 };
+        let q = HarnessOpts {
+            quick: true,
+            ..HarnessOpts::default()
+        };
+        let f = HarnessOpts::default();
         assert_eq!(q.pick(10, 2), 2);
         assert_eq!(f.pick(10, 2), 10);
+    }
+
+    fn parse(args: &[&str]) -> Result<HarnessOpts, ParseError> {
+        HarnessOpts::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_from_accepts_all_flags() {
+        let opts = parse(&["--quick", "--csv", "--seed", "7", "--threads", "4"]).unwrap();
+        assert!(opts.quick && opts.csv);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.threads, 4);
+    }
+
+    #[test]
+    fn parse_from_defaults() {
+        assert_eq!(parse(&[]).unwrap(), HarnessOpts::default());
+    }
+
+    #[test]
+    fn parse_from_rejects_unknown_flag() {
+        match parse(&["--bogus"]) {
+            Err(ParseError::Invalid(msg)) => assert!(msg.contains("--bogus"), "msg {msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_from_help_is_not_an_error_exit() {
+        assert_eq!(parse(&["--help"]), Err(ParseError::Help));
+        assert_eq!(parse(&["-h"]), Err(ParseError::Help));
+    }
+
+    #[test]
+    fn parse_from_validates_values() {
+        assert!(matches!(parse(&["--seed"]), Err(ParseError::Invalid(_))));
+        assert!(matches!(
+            parse(&["--seed", "x"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&["--threads", "0"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(parse(&["--threads"]), Err(ParseError::Invalid(_))));
     }
 
     #[test]

@@ -21,11 +21,13 @@
 //! ```
 
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use pool::{parallel_fold, parallel_trials};
 pub use rng::{SimRng, ZipfTable};
 pub use stats::{Counter, LatencyHistogram, RunningStats, UtilizationTracker};
 pub use time::{SimDuration, SimTime};

@@ -4,14 +4,34 @@
 //! variation, trace generation, prediction-accuracy sampling) draws from a
 //! [`SimRng`] seeded explicitly, so that any experiment can be re-run
 //! bit-identically.
+//!
+//! The generator is a vendored **xoshiro256++** (Blackman & Vigna) seeded
+//! through a **SplitMix64** expansion of a 64-bit seed — the same
+//! construction `rand`'s `SmallRng` uses on 64-bit targets, carried in-tree
+//! so the workspace builds with zero registry dependencies (the evaluation
+//! environment is fully offline). SplitMix64 also drives
+//! [`SimRng::stream`], which derives statistically independent per-trial
+//! streams for the parallel Monte-Carlo harness: trial `i` gets the same
+//! stream no matter which worker thread runs it, so multi-threaded sweeps
+//! are bit-identical to single-threaded ones.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// Golden-ratio increment of the SplitMix64 sequence.
+const SPLITMIX_PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One SplitMix64 step: advances `state` and returns the mixed output.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(SPLITMIX_PHI);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seedable RNG with the convenience draws the simulator needs.
 ///
-/// Wraps [`rand::rngs::SmallRng`] and adds Gaussian, Poisson-interarrival and
-/// Zipf sampling, which the `rand` core does not provide without `rand_distr`.
+/// Wraps a vendored xoshiro256++ core and adds Gaussian,
+/// Poisson-interarrival and Zipf sampling.
 ///
 /// # Example
 ///
@@ -24,35 +44,67 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    /// xoshiro256++ state; never all-zero.
+    s: [u64; 4],
     /// Cached second Gaussian variate from Box–Muller.
     gauss_spare: Option<f64>,
 }
 
 impl SimRng {
-    /// Creates an RNG from a 64-bit seed.
+    /// Creates an RNG from a 64-bit seed (SplitMix64 state expansion).
     pub fn seed_from(seed: u64) -> Self {
+        let mut state = seed;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s,
             gauss_spare: None,
         }
+    }
+
+    /// Derives the RNG for trial `index` of a seeded experiment: an
+    /// independent stream reachable without generating the preceding
+    /// trials' draws. The parallel Monte-Carlo harness gives trial `i`
+    /// `SimRng::stream(seed, i)` on whichever worker picks it up, which is
+    /// what makes `--threads N` output independent of `N`.
+    pub fn stream(seed: u64, index: u64) -> SimRng {
+        // SplitMix64 split: jump the stream to a per-index state, then mix
+        // once so that consecutive indices land on unrelated seeds.
+        let mut state = seed ^ index.wrapping_add(1).wrapping_mul(SPLITMIX_PHI);
+        let derived = splitmix64(&mut state);
+        SimRng::seed_from(derived)
     }
 
     /// Derives an independent child RNG; useful to give each simulated
     /// component its own stream without correlation.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(SPLITMIX_PHI);
         SimRng::seed_from(s)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ output function).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)`: the top 53 bits of a draw scaled by 2⁻⁵³.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -72,13 +124,29 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        self.bounded(n as u64) as usize
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.bounded(hi - lo)
+    }
+
+    /// Unbiased uniform draw in `[0, range)` via Lemire's widening-multiply
+    /// rejection method.
+    fn bounded(&mut self, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        // Accept v when the low half of v * range falls in the zone that
+        // maps uniformly onto [0, range).
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = self.next_u64();
+            let wide = (v as u128) * (range as u128);
+            if (wide as u64) <= zone {
+                return (wide >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -211,6 +279,40 @@ mod tests {
     }
 
     #[test]
+    fn stream_is_deterministic_and_independent_of_order() {
+        let mut a3 = SimRng::stream(99, 3);
+        let mut b3 = SimRng::stream(99, 3);
+        for _ in 0..32 {
+            assert_eq!(a3.next_u64(), b3.next_u64());
+        }
+        // Different indices and different seeds give different streams.
+        let mut c = SimRng::stream(99, 4);
+        let mut d = SimRng::stream(100, 3);
+        let mut a = SimRng::stream(99, 3);
+        let c_same = (0..32).all(|_| a.next_u64() == c.next_u64());
+        let mut a = SimRng::stream(99, 3);
+        let d_same = (0..32).all(|_| a.next_u64() == d.next_u64());
+        assert!(!c_same && !d_same);
+    }
+
+    #[test]
+    fn stream_indices_are_uncorrelated_statistically() {
+        // Adjacent trial indices must not produce correlated uniforms.
+        let n = 10_000;
+        let mut acc = 0.0;
+        for i in 0..64u64 {
+            let mut x = SimRng::stream(5, i);
+            let mut y = SimRng::stream(5, i + 1);
+            let mut dot = 0.0;
+            for _ in 0..n {
+                dot += (x.uniform() - 0.5) * (y.uniform() - 0.5);
+            }
+            acc += dot / n as f64;
+        }
+        assert!((acc / 64.0).abs() < 0.005, "correlation {acc}");
+    }
+
+    #[test]
     fn uniform_bounds() {
         let mut r = SimRng::seed_from(3);
         for _ in 0..10_000 {
@@ -218,6 +320,29 @@ mod tests {
             assert!((0.0..1.0).contains(&u));
             let v = r.uniform_range(-3.0, 4.0);
             assert!((-3.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn index_is_unbiased_over_small_range() {
+        let mut r = SimRng::seed_from(41);
+        let mut counts = [0usize; 6];
+        let trials = 120_000;
+        for _ in 0..trials {
+            counts[r.index(6)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 1.0 / 6.0).abs() < 0.01, "face {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn int_range_respects_bounds() {
+        let mut r = SimRng::seed_from(43);
+        for _ in 0..10_000 {
+            let v = r.int_range(17, 23);
+            assert!((17..23).contains(&v));
         }
     }
 

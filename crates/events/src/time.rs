@@ -312,7 +312,10 @@ mod tests {
         assert_eq!(d / 2, SimDuration::from_us(5));
         let total: SimDuration = vec![d, d, d].into_iter().sum();
         assert_eq!(total, SimDuration::from_us(30));
-        assert_eq!(d.saturating_sub(SimDuration::from_us(20)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_us(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

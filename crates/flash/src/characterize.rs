@@ -173,10 +173,8 @@ pub fn chunk_similarity(
                 let mut max_ratio: f64 = 0.0;
                 for _ in 0..pages {
                     let block = BlockProfile::sample(&mut rng);
-                    let rber =
-                        model.rber_avg_default(block, OperatingPoint::new(pe, day as f64));
-                    let page = Bsc::new(rber.min(0.5))
-                        .corrupt(&BitVec::zeros(PAGE_BITS), &mut rng);
+                    let rber = model.rber_avg_default(block, OperatingPoint::new(pe, day as f64));
+                    let page = Bsc::new(rber.min(0.5)).corrupt(&BitVec::zeros(PAGE_BITS), &mut rng);
                     let mut rates = Vec::with_capacity(n_chunks);
                     for c in 0..n_chunks {
                         let errs = page.slice(c * chunk_bits, chunk_bits).count_ones();

@@ -32,9 +32,9 @@ pub mod chip;
 pub mod geometry;
 pub mod mlc;
 pub mod randomizer;
+pub mod rber;
 pub mod sentinel;
 pub mod soft;
-pub mod rber;
 pub mod swift_read;
 pub mod vref;
 pub mod vth;
@@ -42,6 +42,6 @@ pub mod vth;
 pub use chip::FlashTiming;
 pub use geometry::{FlashGeometry, PageAddress, PageKind};
 pub use rber::{BlockProfile, ErrorModel};
-pub use vth::OperatingPoint;
 pub use vref::ReadVoltages;
+pub use vth::OperatingPoint;
 pub use vth::TlcModel;

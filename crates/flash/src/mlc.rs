@@ -143,7 +143,11 @@ impl MlcModel {
                     * wear
                     * ln_t
                     * (s as f64 / top).powf(self.state_gamma);
-                let sigma = if s == 0 { self.sigma_erase } else { self.sigma_prog };
+                let sigma = if s == 0 {
+                    self.sigma_erase
+                } else {
+                    self.sigma_prog
+                };
                 StateParam {
                     mean: mean - shift,
                     sigma: sigma * widen,
@@ -165,13 +169,7 @@ impl MlcModel {
     /// # Panics
     ///
     /// Panics unless `refs` has `2^b − 1` entries.
-    pub fn rber(
-        &self,
-        op: OperatingPoint,
-        process_factor: f64,
-        refs: &[f64],
-        page: usize,
-    ) -> f64 {
+    pub fn rber(&self, op: OperatingPoint, process_factor: f64, refs: &[f64], page: usize) -> f64 {
         assert_eq!(refs.len(), self.n_states() - 1, "reference count mismatch");
         let params = self.state_params(op, process_factor);
         let bounds: Vec<f64> = self.refs_of(page).iter().map(|&r| refs[r - 1]).collect();
@@ -385,10 +383,7 @@ mod tests {
         for pe in [0u32, 1000] {
             let dt = tlc.days_to_exceed(pe, 0.0085, 120.0).expect("TLC crossing");
             let dq = qlc.days_to_exceed(pe, 0.0085, 120.0).expect("QLC crossing");
-            assert!(
-                dq < dt / 2.5,
-                "pe={pe}: QLC crossing {dq} not ≪ TLC {dt}"
-            );
+            assert!(dq < dt / 2.5, "pe={pe}: QLC crossing {dq} not ≪ TLC {dt}");
         }
     }
 

@@ -226,7 +226,10 @@ mod tests {
     fn block_profiles_center_on_median() {
         let mut rng = SimRng::seed_from(1);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| BlockProfile::sample(&mut rng).factor).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| BlockProfile::sample(&mut rng).factor)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean factor {mean}");
     }
 
@@ -297,7 +300,10 @@ mod tests {
         let lo = table.rber_default(PageKind::Csb, 10.0);
         let mid = table.rber_default(PageKind::Csb, 10.5);
         let hi = table.rber_default(PageKind::Csb, 11.0);
-        assert!(lo < mid && mid < hi, "interpolation not monotone: {lo} {mid} {hi}");
+        assert!(
+            lo < mid && mid < hi,
+            "interpolation not monotone: {lo} {mid} {hi}"
+        );
         // Midpoint is the average of the endpoints under linear interpolation.
         assert!((mid - 0.5 * (lo + hi)).abs() < 1e-12);
     }

@@ -83,7 +83,9 @@ impl SentinelCells {
         kind: PageKind,
         rng: &mut SimRng,
     ) -> f64 {
-        let p = self.model.rber(op, process_factor, &self.default_refs, kind);
+        let p = self
+            .model
+            .rber(op, process_factor, &self.default_refs, kind);
         let noise = (p * (1.0 - p) / self.cells as f64).sqrt();
         (p + rng.gaussian_with(0.0, noise)).clamp(0.0, 1.0)
     }
@@ -175,7 +177,10 @@ mod tests {
             let mean = obs.iter().sum::<f64>() / obs.len() as f64;
             (obs.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / obs.len() as f64).sqrt()
         };
-        assert!(spread(128) > spread(8192), "noise did not shrink with cells");
+        assert!(
+            spread(128) > spread(8192),
+            "noise did not shrink with cells"
+        );
     }
 
     #[test]

@@ -183,7 +183,10 @@ mod tests {
         }
         let factor = 0.5 * (lo + hi);
         let hard_rber = model.rber(op, factor, &refs, PageKind::Csb);
-        assert!((0.012..0.014).contains(&hard_rber), "premise: hard RBER {hard_rber}");
+        assert!(
+            (0.012..0.014).contains(&hard_rber),
+            "premise: hard RBER {hard_rber}"
+        );
 
         let ch = ss.soft_channel(op, factor, PageKind::Csb, 7);
         let trials = 12;
@@ -200,8 +203,17 @@ mod tests {
                 soft_ok += 1;
             }
         }
-        assert!(hard_ok <= trials / 2, "hard decoding too strong: {hard_ok}/{trials}");
-        assert!(soft_ok >= trials * 2 / 3, "soft rescue too weak: {soft_ok}/{trials}");
-        assert!(soft_ok > hard_ok, "soft ({soft_ok}) did not beat hard ({hard_ok})");
+        assert!(
+            hard_ok <= trials / 2,
+            "hard decoding too strong: {hard_ok}/{trials}"
+        );
+        assert!(
+            soft_ok >= trials * 2 / 3,
+            "soft rescue too weak: {soft_ok}/{trials}"
+        );
+        assert!(
+            soft_ok > hard_ok,
+            "soft ({soft_ok}) did not beat hard ({hard_ok})"
+        );
     }
 }

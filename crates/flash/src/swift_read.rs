@@ -132,7 +132,13 @@ impl SwiftRead {
 mod tests {
     use super::*;
 
-    fn rel_gap(model: &TlcModel, op: OperatingPoint, factor: f64, refs: &ReadVoltages, kind: PageKind) -> (f64, f64) {
+    fn rel_gap(
+        model: &TlcModel,
+        op: OperatingPoint,
+        factor: f64,
+        refs: &ReadVoltages,
+        kind: PageKind,
+    ) -> (f64, f64) {
         let params = model.state_params(op, factor);
         let optimal = model.optimal_refs(params);
         let got = model.rber_with_params(&params, refs.as_array(), kind);

@@ -157,18 +157,24 @@ impl TlcModel {
     pub fn state_params(&self, op: OperatingPoint, process_factor: f64) -> [StateParam; 8] {
         let wear = self.wear(op.pe_cycles);
         let ln_t = (1.0 + op.retention_days.max(0.0)).ln();
-        let widen = 1.0
-            + self.widen_pe * op.pe_cycles as f64 / 1000.0
-            + self.widen_ret * ln_t * wear;
+        let widen =
+            1.0 + self.widen_pe * op.pe_cycles as f64 / 1000.0 + self.widen_ret * ln_t * wear;
         let rd = self.read_disturb * (1.0 + op.reads as f64 / 1000.0).ln();
-        let mut out = [StateParam { mean: 0.0, sigma: 0.0 }; 8];
+        let mut out = [StateParam {
+            mean: 0.0,
+            sigma: 0.0,
+        }; 8];
         for (s, slot) in out.iter_mut().enumerate() {
             let base_mean = if s == 0 {
                 self.erase_mean
             } else {
                 s as f64 * self.state_gap
             };
-            let base_sigma = if s == 0 { self.sigma_erase } else { self.sigma_prog };
+            let base_sigma = if s == 0 {
+                self.sigma_erase
+            } else {
+                self.sigma_prog
+            };
             let shift = self.retention_a
                 * process_factor
                 * wear
@@ -284,12 +290,7 @@ impl TlcModel {
 
     /// Expected fraction of cells of a `kind` page that read as 1 at the
     /// given references — what a Swift-Read ones-count measures.
-    pub fn ones_fraction(
-        &self,
-        params: &[StateParam; 8],
-        refs: &[f64; 7],
-        kind: PageKind,
-    ) -> f64 {
+    pub fn ones_fraction(&self, params: &[StateParam; 8], refs: &[f64; 7], kind: PageKind) -> f64 {
         let kind_refs = Self::refs_of(kind);
         let bounds: Vec<f64> = kind_refs.iter().map(|&r| refs[r - 1]).collect();
         let mut ones = 0.0;
@@ -420,7 +421,10 @@ mod tests {
         let refs = m.default_refs();
         let before = m.rber_avg(OperatingPoint::new(0, 15.0), 1.0, &refs);
         let after = m.rber_avg(OperatingPoint::new(0, 19.0), 1.0, &refs);
-        assert!(before < 0.0085, "RBER {before} already above cap at 15 days");
+        assert!(
+            before < 0.0085,
+            "RBER {before} already above cap at 15 days"
+        );
         assert!(after > 0.0085, "RBER {after} still below cap at 19 days");
     }
 
@@ -455,8 +459,14 @@ mod tests {
 
     #[test]
     fn gaussian_intersection_midpoint_for_equal_sigmas() {
-        let a = StateParam { mean: 1.0, sigma: 0.1 };
-        let b = StateParam { mean: 2.0, sigma: 0.1 };
+        let a = StateParam {
+            mean: 1.0,
+            sigma: 0.1,
+        };
+        let b = StateParam {
+            mean: 2.0,
+            sigma: 0.1,
+        };
         assert!((gaussian_intersection(a, b) - 1.5).abs() < 1e-12);
     }
 
@@ -464,8 +474,14 @@ mod tests {
     fn gaussian_intersection_biased_toward_narrow_state() {
         // With a wide left state, the equal-density point moves right,
         // toward the narrow distribution.
-        let a = StateParam { mean: 0.0, sigma: 0.3 };
-        let b = StateParam { mean: 1.0, sigma: 0.1 };
+        let a = StateParam {
+            mean: 0.0,
+            sigma: 0.3,
+        };
+        let b = StateParam {
+            mean: 1.0,
+            sigma: 0.1,
+        };
         let v = gaussian_intersection(a, b);
         assert!(v > 0.5 && v < 1.0, "got {v}");
     }
@@ -487,18 +503,29 @@ mod tests {
         let m = TlcModel::calibrated();
         let refs = m.default_refs();
         let quiet = m.rber(
-            OperatingPoint { pe_cycles: 0, retention_days: 5.0, reads: 0 },
+            OperatingPoint {
+                pe_cycles: 0,
+                retention_days: 5.0,
+                reads: 0,
+            },
             1.0,
             &refs,
             PageKind::Msb,
         );
         let noisy = m.rber(
-            OperatingPoint { pe_cycles: 0, retention_days: 5.0, reads: 500_000 },
+            OperatingPoint {
+                pe_cycles: 0,
+                retention_days: 5.0,
+                reads: 500_000,
+            },
             1.0,
             &refs,
             PageKind::Msb,
         );
-        assert!(noisy > quiet, "read disturb had no effect: {quiet} vs {noisy}");
+        assert!(
+            noisy > quiet,
+            "read disturb had no effect: {quiet} vs {noisy}"
+        );
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Monte-Carlo sweeps over the real code, regenerating the raw data behind
 //! Fig. 3 (decoding capability) and Fig. 10 (RBER ↔ syndrome-weight
 //! correlation).
+//!
+//! Trials fan out over a `threads`-wide worker pool with one RNG stream
+//! per trial (`SimRng::stream`), so every sweep returns the same points
+//! for any thread count — `threads` is purely a wall-clock knob.
 
-use rif_events::SimRng;
+use rif_events::{parallel_trials, SimRng};
 
 use crate::bits::BitVec;
 use crate::channel::Bsc;
@@ -35,7 +39,10 @@ pub struct SyndromePoint {
     pub trials: usize,
 }
 
-/// Runs `trials` encode → corrupt-at-`rber` → decode rounds per RBER point.
+/// Runs `trials` encode → corrupt-at-`rber` → decode rounds per RBER
+/// point, fanned out over `threads` workers. Trial `k` of point `i` always
+/// draws from `SimRng::stream(seed, i·trials + k)`, so the result is
+/// independent of `threads`.
 ///
 /// # Panics
 ///
@@ -45,24 +52,22 @@ pub fn capability_sweep(
     rbers: &[f64],
     trials: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<CapabilityPoint> {
     assert!(trials > 0, "need at least one trial");
     let decoder = MinSumDecoder::new(code);
-    let mut rng = SimRng::seed_from(seed);
     let mut out = Vec::with_capacity(rbers.len());
-    for &rber in rbers {
+    for (pi, &rber) in rbers.iter().enumerate() {
         let channel = Bsc::new(rber);
-        let mut failures = 0usize;
-        let mut iters = 0u64;
-        for _ in 0..trials {
+        let results = parallel_trials(threads, trials, |k| {
+            let mut rng = SimRng::stream(seed, (pi * trials + k) as u64);
             let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
             let noisy = channel.corrupt(&cw, &mut rng);
             let res = decoder.decode(&noisy);
-            if !res.success {
-                failures += 1;
-            }
-            iters += u64::from(res.iterations);
-        }
+            (res.success, res.iterations)
+        });
+        let failures = results.iter().filter(|(success, _)| !success).count();
+        let iters: u64 = results.iter().map(|&(_, it)| u64::from(it)).sum();
         out.push(CapabilityPoint {
             rber,
             failure_probability: failures as f64 / trials as f64,
@@ -74,7 +79,8 @@ pub fn capability_sweep(
 }
 
 /// Runs `trials` encode → corrupt rounds per RBER point, recording average
-/// full and pruned syndrome weights.
+/// full and pruned syndrome weights. Same per-trial RNG streams as
+/// [`capability_sweep`]: the points do not depend on `threads`.
 ///
 /// # Panics
 ///
@@ -84,20 +90,23 @@ pub fn syndrome_sweep(
     rbers: &[f64],
     trials: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<SyndromePoint> {
     assert!(trials > 0, "need at least one trial");
-    let mut rng = SimRng::seed_from(seed);
     let mut out = Vec::with_capacity(rbers.len());
-    for &rber in rbers {
+    for (pi, &rber) in rbers.iter().enumerate() {
         let channel = Bsc::new(rber);
-        let mut full = 0u64;
-        let mut pruned = 0u64;
-        for _ in 0..trials {
+        let results = parallel_trials(threads, trials, |k| {
+            let mut rng = SimRng::stream(seed, (pi * trials + k) as u64);
             let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
             let noisy = channel.corrupt(&cw, &mut rng);
-            full += code.syndrome_weight(&noisy) as u64;
-            pruned += code.pruned_syndrome_weight(&noisy) as u64;
-        }
+            (
+                code.syndrome_weight(&noisy) as u64,
+                code.pruned_syndrome_weight(&noisy) as u64,
+            )
+        });
+        let full: u64 = results.iter().map(|&(f, _)| f).sum();
+        let pruned: u64 = results.iter().map(|&(_, p)| p).sum();
         out.push(SyndromePoint {
             rber,
             avg_full_weight: full as f64 / trials as f64,
@@ -122,16 +131,36 @@ mod tests {
     #[test]
     fn capability_sweep_shows_waterfall() {
         let code = QcLdpcCode::small_test();
-        let points = capability_sweep(&code, &[0.001, 0.02], 30, 99);
-        assert!(points[0].failure_probability < 0.2, "low RBER should mostly decode");
-        assert!(points[1].failure_probability > 0.8, "high RBER should mostly fail");
+        let points = capability_sweep(&code, &[0.001, 0.02], 30, 99, 1);
+        assert!(
+            points[0].failure_probability < 0.2,
+            "low RBER should mostly decode"
+        );
+        assert!(
+            points[1].failure_probability > 0.8,
+            "high RBER should mostly fail"
+        );
         assert!(points[1].avg_iterations > points[0].avg_iterations);
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant() {
+        let code = QcLdpcCode::small_test();
+        let rbers = [0.002, 0.009];
+        assert_eq!(
+            capability_sweep(&code, &rbers, 12, 5, 1),
+            capability_sweep(&code, &rbers, 12, 5, 8),
+        );
+        assert_eq!(
+            syndrome_sweep(&code, &rbers, 12, 5, 1),
+            syndrome_sweep(&code, &rbers, 12, 5, 8),
+        );
     }
 
     #[test]
     fn syndrome_sweep_monotone_in_rber() {
         let code = QcLdpcCode::small_test();
-        let points = syndrome_sweep(&code, &[0.001, 0.004, 0.012], 50, 7);
+        let points = syndrome_sweep(&code, &[0.001, 0.004, 0.012], 50, 7, 1);
         assert!(points[0].avg_full_weight < points[1].avg_full_weight);
         assert!(points[1].avg_full_weight < points[2].avg_full_weight);
         assert!(points[0].avg_pruned_weight < points[2].avg_pruned_weight);
@@ -162,6 +191,6 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn sweep_rejects_zero_trials() {
         let code = QcLdpcCode::small_test();
-        let _ = capability_sweep(&code, &[0.01], 0, 1);
+        let _ = capability_sweep(&code, &[0.01], 0, 1, 1);
     }
 }

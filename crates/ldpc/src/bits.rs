@@ -34,11 +34,29 @@ impl BitVec {
     /// Panics if `len` is not a multiple of 64 (all users of this crate work
     /// on word-aligned segments).
     pub fn zeros(len: usize) -> Self {
-        assert!(len % 64 == 0, "BitVec length must be a multiple of 64, got {len}");
+        assert!(
+            len % 64 == 0,
+            "BitVec length must be a multiple of 64, got {len}"
+        );
         BitVec {
             words: vec![0; len / 64],
             len,
         }
+    }
+
+    /// Wraps pre-packed words as a `len`-bit vector (bit `i` is bit
+    /// `i % 64` of word `i / 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `len` is a multiple of 64 matching `words.len()`.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert!(
+            len % 64 == 0,
+            "BitVec length must be a multiple of 64, got {len}"
+        );
+        assert_eq!(words.len(), len / 64, "word count does not match length");
+        BitVec { words, len }
     }
 
     /// Creates a uniformly random vector of `len` bits.

@@ -34,7 +34,10 @@ impl Bsc {
     ///
     /// Panics unless `0 ≤ p ≤ 1`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "crossover probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "crossover probability {p} out of range"
+        );
         Bsc { p }
     }
 
@@ -292,8 +295,14 @@ mod tests {
                 soft_ok += 1;
             }
         }
-        assert!(hard_ok <= trials / 4, "hard decoding too strong: {hard_ok}/{trials}");
-        assert!(soft_ok >= trials * 3 / 4, "soft decoding too weak: {soft_ok}/{trials}");
+        assert!(
+            hard_ok <= trials / 4,
+            "hard decoding too strong: {hard_ok}/{trials}"
+        );
+        assert!(
+            soft_ok >= trials * 3 / 4,
+            "soft decoding too weak: {soft_ok}/{trials}"
+        );
     }
 
     #[test]

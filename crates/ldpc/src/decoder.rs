@@ -4,6 +4,17 @@
 //! The decoding-failure probability and iteration count of
 //! [`MinSumDecoder`] as functions of RBER are exactly the curves of
 //! Fig. 3; the iteration count maps onto the 1–20 µs tECC range of Table I.
+//!
+//! Both decoders run a word-packed fast path: the per-iteration syndrome
+//! check exploits the quasi-cyclic structure (each circulant `Q(s)` applied
+//! to a 64-bit-packed segment is a rotate-XOR, the same trick as
+//! [`QcLdpcCode::syndrome`]) instead of touching the `m × row_weight` edges
+//! one bit at a time, and the min-sum check-node update buffers each `v2c`
+//! message so it is computed once per iteration rather than twice. The
+//! straightforward per-edge implementations are kept as
+//! [`MinSumDecoder::decode_llr_reference`] and
+//! [`BitFlipDecoder::decode_reference`]; the fast paths are bit-identical
+//! to them (see the golden-equivalence suite in `tests/`).
 
 use crate::bits::BitVec;
 use crate::code::QcLdpcCode;
@@ -20,7 +31,9 @@ pub struct DecodeOutcome {
     pub decoded: BitVec,
 }
 
-/// Tanner-graph adjacency in CSR form, shared by both decoders.
+/// Tanner-graph adjacency in CSR form, shared by both decoders, plus the
+/// quasi-cyclic block structure used by the word-packed syndrome check
+/// and the block-major min-sum kernel.
 #[derive(Debug, Clone)]
 struct Graph {
     /// For each check, the index range into `chk_vars`.
@@ -31,6 +44,23 @@ struct Graph {
     var_ptr: Vec<u32>,
     /// Edge indices (positions in `chk_vars`) grouped by variable.
     var_edges: Vec<u32>,
+    /// `(col, shift)` of each block, grouped by block row — the circulant
+    /// structure backing the rotate-XOR syndrome.
+    block_rows: Vec<Vec<(usize, usize)>>,
+    /// `(col, shift, msg_offset)` per block, grouped by block row:
+    /// `msg_offset` is the block's `t`-float slab in the edge-major
+    /// message array of the fast min-sum path.
+    plan_rows: Vec<Vec<(usize, usize, usize)>>,
+    /// `(msg_offset, shift)` per block, grouped by column block in
+    /// ascending block-row order — the transpose of `plan_rows`, driving
+    /// the variable-node pass.
+    plan_cols: Vec<Vec<(usize, usize)>>,
+    /// Widest block row (blocks), sizing the per-row scratch buffer.
+    max_row_blocks: usize,
+    /// Total message floats (`block count × t`).
+    edge_floats: usize,
+    /// Circulant size (a multiple of 64).
+    t: usize,
     n: usize,
     m: usize,
 }
@@ -44,9 +74,7 @@ impl Graph {
 
         let mut chk_ptr = Vec::with_capacity(m + 1);
         let mut chk_vars: Vec<u32> = Vec::with_capacity(h.edge_count());
-        let row_blocks: Vec<Vec<_>> = (0..h.rows_b())
-            .map(|i| h.row_blocks(i).collect())
-            .collect();
+        let row_blocks: Vec<Vec<_>> = (0..h.rows_b()).map(|i| h.row_blocks(i).collect()).collect();
         chk_ptr.push(0);
         for i in 0..h.rows_b() {
             for k in 0..t {
@@ -73,17 +101,46 @@ impl Graph {
             cursor[v as usize] += 1;
         }
 
+        let block_rows: Vec<Vec<(usize, usize)>> = row_blocks
+            .iter()
+            .map(|row| row.iter().map(|b| (b.col, b.shift % t)).collect())
+            .collect();
+
+        // Edge-major plan: one t-float message slab per block, row-major,
+        // plus the per-column transpose in ascending block-row order (the
+        // order the reference variable pass accumulates in).
+        let mut plan_rows = Vec::with_capacity(block_rows.len());
+        let mut plan_cols: Vec<Vec<(usize, usize)>> = vec![Vec::new(); h.cols_b()];
+        let mut offset = 0usize;
+        for row in &block_rows {
+            let mut planned = Vec::with_capacity(row.len());
+            for &(col, shift) in row {
+                planned.push((col, shift, offset));
+                plan_cols[col].push((offset, shift));
+                offset += t;
+            }
+            plan_rows.push(planned);
+        }
+        let max_row_blocks = block_rows.iter().map(|r| r.len()).max().unwrap_or(0);
+
         Graph {
             chk_ptr,
             chk_vars,
             var_ptr,
             var_edges,
+            block_rows,
+            plan_rows,
+            plan_cols,
+            max_row_blocks,
+            edge_floats: offset,
+            t,
             n,
             m,
         }
     }
 
     /// True when `hard` (bit n set ⇒ bit value 1) satisfies every check.
+    /// Reference implementation: one `BitVec::get` per edge.
     fn syndrome_clear(&self, hard: &BitVec) -> bool {
         for c in 0..self.m {
             let mut parity = false;
@@ -95,6 +152,63 @@ impl Graph {
             }
         }
         true
+    }
+
+    /// Word-packed equivalent of [`Graph::syndrome_clear`]: per block row,
+    /// XOR the rotated word-packed segments (circulant `Q(s)` ≡ rotate
+    /// left by `s`) and bail out on the first nonzero syndrome word.
+    fn syndrome_clear_words(&self, hard: &[u64]) -> bool {
+        debug_assert_eq!(hard.len() * 64, self.n);
+        let tw = self.t / 64;
+        let mut acc = vec![0u64; tw];
+        for row in &self.block_rows {
+            acc.fill(0);
+            for &(col, shift) in row {
+                let seg = &hard[col * tw..(col + 1) * tw];
+                xor_rotated(&mut acc, seg, shift);
+            }
+            if acc.iter().any(|&w| w != 0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Block-row syndromes of `hard` into `out` (`rows_b × t/64` words),
+    /// returning true when any check is unsatisfied.
+    fn block_syndromes(&self, hard: &[u64], out: &mut [u64]) -> bool {
+        let tw = self.t / 64;
+        out.fill(0);
+        let mut any = 0u64;
+        for (i, row) in self.block_rows.iter().enumerate() {
+            let acc = &mut out[i * tw..(i + 1) * tw];
+            for &(col, shift) in row {
+                let seg = &hard[col * tw..(col + 1) * tw];
+                xor_rotated(acc, seg, shift);
+            }
+            any |= acc.iter().fold(0, |a, &w| a | w);
+        }
+        any != 0
+    }
+}
+
+/// XORs `seg` rotated left by `shift` bits into `acc` (both `t/64` words).
+/// Output bit `k` of the rotation is input bit `(k + shift) mod t`.
+#[inline]
+fn xor_rotated(acc: &mut [u64], seg: &[u64], shift: usize) {
+    let nw = seg.len();
+    let ws = shift / 64;
+    let bs = shift % 64;
+    if bs == 0 {
+        for (w, a) in acc.iter_mut().enumerate() {
+            *a ^= seg[(w + ws) % nw];
+        }
+    } else {
+        for (w, a) in acc.iter_mut().enumerate() {
+            let lo = seg[(w + ws) % nw];
+            let hi = seg[(w + ws + 1) % nw];
+            *a ^= (lo >> bs) | (hi << (64 - bs));
+        }
     }
 }
 
@@ -157,12 +271,24 @@ impl MinSumDecoder {
 
     /// Decodes a received hard-decision word.
     pub fn decode(&self, received: &BitVec) -> DecodeOutcome {
-        assert_eq!(received.len(), self.graph.n, "received word length mismatch");
-        // Channel LLRs: +1 for received 0, -1 for received 1.
-        let llr: Vec<f32> = (0..self.graph.n)
+        self.decode_llr(&self.hard_llr(received))
+    }
+
+    /// Reference-path twin of [`MinSumDecoder::decode`].
+    pub fn decode_reference(&self, received: &BitVec) -> DecodeOutcome {
+        self.decode_llr_reference(&self.hard_llr(received))
+    }
+
+    /// Channel LLRs for a hard-decision word: +1 for received 0, -1 for 1.
+    fn hard_llr(&self, received: &BitVec) -> Vec<f32> {
+        assert_eq!(
+            received.len(),
+            self.graph.n,
+            "received word length mismatch"
+        );
+        (0..self.graph.n)
             .map(|v| if received.get(v) { -1.0 } else { 1.0 })
-            .collect();
-        self.decode_llr(&llr)
+            .collect()
     }
 
     /// Decodes from per-bit channel log-likelihood ratios (positive =
@@ -171,10 +297,184 @@ impl MinSumDecoder {
     /// bit's reliability; soft inputs decode well beyond the
     /// hard-decision capability.
     ///
+    /// Fast path. The kernel works block-major on the quasi-cyclic
+    /// structure instead of walking CSR edge lists:
+    ///
+    /// * messages live in one `t`-float slab per circulant, so every
+    ///   access below is a sequential slice walk (split in two at the
+    ///   rotation point) rather than a per-edge gather;
+    /// * each `v2c` message is computed once per iteration and buffered —
+    ///   the sign/two-min scan and the output scan share it;
+    /// * the two-min/sign tracking is select-based (no branches), over
+    ///   `t` independent lanes at a time;
+    /// * the convergence test is the word-packed rotate-XOR syndrome.
+    ///
+    /// Every float is produced by the same operands in the same order as
+    /// [`MinSumDecoder::decode_llr_reference`], so outcomes are
+    /// bit-identical (golden suite in `tests/`).
+    ///
     /// # Panics
     ///
     /// Panics if `llr` is not codeword-length.
     pub fn decode_llr(&self, llr: &[f32]) -> DecodeOutcome {
+        // The kernel is all independent-lane selects, abs, min and adds —
+        // exactly the shape LLVM vectorizes — but the baseline x86-64
+        // target only has SSE2. Compile the same body a second time with
+        // AVX2 enabled and pick at runtime; per-lane float ops are exact,
+        // so both instantiations produce bit-identical outcomes.
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 cpuid bit was just checked.
+            return unsafe { self.decode_llr_avx2(llr) };
+        }
+        self.decode_llr_impl(llr)
+    }
+
+    /// AVX2 instantiation of [`MinSumDecoder::decode_llr_impl`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn decode_llr_avx2(&self, llr: &[f32]) -> DecodeOutcome {
+        self.decode_llr_impl(llr)
+    }
+
+    #[inline(always)]
+    fn decode_llr_impl(&self, llr: &[f32]) -> DecodeOutcome {
+        let g = &self.graph;
+        assert_eq!(llr.len(), g.n, "LLR vector length mismatch");
+        let t = g.t;
+
+        let nw = g.n / 64;
+        let mut hard = vec![0u64; nw];
+        pack_hard(llr, &mut hard);
+        if g.syndrome_clear_words(&hard) {
+            return DecodeOutcome {
+                success: true,
+                iterations: 0,
+                decoded: BitVec::from_words(hard, g.n),
+            };
+        }
+
+        let mut c2v = vec![0.0f32; g.edge_floats];
+        let mut total = llr.to_vec();
+        // Per-block-row scratch: buffered v2c messages plus the per-check
+        // sign product, two minima and argmin slot, t lanes each.
+        let mut v2c = vec![0.0f32; g.max_row_blocks * t];
+        let mut sign = vec![0.0f32; t];
+        let mut min1 = vec![0.0f32; t];
+        let mut min2 = vec![0.0f32; t];
+        let mut slot = vec![0u32; t];
+
+        for iter in 1..=self.max_iterations {
+            for row in &g.plan_rows {
+                // v2c = rotated total segment minus the stored message;
+                // the rotation makes both reads sequential (two runs).
+                for (b, &(col, shift, off)) in row.iter().enumerate() {
+                    let msg = &c2v[off..off + t];
+                    let tot = &total[col * t..(col + 1) * t];
+                    let buf = &mut v2c[b * t..(b + 1) * t];
+                    let split = t - shift;
+                    let (buf_lo, buf_hi) = buf.split_at_mut(split);
+                    let (msg_lo, msg_hi) = msg.split_at(split);
+                    for ((o, &m), &tv) in buf_lo.iter_mut().zip(msg_lo).zip(&tot[shift..]) {
+                        *o = tv - m;
+                    }
+                    for ((o, &m), &tv) in buf_hi.iter_mut().zip(msg_hi).zip(&tot[..shift]) {
+                        *o = tv - m;
+                    }
+                }
+                // Fused sign/two-min scan across the row's blocks, t
+                // checks per lane-sweep, all selects.
+                sign.fill(1.0);
+                min1.fill(f32::INFINITY);
+                min2.fill(f32::INFINITY);
+                slot.fill(0);
+                for (b, buf) in v2c.chunks_exact(t).take(row.len()).enumerate() {
+                    let lanes = buf
+                        .iter()
+                        .zip(sign.iter_mut())
+                        .zip(min1.iter_mut().zip(min2.iter_mut()))
+                        .zip(slot.iter_mut());
+                    for (((&m, sg), (m1, m2)), sl) in lanes {
+                        let mag = m.abs();
+                        *sg = if m < 0.0 { -*sg } else { *sg };
+                        let better = mag < *m1;
+                        *m2 = if better { *m1 } else { m2.min(mag) };
+                        *m1 = if better { mag } else { *m1 };
+                        *sl = if better { b as u32 } else { *sl };
+                    }
+                }
+                // Output scan reuses the buffered v2c for its sign.
+                for (b, &(_, _, off)) in row.iter().enumerate() {
+                    let buf = &v2c[b * t..(b + 1) * t];
+                    let msg = &mut c2v[off..off + t];
+                    let lanes = buf
+                        .iter()
+                        .zip(msg.iter_mut())
+                        .zip(sign.iter().zip(slot.iter()))
+                        .zip(min1.iter().zip(min2.iter()));
+                    for (((&v, out), (&sg, &sl)), (&m1, &m2)) in lanes {
+                        let base = self.alpha * sg;
+                        let sign_self = if v < 0.0 { -1.0 } else { 1.0 };
+                        let mag = if sl == b as u32 { m2 } else { m1 };
+                        *out = base * sign_self * mag;
+                    }
+                }
+            }
+
+            // Variable-node totals: per column block, the channel LLR plus
+            // each incident message slab rotated back into variable order
+            // (ascending block row — the reference accumulation order).
+            for (j, col_blocks) in g.plan_cols.iter().enumerate() {
+                let lo = j * t;
+                total[lo..lo + t].copy_from_slice(&llr[lo..lo + t]);
+                for &(off, shift) in col_blocks {
+                    let msg = &c2v[off..off + t];
+                    let s = (t - shift) % t;
+                    let seg = &mut total[lo..lo + t];
+                    let split = t - s;
+                    let (seg_lo, seg_hi) = seg.split_at_mut(split);
+                    for (o, &m) in seg_lo.iter_mut().zip(&msg[s..]) {
+                        *o += m;
+                    }
+                    for (o, &m) in seg_hi.iter_mut().zip(&msg[..s]) {
+                        *o += m;
+                    }
+                }
+            }
+
+            // Word-packed hard decision and syndrome check.
+            for (w, h) in hard.iter_mut().enumerate() {
+                let mut word = 0u64;
+                for b in 0..64 {
+                    word |= u64::from(total[w * 64 + b] < 0.0) << b;
+                }
+                *h = word;
+            }
+            if g.syndrome_clear_words(&hard) {
+                return DecodeOutcome {
+                    success: true,
+                    iterations: iter,
+                    decoded: BitVec::from_words(hard, g.n),
+                };
+            }
+        }
+
+        DecodeOutcome {
+            success: false,
+            iterations: self.max_iterations,
+            decoded: BitVec::from_words(hard, g.n),
+        }
+    }
+
+    /// Straightforward per-edge implementation kept as the correctness
+    /// reference for [`MinSumDecoder::decode_llr`]: each `v2c` message is
+    /// recomputed in the output scan and the convergence test walks the
+    /// edges one `BitVec::get` at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llr` is not codeword-length.
+    pub fn decode_llr_reference(&self, llr: &[f32]) -> DecodeOutcome {
         let g = &self.graph;
         assert_eq!(llr.len(), g.n, "LLR vector length mismatch");
 
@@ -252,6 +552,17 @@ impl MinSumDecoder {
     }
 }
 
+/// Packs the sign bits of `llr` into `hard` (bit set ⇔ LLR < 0 ⇔ bit 1).
+fn pack_hard(llr: &[f32], hard: &mut [u64]) {
+    for (w, h) in hard.iter_mut().enumerate() {
+        let mut word = 0u64;
+        for b in 0..64 {
+            word |= u64::from(llr[w * 64 + b] < 0.0) << b;
+        }
+        *h = word;
+    }
+}
+
 /// Gallager-B hard-decision bit-flipping decoder.
 ///
 /// Flips every bit whose unsatisfied-check count reaches a majority of its
@@ -284,7 +595,71 @@ impl BitFlipDecoder {
     }
 
     /// Decodes a received hard-decision word.
+    ///
+    /// Fast path: parities come from the word-packed rotate-XOR block-row
+    /// syndrome, and only the set syndrome bits (unsatisfied checks) fan
+    /// out to per-variable counters — satisfied checks cost nothing.
     pub fn decode(&self, received: &BitVec) -> DecodeOutcome {
+        let g = &self.graph;
+        assert_eq!(received.len(), g.n, "received word length mismatch");
+        let tw = g.t / 64;
+        let mut word = received.clone();
+        let mut unsat = vec![0u8; g.n];
+        let mut syn = vec![0u64; g.block_rows.len() * tw];
+
+        for iter in 0..=self.max_iterations {
+            let any = g.block_syndromes(word.as_words(), &mut syn);
+            if !any {
+                return DecodeOutcome {
+                    success: true,
+                    iterations: iter,
+                    decoded: word,
+                };
+            }
+            if iter == self.max_iterations {
+                break;
+            }
+            // Fan unsatisfied checks out to their variables. Syndrome bit
+            // k of block row i is check i·t + k, whose variables are
+            // col·t + (k + shift) mod t for each block in the row.
+            unsat.fill(0);
+            for (i, row) in g.block_rows.iter().enumerate() {
+                for w in 0..tw {
+                    let mut bits = syn[i * tw + w];
+                    while bits != 0 {
+                        let k = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        for &(col, shift) in row {
+                            unsat[col * g.t + (k + shift) % g.t] += 1;
+                        }
+                    }
+                }
+            }
+            // Flip strict majorities.
+            let mut flipped = false;
+            for v in 0..g.n {
+                let deg = (g.var_ptr[v + 1] - g.var_ptr[v]) as u8;
+                if unsat[v] * 2 > deg {
+                    word.flip(v);
+                    flipped = true;
+                }
+            }
+            if !flipped {
+                // Stuck: no strict majority anywhere.
+                break;
+            }
+        }
+
+        DecodeOutcome {
+            success: false,
+            iterations: self.max_iterations,
+            decoded: word,
+        }
+    }
+
+    /// Straightforward per-edge implementation kept as the correctness
+    /// reference for [`BitFlipDecoder::decode`].
+    pub fn decode_reference(&self, received: &BitVec) -> DecodeOutcome {
         let g = &self.graph;
         assert_eq!(received.len(), g.n, "received word length mismatch");
         let mut word = received.clone();
@@ -371,7 +746,11 @@ mod tests {
         for _ in 0..10 {
             let noisy = Bsc::new(0.003).corrupt(&cw, &mut rng);
             let out = dec.decode(&noisy);
-            assert!(out.success, "failed to decode {} errors", cw.hamming_distance(&noisy));
+            assert!(
+                out.success,
+                "failed to decode {} errors",
+                cw.hamming_distance(&noisy)
+            );
             assert_eq!(out.decoded, cw);
             assert!(out.iterations >= 1);
         }
@@ -403,6 +782,28 @@ mod tests {
         let low = avg_iters(0.001, &mut rng);
         let high = avg_iters(0.006, &mut rng);
         assert!(high > low, "iterations did not grow: {low} vs {high}");
+    }
+
+    #[test]
+    fn fast_path_matches_reference_across_rbers() {
+        let (code, cw, mut rng) = setup();
+        let ms = MinSumDecoder::new(&code);
+        let bf = BitFlipDecoder::new(&code);
+        for &p in &[0.001, 0.004, 0.008, 0.02] {
+            for _ in 0..5 {
+                let noisy = Bsc::new(p).corrupt(&cw, &mut rng);
+                assert_eq!(
+                    ms.decode(&noisy),
+                    ms.decode_reference(&noisy),
+                    "min-sum at p={p}"
+                );
+                assert_eq!(
+                    bf.decode(&noisy),
+                    bf.decode_reference(&noisy),
+                    "bit-flip at p={p}"
+                );
+            }
+        }
     }
 
     #[test]

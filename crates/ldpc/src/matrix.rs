@@ -60,7 +60,10 @@ impl QcMatrix {
     /// Panics unless `t` is a multiple of 64, `rows_b >= 2`, and
     /// `cols_b > rows_b`.
     pub fn paper_structure(rows_b: usize, cols_b: usize, t: usize, seed: u64) -> Self {
-        assert!(t % 64 == 0, "circulant size must be a multiple of 64, got {t}");
+        assert!(
+            t % 64 == 0,
+            "circulant size must be a multiple of 64, got {t}"
+        );
         assert!(rows_b >= 2, "need at least two block rows");
         assert!(cols_b > rows_b, "need at least one data column");
         let mut rng = SimRng::seed_from(seed);
@@ -96,8 +99,7 @@ impl QcMatrix {
             .collect();
         for j in 0..data_cols {
             'retry: loop {
-                let cand: Vec<(usize, usize)> =
-                    (0..rows_b).map(|i| (i, rng.index(t))).collect();
+                let cand: Vec<(usize, usize)> = (0..rows_b).map(|i| (i, rng.index(t))).collect();
                 for prev in &accepted {
                     for &(i1, s1_new) in &cand {
                         for &(i2, s2_new) in &cand {
@@ -170,7 +172,10 @@ impl QcMatrix {
     ///
     /// Panics when the indices are out of range.
     pub fn coeff(&self, i: usize, j: usize) -> Option<usize> {
-        assert!(i < self.rows_b && j < self.cols_b, "block ({i},{j}) out of range");
+        assert!(
+            i < self.rows_b && j < self.cols_b,
+            "block ({i},{j}) out of range"
+        );
         self.coeffs[i * self.cols_b + j]
     }
 
@@ -189,20 +194,28 @@ impl QcMatrix {
     pub fn row_blocks(&self, i: usize) -> impl Iterator<Item = Block> + '_ {
         assert!(i < self.rows_b, "block row {i} out of range");
         (0..self.cols_b).filter_map(move |j| {
-            self.coeff(i, j).map(|shift| Block { row: i, col: j, shift })
+            self.coeff(i, j).map(|shift| Block {
+                row: i,
+                col: j,
+                shift,
+            })
         })
     }
 
     /// Number of non-zero blocks in block column `j` (the variable-node
     /// degree of every bit in that segment).
     pub fn column_weight(&self, j: usize) -> usize {
-        (0..self.rows_b).filter(|&i| self.coeff(i, j).is_some()).count()
+        (0..self.rows_b)
+            .filter(|&i| self.coeff(i, j).is_some())
+            .count()
     }
 
     /// Number of non-zero blocks in block row `i` (the check-node degree of
     /// every check in that block row).
     pub fn row_weight(&self, i: usize) -> usize {
-        (0..self.cols_b).filter(|&j| self.coeff(i, j).is_some()).count()
+        (0..self.cols_b)
+            .filter(|&j| self.coeff(i, j).is_some())
+            .count()
     }
 
     /// Total number of edges in the Tanner graph.

@@ -26,8 +26,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -116,9 +115,9 @@ impl EccModel {
     ///
     /// Used by the fig03 harness to document how far the synthetic code's
     /// waterfall sits from the paper's 0.0085 anchor.
-    pub fn calibrated_from(code: &QcLdpcCode, trials: usize, seed: u64) -> Self {
+    pub fn calibrated_from(code: &QcLdpcCode, trials: usize, seed: u64, threads: usize) -> Self {
         let rbers: Vec<f64> = (1..=14).map(|i| i as f64 * 0.001).collect();
-        let points = capability_sweep(code, &rbers, trials, seed);
+        let points = capability_sweep(code, &rbers, trials, seed, threads);
         Self::fit(&points)
     }
 
@@ -184,7 +183,8 @@ impl EccModel {
     /// Expected number of decoder iterations at the given RBER, ramping
     /// from 1 to [`EccModel::max_iterations`].
     pub fn avg_iterations(&self, rber: f64) -> f64 {
-        1.0 + (self.max_iterations as f64 - 1.0) * normal_cdf((rber - self.iter50) / self.iter_sigma)
+        1.0 + (self.max_iterations as f64 - 1.0)
+            * normal_cdf((rber - self.iter50) / self.iter_sigma)
     }
 
     /// The decoder's iteration cap.

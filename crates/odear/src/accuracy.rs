@@ -10,7 +10,7 @@
 //! is Binomial(t, q(RBER)), so `P(retry) = P(W > ρs)` follows from the
 //! normal approximation.
 
-use rif_events::SimRng;
+use rif_events::{parallel_trials, SimRng};
 use rif_ldpc::bits::BitVec;
 use rif_ldpc::channel::Bsc;
 use rif_ldpc::decoder::MinSumDecoder;
@@ -49,6 +49,7 @@ pub fn measure_accuracy(
     rbers: &[f64],
     trials: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<AccuracyPoint> {
     measure_accuracy_with(
         code,
@@ -56,6 +57,7 @@ pub fn measure_accuracy(
         rbers,
         trials,
         seed,
+        threads,
     )
 }
 
@@ -64,34 +66,41 @@ pub fn measure_accuracy(
 /// Fig. 11 uses a full-syndrome predictor here; Fig. 14 uses the
 /// approximate RP hardware path.
 ///
+/// Trials fan out over `threads` workers with one `SimRng::stream` per
+/// trial, so the points do not depend on the thread count.
+///
 /// # Panics
 ///
 /// Panics if `trials` is zero.
 pub fn measure_accuracy_with<F>(
     code: &QcLdpcCode,
-    mut predict_fail: F,
+    predict_fail: F,
     rbers: &[f64],
     trials: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<AccuracyPoint>
 where
-    F: FnMut(&QcLdpcCode, &BitVec) -> bool,
+    F: Fn(&QcLdpcCode, &BitVec) -> bool + Sync,
 {
     assert!(trials > 0, "need at least one trial");
     let decoder = MinSumDecoder::new(code);
-    let mut rng = SimRng::seed_from(seed);
     let mut out = Vec::with_capacity(rbers.len());
-    for &rber in rbers {
+    for (pi, &rber) in rbers.iter().enumerate() {
         let channel = Bsc::new(rber);
-        let mut correct = 0usize;
-        let mut false_retry = 0usize;
-        let mut missed_retry = 0usize;
-        let mut correctable = 0usize;
-        for _ in 0..trials {
+        let verdicts = parallel_trials(threads, trials, |k| {
+            let mut rng = SimRng::stream(seed, (pi * trials + k) as u64);
             let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
             let noisy = channel.corrupt(&cw, &mut rng);
             let predicted_fail = predict_fail(code, &noisy);
             let actual_fail = !decoder.decode(&noisy).success;
+            (predicted_fail, actual_fail)
+        });
+        let mut correct = 0usize;
+        let mut false_retry = 0usize;
+        let mut missed_retry = 0usize;
+        let mut correctable = 0usize;
+        for &(predicted_fail, actual_fail) in &verdicts {
             if predicted_fail == actual_fail {
                 correct += 1;
             }
@@ -204,7 +213,11 @@ impl RpBehavior {
     /// Panics if `t` or `row_weight` is zero.
     pub fn with_rho(t: usize, row_weight: usize, rho_s: usize) -> Self {
         assert!(t > 0 && row_weight > 0, "degenerate code geometry");
-        RpBehavior { t, row_weight, rho_s }
+        RpBehavior {
+            t,
+            row_weight,
+            rho_s,
+        }
     }
 
     /// Builds the behaviour model matching a concrete bit-level RP.
@@ -249,9 +262,17 @@ mod tests {
     fn accuracy_high_far_from_capability() {
         let code = QcLdpcCode::small_test();
         let rp = ReadRetryPredictor::for_capability(&code, 0.0085);
-        let pts = measure_accuracy(&code, &rp, &[0.003, 0.016], 60, 5);
-        assert!(pts[0].accuracy > 0.9, "below-cap accuracy {}", pts[0].accuracy);
-        assert!(pts[1].accuracy > 0.9, "above-cap accuracy {}", pts[1].accuracy);
+        let pts = measure_accuracy(&code, &rp, &[0.003, 0.016], 60, 5, 1);
+        assert!(
+            pts[0].accuracy > 0.9,
+            "below-cap accuracy {}",
+            pts[0].accuracy
+        );
+        assert!(
+            pts[1].accuracy > 0.9,
+            "above-cap accuracy {}",
+            pts[1].accuracy
+        );
     }
 
     #[test]
@@ -263,7 +284,7 @@ mod tests {
         // For the small code the min-sum waterfall sits near 0.012; use a
         // threshold calibrated there to probe the boundary effect.
         let rp = ReadRetryPredictor::for_capability(&code, 0.012);
-        let pts = measure_accuracy(&code, &rp, &[0.012], 80, 6);
+        let pts = measure_accuracy(&code, &rp, &[0.012], 80, 6, 1);
         assert!(
             pts[0].accuracy < 0.9,
             "boundary accuracy suspiciously high: {}",
@@ -272,11 +293,39 @@ mod tests {
     }
 
     #[test]
+    fn accuracy_is_thread_count_invariant() {
+        let code = QcLdpcCode::small_test();
+        let rp = ReadRetryPredictor::for_capability(&code, 0.0085);
+        assert_eq!(
+            measure_accuracy(&code, &rp, &[0.004, 0.011], 20, 9, 1),
+            measure_accuracy(&code, &rp, &[0.004, 0.011], 20, 9, 8),
+        );
+    }
+
+    #[test]
     fn mean_accuracy_above_filters_correctly() {
         let pts = vec![
-            AccuracyPoint { rber: 0.005, accuracy: 0.2, false_retry_rate: 0.0, missed_retry_rate: 0.0, trials: 1 },
-            AccuracyPoint { rber: 0.010, accuracy: 0.9, false_retry_rate: 0.0, missed_retry_rate: 0.0, trials: 1 },
-            AccuracyPoint { rber: 0.012, accuracy: 1.0, false_retry_rate: 0.0, missed_retry_rate: 0.0, trials: 1 },
+            AccuracyPoint {
+                rber: 0.005,
+                accuracy: 0.2,
+                false_retry_rate: 0.0,
+                missed_retry_rate: 0.0,
+                trials: 1,
+            },
+            AccuracyPoint {
+                rber: 0.010,
+                accuracy: 0.9,
+                false_retry_rate: 0.0,
+                missed_retry_rate: 0.0,
+                trials: 1,
+            },
+            AccuracyPoint {
+                rber: 0.012,
+                accuracy: 1.0,
+                false_retry_rate: 0.0,
+                missed_retry_rate: 0.0,
+                trials: 1,
+            },
         ];
         assert!((mean_accuracy_above(&pts, 0.0085) - 0.95).abs() < 1e-12);
         assert_eq!(mean_accuracy_above(&pts, 0.05), 0.0);
@@ -326,7 +375,9 @@ mod tests {
         let rp = RpBehavior::paper_default();
         let mut rng = SimRng::seed_from(8);
         let trials = 20_000;
-        let rate = (0..trials).filter(|_| rp.sample_retry(0.0085, &mut rng)).count() as f64
+        let rate = (0..trials)
+            .filter(|_| rp.sample_retry(0.0085, &mut rng))
+            .count() as f64
             / trials as f64;
         let expect = rp.retry_probability(0.0085);
         assert!((rate - expect).abs() < 0.02, "rate {rate} expect {expect}");

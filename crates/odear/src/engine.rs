@@ -193,7 +193,7 @@ mod tests {
         let out = e.read_page(&page, op, BlockProfile::median(), PageKind::Csb, &mut rng);
         assert!(out.retried);
         assert_eq!(out.die_time.as_us(), 82.5); // tR + tPRED + tR
-        // The transferred data, restored to decoder layout, decodes.
+                                                // The transferred data, restored to decoder layout, decodes.
         let dec = MinSumDecoder::new(e.code());
         for (chunk, clean) in out.transferred.iter().zip(&page) {
             let restored = e.code().restore(chunk);

@@ -145,7 +145,10 @@ mod tests {
     fn datapath_weight_matches_mathematical_definition() {
         // small_test's 64-bit circulants need a 64-bit datapath.
         let code = QcLdpcCode::small_test();
-        let p = RpPipeline { word_bits: 64, clock_hz: 100_000_000 };
+        let p = RpPipeline {
+            word_bits: 64,
+            clock_hz: 100_000_000,
+        };
         let mut rng = SimRng::seed_from(3);
         for &rber in &[0.0, 0.002, 0.01, 0.05] {
             let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));

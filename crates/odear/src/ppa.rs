@@ -73,8 +73,7 @@ impl PpaModel {
             (0.0..=1.0).contains(&uncorrectable_rate),
             "rate {uncorrectable_rate} out of range"
         );
-        reads as f64
-            * (self.prediction_energy_nj - uncorrectable_rate * self.transfer_energy_nj)
+        reads as f64 * (self.prediction_energy_nj - uncorrectable_rate * self.transfer_energy_nj)
     }
 
     /// The uncorrectable-read fraction above which RP saves net energy.

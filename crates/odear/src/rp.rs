@@ -116,18 +116,16 @@ impl ReadRetryPredictor {
         t_buffer_readout_page: SimDuration,
     ) -> SimDuration {
         const PAGE_BITS: u64 = 16 * 1024 * 8;
-        SimDuration::from_ns(
-            t_buffer_readout_page.as_ns() * chunk_bits as u64 / PAGE_BITS,
-        )
+        SimDuration::from_ns(t_buffer_readout_page.as_ns() * chunk_bits as u64 / PAGE_BITS)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rif_events::SimRng;
     use rif_ldpc::channel::Bsc;
     use rif_ldpc::decoder::MinSumDecoder;
-    use rif_events::SimRng;
 
     fn fixture() -> (QcLdpcCode, ReadRetryPredictor, SimRng) {
         let code = QcLdpcCode::small_test();
@@ -171,7 +169,8 @@ mod tests {
     fn prediction_mostly_matches_decoder_above_capability() {
         // The heart of Fig. 11: well above the capability RP catches the
         // overwhelming majority of uncorrectable pages.
-        let (code, rp, mut rng) = fixture();
+        let (code, rp, _) = fixture();
+        let mut rng = SimRng::seed_from(7);
         let dec = MinSumDecoder::new(&code);
         let mut agree = 0;
         let trials = 60;
@@ -184,7 +183,10 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree as f64 / trials as f64 > 0.85, "agreement {agree}/{trials}");
+        assert!(
+            agree as f64 / trials as f64 > 0.85,
+            "agreement {agree}/{trials}"
+        );
     }
 
     #[test]
@@ -202,18 +204,26 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree as f64 / trials as f64 > 0.85, "agreement {agree}/{trials}");
+        assert!(
+            agree as f64 / trials as f64 > 0.85,
+            "agreement {agree}/{trials}"
+        );
     }
 
     #[test]
     fn page_prediction_uses_first_chunk() {
         let (code, rp, mut rng) = fixture();
         let clean = code.rearrange(&code.encode(&BitVec::random(code.data_bits(), &mut rng)));
-        let dirty = Bsc::new(0.05)
-            .corrupt(&code.rearrange(&code.encode(&BitVec::random(code.data_bits(), &mut rng))), &mut rng);
+        let dirty = Bsc::new(0.05).corrupt(
+            &code.rearrange(&code.encode(&BitVec::random(code.data_bits(), &mut rng))),
+            &mut rng,
+        );
         // Dirty chunk first: retry. Clean chunk first: no retry, even though
         // a later chunk is dirty — that is the approximation's trade-off.
-        assert!(rp.predict_page(&[dirty.clone(), clean.clone()]).retry_needed);
+        assert!(
+            rp.predict_page(&[dirty.clone(), clean.clone()])
+                .retry_needed
+        );
         assert!(!rp.predict_page(&[clean, dirty]).retry_needed);
     }
 
@@ -236,16 +246,16 @@ mod tests {
         assert_eq!(p.syndrome_weight, 10);
         assert!(!p.retry_needed, "weight == rho_s must not retry");
         sensed.flip(33 * t + 10);
-        assert!(rp.predict(&sensed).retry_needed, "weight > rho_s must retry");
+        assert!(
+            rp.predict(&sensed).retry_needed,
+            "weight > rho_s must retry"
+        );
     }
 
     #[test]
     fn latency_matches_paper_tpred() {
         // 4-KiB chunk of a 16-KiB page at 10 µs full-page readout: 2.5 µs.
-        let l = ReadRetryPredictor::prediction_latency(
-            4 * 1024 * 8,
-            SimDuration::from_us(10),
-        );
+        let l = ReadRetryPredictor::prediction_latency(4 * 1024 * 8, SimDuration::from_us(10));
         assert_eq!(l.as_us(), 2.5);
         // 1-KiB chunk: 0.625 µs (the ablation point of §V-A1).
         let l1 = ReadRetryPredictor::prediction_latency(1024 * 8, SimDuration::from_us(10));

@@ -79,7 +79,8 @@ impl ReadVoltageSelector {
         kind: PageKind,
         observed_ones: f64,
     ) -> ReadVoltages {
-        self.swift.refs_from_observation(pe_cycles, kind, observed_ones)
+        self.swift
+            .refs_from_observation(pe_cycles, kind, observed_ones)
     }
 }
 

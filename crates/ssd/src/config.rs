@@ -114,7 +114,10 @@ impl SsdConfig {
     /// channel would make the channel model meaningless).
     pub fn validate(&self) {
         assert!(self.queue_depth > 0, "queue depth must be positive");
-        assert!(self.ecc_buffer_pages > 0, "ECC buffer must hold at least one page");
+        assert!(
+            self.ecc_buffer_pages > 0,
+            "ECC buffer must hold at least one page"
+        );
         assert!(self.refresh_days > 0.0, "refresh horizon must be positive");
         assert!(
             self.host_bw_bytes_per_sec > 0,

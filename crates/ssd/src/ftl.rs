@@ -292,8 +292,7 @@ impl Ftl {
         }
         let n_live = live.len();
         if n_live > 0 {
-            self.blocks
-                .insert((die_linear, victim), BlockLive { live });
+            self.blocks.insert((die_linear, victim), BlockLive { live });
         }
         let die = &mut self.dies[die_linear];
         die.write_block = victim;

@@ -124,8 +124,18 @@ mod tests {
 
     #[test]
     fn usage_mean() {
-        let a = ChannelUsage { idle: 0.2, cor: 0.8, uncor: 0.0, eccwait: 0.0 };
-        let b = ChannelUsage { idle: 0.0, cor: 0.4, uncor: 0.4, eccwait: 0.2 };
+        let a = ChannelUsage {
+            idle: 0.2,
+            cor: 0.8,
+            uncor: 0.0,
+            eccwait: 0.0,
+        };
+        let b = ChannelUsage {
+            idle: 0.0,
+            cor: 0.4,
+            uncor: 0.4,
+            eccwait: 0.2,
+        };
         let m = ChannelUsage::mean(&[a, b]);
         assert!((m.idle - 0.1).abs() < 1e-12);
         assert!((m.cor - 0.6).abs() < 1e-12);

@@ -19,9 +19,7 @@
 
 use std::collections::VecDeque;
 
-use rif_events::{
-    EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, UtilizationTracker,
-};
+use rif_events::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, UtilizationTracker};
 use rif_flash::geometry::PageKind;
 use rif_flash::rber::BlockProfile;
 use rif_flash::vth::OperatingPoint;
@@ -82,9 +80,19 @@ struct ReadGroup {
 
 #[derive(Debug)]
 enum DieCmd {
-    Sense { group: usize, duration: SimDuration },
-    Program { req: usize, duration: SimDuration, suspensions: u8 },
-    Gc { duration: SimDuration, suspensions: u8 },
+    Sense {
+        group: usize,
+        duration: SimDuration,
+    },
+    Program {
+        req: usize,
+        duration: SimDuration,
+        suspensions: u8,
+    },
+    Gc {
+        duration: SimDuration,
+        suspensions: u8,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -345,7 +353,14 @@ impl Simulator {
             let gid = self.new_read_group(now, req, slot, pages);
             let duration = self.initial_sense_duration(gid);
             let die = self.groups[gid].loc.die_linear;
-            self.enqueue_read_sense(now, die, DieCmd::Sense { group: gid, duration });
+            self.enqueue_read_sense(
+                now,
+                die,
+                DieCmd::Sense {
+                    group: gid,
+                    duration,
+                },
+            );
         }
     }
 
@@ -521,7 +536,8 @@ impl Simulator {
             d.busy_until = now + duration;
             d.current = Some(cmd);
             let epoch = d.epoch;
-            self.events.schedule(now + duration, Ev::DieDone(die, epoch));
+            self.events
+                .schedule(now + duration, Ev::DieDone(die, epoch));
         }
     }
 
@@ -536,13 +552,14 @@ impl Simulator {
                 | Some(DieCmd::Gc { suspensions, .. }) => *suspensions < 2,
                 _ => false,
             }
-            && self.dies[die].busy_until.saturating_since(now)
-                > SimDuration::from_us(5);
+            && self.dies[die].busy_until.saturating_since(now) > SimDuration::from_us(5);
         if can_suspend {
             let d = &mut self.dies[die];
             let remaining = d.busy_until.since(now) + self.cfg.suspend_overhead;
             let resumed = match d.current.take().expect("busy die has a command") {
-                DieCmd::Program { req, suspensions, .. } => DieCmd::Program {
+                DieCmd::Program {
+                    req, suspensions, ..
+                } => DieCmd::Program {
                     req,
                     duration: remaining,
                     suspensions: suspensions + 1,
@@ -671,9 +688,10 @@ impl Simulator {
                     let die = self.write_jobs[job].die_linear;
                     let gc = self.write_jobs[job].gc_duration;
                     if !gc.is_zero() {
-                        self.dies[die]
-                            .queue
-                            .push_back(DieCmd::Gc { duration: gc, suspensions: 0 });
+                        self.dies[die].queue.push_back(DieCmd::Gc {
+                            duration: gc,
+                            suspensions: 0,
+                        });
                     }
                     self.dies[die].queue.push_back(DieCmd::Program {
                         req: self.write_jobs[job].req,
@@ -723,15 +741,21 @@ impl Simulator {
 
     fn begin_retry(&mut self, now: SimTime, gid: usize) {
         let kind = self.groups[gid].kind;
-        if self.groups[gid].phase == GroupPhase::Initial
-            && self.cfg.retry.sentinel_extra_read(kind)
+        if self.groups[gid].phase == GroupPhase::Initial && self.cfg.retry.sentinel_extra_read(kind)
         {
             // SENC: read and transfer the sentinel cells before the
             // corrective re-read.
             self.groups[gid].phase = GroupPhase::SentinelRead;
             let die = self.groups[gid].loc.die_linear;
             let t_r = self.cfg.timing.t_r;
-            self.enqueue_read_sense(now, die, DieCmd::Sense { group: gid, duration: t_r });
+            self.enqueue_read_sense(
+                now,
+                die,
+                DieCmd::Sense {
+                    group: gid,
+                    duration: t_r,
+                },
+            );
         } else {
             self.schedule_retry_sense(now, gid);
         }
@@ -769,7 +793,14 @@ impl Simulator {
         g.decode_fails = fail_out;
         g.decode_duration = dur;
         let die = g.loc.die_linear;
-        self.enqueue_read_sense(now, die, DieCmd::Sense { group: gid, duration });
+        self.enqueue_read_sense(
+            now,
+            die,
+            DieCmd::Sense {
+                group: gid,
+                duration,
+            },
+        );
     }
 
     fn group_done(&mut self, now: SimTime, gid: usize) {
@@ -996,7 +1027,7 @@ mod tests {
         // the measured bandwidth is the SSD's, not the workload's.
         let mut wl = WorkloadProfile::by_name("Ali124").unwrap().config();
         wl.mean_interarrival_ns = 2_000.0;
-        let trace = wl.generate(800, 11);
+        let trace = wl.generate(800, 12);
         let run = |retry| {
             let mut cfg = SsdConfig::small(retry, 2000);
             cfg.seed = 99;
@@ -1060,7 +1091,10 @@ mod tests {
         let (one, one_uncor) = lat(RetryKind::IdealOne);
         let (rpssd, rpssd_uncor) = lat(RetryKind::RpSsd);
         assert!(rpssd < one, "RPSSD {rpssd} vs SSDone {one}");
-        assert_eq!(one_uncor, rpssd_uncor, "RPSSD must still ship the failed pages");
+        assert_eq!(
+            one_uncor, rpssd_uncor,
+            "RPSSD must still ship the failed pages"
+        );
     }
 
     #[test]
@@ -1078,7 +1112,11 @@ mod tests {
         assert_eq!(report.completed_requests, 2);
         // Makespan must cover at least both ingress transfers plus one
         // program: 2 x 131 + 400 > 650 µs.
-        assert!(report.makespan.as_us() > 650.0, "makespan {}", report.makespan.as_us());
+        assert!(
+            report.makespan.as_us() > 650.0,
+            "makespan {}",
+            report.makespan.as_us()
+        );
     }
 
     #[test]
@@ -1143,10 +1181,7 @@ mod tests {
         };
         // Write slot 0 (die 0), then read slot 0 shortly after the program
         // starts (write path: ingress ~8 µs + 4 transfers ~52 µs).
-        let trace = Trace::new(vec![
-            write_req(0, 0, 65536),
-            read_req(100, 0, 65536),
-        ]);
+        let trace = Trace::new(vec![write_req(0, 0, 65536), read_req(100, 0, 65536)]);
         let plain = Simulator::new(build(false)).run(&trace);
         let susp = Simulator::new(build(true)).run(&trace);
         assert_eq!(plain.completed_requests, 2);
@@ -1176,7 +1211,11 @@ mod tests {
         assert_eq!(report.completed_requests, 21);
         // The write must finish within a bounded window: program 400 µs +
         // 2 suspensions x (sense 40 + overhead 20) + queued reads ahead.
-        assert!(report.makespan.as_us() < 5_000.0, "makespan {}", report.makespan.as_us());
+        assert!(
+            report.makespan.as_us() < 5_000.0,
+            "makespan {}",
+            report.makespan.as_us()
+        );
     }
 
     #[test]

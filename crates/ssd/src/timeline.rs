@@ -96,7 +96,10 @@ mod tests {
         let rif = example_256k(RetryKind::Rif).total.as_us();
         // Paper: 292 µs — two in-die retries cost one extra tR each plus
         // the prediction latency, far less than SSDone's wasted rounds.
-        assert!(rif > zero, "RiF {rif} cannot beat the no-retry bound {zero}");
+        assert!(
+            rif > zero,
+            "RiF {rif} cannot beat the no-retry bound {zero}"
+        );
         assert!(rif < one * 0.85, "RiF {rif} vs SSDone {one}");
         assert!((275.0..330.0).contains(&rif), "RiF took {rif}");
     }

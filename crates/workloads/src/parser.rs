@@ -184,7 +184,10 @@ mod tests {
     fn error_messages_are_descriptive() {
         let e = parse_csv("0,T,0,4096\n").unwrap_err();
         let msg = e.to_string();
-        assert!(msg.contains("line 1") && msg.contains("invalid op"), "{msg}");
+        assert!(
+            msg.contains("line 1") && msg.contains("invalid op"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -29,14 +29,46 @@ pub struct WorkloadProfile {
 
 /// Table II, verbatim.
 pub const PAPER_WORKLOADS: [WorkloadProfile; 8] = [
-    WorkloadProfile { name: "Ali2", read_ratio: 0.27, cold_read_ratio: 0.50 },
-    WorkloadProfile { name: "Ali46", read_ratio: 0.34, cold_read_ratio: 0.75 },
-    WorkloadProfile { name: "Ali81", read_ratio: 0.43, cold_read_ratio: 0.74 },
-    WorkloadProfile { name: "Ali121", read_ratio: 0.92, cold_read_ratio: 0.70 },
-    WorkloadProfile { name: "Ali124", read_ratio: 0.96, cold_read_ratio: 0.79 },
-    WorkloadProfile { name: "Ali295", read_ratio: 0.42, cold_read_ratio: 0.73 },
-    WorkloadProfile { name: "Sys0", read_ratio: 0.70, cold_read_ratio: 0.82 },
-    WorkloadProfile { name: "Sys1", read_ratio: 0.72, cold_read_ratio: 0.83 },
+    WorkloadProfile {
+        name: "Ali2",
+        read_ratio: 0.27,
+        cold_read_ratio: 0.50,
+    },
+    WorkloadProfile {
+        name: "Ali46",
+        read_ratio: 0.34,
+        cold_read_ratio: 0.75,
+    },
+    WorkloadProfile {
+        name: "Ali81",
+        read_ratio: 0.43,
+        cold_read_ratio: 0.74,
+    },
+    WorkloadProfile {
+        name: "Ali121",
+        read_ratio: 0.92,
+        cold_read_ratio: 0.70,
+    },
+    WorkloadProfile {
+        name: "Ali124",
+        read_ratio: 0.96,
+        cold_read_ratio: 0.79,
+    },
+    WorkloadProfile {
+        name: "Ali295",
+        read_ratio: 0.42,
+        cold_read_ratio: 0.73,
+    },
+    WorkloadProfile {
+        name: "Sys0",
+        read_ratio: 0.70,
+        cold_read_ratio: 0.82,
+    },
+    WorkloadProfile {
+        name: "Sys1",
+        read_ratio: 0.72,
+        cold_read_ratio: 0.83,
+    },
 ];
 
 impl WorkloadProfile {

@@ -63,7 +63,11 @@ impl TraceStats {
         TraceStats {
             requests: n,
             read_ratio: if n > 0 { reads as f64 / n as f64 } else { 0.0 },
-            cold_read_ratio: if reads > 0 { cold as f64 / reads as f64 } else { 0.0 },
+            cold_read_ratio: if reads > 0 {
+                cold as f64 / reads as f64
+            } else {
+                0.0
+            },
             total_bytes: trace.total_bytes(),
             read_bytes: trace.read_bytes(),
             duration: trace.span().since(rif_events::SimTime::ZERO),

@@ -62,7 +62,7 @@ impl Default for SynthConfig {
         SynthConfig {
             read_ratio: 0.5,
             cold_read_ratio: 0.7,
-            hot_region_bytes: 4 << 30,  // 4 GiB
+            hot_region_bytes: 4 << 30,   // 4 GiB
             cold_region_bytes: 16 << 30, // 16 GiB
             zipf_s: 0.9,
             request_bytes: 64 * 1024,
@@ -181,7 +181,11 @@ mod tests {
             };
             let t = cfg.generate(4000, 7);
             let s = TraceStats::compute(&t);
-            assert!((s.read_ratio - rr).abs() < 0.04, "read ratio {} vs {rr}", s.read_ratio);
+            assert!(
+                (s.read_ratio - rr).abs() < 0.04,
+                "read ratio {} vs {rr}",
+                s.read_ratio
+            );
             assert!(
                 (s.cold_read_ratio - cr).abs() < 0.05,
                 "cold ratio {} vs {cr}",
@@ -242,7 +246,10 @@ mod tests {
         }
         let max = counts.values().copied().max().unwrap();
         let distinct = counts.len();
-        assert!(max > 5000 / distinct * 10, "no hot spot: max {max}, distinct {distinct}");
+        assert!(
+            max > 5000 / distinct * 10,
+            "no hot spot: max {max}, distinct {distinct}"
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl Trace {
 
     /// Arrival time of the last request (zero for an empty trace).
     pub fn span(&self) -> SimTime {
-        self.requests.last().map(|r| r.arrival).unwrap_or(SimTime::ZERO)
+        self.requests
+            .last()
+            .map(|r| r.arrival)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Highest byte address touched (exclusive), i.e. the minimum device
@@ -176,9 +179,7 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let t: Trace = (0..5)
-            .map(|i| req(i, IoOp::Read, i * 4096, 4096))
-            .collect();
+        let t: Trace = (0..5).map(|i| req(i, IoOp::Read, i * 4096, 4096)).collect();
         assert_eq!(t.len(), 5);
     }
 }

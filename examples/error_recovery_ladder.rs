@@ -37,7 +37,11 @@ fn main() {
 
     println!(
         "{:>6} {:>12} | {:>22} {:>26} {:>24}",
-        "age", "hard RBER", "1. hard read (40 µs)", "2. RVS retry (+42.5 µs)", "3. soft x7 (+280 µs)"
+        "age",
+        "hard RBER",
+        "1. hard read (40 µs)",
+        "2. RVS retry (+42.5 µs)",
+        "3. soft x7 (+280 µs)"
     );
     // Ages past 30 days model a *missed refresh* — the regime where even
     // optimally placed references stop being enough.
@@ -63,7 +67,11 @@ fn main() {
         let mark = |ok: bool| if ok { "decodes" } else { "FAILS" };
         println!(
             "{:>5.0}d {:>12.2e} | {:>22} {:>26} {:>24}",
-            days, hard_rber, mark(t1), mark(t2), mark(t3)
+            days,
+            hard_rber,
+            mark(t1),
+            mark(t2),
+            mark(t3)
         );
     }
 

@@ -37,18 +37,31 @@ fn main() {
         ("25 days retention, 2K P/E", OperatingPoint::new(2000, 25.0)),
     ] {
         let out = engine.read_page(&page, op, BlockProfile::median(), PageKind::Csb, &mut rng);
-        let verdict = if out.retried { "RETRY IN-DIE" } else { "transfer" };
-        println!("{label:28} syndrome weight {:4} -> {verdict}", out.prediction.syndrome_weight);
+        let verdict = if out.retried {
+            "RETRY IN-DIE"
+        } else {
+            "transfer"
+        };
+        println!(
+            "{label:28} syndrome weight {:4} -> {verdict}",
+            out.prediction.syndrome_weight
+        );
         println!(
             "{:28} die busy {:.1} µs, transferred RBER {:.2e}",
-            "", out.die_time.as_us(), out.transferred_rber
+            "",
+            out.die_time.as_us(),
+            out.transferred_rber
         );
         // The controller restores the rearranged layout and decodes.
         let all_decode = out
             .transferred
             .iter()
             .all(|chunk| decoder.decode(&code.restore(chunk)).success);
-        println!("{:28} off-chip decode: {}\n", "", if all_decode { "OK" } else { "FAILED" });
+        println!(
+            "{:28} off-chip decode: {}\n",
+            "",
+            if all_decode { "OK" } else { "FAILED" }
+        );
     }
 
     let ppa = PpaModel::paper();

@@ -8,7 +8,9 @@
 use rif::prelude::*;
 
 fn main() {
-    let mut wl = WorkloadProfile::by_name("Ali124").expect("table workload").config();
+    let mut wl = WorkloadProfile::by_name("Ali124")
+        .expect("table workload")
+        .config();
     wl.mean_interarrival_ns = 4_000.0;
     let trace = wl.generate(4_000, 13);
 
@@ -38,7 +40,10 @@ fn main() {
                 senc_tail = tail;
             }
             let cut = if retry == RetryKind::Rif && senc_tail > 0.0 {
-                format!("  (p99.99 {:.1} % below SENC)", (1.0 - tail / senc_tail) * 100.0)
+                format!(
+                    "  (p99.99 {:.1} % below SENC)",
+                    (1.0 - tail / senc_tail) * 100.0
+                )
             } else {
                 String::new()
             };

@@ -27,8 +27,16 @@ fn replay(name: &str, trace: &Trace, pe: u32) {
             "{:8} {:>9.0} {:>10.1} {:>10.1} {:>8} {:>8}",
             retry.label(),
             report.io_bandwidth_mbps(),
-            report.read_latency.percentile(50.0).map(|d| d.as_us()).unwrap_or(0.0),
-            report.read_latency.percentile(99.9).map(|d| d.as_us()).unwrap_or(0.0),
+            report
+                .read_latency
+                .percentile(50.0)
+                .map(|d| d.as_us())
+                .unwrap_or(0.0),
+            report
+                .read_latency
+                .percentile(99.9)
+                .map(|d| d.as_us())
+                .unwrap_or(0.0),
             report.decode_failures,
             report.in_die_retries,
         );

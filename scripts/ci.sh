@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Offline CI gate. Everything here must pass with no network access.
+#
+#   scripts/ci.sh
+#
+# Steps: formatting, release build, test suite (default features plus the
+# gated proptest suite), the decode-kernel perf smoke, and a determinism
+# check that --threads does not change a single CSV byte.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo test -q --features proptest (vendored shim)"
+cargo test -q --features proptest --test proptest_invariants
+
+echo "==> perf_smoke --quick"
+cargo run -q --release -p rif-bench --bin perf_smoke -- --quick
+
+echo "==> thread-count determinism (fig10, --threads 1 vs 8)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release -p rif-bench --bin fig10_syndrome_correlation -- \
+    --quick --csv --seed 42 --threads 1 > "$tmpdir/t1.csv"
+cargo run -q --release -p rif-bench --bin fig10_syndrome_correlation -- \
+    --quick --csv --seed 42 --threads 8 > "$tmpdir/t8.csv"
+diff "$tmpdir/t1.csv" "$tmpdir/t8.csv"
+
+echo "==> ci.sh: all green"

@@ -50,7 +50,9 @@ pub mod prelude {
         ReadVoltages, TlcModel,
     };
     pub use rif_ldpc::{Bsc, EccModel, QcLdpcCode};
-    pub use rif_odear::{OdearEngine, PpaModel, ReadRetryPredictor, ReadVoltageSelector, RpBehavior};
+    pub use rif_odear::{
+        OdearEngine, PpaModel, ReadRetryPredictor, ReadVoltageSelector, RpBehavior,
+    };
     pub use rif_ssd::{RetryKind, SimReport, Simulator, SsdConfig};
     pub use rif_workloads::{SynthConfig, Trace, TraceStats, WorkloadProfile};
 }

@@ -67,7 +67,10 @@ fn rif_eliminates_uncor_traffic() {
     let trace = saturating_trace("Ali124", 500, 9);
     let senc = run_small(RetryKind::Sentinel, 2000, &trace);
     let rif = run_small(RetryKind::Rif, 2000, &trace);
-    assert!(senc.uncor_page_transfers > 100, "SENC shows no UNCOR traffic");
+    assert!(
+        senc.uncor_page_transfers > 100,
+        "SENC shows no UNCOR traffic"
+    );
     // Fig. 18: RiF wastes ≈1.8 % where SENC wastes half the channel.
     let rif_waste = rif.uncor_page_transfers as f64 / senc.uncor_page_transfers as f64;
     assert!(rif_waste < 0.1, "RiF UNCOR ratio {rif_waste}");
@@ -93,7 +96,9 @@ fn rpssd_cuts_eccwait_but_not_uncor() {
 
 #[test]
 fn tail_latency_shrinks_under_rif() {
-    let mut cfg = WorkloadProfile::by_name("Ali124").expect("workload").config();
+    let mut cfg = WorkloadProfile::by_name("Ali124")
+        .expect("workload")
+        .config();
     // Moderate load so latency reflects the device, not the backlog.
     cfg.mean_interarrival_ns = 9_000.0;
     let trace = cfg.generate(600, 13);

@@ -1,0 +1,96 @@
+//! Golden equivalence suite: the optimized kernels must be *bit-identical*
+//! to their scalar references, and the parallel Monte-Carlo harness must be
+//! thread-count invariant.
+//!
+//! The fast min-sum path buffers each `v2c` message and works block-major
+//! on the quasi-cyclic structure (with an AVX2 instantiation picked at
+//! runtime); the bit-flip decoder counts parity word-packed. Both are pure
+//! reorderings of exact float/integer operations, so `DecodeOutcome`s —
+//! success flag, iteration count and decoded word — must match the
+//! references on every input, not just statistically.
+
+use rif_events::SimRng;
+use rif_ldpc::bits::BitVec;
+use rif_ldpc::channel::Bsc;
+use rif_ldpc::decoder::{BitFlipDecoder, MinSumDecoder};
+use rif_ldpc::QcLdpcCode;
+use rif_odear::rp::ReadRetryPredictor;
+
+/// RBERs spanning clean, waterfall-edge and mostly-uncorrectable inputs.
+const RBERS: [f64; 4] = [0.002, 0.006, 0.0085, 0.015];
+
+fn corpus(code: &QcLdpcCode, seed: u64) -> Vec<BitVec> {
+    // 4 RBERs x 14 trials = 56 noisy codewords (>= 50 per the golden bar).
+    let mut rng = SimRng::seed_from(seed);
+    let mut words = Vec::new();
+    for &rber in &RBERS {
+        let channel = Bsc::new(rber);
+        for _ in 0..14 {
+            let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+            words.push(channel.corrupt(&cw, &mut rng));
+        }
+    }
+    words
+}
+
+#[test]
+fn min_sum_fast_path_is_bit_identical_to_reference() {
+    let code = QcLdpcCode::small_test();
+    let dec = MinSumDecoder::new(&code);
+    for (i, noisy) in corpus(&code, 0xC0DE).iter().enumerate() {
+        let fast = dec.decode(noisy);
+        let reference = dec.decode_reference(noisy);
+        assert_eq!(fast, reference, "min-sum outcome diverged on word {i}");
+    }
+}
+
+#[test]
+fn bit_flip_fast_path_is_bit_identical_to_reference() {
+    let code = QcLdpcCode::small_test();
+    let dec = BitFlipDecoder::new(&code);
+    for (i, noisy) in corpus(&code, 0xF11B).iter().enumerate() {
+        let fast = dec.decode(noisy);
+        let reference = dec.decode_reference(noisy);
+        assert_eq!(fast, reference, "bit-flip outcome diverged on word {i}");
+    }
+}
+
+#[test]
+fn rp_rearranged_prediction_matches_original_layout() {
+    // The RP hardware sees the rearranged layout; prediction must agree
+    // with the original-layout path once the chunk is restored.
+    let code = QcLdpcCode::small_test();
+    let rp = ReadRetryPredictor::for_capability(&code, 0.0085);
+    let mut rng = SimRng::seed_from(0x5EED);
+    for &rber in &RBERS {
+        let channel = Bsc::new(rber);
+        for _ in 0..8 {
+            let cw = code.encode(&BitVec::random(code.data_bits(), &mut rng));
+            let noisy = channel.corrupt(&cw, &mut rng);
+            let sensed = code.rearrange(&noisy);
+            let on_die = rp.predict(&sensed);
+            let restored = code.restore(&sensed);
+            assert_eq!(restored, noisy, "restore must invert rearrange");
+            let off_die = rp.predict_original_layout(&restored);
+            assert_eq!(on_die.syndrome_weight, off_die.syndrome_weight);
+            assert_eq!(on_die.retry_needed, off_die.retry_needed);
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_sweeps_are_thread_count_invariant() {
+    // Trial k of point i always draws from SimRng::stream(seed, i*trials+k)
+    // regardless of which worker runs it, so --threads must not change a
+    // single number.
+    let code = QcLdpcCode::small_test();
+    let rbers = [0.004, 0.0085, 0.012];
+    let one = rif_ldpc::analysis::capability_sweep(&code, &rbers, 8, 99, 1);
+    let eight = rif_ldpc::analysis::capability_sweep(&code, &rbers, 8, 99, 8);
+    assert_eq!(one, eight);
+
+    let rp = ReadRetryPredictor::for_capability(&code, 0.0085);
+    let one = rif_odear::accuracy::measure_accuracy(&code, &rp, &rbers, 10, 7, 1);
+    let eight = rif_odear::accuracy::measure_accuracy(&code, &rp, &rbers, 10, 7, 8);
+    assert_eq!(one, eight);
+}

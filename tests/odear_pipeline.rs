@@ -4,7 +4,7 @@
 
 use rif::ldpc::bits::BitVec;
 use rif::ldpc::decoder::MinSumDecoder;
-use rif::odear::accuracy::{measure_accuracy, mean_accuracy_above};
+use rif::odear::accuracy::{mean_accuracy_above, measure_accuracy};
 use rif::prelude::*;
 
 #[test]
@@ -43,7 +43,7 @@ fn rp_accuracy_headline_numbers() {
     let capability = 0.011; // measured 10 % failure point of small_test
     let rp = ReadRetryPredictor::for_capability(&code, capability);
     let rbers = [0.004, 0.006, 0.018, 0.022, 0.026];
-    let points = measure_accuracy(&code, &rp, &rbers, 60, 2);
+    let points = measure_accuracy(&code, &rp, &rbers, 60, 2, 1);
     let above = mean_accuracy_above(&points, capability);
     assert!(above > 0.93, "accuracy above capability {above}");
     // Below the capability RP rarely fires falsely.
@@ -57,7 +57,11 @@ fn odear_engine_outputs_always_decode_after_in_die_retry() {
     let decoder = MinSumDecoder::new(engine.code());
     let mut rng = SimRng::seed_from(3);
     let page: Vec<BitVec> = (0..4)
-        .map(|_| engine.code().encode(&BitVec::random(engine.code().data_bits(), &mut rng)))
+        .map(|_| {
+            engine
+                .code()
+                .encode(&BitVec::random(engine.code().data_bits(), &mut rng))
+        })
         .collect();
     let mut retried = 0;
     for day in [18, 22, 26, 30] {
@@ -78,7 +82,10 @@ fn odear_engine_outputs_always_decode_after_in_die_retry() {
             }
         }
     }
-    assert!(retried >= 3, "expected most aged reads to retry, got {retried}");
+    assert!(
+        retried >= 3,
+        "expected most aged reads to retry, got {retried}"
+    );
 }
 
 #[test]
@@ -110,7 +117,11 @@ fn behavior_model_matches_engine_retry_rate() {
     let model = ErrorModel::calibrated();
     let mut rng = SimRng::seed_from(7);
     let page: Vec<BitVec> = (0..4)
-        .map(|_| engine.code().encode(&BitVec::random(engine.code().data_bits(), &mut rng)))
+        .map(|_| {
+            engine
+                .code()
+                .encode(&BitVec::random(engine.code().data_bits(), &mut rng))
+        })
         .collect();
     let op = OperatingPoint::new(1000, 12.0);
     let block = BlockProfile::median();
@@ -118,7 +129,11 @@ fn behavior_model_matches_engine_retry_rate() {
 
     let trials = 120;
     let engine_rate = (0..trials)
-        .filter(|_| engine.read_page(&page, op, block, PageKind::Msb, &mut rng).retried)
+        .filter(|_| {
+            engine
+                .read_page(&page, op, block, PageKind::Msb, &mut rng)
+                .retried
+        })
         .count() as f64
         / trials as f64;
     let model_rate = behavior.retry_probability(rber);
@@ -132,7 +147,9 @@ fn behavior_model_matches_engine_retry_rate() {
 fn energy_model_net_win_at_observed_retry_rates() {
     // Tie §VI-C to the simulator: at the uncorrectable-read rates the
     // SENC run exhibits at 2K P/E, the RP module saves net energy.
-    let mut cfg = WorkloadProfile::by_name("Ali124").expect("workload").config();
+    let mut cfg = WorkloadProfile::by_name("Ali124")
+        .expect("workload")
+        .config();
     cfg.mean_interarrival_ns = 2_500.0;
     let trace = cfg.generate(400, 9);
     let report = Simulator::new(SsdConfig::small(RetryKind::IdealOne, 2000)).run(&trace);

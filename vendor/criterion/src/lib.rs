@@ -1,0 +1,222 @@
+//! A vendored, offline subset of the [criterion](https://docs.rs/criterion)
+//! API — just enough for this workspace's benches to compile and run.
+//!
+//! Each benchmark is a warmup pass followed by timed batches; the harness
+//! prints the mean ns/iter (plus derived element throughput when declared
+//! via [`Throughput`]). There is no statistical analysis, outlier
+//! rejection, plotting, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque hint that stops the optimizer from deleting a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    iters_hint: u64,
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean wall-clock ns per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Untimed warmup so lazy initialisation doesn't pollute the timing.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters_hint {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.elapsed_per_iter = total.as_secs_f64() * 1e9 / self.iters_hint as f64;
+    }
+}
+
+/// Declared work-per-iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id naming only the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 30 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let per_iter = run_once(self.iters, &mut f);
+        report(name, per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// Group of benchmarks sharing a name, throughput, and sample size.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work each iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the timed-iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let iters = self.sample_size.map_or(self.harness.iters, |n| n as u64);
+        let per_iter = run_once(iters, &mut |b: &mut Bencher| f(b, input));
+        report(
+            &format!("{}/{}", self.name, id.id),
+            per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs an unparameterised benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let iters = self.sample_size.map_or(self.harness.iters, |n| n as u64);
+        let per_iter = run_once(iters, &mut f);
+        report(&format!("{}/{name}", self.name), per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> f64 {
+    let mut bencher = Bencher {
+        iters_hint: iters.max(1),
+        elapsed_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    bencher.elapsed_per_iter
+}
+
+fn report(name: &str, per_iter_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter_ns > 0.0 => {
+            format!("  ({:.3e} elem/s)", n as f64 * 1e9 / per_iter_ns)
+        }
+        Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+            format!("  ({:.3e} B/s)", n as f64 * 1e9 / per_iter_ns)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<48} {per_iter_ns:>14.1} ns/iter{rate}");
+}
+
+/// Formats a human-readable duration (compat helper).
+pub fn format_duration(d: Duration) -> String {
+    format!("{:.3} ms", d.as_secs_f64() * 1e3)
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut harness = $crate::Criterion::default();
+            $( $target(&mut harness); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    criterion_group!(unit_group, sum_bench);
+
+    #[test]
+    fn group_runs_and_times() {
+        unit_group();
+    }
+
+    #[test]
+    fn grouped_benches_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(128)).sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(128usize), &128usize, |b, &n| {
+            b.iter(|| (0..n as u64).sum::<u64>())
+        });
+        g.finish();
+    }
+}
