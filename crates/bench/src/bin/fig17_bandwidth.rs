@@ -5,7 +5,9 @@
 //! SENC by 23.8 % / 47.4 % / 72.1 % at 0K / 1K / 2K, beats SWR by 61.2 %
 //! and SWR+ by 50.0 % at 2K, and lands within 1.8 % of SSDzero.
 
-use rif_bench::{geomean, run_paper_sim, saturating_trace, HarnessOpts, TableWriter, PE_STAGES};
+use rif_bench::{
+    geomean, run_paper_sim_observed, saturating_trace, HarnessOpts, TableWriter, PE_STAGES,
+};
 use rif_ssd::RetryKind;
 use rif_workloads::profiles::PAPER_WORKLOADS;
 
@@ -26,7 +28,11 @@ fn main() {
             let trace = saturating_trace(&wl, n_requests, opts.seed);
             let bws: Vec<f64> = schemes
                 .iter()
-                .map(|&s| run_paper_sim(s, pe, &trace, opts.seed).io_bandwidth_mbps())
+                .map(|&s| {
+                    let label = format!("{}-{}-{pe}", wl.name, s.label());
+                    run_paper_sim_observed(&opts, &label, s, pe, &trace, opts.seed)
+                        .io_bandwidth_mbps()
+                })
                 .collect();
             let senc = bws[0];
             let mut row = vec![wl.name.to_string()];

@@ -6,7 +6,7 @@
 //! in UNCOR+ECCWAIT; RiFSSD wastes ≈1.8 % (Ali121) while RPSSD still
 //! loses ≈19.9 % to UNCOR transfers.
 
-use rif_bench::{run_paper_sim, saturating_trace, HarnessOpts, TableWriter, PE_STAGES};
+use rif_bench::{run_paper_sim_observed, saturating_trace, HarnessOpts, TableWriter, PE_STAGES};
 use rif_ssd::RetryKind;
 use rif_workloads::WorkloadProfile;
 
@@ -38,7 +38,8 @@ fn main() {
         for pe in PE_STAGES {
             let trace = saturating_trace(&wl, n_requests, opts.seed);
             for scheme in schemes {
-                let report = run_paper_sim(scheme, pe, &trace, opts.seed);
+                let label = format!("{name}-{}-{pe}", scheme.label());
+                let report = run_paper_sim_observed(&opts, &label, scheme, pe, &trace, opts.seed);
                 let u = report.channel_usage();
                 t.row(&[
                     name.into(),

@@ -4,7 +4,7 @@
 //! Paper anchors: at 2K P/E, RiFSSD cuts the 99.99-th percentile tail by
 //! 91.8 % / 82.6 % / 56.3 % vs SENC / SWR / SWR+.
 
-use rif_bench::{run_paper_sim, HarnessOpts, TableWriter, PE_STAGES};
+use rif_bench::{run_paper_sim_observed, HarnessOpts, TableWriter, PE_STAGES};
 use rif_ssd::RetryKind;
 use rif_workloads::WorkloadProfile;
 
@@ -43,7 +43,8 @@ fn main() {
         let mut senc_tail = 0.0;
         let mut rif_tail = 0.0;
         for scheme in schemes {
-            let report = run_paper_sim(scheme, pe, &trace, opts.seed);
+            let label = format!("Ali124-{}-{pe}", scheme.label());
+            let report = run_paper_sim_observed(&opts, &label, scheme, pe, &trace, opts.seed);
             let p = |q: f64| {
                 report
                     .read_latency

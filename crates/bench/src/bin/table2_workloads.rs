@@ -1,8 +1,13 @@
 //! Table II — key I/O characteristics of the eight evaluation traces,
 //! recomputed from the synthetic generators and compared against the
 //! paper's published values.
+//!
+//! With `--trace-out` / `--metrics` each workload is additionally
+//! replayed through the paper-geometry simulator (RiF at 1K P/E) so its
+//! trace passes the invariant checker and its engine metrics are shown.
 
-use rif_bench::{HarnessOpts, TableWriter};
+use rif_bench::{run_paper_sim_observed, HarnessOpts, TableWriter};
+use rif_ssd::RetryKind;
 use rif_workloads::profiles::PAPER_WORKLOADS;
 use rif_workloads::TraceStats;
 
@@ -33,5 +38,21 @@ fn main() {
             format!("{:.2}", s.cold_read_ratio),
             format!("{:.2}", s.total_bytes as f64 / 1e9),
         ]);
+    }
+
+    if opts.trace_out.is_some() || opts.metrics {
+        // Validation replay: each workload through the simulator under
+        // the trace checker (and/or with metrics collection).
+        let sim_requests = opts.pick(2_000, 200);
+        for wl in PAPER_WORKLOADS {
+            let trace = wl.generate(sim_requests, opts.seed);
+            run_paper_sim_observed(&opts, wl.name, RetryKind::Rif, 1000, &trace, opts.seed);
+        }
+        if !opts.csv && opts.trace_out.is_some() {
+            println!(
+                "\nall {} workload replays passed the trace checker",
+                PAPER_WORKLOADS.len()
+            );
+        }
     }
 }

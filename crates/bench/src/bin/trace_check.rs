@@ -1,0 +1,47 @@
+//! Standalone trace-invariant checker: validates one or more JSONL trace
+//! files emitted by the simulator's `--trace-out` flag.
+//!
+//! Usage: `trace_check FILE...` — exits 0 when every file parses and
+//! satisfies all engine invariants, 1 otherwise. The CI trace gate runs
+//! this over the logs of a quick `fig19_latency_cdf --trace-out` run.
+
+use rif_ssd::tracecheck::TraceChecker;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() || files.iter().any(|f| f == "--help" || f == "-h") {
+        eprintln!("usage: trace_check FILE...");
+        std::process::exit(if files.is_empty() { 2 } else { 0 });
+    }
+    let mut failed = 0usize;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        match TraceChecker::check_jsonl(&text) {
+            Err(e) => {
+                eprintln!("{path}: malformed: {e}");
+                failed += 1;
+            }
+            Ok(violations) if !violations.is_empty() => {
+                eprintln!("{path}: {} invariant violation(s):", violations.len());
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                failed += 1;
+            }
+            Ok(_) => {
+                println!("{path}: ok ({} lines)", text.lines().count());
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} of {} file(s) failed", files.len());
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,21 @@
 //! * `--threads N` — worker threads for the Monte-Carlo sweeps. Trials
 //!   use one RNG stream each, so the output is byte-identical for every
 //!   thread count.
+//!
+//! Simulator-backed binaries additionally accept:
+//!
+//! * `--trace-out PREFIX` — each simulated run writes its JSONL trace to
+//!   `PREFIX-<label>.jsonl`, then replays it through the
+//!   [`TraceChecker`]; any violated invariant aborts the binary with
+//!   status 1, so a traced figure run is also a correctness check;
+//! * `--metrics` — each run collects a [`rif_events::MetricsRegistry`]
+//!   and prints its contents as `# metric <label> <line>` rows.
 
+use std::fs::File;
+use std::io::BufWriter;
+
+use rif_events::trace::JsonlSink;
+use rif_ssd::tracecheck::TraceChecker;
 use rif_ssd::{RetryKind, SimReport, Simulator, SsdConfig};
 use rif_workloads::{Trace, WorkloadProfile};
 
@@ -24,6 +38,11 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// Worker threads for trial fan-out (≥ 1; does not affect results).
     pub threads: usize,
+    /// Trace-file prefix: each run writes `<prefix>-<label>.jsonl` and is
+    /// checked against the engine invariants.
+    pub trace_out: Option<String>,
+    /// Collect and print per-run metrics.
+    pub metrics: bool,
 }
 
 /// Why [`HarnessOpts::parse_from`] rejected an argument list.
@@ -35,7 +54,8 @@ pub enum ParseError {
     Invalid(String),
 }
 
-const USAGE: &str = "usage: <bin> [--quick] [--csv] [--seed N] [--threads N]";
+const USAGE: &str =
+    "usage: <bin> [--quick] [--csv] [--seed N] [--threads N] [--trace-out PREFIX] [--metrics]";
 
 impl Default for HarnessOpts {
     fn default() -> Self {
@@ -44,6 +64,8 @@ impl Default for HarnessOpts {
             csv: false,
             seed: 42,
             threads: 1,
+            trace_out: None,
+            metrics: false,
         }
     }
 }
@@ -92,6 +114,13 @@ impl HarnessOpts {
                             ParseError::Invalid("--threads needs an integer ≥ 1".into())
                         })?;
                 }
+                "--trace-out" => {
+                    opts.trace_out =
+                        Some(args.next().filter(|s| !s.is_empty()).ok_or_else(|| {
+                            ParseError::Invalid("--trace-out needs a path prefix".into())
+                        })?);
+                }
+                "--metrics" => opts.metrics = true,
                 "--help" | "-h" => return Err(ParseError::Help),
                 other => return Err(ParseError::Invalid(format!("unknown flag {other}"))),
             }
@@ -164,6 +193,80 @@ pub fn run_paper_sim(retry: RetryKind, pe: u32, trace: &Trace, seed: u64) -> Sim
     let mut cfg = SsdConfig::paper(retry, pe);
     cfg.seed = seed;
     Simulator::new(cfg).run(trace)
+}
+
+/// The trace file a labeled run writes under `--trace-out PREFIX`.
+pub fn trace_file(prefix: &str, label: &str) -> String {
+    format!("{prefix}-{label}.jsonl")
+}
+
+/// Runs one paper-geometry simulation honouring the harness's
+/// observability flags (see [`run_observed`]).
+pub fn run_paper_sim_observed(
+    opts: &HarnessOpts,
+    label: &str,
+    retry: RetryKind,
+    pe: u32,
+    trace: &Trace,
+    seed: u64,
+) -> SimReport {
+    let mut cfg = SsdConfig::paper(retry, pe);
+    cfg.seed = seed;
+    run_observed(opts, label, cfg, trace)
+}
+
+/// Runs one simulation with the harness's observability flags applied:
+///
+/// * with `--trace-out PREFIX`, the run streams its JSONL trace to
+///   `PREFIX-<label>.jsonl`, re-reads the file, and replays it through
+///   the [`TraceChecker`] — any violation is printed and the process
+///   exits with status 1;
+/// * with `--metrics`, the run's [`rif_events::MetricsRegistry`] is
+///   printed as `# metric <label> <line>` rows on stdout.
+pub fn run_observed(opts: &HarnessOpts, label: &str, cfg: SsdConfig, trace: &Trace) -> SimReport {
+    let mut sim = Simulator::new(cfg);
+    if opts.metrics {
+        sim = sim.with_metrics();
+    }
+    let path = opts.trace_out.as_deref().map(|p| trace_file(p, label));
+    if let Some(path) = &path {
+        let f =
+            File::create(path).unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+        sim = sim.with_tracer(Box::new(JsonlSink::new(BufWriter::new(f))));
+    }
+    let report = sim.run(trace);
+    if let Some(path) = &path {
+        check_trace_file(path);
+    }
+    if opts.metrics {
+        if let Some(m) = &report.metrics {
+            for line in m.lines() {
+                println!("# metric {label} {line}");
+            }
+        }
+    }
+    report
+}
+
+/// Parses and checks a trace file, exiting with status 1 on malformed
+/// input or any violated invariant.
+pub fn check_trace_file(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read trace file {path}: {e}"));
+    match TraceChecker::check_jsonl(&text) {
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+        Ok(violations) if !violations.is_empty() => {
+            eprintln!("{path}: {} invariant violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        Ok(_) => {}
+    }
 }
 
 /// Geometric mean helper (Fig. 17's summary column).
@@ -239,6 +342,29 @@ mod tests {
             Err(ParseError::Invalid(_))
         ));
         assert!(matches!(parse(&["--threads"]), Err(ParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn parse_from_observability_flags() {
+        let opts = parse(&["--trace-out", "/tmp/run", "--metrics"]).unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/run"));
+        assert!(opts.metrics);
+        assert!(matches!(
+            parse(&["--trace-out"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&["--trace-out", ""]),
+            Err(ParseError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn trace_file_joins_prefix_and_label() {
+        assert_eq!(
+            trace_file("out/fig19", "Ali124-RiFSSD-2000"),
+            "out/fig19-Ali124-RiFSSD-2000.jsonl"
+        );
     }
 
     #[test]

@@ -1,0 +1,1004 @@
+//! Structured tracing primitives: spans, counters, gauges and state
+//! markers with simulation-time stamps.
+//!
+//! The SSD engine (and any other event-driven component) emits its
+//! activity through a [`Tracer`]. A disabled tracer costs one branch per
+//! callsite and allocates nothing; an enabled tracer forwards every
+//! record to a [`TraceSink`] — typically a [`JsonlSink`] writing one JSON
+//! object per line, the format consumed by the `rif-ssd` trace checker.
+//!
+//! # JSONL schema
+//!
+//! Every line is a flat JSON object. The `e` field selects the record
+//! type; `t` is always the simulation time in integer nanoseconds.
+//!
+//! | `e` | record | other fields |
+//! |-----|--------|--------------|
+//! | `"b"` | span begin | `n` name, `id`, optional `p` parent id, `res` resource, `req` request id, `bytes` |
+//! | `"e"` | span end   | `id` |
+//! | `"c"` | counter    | `k` key, `v` non-negative integer delta |
+//! | `"g"` | gauge      | `k` key, `v` float value |
+//! | `"s"` | state      | `res` resource, `st` state name |
+//!
+//! Span ids are unique and non-zero within one trace. Resources are
+//! strings such as `die:3`, `chan:0`, `ecc:0`, `host` — spans sharing a
+//! resource claim exclusive use of it for their duration.
+//!
+//! # Example
+//!
+//! ```
+//! use rif_events::trace::{JsonlSink, SharedBuf, TraceRecord, Tracer};
+//! use rif_events::SimTime;
+//!
+//! let buf = SharedBuf::new();
+//! let mut tr = Tracer::to_sink(Box::new(JsonlSink::new(buf.clone())));
+//! let id = tr.span_begin(SimTime::ZERO, "request", None, None, Some(0), Some(65536));
+//! tr.counter(SimTime::from_us(10), "bytes.completed", 65536);
+//! tr.span_end(SimTime::from_us(10), id);
+//! tr.flush();
+//! let records = TraceRecord::parse_jsonl(&buf.contents()).unwrap();
+//! assert_eq!(records.len(), 3);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::stats::LatencyHistogram;
+use crate::time::{SimDuration, SimTime};
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// One parsed trace record (the in-memory form of a JSONL line).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A span opened at `t`.
+    SpanBegin {
+        /// Simulation time of the record.
+        t: SimTime,
+        /// Span name (`request`, `sense`, `xfer`, `decode`, ...).
+        name: String,
+        /// Unique non-zero span id.
+        id: u64,
+        /// Enclosing span, if any.
+        parent: Option<u64>,
+        /// Exclusive resource the span occupies, if any.
+        res: Option<String>,
+        /// Host-request id the span works for, if any.
+        req: Option<u64>,
+        /// Payload bytes attributed to the span, if any.
+        bytes: Option<u64>,
+    },
+    /// The span `id` closed at `t`.
+    SpanEnd {
+        /// Simulation time of the record.
+        t: SimTime,
+        /// Id of the span being closed.
+        id: u64,
+    },
+    /// Monotonic counter `key` increased by `delta` at `t`.
+    Counter {
+        /// Simulation time of the record.
+        t: SimTime,
+        /// Counter key.
+        key: String,
+        /// Non-negative increment.
+        delta: u64,
+    },
+    /// Gauge `key` observed at `value` at `t`.
+    Gauge {
+        /// Simulation time of the record.
+        t: SimTime,
+        /// Gauge key.
+        key: String,
+        /// Observed value.
+        value: f64,
+    },
+    /// Resource `res` entered state `state` at `t` (until its next state
+    /// record).
+    State {
+        /// Simulation time of the record.
+        t: SimTime,
+        /// Resource changing state.
+        res: String,
+        /// New state name.
+        state: String,
+    },
+}
+
+impl TraceRecord {
+    /// The record's timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceRecord::SpanBegin { t, .. }
+            | TraceRecord::SpanEnd { t, .. }
+            | TraceRecord::Counter { t, .. }
+            | TraceRecord::Gauge { t, .. }
+            | TraceRecord::State { t, .. } => *t,
+        }
+    }
+
+    /// Parses a full JSONL document (blank lines skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line with its 1-based number.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            out.push(Self::parse_line(line).map_err(|message| TraceParseError {
+                line: i + 1,
+                message,
+            })?);
+        }
+        Ok(out)
+    }
+
+    /// Parses one JSONL line.
+    fn parse_line(line: &str) -> Result<TraceRecord, String> {
+        let fields = parse_flat_object(line)?;
+        let t = SimTime::from_ns(fields.require_u64("t")?);
+        match fields.require_str("e")? {
+            "b" => Ok(TraceRecord::SpanBegin {
+                t,
+                name: fields.require_str("n")?.to_string(),
+                id: fields.require_u64("id")?,
+                parent: fields.get_u64("p")?,
+                res: fields.get_str("res").map(str::to_string),
+                req: fields.get_u64("req")?,
+                bytes: fields.get_u64("bytes")?,
+            }),
+            "e" => Ok(TraceRecord::SpanEnd {
+                t,
+                id: fields.require_u64("id")?,
+            }),
+            "c" => Ok(TraceRecord::Counter {
+                t,
+                key: fields.require_str("k")?.to_string(),
+                delta: fields.require_u64("v")?,
+            }),
+            "g" => Ok(TraceRecord::Gauge {
+                t,
+                key: fields.require_str("k")?.to_string(),
+                value: fields.require_f64("v")?,
+            }),
+            "s" => Ok(TraceRecord::State {
+                t,
+                res: fields.require_str("res")?.to_string(),
+                state: fields.require_str("st")?.to_string(),
+            }),
+            other => Err(format!("unknown record type {other:?}")),
+        }
+    }
+}
+
+/// A JSONL parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// Line number of the malformed record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+// ---------------------------------------------------------------------------
+// Flat-JSON helpers (the schema never nests)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+}
+
+#[derive(Debug, Default)]
+struct FlatObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl FlatObject {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn require_str(&self, key: &str) -> Result<&str, String> {
+        self.get_str(key)
+            .ok_or_else(|| format!("missing string field {key:?}"))
+    }
+
+    fn get_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Ok(Some(*n as u64))
+            }
+            Some(v) => Err(format!("field {key:?} is not a u64: {v:?}")),
+        }
+    }
+
+    fn require_u64(&self, key: &str) -> Result<u64, String> {
+        self.get_u64(key)?
+            .ok_or_else(|| format!("missing integer field {key:?}"))
+    }
+
+    fn require_f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            _ => Err(format!("missing number field {key:?}")),
+        }
+    }
+}
+
+/// Parses `{"key":value,...}` with string and number values only.
+fn parse_flat_object(line: &str) -> Result<FlatObject, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut obj = FlatObject::default();
+    skip_ws(line, &mut chars);
+    expect_char(line, &mut chars, '{')?;
+    skip_ws(line, &mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+        return Ok(obj);
+    }
+    loop {
+        skip_ws(line, &mut chars);
+        let key = parse_string(line, &mut chars)?;
+        skip_ws(line, &mut chars);
+        expect_char(line, &mut chars, ':')?;
+        skip_ws(line, &mut chars);
+        let value = match chars.peek() {
+            Some((_, '"')) => JsonValue::Str(parse_string(line, &mut chars)?),
+            Some(_) => JsonValue::Num(parse_number(line, &mut chars)?),
+            None => return Err("unexpected end of line".into()),
+        };
+        obj.fields.push((key, value));
+        skip_ws(line, &mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(line, &mut chars);
+    if let Some((i, c)) = chars.next() {
+        return Err(format!("trailing input {c:?} at byte {i}"));
+    }
+    Ok(obj)
+}
+
+type CharStream<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(_line: &str, chars: &mut CharStream<'_>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect_char(_line: &str, chars: &mut CharStream<'_>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some((_, c)) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn parse_string(_line: &str, chars: &mut CharStream<'_>) -> Result<String, String> {
+    expect_char(_line, chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad hex in \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_number(_line: &str, chars: &mut CharStream<'_>) -> Result<f64, String> {
+    let mut text = String::new();
+    while let Some((_, c)) = chars.peek() {
+        if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+            text.push(*c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    text.parse::<f64>()
+        .map_err(|_| format!("bad number {text:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Receives trace records as they are emitted.
+///
+/// Implementations must be cheap relative to the simulation; the hot
+/// callsites already pay for string formatting when a sink is attached.
+pub trait TraceSink {
+    /// A span opened.
+    #[allow(clippy::too_many_arguments)]
+    fn span_begin(
+        &mut self,
+        t: SimTime,
+        name: &str,
+        id: u64,
+        parent: Option<u64>,
+        res: Option<&str>,
+        req: Option<u64>,
+        bytes: Option<u64>,
+    );
+    /// The span `id` closed.
+    fn span_end(&mut self, t: SimTime, id: u64);
+    /// Counter increment.
+    fn counter(&mut self, t: SimTime, key: &str, delta: u64);
+    /// Gauge observation.
+    fn gauge(&mut self, t: SimTime, key: &str, value: f64);
+    /// Resource state change.
+    fn state(&mut self, t: SimTime, res: &str, state: &str);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Writes one JSON object per record to an [`io::Write`].
+///
+/// Wrap files in a [`std::io::BufWriter`] — the sink writes one line per
+/// record. I/O errors abort the simulation via panic: a half-written
+/// trace would silently pass for a shorter run.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+    line: String,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Creates a sink writing to `w`.
+    pub fn new(w: W) -> Self {
+        JsonlSink {
+            w,
+            line: String::with_capacity(128),
+        }
+    }
+
+    fn emit(&mut self) {
+        self.line.push('\n');
+        self.w
+            .write_all(self.line.as_bytes())
+            .expect("trace sink write failed");
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn span_begin(
+        &mut self,
+        t: SimTime,
+        name: &str,
+        id: u64,
+        parent: Option<u64>,
+        res: Option<&str>,
+        req: Option<u64>,
+        bytes: Option<u64>,
+    ) {
+        self.line.clear();
+        let _ = write!(self.line, "{{\"t\":{},\"e\":\"b\",\"n\":", t.as_ns());
+        push_json_str(&mut self.line, name);
+        let _ = write!(self.line, ",\"id\":{id}");
+        if let Some(p) = parent {
+            let _ = write!(self.line, ",\"p\":{p}");
+        }
+        if let Some(r) = res {
+            self.line.push_str(",\"res\":");
+            push_json_str(&mut self.line, r);
+        }
+        if let Some(q) = req {
+            let _ = write!(self.line, ",\"req\":{q}");
+        }
+        if let Some(b) = bytes {
+            let _ = write!(self.line, ",\"bytes\":{b}");
+        }
+        self.line.push('}');
+        self.emit();
+    }
+
+    fn span_end(&mut self, t: SimTime, id: u64) {
+        self.line.clear();
+        let _ = write!(self.line, "{{\"t\":{},\"e\":\"e\",\"id\":{id}}}", t.as_ns());
+        self.emit();
+    }
+
+    fn counter(&mut self, t: SimTime, key: &str, delta: u64) {
+        self.line.clear();
+        let _ = write!(self.line, "{{\"t\":{},\"e\":\"c\",\"k\":", t.as_ns());
+        push_json_str(&mut self.line, key);
+        let _ = write!(self.line, ",\"v\":{delta}}}");
+        self.emit();
+    }
+
+    fn gauge(&mut self, t: SimTime, key: &str, value: f64) {
+        self.line.clear();
+        let _ = write!(self.line, "{{\"t\":{},\"e\":\"g\",\"k\":", t.as_ns());
+        push_json_str(&mut self.line, key);
+        let _ = write!(self.line, ",\"v\":{value}}}");
+        self.emit();
+    }
+
+    fn state(&mut self, t: SimTime, res: &str, state: &str) {
+        self.line.clear();
+        let _ = write!(self.line, "{{\"t\":{},\"e\":\"s\",\"res\":", t.as_ns());
+        push_json_str(&mut self.line, res);
+        self.line.push_str(",\"st\":");
+        push_json_str(&mut self.line, state);
+        self.line.push('}');
+        self.emit();
+    }
+
+    fn flush(&mut self) {
+        self.w.flush().expect("trace sink flush failed");
+    }
+}
+
+/// A clonable in-memory byte buffer implementing [`io::Write`], for
+/// capturing a trace without touching the filesystem.
+///
+/// Clones share the same buffer, so a test can keep one handle while the
+/// simulator consumes the other.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// Creates an empty shared buffer.
+    pub fn new() -> Self {
+        SharedBuf::default()
+    }
+
+    /// The buffer contents decoded as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().expect("trace buffer poisoned").clone())
+            .expect("trace output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("trace buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+/// The tracing front-end components emit through.
+///
+/// Holds either nothing (disabled: every call is a branch and an
+/// immediate return, no allocation, no formatting) or a boxed
+/// [`TraceSink`]. Span ids are allocated here, monotonically from 1; the
+/// disabled tracer hands out id 0 for every span.
+#[derive(Default)]
+pub struct Tracer {
+    sink: Option<Box<dyn TraceSink>>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.sink.is_some())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that drops everything.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer forwarding to `sink`.
+    pub fn to_sink(sink: Box<dyn TraceSink>) -> Self {
+        Tracer {
+            sink: Some(sink),
+            next_id: 0,
+        }
+    }
+
+    /// True when records are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Opens a span; returns its id (0 when disabled).
+    pub fn span_begin(
+        &mut self,
+        t: SimTime,
+        name: &str,
+        parent: Option<u64>,
+        res: Option<&str>,
+        req: Option<u64>,
+        bytes: Option<u64>,
+    ) -> u64 {
+        match &mut self.sink {
+            None => 0,
+            Some(sink) => {
+                self.next_id += 1;
+                let id = self.next_id;
+                sink.span_begin(t, name, id, parent.filter(|&p| p != 0), res, req, bytes);
+                id
+            }
+        }
+    }
+
+    /// Closes span `id` (no-op when disabled or `id == 0`).
+    pub fn span_end(&mut self, t: SimTime, id: u64) {
+        if let Some(sink) = &mut self.sink {
+            if id != 0 {
+                sink.span_end(t, id);
+            }
+        }
+    }
+
+    /// Emits a counter increment.
+    pub fn counter(&mut self, t: SimTime, key: &str, delta: u64) {
+        if let Some(sink) = &mut self.sink {
+            sink.counter(t, key, delta);
+        }
+    }
+
+    /// Emits a gauge observation.
+    pub fn gauge(&mut self, t: SimTime, key: &str, value: f64) {
+        if let Some(sink) = &mut self.sink {
+            sink.gauge(t, key, value);
+        }
+    }
+
+    /// Emits a resource state change.
+    pub fn state(&mut self, t: SimTime, res: &str, state: &str) {
+        if let Some(sink) = &mut self.sink {
+            sink.state(t, res, state);
+        }
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&mut self) {
+        if let Some(sink) = &mut self.sink {
+            sink.flush();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Formats a labeled metric key: `labeled("retries.in_die", "RiFSSD")` →
+/// `retries.in_die{RiFSSD}`.
+pub fn labeled(name: &str, label: &str) -> String {
+    format!("{name}{{{label}}}")
+}
+
+/// A registry unifying monotonic counters, gauges and latency histograms
+/// behind string keys.
+///
+/// Keys are free-form; the convention is dotted names with an optional
+/// `{label}` suffix (see [`labeled`]). Iteration and [`lines`] output are
+/// sorted by key, so rendering is deterministic.
+///
+/// [`lines`]: MetricsRegistry::lines
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `key` (created at zero).
+    pub fn inc(&mut self, key: &str, delta: u64) {
+        *self
+            .counters
+            .entry_ref_or_insert(key)
+            .expect("counter entry") += delta;
+    }
+
+    /// Sets gauge `key` to `value`.
+    pub fn set_gauge(&mut self, key: &str, value: f64) {
+        match self.gauges.get_mut(key) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(key.to_string(), value);
+            }
+        }
+    }
+
+    /// Raises gauge `key` to `value` if larger (creates at `value`).
+    pub fn max_gauge(&mut self, key: &str, value: f64) {
+        match self.gauges.get_mut(key) {
+            Some(v) => *v = v.max(value),
+            None => {
+                self.gauges.insert(key.to_string(), value);
+            }
+        }
+    }
+
+    /// Records `d` into histogram `key` (created empty).
+    pub fn observe(&mut self, key: &str, d: SimDuration) {
+        match self.histograms.get_mut(key) {
+            Some(h) => h.record(d),
+            None => {
+                let mut h = LatencyHistogram::new();
+                h.record(d);
+                self.histograms.insert(key.to_string(), h);
+            }
+        }
+    }
+
+    /// Current value of counter `key` (zero if absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `key`.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Histogram under `key`, if any.
+    pub fn histogram(&self, key: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(key)
+    }
+
+    /// Sorted iterator over counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sorted iterator over gauges.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry: counters add, gauges take the maximum,
+    /// histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.inc(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.max_gauge(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Deterministic text rendering: one `kind key value` line per metric,
+    /// sorted by key within each kind.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counters {
+            out.push(format!("counter {k} {v}"));
+        }
+        for (k, v) in &self.gauges {
+            out.push(format!("gauge {k} {v:.6}"));
+        }
+        for (k, h) in &self.histograms {
+            out.push(format!(
+                "histogram {k} count={} mean_us={:.3} max_us={:.3}",
+                h.count(),
+                h.mean().as_us(),
+                h.max().as_us()
+            ));
+        }
+        out
+    }
+}
+
+// BTreeMap has no entry API taking &str without allocating; this tiny
+// extension avoids the allocation on the hot increment path when the key
+// already exists.
+trait EntryRefExt {
+    fn entry_ref_or_insert(&mut self, key: &str) -> Option<&mut u64>;
+}
+
+impl EntryRefExt for BTreeMap<String, u64> {
+    fn entry_ref_or_insert(&mut self, key: &str) -> Option<&mut u64> {
+        if !self.contains_key(key) {
+            self.insert(key.to_string(), 0);
+        }
+        self.get_mut(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced<F: FnOnce(&mut Tracer)>(f: F) -> Vec<TraceRecord> {
+        let buf = SharedBuf::new();
+        let mut tr = Tracer::to_sink(Box::new(JsonlSink::new(buf.clone())));
+        f(&mut tr);
+        tr.flush();
+        TraceRecord::parse_jsonl(&buf.contents()).expect("own output parses")
+    }
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let recs = traced(|tr| {
+            let a = tr.span_begin(SimTime::ZERO, "request", None, None, Some(3), Some(65536));
+            let b = tr.span_begin(
+                SimTime::from_us(1),
+                "sense",
+                Some(a),
+                Some("die:2"),
+                Some(3),
+                None,
+            );
+            tr.counter(SimTime::from_us(2), "pages.sensed", 4);
+            tr.gauge(SimTime::from_us(2), "die.qdepth", 2.0);
+            tr.state(SimTime::from_us(3), "chan:0", "ECCWAIT");
+            tr.span_end(SimTime::from_us(4), b);
+            tr.span_end(SimTime::from_us(5), a);
+        });
+        assert_eq!(recs.len(), 7);
+        assert_eq!(
+            recs[0],
+            TraceRecord::SpanBegin {
+                t: SimTime::ZERO,
+                name: "request".into(),
+                id: 1,
+                parent: None,
+                res: None,
+                req: Some(3),
+                bytes: Some(65536),
+            }
+        );
+        assert_eq!(
+            recs[1],
+            TraceRecord::SpanBegin {
+                t: SimTime::from_us(1),
+                name: "sense".into(),
+                id: 2,
+                parent: Some(1),
+                res: Some("die:2".into()),
+                req: Some(3),
+                bytes: None,
+            }
+        );
+        assert_eq!(
+            recs[4],
+            TraceRecord::State {
+                t: SimTime::from_us(3),
+                res: "chan:0".into(),
+                state: "ECCWAIT".into(),
+            }
+        );
+        assert_eq!(
+            recs[6],
+            TraceRecord::SpanEnd {
+                t: SimTime::from_us(5),
+                id: 1
+            }
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_returns_zero_ids() {
+        let mut tr = Tracer::disabled();
+        assert!(!tr.enabled());
+        let id = tr.span_begin(SimTime::ZERO, "request", None, None, None, None);
+        assert_eq!(id, 0);
+        tr.span_end(SimTime::ZERO, id);
+        tr.counter(SimTime::ZERO, "x", 1);
+        tr.flush();
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let recs = traced(|tr| {
+            for _ in 0..10 {
+                let id = tr.span_begin(SimTime::ZERO, "s", None, None, None, None);
+                tr.span_end(SimTime::ZERO, id);
+            }
+        });
+        let mut seen = std::collections::HashSet::new();
+        for r in &recs {
+            if let TraceRecord::SpanBegin { id, .. } = r {
+                assert!(*id > 0);
+                assert!(seen.insert(*id), "duplicate span id {id}");
+            }
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let recs = traced(|tr| {
+            tr.counter(SimTime::ZERO, "weird\"key\\with\nstuff", 1);
+        });
+        assert_eq!(
+            recs[0],
+            TraceRecord::Counter {
+                t: SimTime::ZERO,
+                key: "weird\"key\\with\nstuff".into(),
+                delta: 1
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for (bad, why) in [
+            ("{\"t\":0}", "missing e"),
+            ("{\"t\":0,\"e\":\"b\",\"id\":1}", "missing name"),
+            ("{\"t\":0,\"e\":\"zz\"}", "unknown type"),
+            ("not json", "not an object"),
+            ("{\"e\":\"c\",\"k\":\"x\",\"v\":1}", "missing t"),
+            (
+                "{\"t\":0,\"e\":\"c\",\"k\":\"x\",\"v\":-3}",
+                "negative count",
+            ),
+        ] {
+            let err = TraceRecord::parse_jsonl(bad).expect_err(why);
+            assert_eq!(err.line, 1, "{why}: {err}");
+        }
+        // The error carries the right line number.
+        let ok_then_bad = "{\"t\":0,\"e\":\"e\",\"id\":1}\n\nbroken\n";
+        assert_eq!(TraceRecord::parse_jsonl(ok_then_bad).unwrap_err().line, 3);
+    }
+
+    #[test]
+    fn parse_accepts_unicode_escapes() {
+        let recs = TraceRecord::parse_jsonl(
+            "{\"t\":5,\"e\":\"s\",\"res\":\"\\u0063han:0\",\"st\":\"IDLE\"}",
+        )
+        .unwrap();
+        assert_eq!(
+            recs[0],
+            TraceRecord::State {
+                t: SimTime::from_ns(5),
+                res: "chan:0".into(),
+                state: "IDLE".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_registry_basics() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a.count", 2);
+        m.inc("a.count", 3);
+        m.set_gauge("b.util", 0.5);
+        m.set_gauge("b.util", 0.7);
+        m.max_gauge("c.peak", 4.0);
+        m.max_gauge("c.peak", 2.0);
+        m.observe("d.lat", SimDuration::from_us(10));
+        assert_eq!(m.counter("a.count"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("b.util"), Some(0.7));
+        assert_eq!(m.gauge("c.peak"), Some(4.0));
+        assert_eq!(m.histogram("d.lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn metrics_lines_are_sorted_and_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.inc("z", 1);
+        m.inc("a", 1);
+        m.set_gauge("mid", 1.0);
+        let lines = m.lines();
+        assert_eq!(lines[0], "counter a 1");
+        assert_eq!(lines[1], "counter z 1");
+        assert!(lines[2].starts_with("gauge mid"));
+        assert_eq!(m.lines(), lines);
+    }
+
+    #[test]
+    fn metrics_merge_adds_counters_and_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1);
+        a.observe("h", SimDuration::from_us(1));
+        let mut b = MetricsRegistry::new();
+        b.inc("c", 2);
+        b.inc("only_b", 7);
+        b.observe("h", SimDuration::from_us(3));
+        b.max_gauge("g", 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.gauge("g"), Some(9.0));
+    }
+
+    #[test]
+    fn labeled_formats_key() {
+        assert_eq!(
+            labeled("retries.in_die", "RiFSSD"),
+            "retries.in_die{RiFSSD}"
+        );
+    }
+
+    #[test]
+    fn shared_buf_clones_share_contents() {
+        let a = SharedBuf::new();
+        let mut b = a.clone();
+        use std::io::Write as _;
+        b.write_all(b"hello").unwrap();
+        assert_eq!(a.contents(), "hello");
+    }
+}

@@ -33,8 +33,10 @@ pub mod retention;
 pub mod retry;
 pub mod simulator;
 pub mod timeline;
+pub mod tracecheck;
 
 pub use config::SsdConfig;
 pub use report::{ChannelUsage, SimReport};
 pub use retry::RetryKind;
 pub use simulator::Simulator;
+pub use tracecheck::{TraceChecker, Violation};

@@ -1,9 +1,19 @@
 //! Simulation results: bandwidth, latency distributions, channel-usage
 //! breakdowns and retry statistics.
 
-use rif_events::{LatencyHistogram, SimDuration};
+use rif_events::{LatencyHistogram, MetricsRegistry, SimDuration};
 
 use crate::retry::RetryKind;
+
+/// Maps non-finite fractions (NaN from a zero-length tracker window,
+/// infinities from degenerate configs) to zero so aggregates stay usable.
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
 
 /// How a flash channel's time divided among the four states of Fig. 18.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -36,20 +46,22 @@ impl ChannelUsage {
     }
 
     /// Fraction of channel time wasted on retry overheads
-    /// (UNCOR + ECCWAIT).
+    /// (UNCOR + ECCWAIT). Non-finite fractions count as zero so a
+    /// zero-length run cannot poison downstream aggregates.
     pub fn wasted(&self) -> f64 {
-        self.uncor + self.eccwait
+        finite_or_zero(self.uncor) + finite_or_zero(self.eccwait)
     }
 
-    /// Element-wise mean of several usages.
+    /// Element-wise mean of several usages. An empty slice yields the
+    /// all-zero usage; non-finite components are treated as zero.
     pub fn mean(usages: &[ChannelUsage]) -> ChannelUsage {
         let n = usages.len().max(1) as f64;
         let mut m = ChannelUsage::default();
         for u in usages {
-            m.idle += u.idle / n;
-            m.cor += u.cor / n;
-            m.uncor += u.uncor / n;
-            m.eccwait += u.eccwait / n;
+            m.idle += finite_or_zero(u.idle) / n;
+            m.cor += finite_or_zero(u.cor) / n;
+            m.uncor += finite_or_zero(u.uncor) / n;
+            m.eccwait += finite_or_zero(u.eccwait) / n;
         }
         m
     }
@@ -58,6 +70,9 @@ impl ChannelUsage {
 /// The results of one simulated run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
+    /// The populated metrics registry, when the run was started with
+    /// [`crate::Simulator::with_metrics`]; `None` otherwise.
+    pub metrics: Option<MetricsRegistry>,
     /// The scheme that produced this report.
     pub scheme: RetryKind,
     /// The wear stage of the run.
@@ -109,6 +124,79 @@ impl SimReport {
     pub fn channel_usage(&self) -> ChannelUsage {
         ChannelUsage::mean(&self.per_channel_usage)
     }
+
+    /// Serializes the report as canonical JSON: fixed key order, fixed
+    /// 6-decimal float formatting. Two identical runs produce
+    /// byte-identical output, which the determinism tests rely on.
+    pub fn to_json(&self) -> String {
+        fn f(x: f64) -> String {
+            format!("{:.6}", finite_or_zero(x))
+        }
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"scheme\": \"{}\",\n", self.scheme.label()));
+        s.push_str(&format!("  \"pe_cycles\": {},\n", self.pe_cycles));
+        s.push_str(&format!(
+            "  \"completed_requests\": {},\n",
+            self.completed_requests
+        ));
+        s.push_str(&format!(
+            "  \"completed_bytes\": {},\n",
+            self.completed_bytes
+        ));
+        s.push_str(&format!("  \"read_bytes\": {},\n", self.read_bytes));
+        s.push_str(&format!("  \"makespan_ns\": {},\n", self.makespan.as_ns()));
+        s.push_str(&format!(
+            "  \"io_bandwidth_mbps\": {},\n",
+            f(self.io_bandwidth_mbps())
+        ));
+        s.push_str(&format!(
+            "  \"read_latency\": {{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}},\n",
+            self.read_latency.count(),
+            f(self.read_latency.mean().as_us()),
+            f(self.read_latency.percentile(50.0).unwrap_or(SimDuration::ZERO).as_us()),
+            f(self.read_latency.percentile(99.0).unwrap_or(SimDuration::ZERO).as_us()),
+            f(self.read_latency.max().as_us()),
+        ));
+        s.push_str("  \"per_channel_usage\": [");
+        for (i, u) in self.per_channel_usage.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"idle\": {}, \"cor\": {}, \"uncor\": {}, \"eccwait\": {}}}",
+                f(u.idle),
+                f(u.cor),
+                f(u.uncor),
+                f(u.eccwait)
+            ));
+        }
+        s.push_str("],\n");
+        s.push_str(&format!(
+            "  \"decode_failures\": {},\n",
+            self.decode_failures
+        ));
+        s.push_str(&format!("  \"in_die_retries\": {},\n", self.in_die_retries));
+        s.push_str(&format!(
+            "  \"uncor_page_transfers\": {},\n",
+            self.uncor_page_transfers
+        ));
+        s.push_str(&format!("  \"page_senses\": {},\n", self.page_senses));
+        s.push_str(&format!("  \"gc_relocations\": {},\n", self.gc_relocations));
+        s.push_str("  \"metrics\": [");
+        if let Some(m) = &self.metrics {
+            for (i, line) in m.lines().iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push('"');
+                s.push_str(line);
+                s.push('"');
+            }
+        }
+        s.push_str("]\n}\n");
+        s
+    }
 }
 
 #[cfg(test)]
@@ -144,8 +232,68 @@ mod tests {
     }
 
     #[test]
+    fn mean_of_empty_slice_is_zero_usage() {
+        let m = ChannelUsage::mean(&[]);
+        assert_eq!(m, ChannelUsage::default());
+        assert_eq!(m.wasted(), 0.0);
+    }
+
+    #[test]
+    fn nan_fractions_are_neutralized() {
+        let bad = ChannelUsage {
+            idle: f64::NAN,
+            cor: 0.5,
+            uncor: f64::NAN,
+            eccwait: f64::INFINITY,
+        };
+        assert_eq!(bad.wasted(), 0.0);
+        let ok = ChannelUsage {
+            idle: 0.0,
+            cor: 0.5,
+            uncor: 0.3,
+            eccwait: 0.2,
+        };
+        let m = ChannelUsage::mean(&[bad, ok]);
+        assert!(m.idle.is_finite() && m.uncor.is_finite() && m.eccwait.is_finite());
+        assert!((m.cor - 0.5).abs() < 1e-12);
+        assert!((m.uncor - 0.15).abs() < 1e-12);
+        assert!((m.wasted() - 0.25).abs() < 1e-12);
+    }
+
+    fn sample_report() -> SimReport {
+        SimReport {
+            metrics: None,
+            scheme: RetryKind::Zero,
+            pe_cycles: 0,
+            completed_requests: 1,
+            completed_bytes: 8_000_000_000,
+            read_bytes: 8_000_000_000,
+            makespan: SimDuration::from_secs(1),
+            read_latency: LatencyHistogram::new(),
+            per_channel_usage: vec![],
+            decode_failures: 0,
+            in_die_retries: 0,
+            uncor_page_transfers: 0,
+            page_senses: 0,
+            gc_relocations: 0,
+        }
+    }
+
+    #[test]
+    fn to_json_is_stable_and_parsable_shape() {
+        let r = sample_report();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b, "canonical JSON must be reproducible");
+        assert!(a.contains("\"scheme\": \"SSDzero\""));
+        assert!(a.contains("\"completed_bytes\": 8000000000"));
+        assert!(a.ends_with("]\n}\n"));
+    }
+
+    #[test]
     fn bandwidth_computation() {
         let r = SimReport {
+            metrics: None,
             scheme: RetryKind::Zero,
             pe_cycles: 0,
             completed_requests: 1,

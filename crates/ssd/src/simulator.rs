@@ -19,6 +19,7 @@
 
 use std::collections::VecDeque;
 
+use rif_events::trace::{labeled, MetricsRegistry, TraceSink, Tracer};
 use rif_events::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, UtilizationTracker};
 use rif_flash::geometry::PageKind;
 use rif_flash::rber::BlockProfile;
@@ -35,6 +36,9 @@ const ST_IDLE: usize = 0;
 const ST_COR: usize = 1;
 const ST_UNCOR: usize = 2;
 const ST_ECCWAIT: usize = 3;
+
+/// Trace names for the four channel states, indexed by `ST_*`.
+const ST_NAMES: [&str; 4] = ["IDLE", "COR", "UNCOR", "ECCWAIT"];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
@@ -76,6 +80,8 @@ struct ReadGroup {
     attempt: u32,
     /// RiF: whether the ODEAR engine retried before the transfer.
     rif_retried_in_die: bool,
+    /// Trace span covering the group's life (0 when tracing is off).
+    span: u64,
 }
 
 #[derive(Debug)]
@@ -104,6 +110,8 @@ struct Die {
     epoch: u32,
     /// When the current command will finish (valid while busy).
     busy_until: SimTime,
+    /// Trace span of the in-flight command (0 when tracing is off).
+    current_span: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +136,8 @@ struct Channel {
     current: Option<Transfer>,
     queue: VecDeque<Transfer>,
     tracker: UtilizationTracker,
+    /// Trace span of the in-flight transfer (0 when tracing is off).
+    current_span: u64,
 }
 
 #[derive(Debug, Default)]
@@ -137,6 +147,12 @@ struct EccEngine {
     queue: VecDeque<usize>,
     /// Pages occupying the input buffer (reserved at transfer start).
     pending: usize,
+    /// Trace span of the in-flight decode (0 when tracing is off).
+    current_span: u64,
+    /// Start of the in-flight decode (valid while busy).
+    busy_since: SimTime,
+    /// Accumulated decoding time, for the utilization metric.
+    busy_total: SimDuration,
 }
 
 #[derive(Debug)]
@@ -147,6 +163,8 @@ struct Request {
     bytes: u32,
     remaining: usize,
     done: bool,
+    /// Trace span from admission to completion (0 when tracing is off).
+    span: u64,
 }
 
 #[derive(Debug)]
@@ -194,6 +212,11 @@ pub struct Simulator {
     write_jobs: Vec<WriteJob>,
     backlog: VecDeque<usize>,
     outstanding: usize,
+    // Observability (both off by default and free when off).
+    tracer: Tracer,
+    metrics: Option<MetricsRegistry>,
+    /// Trace span of the in-flight host-link job.
+    host_span: u64,
     // Statistics.
     read_latency: LatencyHistogram,
     completed_requests: u64,
@@ -222,6 +245,7 @@ impl Simulator {
                 current: None,
                 queue: VecDeque::new(),
                 tracker: UtilizationTracker::new(4),
+                current_span: 0,
             })
             .collect();
         Simulator {
@@ -242,6 +266,9 @@ impl Simulator {
             write_jobs: Vec::new(),
             backlog: VecDeque::new(),
             outstanding: 0,
+            tracer: Tracer::disabled(),
+            metrics: None,
+            host_span: 0,
             read_latency: LatencyHistogram::new(),
             completed_requests: 0,
             completed_bytes: 0,
@@ -255,6 +282,61 @@ impl Simulator {
         }
     }
 
+    /// Attaches a trace sink: the run emits the request-lifecycle span
+    /// tree, engine counters, and channel-state records described in the
+    /// [`rif_events::trace`] schema. Without a sink every trace callsite
+    /// is a single predictable branch.
+    pub fn with_tracer(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.tracer = Tracer::to_sink(sink);
+        self
+    }
+
+    /// Enables the in-run [`MetricsRegistry`]; the populated registry is
+    /// returned in [`SimReport::metrics`].
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Some(MetricsRegistry::new());
+        self
+    }
+
+    /// True when any observability output is being collected.
+    #[inline]
+    fn observing(&self) -> bool {
+        self.tracer.enabled() || self.metrics.is_some()
+    }
+
+    /// Emits a counter increment to the trace and the metrics registry.
+    fn count(&mut self, now: SimTime, key: &str, delta: u64) {
+        self.tracer.counter(now, key, delta);
+        if let Some(m) = &mut self.metrics {
+            m.inc(key, delta);
+        }
+    }
+
+    /// Switches a channel's utilization state, mirroring real state
+    /// changes into the trace.
+    fn switch_chan(&mut self, now: SimTime, ch: usize, state: usize) {
+        if self.tracer.enabled() && self.channels[ch].tracker.state() != state {
+            self.tracer
+                .state(now, &format!("chan:{ch}"), ST_NAMES[state]);
+        }
+        self.channels[ch].tracker.switch(now, state);
+    }
+
+    /// Records a die's queue depth after it changed.
+    fn note_die_queue(&mut self, now: SimTime, die: usize) {
+        if !self.observing() {
+            return;
+        }
+        let depth = self.dies[die].queue.len();
+        if self.tracer.enabled() {
+            self.tracer
+                .gauge(now, &format!("die.{die}.qdepth"), depth as f64);
+        }
+        if let Some(m) = &mut self.metrics {
+            m.max_gauge("die.max_qdepth", depth as f64);
+        }
+    }
+
     /// Runs the trace to completion and returns the report.
     pub fn run(mut self, trace: &Trace) -> SimReport {
         for (i, r) in trace.iter().enumerate() {
@@ -265,6 +347,7 @@ impl Simulator {
                 bytes: r.bytes,
                 remaining: 0,
                 done: false,
+                span: 0,
             });
             self.events.schedule(r.arrival, Ev::Arrive(i));
         }
@@ -280,14 +363,41 @@ impl Simulator {
         self.finish()
     }
 
-    fn finish(self) -> SimReport {
+    fn finish(mut self) -> SimReport {
         let end = self.last_completion;
-        let per_channel_usage = self
-            .channels
+        self.tracer.flush();
+        let per_channel_usage: Vec<ChannelUsage> = std::mem::take(&mut self.channels)
             .into_iter()
             .map(|c| ChannelUsage::from_fractions(&c.tracker.fractions(end)))
             .collect();
+        let metrics = self.metrics.take().map(|mut m| {
+            // End-of-run gauges: channel/ECC utilization and the
+            // scheme-labeled retry totals of this run.
+            let scheme = self.cfg.retry.label();
+            let span_ns = end.as_ns();
+            for (i, u) in per_channel_usage.iter().enumerate() {
+                m.set_gauge(&format!("chan.{i}.cor_frac"), u.cor);
+                m.set_gauge(&format!("chan.{i}.uncor_frac"), u.uncor);
+                m.set_gauge(&format!("chan.{i}.eccwait_frac"), u.eccwait);
+            }
+            let mean = ChannelUsage::mean(&per_channel_usage);
+            m.set_gauge("chan.mean.eccwait_frac", mean.eccwait);
+            m.set_gauge("chan.mean.wasted_frac", mean.wasted());
+            for (i, e) in self.ecc.iter().enumerate() {
+                let util = if span_ns == 0 {
+                    0.0
+                } else {
+                    e.busy_total.as_ns() as f64 / span_ns as f64
+                };
+                m.set_gauge(&format!("ecc.{i}.util"), util);
+            }
+            m.inc(&labeled("retries.in_die", scheme), self.in_die_retries);
+            m.inc(&labeled("decode.failures", scheme), self.decode_failures);
+            m.set_gauge("makespan_us", end.as_us());
+            m
+        });
         SimReport {
+            metrics,
             scheme: self.cfg.retry,
             pe_cycles: self.cfg.pe_cycles,
             completed_requests: self.completed_requests,
@@ -316,6 +426,24 @@ impl Simulator {
 
     fn admit(&mut self, now: SimTime, req: usize) {
         self.outstanding += 1;
+        if self.observing() {
+            let (op, bytes) = (self.requests[req].op, self.requests[req].bytes as u64);
+            let name = match op {
+                IoOp::Read => "request_read",
+                IoOp::Write => "request_write",
+            };
+            let span = self
+                .tracer
+                .span_begin(now, name, None, None, Some(req as u64), Some(bytes));
+            self.requests[req].span = span;
+            self.count(now, "requests.admitted", 1);
+            if let Some(m) = &mut self.metrics {
+                m.observe(
+                    "queueing.admission_wait",
+                    now.since(self.requests[req].arrival),
+                );
+            }
+        }
         match self.requests[req].op {
             IoOp::Read => self.admit_read(now, req),
             // Write data first crosses the host link into the controller.
@@ -393,8 +521,18 @@ impl Simulator {
             phase: GroupPhase::Initial,
             attempt: 0,
             rif_retried_in_die: false,
+            span: 0,
         });
         self.setup_initial_phase(gid);
+        if self.observing() {
+            let parent = self.requests[req].span;
+            self.groups[gid].span =
+                self.tracer
+                    .span_begin(now, "group", Some(parent), None, Some(req as u64), None);
+            if self.groups[gid].rif_retried_in_die {
+                self.count(now, "retries.in_die", 1);
+            }
+        }
         gid
     }
 
@@ -522,23 +660,48 @@ impl Simulator {
     // ----- dies ------------------------------------------------------------
 
     fn die_try_start(&mut self, now: SimTime, die: usize) {
-        let d = &mut self.dies[die];
-        if d.busy {
+        if self.dies[die].busy {
             return;
         }
-        if let Some(cmd) = d.queue.pop_front() {
-            let duration = match &cmd {
-                DieCmd::Sense { duration, .. } => *duration,
-                DieCmd::Program { duration, .. } => *duration,
-                DieCmd::Gc { duration, .. } => *duration,
+        let Some(cmd) = self.dies[die].queue.pop_front() else {
+            return;
+        };
+        let duration = match &cmd {
+            DieCmd::Sense { duration, .. } => *duration,
+            DieCmd::Program { duration, .. } => *duration,
+            DieCmd::Gc { duration, .. } => *duration,
+        };
+        let span = if self.tracer.enabled() {
+            let (name, parent, req) = match &cmd {
+                DieCmd::Sense { group, .. } => (
+                    "sense",
+                    self.groups[*group].span,
+                    Some(self.groups[*group].req as u64),
+                ),
+                DieCmd::Program { req, .. } => {
+                    ("program", self.requests[*req].span, Some(*req as u64))
+                }
+                DieCmd::Gc { .. } => ("gc", 0, None),
             };
-            d.busy = true;
-            d.busy_until = now + duration;
-            d.current = Some(cmd);
-            let epoch = d.epoch;
-            self.events
-                .schedule(now + duration, Ev::DieDone(die, epoch));
-        }
+            self.tracer.span_begin(
+                now,
+                name,
+                Some(parent),
+                Some(&format!("die:{die}")),
+                req,
+                None,
+            )
+        } else {
+            0
+        };
+        let d = &mut self.dies[die];
+        d.busy = true;
+        d.busy_until = now + duration;
+        d.current = Some(cmd);
+        d.current_span = span;
+        let epoch = d.epoch;
+        self.events
+            .schedule(now + duration, Ev::DieDone(die, epoch));
     }
 
     /// Queues a read sense, preempting an in-flight program/erase when
@@ -554,6 +717,16 @@ impl Simulator {
             }
             && self.dies[die].busy_until.saturating_since(now) > SimDuration::from_us(5);
         if can_suspend {
+            if self.observing() {
+                // The suspended command's span ends here; its resumed
+                // remainder opens a fresh span when it restarts.
+                let span = self.dies[die].current_span;
+                if span != 0 {
+                    self.tracer.span_end(now, span);
+                    self.dies[die].current_span = 0;
+                }
+                self.count(now, "die.suspensions", 1);
+            }
             let d = &mut self.dies[die];
             let remaining = d.busy_until.since(now) + self.cfg.suspend_overhead;
             let resumed = match d.current.take().expect("busy die has a command") {
@@ -577,6 +750,7 @@ impl Simulator {
         } else {
             self.dies[die].queue.push_back(cmd);
         }
+        self.note_die_queue(now, die);
         self.die_try_start(now, die);
     }
 
@@ -586,9 +760,16 @@ impl Simulator {
         }
         let cmd = self.dies[die].current.take().expect("die had no command");
         self.dies[die].busy = false;
+        if self.dies[die].current_span != 0 {
+            self.tracer.span_end(now, self.dies[die].current_span);
+            self.dies[die].current_span = 0;
+        }
         match cmd {
             DieCmd::Sense { group, .. } => {
                 self.page_senses += self.groups[group].n_pages as u64;
+                if self.observing() {
+                    self.count(now, "pages.sensed", self.groups[group].n_pages as u64);
+                }
                 let uncor = match self.groups[group].phase {
                     // Sentinel-cell data is pure retry overhead.
                     GroupPhase::SentinelRead => true,
@@ -647,7 +828,37 @@ impl Simulator {
                     self.uncor_page_transfers += 1;
                 }
                 let state = if t.uncor { ST_UNCOR } else { ST_COR };
-                self.channels[ch].tracker.switch(now, state);
+                self.switch_chan(now, ch, state);
+                if self.observing() {
+                    let (name, parent, req) = match t.kind {
+                        XferKind::ReadPage { group } => (
+                            if t.uncor { "xfer_uncor" } else { "xfer" },
+                            self.groups[group].span,
+                            Some(self.groups[group].req as u64),
+                        ),
+                        XferKind::Sentinel { group } => (
+                            "xfer_sentinel",
+                            self.groups[group].span,
+                            Some(self.groups[group].req as u64),
+                        ),
+                        XferKind::WritePage { job } => {
+                            let req = self.write_jobs[job].req;
+                            ("xfer_write", self.requests[req].span, Some(req as u64))
+                        }
+                    };
+                    self.channels[ch].current_span = self.tracer.span_begin(
+                        now,
+                        name,
+                        Some(parent),
+                        Some(&format!("chan:{ch}")),
+                        req,
+                        Some(self.cfg.geometry.page_bytes as u64),
+                    );
+                    self.count(now, "pages.transferred", 1);
+                    if t.uncor {
+                        self.count(now, "pages.transferred_uncor", 1);
+                    }
+                }
                 self.channels[ch].busy = true;
                 self.channels[ch].current = Some(t);
                 self.events
@@ -659,7 +870,7 @@ impl Simulator {
                 } else {
                     ST_ECCWAIT
                 };
-                self.channels[ch].tracker.switch(now, state);
+                self.switch_chan(now, ch, state);
             }
         }
     }
@@ -670,6 +881,10 @@ impl Simulator {
             .take()
             .expect("channel had no transfer");
         self.channels[ch].busy = false;
+        if self.channels[ch].current_span != 0 {
+            self.tracer.span_end(now, self.channels[ch].current_span);
+            self.channels[ch].current_span = 0;
+        }
         match t.kind {
             XferKind::ReadPage { group } => {
                 self.ecc[ch].queue.push_back(group);
@@ -698,6 +913,7 @@ impl Simulator {
                         duration: self.write_jobs[job].program_duration,
                         suspensions: 0,
                     });
+                    self.note_die_queue(now, die);
                     self.die_try_start(now, die);
                 }
             }
@@ -712,9 +928,21 @@ impl Simulator {
             return;
         }
         if let Some(group) = self.ecc[ch].queue.pop_front() {
-            self.ecc[ch].busy = true;
-            self.ecc[ch].current = Some(group);
             let dur = self.groups[group].decode_duration;
+            if self.observing() {
+                self.ecc[ch].current_span = self.tracer.span_begin(
+                    now,
+                    "decode",
+                    Some(self.groups[group].span),
+                    Some(&format!("ecc:{ch}")),
+                    Some(self.groups[group].req as u64),
+                    None,
+                );
+            }
+            let e = &mut self.ecc[ch];
+            e.busy = true;
+            e.current = Some(group);
+            e.busy_since = now;
             self.events.schedule(now + dur, Ev::EccDone(ch));
         }
     }
@@ -723,10 +951,18 @@ impl Simulator {
         let group = self.ecc[ch].current.take().expect("ECC had no page");
         self.ecc[ch].busy = false;
         self.ecc[ch].pending -= 1;
+        self.ecc[ch].busy_total = self.ecc[ch].busy_total + now.since(self.ecc[ch].busy_since);
+        if self.ecc[ch].current_span != 0 {
+            self.tracer.span_end(now, self.ecc[ch].current_span);
+            self.ecc[ch].current_span = 0;
+        }
         self.groups[group].pages_remaining -= 1;
         if self.groups[group].pages_remaining == 0 {
             if self.groups[group].decode_fails {
                 self.decode_failures += self.groups[group].n_pages as u64;
+                if self.observing() {
+                    self.count(now, "decode.failures", self.groups[group].n_pages as u64);
+                }
                 self.begin_retry(now, group);
             } else {
                 self.group_done(now, group);
@@ -746,6 +982,9 @@ impl Simulator {
             // SENC: read and transfer the sentinel cells before the
             // corrective re-read.
             self.groups[gid].phase = GroupPhase::SentinelRead;
+            if self.observing() {
+                self.count(now, "retry.sentinel_reads", 1);
+            }
             let die = self.groups[gid].loc.die_linear;
             let t_r = self.cfg.timing.t_r;
             self.enqueue_read_sense(
@@ -762,6 +1001,9 @@ impl Simulator {
     }
 
     fn schedule_retry_sense(&mut self, now: SimTime, gid: usize) {
+        if self.observing() {
+            self.count(now, "retry.rounds", 1);
+        }
         let t = self.cfg.timing;
         let duration = match self.cfg.retry {
             // Swift-Read's retry command performs two senses in-die.
@@ -805,6 +1047,10 @@ impl Simulator {
 
     fn group_done(&mut self, now: SimTime, gid: usize) {
         let req = self.groups[gid].req;
+        if self.groups[gid].span != 0 {
+            self.tracer.span_end(now, self.groups[gid].span);
+            self.groups[gid].span = 0;
+        }
         self.requests[req].remaining -= 1;
         if self.requests[req].remaining == 0 {
             self.host_enqueue(now, HostJob::ReadCompletion { req });
@@ -823,11 +1069,24 @@ impl Simulator {
             return;
         }
         if let Some(job) = self.host_queue.pop_front() {
-            let bytes = match job {
-                HostJob::ReadCompletion { req } | HostJob::WriteIngress { req } => {
-                    self.requests[req].bytes as u64
+            let (bytes, name, req) = match job {
+                HostJob::ReadCompletion { req } => {
+                    (self.requests[req].bytes as u64, "host_read", req)
+                }
+                HostJob::WriteIngress { req } => {
+                    (self.requests[req].bytes as u64, "host_write_ingress", req)
                 }
             };
+            if self.observing() {
+                self.host_span = self.tracer.span_begin(
+                    now,
+                    name,
+                    Some(self.requests[req].span),
+                    Some("host"),
+                    Some(req as u64),
+                    Some(bytes),
+                );
+            }
             self.host_busy = true;
             self.host_current = Some(job);
             self.events
@@ -838,6 +1097,10 @@ impl Simulator {
     fn on_host_done(&mut self, now: SimTime) {
         let job = self.host_current.take().expect("host link had no job");
         self.host_busy = false;
+        if self.host_span != 0 {
+            self.tracer.span_end(now, self.host_span);
+            self.host_span = 0;
+        }
         match job {
             HostJob::ReadCompletion { req } => self.complete_request(now, req),
             HostJob::WriteIngress { req } => self.launch_write(now, req),
@@ -875,15 +1138,30 @@ impl Simulator {
     }
 
     fn complete_request(&mut self, now: SimTime, req: usize) {
-        let r = &mut self.requests[req];
-        debug_assert!(!r.done, "request {req} completed twice");
-        r.done = true;
+        debug_assert!(!self.requests[req].done, "request {req} completed twice");
+        self.requests[req].done = true;
+        let (op, bytes, span, arrival) = {
+            let r = &self.requests[req];
+            (r.op, r.bytes as u64, r.span, r.arrival)
+        };
         self.completed_requests += 1;
-        self.completed_bytes += r.bytes as u64;
-        if r.op == IoOp::Read {
-            self.read_bytes += r.bytes as u64;
-            let latency = now.since(r.arrival);
-            self.read_latency.record(latency);
+        self.completed_bytes += bytes;
+        if op == IoOp::Read {
+            self.read_bytes += bytes;
+            self.read_latency.record(now.since(arrival));
+        }
+        if self.observing() {
+            if span != 0 {
+                self.tracer.span_end(now, span);
+                self.requests[req].span = 0;
+            }
+            self.count(now, "requests.completed", 1);
+            self.count(now, "bytes.completed", bytes);
+            if op == IoOp::Read {
+                if let Some(m) = &mut self.metrics {
+                    m.observe("latency.read", now.since(arrival));
+                }
+            }
         }
         self.last_completion = now;
         self.outstanding -= 1;

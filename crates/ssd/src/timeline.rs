@@ -30,13 +30,13 @@ pub struct TimelineResult {
     pub report: SimReport,
 }
 
-/// Runs the Fig. 7/8 scenario for `scheme` and returns its completion
-/// time.
+/// The Fig. 7/8 scenario itself: configuration and host trace, for
+/// callers that want to attach their own tracer or metrics to the run.
 ///
 /// The geometry is the figure's: one channel with two 4-plane dies. The
 /// 256-KiB read becomes commands A–D (two per die); slots 0 and 1 (A and
 /// B) are forced to require a retry.
-pub fn example_256k(scheme: RetryKind) -> TimelineResult {
+pub fn example_256k_setup(scheme: RetryKind) -> (SsdConfig, Trace) {
     let mut cfg = SsdConfig::paper(scheme, 0);
     cfg.geometry = FlashGeometry {
         channels: 1,
@@ -60,6 +60,13 @@ pub fn example_256k(scheme: RetryKind) -> TimelineResult {
         offset: 0,
         bytes: 256 * 1024,
     }]);
+    (cfg, trace)
+}
+
+/// Runs the Fig. 7/8 scenario for `scheme` and returns its completion
+/// time (see [`example_256k_setup`]).
+pub fn example_256k(scheme: RetryKind) -> TimelineResult {
+    let (cfg, trace) = example_256k_setup(scheme);
     let report = Simulator::new(cfg).run(&trace);
     TimelineResult {
         scheme,

@@ -1,0 +1,556 @@
+//! Trace-as-oracle invariant checking.
+//!
+//! A [`TraceChecker`] replays a JSONL trace emitted by the simulator (see
+//! the schema in [`rif_events::trace`]) and asserts the engine's
+//! conservation laws, turning every traced run into a self-verifying one:
+//!
+//! 1. **Well-formed spans** — ids unique and non-zero, every span ends
+//!    exactly once, never before it begins, timestamps non-decreasing.
+//! 2. **Nesting** — a child span lies within its parent's interval.
+//! 3. **Resource exclusivity** — spans on one resource (`die:N`,
+//!    `chan:N`, `ecc:N`, `host`) never overlap: dies run one command at
+//!    a time and channels serialize transfers.
+//! 4. **Request conservation** — every admitted request owns exactly one
+//!    request span, completes exactly once, and the `requests.admitted`
+//!    and `requests.completed` counters agree.
+//! 5. **Byte conservation** — bytes admitted on request spans equal the
+//!    `bytes.completed` counter total.
+//! 6. **ECCWAIT ⊆ decoder busy** — a channel may sit in ECCWAIT only
+//!    while its ECC engine is decoding (a full buffer with an idle
+//!    decoder would be a scheduling bug).
+
+use std::collections::BTreeMap;
+
+use rif_events::trace::{TraceParseError, TraceRecord};
+use rif_events::SimTime;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short rule name (`span-form`, `nesting`, `exclusivity`,
+    /// `request-conservation`, `byte-conservation`, `eccwait`, `order`).
+    pub rule: &'static str,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SpanInfo {
+    name: String,
+    begin: SimTime,
+    end: Option<SimTime>,
+    parent: Option<u64>,
+    res: Option<String>,
+    req: Option<u64>,
+    bytes: Option<u64>,
+    /// Position in the record stream, for stable per-resource ordering.
+    seq: usize,
+}
+
+/// Replays parsed trace records and collects invariant [`Violation`]s.
+///
+/// # Example
+///
+/// ```
+/// use rif_ssd::tracecheck::TraceChecker;
+///
+/// let violations = TraceChecker::check_jsonl("").unwrap();
+/// assert!(violations.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceChecker {
+    violations: Vec<Violation>,
+}
+
+impl TraceChecker {
+    /// Parses a JSONL document and checks it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of the first malformed line; invariant
+    /// violations are *not* errors — they come back in the `Ok` vector.
+    pub fn check_jsonl(text: &str) -> Result<Vec<Violation>, TraceParseError> {
+        Ok(Self::check(&TraceRecord::parse_jsonl(text)?))
+    }
+
+    /// Checks already-parsed records, returning every violation found
+    /// (empty when the trace satisfies all invariants).
+    pub fn check(records: &[TraceRecord]) -> Vec<Violation> {
+        let mut c = TraceChecker::default();
+        let spans = c.collect_spans(records);
+        c.check_order(records);
+        c.check_nesting(&spans);
+        c.check_exclusivity(&spans);
+        c.check_requests(records, &spans);
+        c.check_bytes(records, &spans);
+        c.check_eccwait(records, &spans);
+        c.violations
+    }
+
+    fn fail(&mut self, rule: &'static str, detail: String) {
+        self.violations.push(Violation { rule, detail });
+    }
+
+    /// Builds the span table, flagging malformed begin/end pairs.
+    fn collect_spans(&mut self, records: &[TraceRecord]) -> BTreeMap<u64, SpanInfo> {
+        let mut spans: BTreeMap<u64, SpanInfo> = BTreeMap::new();
+        for (seq, r) in records.iter().enumerate() {
+            match r {
+                TraceRecord::SpanBegin {
+                    t,
+                    name,
+                    id,
+                    parent,
+                    res,
+                    req,
+                    bytes,
+                } => {
+                    if *id == 0 {
+                        self.fail("span-form", format!("span id 0 at {} ns", t.as_ns()));
+                        continue;
+                    }
+                    if spans.contains_key(id) {
+                        self.fail("span-form", format!("duplicate span id {id}"));
+                        continue;
+                    }
+                    spans.insert(
+                        *id,
+                        SpanInfo {
+                            name: name.clone(),
+                            begin: *t,
+                            end: None,
+                            parent: *parent,
+                            res: res.clone(),
+                            req: *req,
+                            bytes: *bytes,
+                            seq,
+                        },
+                    );
+                }
+                TraceRecord::SpanEnd { t, id } => match spans.get_mut(id) {
+                    None => self.fail("span-form", format!("end of unknown span {id}")),
+                    Some(s) if s.end.is_some() => {
+                        self.fail("span-form", format!("span {id} ({}) ended twice", s.name))
+                    }
+                    Some(s) => {
+                        if *t < s.begin {
+                            self.fail(
+                                "span-form",
+                                format!(
+                                    "span {id} ({}) ends at {} ns before its begin {} ns",
+                                    s.name,
+                                    t.as_ns(),
+                                    s.begin.as_ns()
+                                ),
+                            );
+                        }
+                        s.end = Some(*t);
+                    }
+                },
+                _ => {}
+            }
+        }
+        for (id, s) in &spans {
+            if s.end.is_none() {
+                self.fail("span-form", format!("span {id} ({}) never ends", s.name));
+            }
+        }
+        spans
+    }
+
+    /// Record timestamps must be non-decreasing: the simulator emits in
+    /// event order.
+    fn check_order(&mut self, records: &[TraceRecord]) {
+        let mut last = SimTime::ZERO;
+        for r in records {
+            let t = r.time();
+            if t < last {
+                self.fail(
+                    "order",
+                    format!(
+                        "time went backwards: {} ns after {} ns",
+                        t.as_ns(),
+                        last.as_ns()
+                    ),
+                );
+            }
+            last = t;
+        }
+    }
+
+    /// A child span must lie within its parent's interval.
+    fn check_nesting(&mut self, spans: &BTreeMap<u64, SpanInfo>) {
+        for (id, s) in spans {
+            let Some(pid) = s.parent else { continue };
+            let Some(p) = spans.get(&pid) else {
+                self.fail(
+                    "nesting",
+                    format!("span {id} ({}) has unknown parent {pid}", s.name),
+                );
+                continue;
+            };
+            if s.begin < p.begin {
+                self.fail(
+                    "nesting",
+                    format!(
+                        "span {id} ({}) begins at {} ns before parent {pid} ({}) at {} ns",
+                        s.name,
+                        s.begin.as_ns(),
+                        p.name,
+                        p.begin.as_ns()
+                    ),
+                );
+            }
+            if let (Some(ce), Some(pe)) = (s.end, p.end) {
+                if ce > pe {
+                    self.fail(
+                        "nesting",
+                        format!(
+                            "span {id} ({}) ends at {} ns after parent {pid} ({}) at {} ns",
+                            s.name,
+                            ce.as_ns(),
+                            p.name,
+                            pe.as_ns()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Spans sharing a resource must not overlap (touching endpoints are
+    /// fine — a die may start its next command the instant one finishes).
+    fn check_exclusivity(&mut self, spans: &BTreeMap<u64, SpanInfo>) {
+        let mut by_res: BTreeMap<&str, Vec<(&u64, &SpanInfo)>> = BTreeMap::new();
+        for (id, s) in spans {
+            if let Some(res) = &s.res {
+                by_res.entry(res.as_str()).or_default().push((id, s));
+            }
+        }
+        for (res, mut list) in by_res {
+            list.sort_by_key(|(_, s)| (s.begin, s.seq));
+            for w in list.windows(2) {
+                let (id_a, a) = w[0];
+                let (id_b, b) = w[1];
+                let Some(end_a) = a.end else { continue };
+                if b.begin < end_a {
+                    self.fail(
+                        "exclusivity",
+                        format!(
+                            "resource {res}: span {id_b} ({}) begins at {} ns while span \
+                             {id_a} ({}) still runs until {} ns",
+                            b.name,
+                            b.begin.as_ns(),
+                            a.name,
+                            end_a.as_ns()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Admissions, completions and request spans must agree one-to-one.
+    fn check_requests(&mut self, records: &[TraceRecord], spans: &BTreeMap<u64, SpanInfo>) {
+        let mut admitted = 0u64;
+        let mut completed = 0u64;
+        for r in records {
+            if let TraceRecord::Counter { key, delta, .. } = r {
+                match key.as_str() {
+                    "requests.admitted" => admitted += delta,
+                    "requests.completed" => completed += delta,
+                    _ => {}
+                }
+            }
+        }
+        if admitted != completed {
+            self.fail(
+                "request-conservation",
+                format!("{admitted} requests admitted but {completed} completed"),
+            );
+        }
+        let mut seen: BTreeMap<u64, u64> = BTreeMap::new(); // req -> span count
+        let mut request_spans = 0u64;
+        for (id, s) in spans {
+            if !s.name.starts_with("request_") {
+                continue;
+            }
+            request_spans += 1;
+            match s.req {
+                None => self.fail(
+                    "request-conservation",
+                    format!("request span {id} carries no request id"),
+                ),
+                Some(req) => *seen.entry(req).or_insert(0) += 1,
+            }
+        }
+        for (req, n) in &seen {
+            if *n != 1 {
+                self.fail(
+                    "request-conservation",
+                    format!("request {req} admitted {n} times"),
+                );
+            }
+        }
+        if request_spans != admitted {
+            self.fail(
+                "request-conservation",
+                format!("{request_spans} request spans but {admitted} admissions counted"),
+            );
+        }
+    }
+
+    /// Bytes promised at admission must equal bytes delivered.
+    fn check_bytes(&mut self, records: &[TraceRecord], spans: &BTreeMap<u64, SpanInfo>) {
+        let bytes_in: u64 = spans
+            .values()
+            .filter(|s| s.name.starts_with("request_"))
+            .map(|s| s.bytes.unwrap_or(0))
+            .sum();
+        let bytes_out: u64 = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Counter { key, delta, .. } if key == "bytes.completed" => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        if bytes_in != bytes_out {
+            self.fail(
+                "byte-conservation",
+                format!("{bytes_in} bytes admitted but {bytes_out} completed"),
+            );
+        }
+    }
+
+    /// Every closed ECCWAIT interval of `chan:N` must be covered by
+    /// decode spans on `ecc:N`.
+    fn check_eccwait(&mut self, records: &[TraceRecord], spans: &BTreeMap<u64, SpanInfo>) {
+        // Merge the decode intervals of each ECC engine.
+        let mut busy: BTreeMap<String, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+        for s in spans.values() {
+            if s.name != "decode" {
+                continue;
+            }
+            if let (Some(res), Some(end)) = (&s.res, s.end) {
+                busy.entry(res.clone()).or_default().push((s.begin, end));
+            }
+        }
+        for list in busy.values_mut() {
+            list.sort();
+            let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(list.len());
+            for &(b, e) in list.iter() {
+                match merged.last_mut() {
+                    Some(last) if b <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((b, e)),
+                }
+            }
+            *list = merged;
+        }
+        // Walk each channel's state timeline.
+        let mut wait_since: BTreeMap<String, SimTime> = BTreeMap::new();
+        for r in records {
+            let TraceRecord::State { t, res, state } = r else {
+                continue;
+            };
+            if state == "ECCWAIT" {
+                wait_since.insert(res.clone(), *t);
+            } else if let Some(start) = wait_since.remove(res) {
+                self.check_wait_covered(res, start, *t, &busy);
+            }
+        }
+        // An interval still open at end-of-trace means the run finished
+        // in ECCWAIT — itself a drain bug.
+        for (res, start) in wait_since {
+            self.fail(
+                "eccwait",
+                format!(
+                    "{res} still in ECCWAIT at end of trace (since {} ns)",
+                    start.as_ns()
+                ),
+            );
+        }
+    }
+
+    fn check_wait_covered(
+        &mut self,
+        chan: &str,
+        start: SimTime,
+        end: SimTime,
+        busy: &BTreeMap<String, Vec<(SimTime, SimTime)>>,
+    ) {
+        if end <= start {
+            return;
+        }
+        let ecc = chan.replace("chan:", "ecc:");
+        let intervals = busy.get(&ecc).map(Vec::as_slice).unwrap_or(&[]);
+        let mut cursor = start;
+        for &(b, e) in intervals {
+            if e <= cursor {
+                continue;
+            }
+            if b > cursor {
+                break; // gap
+            }
+            cursor = e;
+            if cursor >= end {
+                return; // fully covered
+            }
+        }
+        self.fail(
+            "eccwait",
+            format!(
+                "{chan} in ECCWAIT during [{}, {}] ns but {ecc} idle from {} ns",
+                start.as_ns(),
+                end.as_ns(),
+                cursor.as_ns()
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rif_events::trace::{JsonlSink, SharedBuf, Tracer};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    /// Builds records through the real tracer so the tests also cover the
+    /// emit → JSONL → parse path.
+    fn emit(f: impl FnOnce(&mut Tracer)) -> Vec<TraceRecord> {
+        let buf = SharedBuf::new();
+        let mut tr = Tracer::to_sink(Box::new(JsonlSink::new(buf.clone())));
+        f(&mut tr);
+        tr.flush();
+        TraceRecord::parse_jsonl(&buf.contents()).unwrap()
+    }
+
+    fn rules(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        assert!(TraceChecker::check(&[]).is_empty());
+    }
+
+    #[test]
+    fn well_formed_request_passes() {
+        let recs = emit(|tr| {
+            tr.counter(t(0), "requests.admitted", 1);
+            let req = tr.span_begin(t(0), "request_read", None, None, Some(0), Some(4096));
+            let sense = tr.span_begin(t(0), "sense", Some(req), Some("die:0"), Some(0), None);
+            tr.span_end(t(40), sense);
+            tr.counter(t(100), "requests.completed", 1);
+            tr.counter(t(100), "bytes.completed", 4096);
+            tr.span_end(t(100), req);
+        });
+        assert!(TraceChecker::check(&recs).is_empty());
+    }
+
+    #[test]
+    fn unended_span_flagged() {
+        let recs = emit(|tr| {
+            tr.span_begin(t(0), "sense", None, Some("die:0"), None, None);
+        });
+        assert_eq!(rules(&TraceChecker::check(&recs)), ["span-form"]);
+    }
+
+    #[test]
+    fn overlapping_resource_spans_flagged() {
+        let recs = emit(|tr| {
+            let a = tr.span_begin(t(0), "sense", None, Some("die:0"), None, None);
+            let b = tr.span_begin(t(10), "sense", None, Some("die:0"), None, None);
+            tr.span_end(t(40), a);
+            tr.span_end(t(50), b);
+        });
+        assert!(rules(&TraceChecker::check(&recs)).contains(&"exclusivity"));
+    }
+
+    #[test]
+    fn touching_spans_are_legal() {
+        let recs = emit(|tr| {
+            let a = tr.span_begin(t(0), "sense", None, Some("die:0"), None, None);
+            tr.span_end(t(40), a);
+            let b = tr.span_begin(t(40), "sense", None, Some("die:0"), None, None);
+            tr.span_end(t(80), b);
+        });
+        assert!(TraceChecker::check(&recs).is_empty());
+    }
+
+    #[test]
+    fn child_escaping_parent_flagged() {
+        let recs = emit(|tr| {
+            let p = tr.span_begin(t(10), "group", None, None, None, None);
+            let c = tr.span_begin(t(10), "decode", Some(p), Some("ecc:0"), None, None);
+            tr.span_end(t(20), p);
+            tr.span_end(t(30), c);
+        });
+        assert!(rules(&TraceChecker::check(&recs)).contains(&"nesting"));
+    }
+
+    #[test]
+    fn lost_request_flagged() {
+        let recs = emit(|tr| {
+            tr.counter(t(0), "requests.admitted", 2);
+            let r = tr.span_begin(t(0), "request_read", None, None, Some(0), Some(4096));
+            tr.counter(t(9), "requests.completed", 1);
+            tr.counter(t(9), "bytes.completed", 4096);
+            tr.span_end(t(9), r);
+        });
+        let v = TraceChecker::check(&recs);
+        assert!(rules(&v).iter().all(|r| *r == "request-conservation"));
+        assert_eq!(v.len(), 2, "count mismatch and span/admission mismatch");
+    }
+
+    #[test]
+    fn byte_mismatch_flagged() {
+        let recs = emit(|tr| {
+            tr.counter(t(0), "requests.admitted", 1);
+            let r = tr.span_begin(t(0), "request_read", None, None, Some(0), Some(8192));
+            tr.counter(t(9), "requests.completed", 1);
+            tr.counter(t(9), "bytes.completed", 4096);
+            tr.span_end(t(9), r);
+        });
+        assert!(rules(&TraceChecker::check(&recs)).contains(&"byte-conservation"));
+    }
+
+    #[test]
+    fn eccwait_with_idle_decoder_flagged() {
+        let recs = emit(|tr| {
+            tr.state(t(0), "chan:0", "ECCWAIT");
+            tr.state(t(50), "chan:0", "IDLE");
+        });
+        assert!(rules(&TraceChecker::check(&recs)).contains(&"eccwait"));
+    }
+
+    #[test]
+    fn eccwait_covered_by_back_to_back_decodes_passes() {
+        let recs = emit(|tr| {
+            let a = tr.span_begin(t(0), "decode", None, Some("ecc:0"), None, None);
+            tr.state(t(5), "chan:0", "ECCWAIT");
+            tr.span_end(t(20), a);
+            let b = tr.span_begin(t(20), "decode", None, Some("ecc:0"), None, None);
+            tr.state(t(30), "chan:0", "COR");
+            tr.span_end(t(40), b);
+        });
+        assert!(TraceChecker::check(&recs).is_empty());
+    }
+
+    #[test]
+    fn backwards_time_flagged() {
+        let recs = emit(|tr| {
+            tr.counter(t(10), "x", 1);
+            tr.counter(t(5), "x", 1);
+        });
+        assert!(rules(&TraceChecker::check(&recs)).contains(&"order"));
+    }
+}

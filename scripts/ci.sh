@@ -4,8 +4,9 @@
 #   scripts/ci.sh
 #
 # Steps: formatting, release build, test suite (default features plus the
-# gated proptest suite), the decode-kernel perf smoke, and a determinism
-# check that --threads does not change a single CSV byte.
+# gated proptest suites), the decode-kernel perf smoke, a determinism
+# check that --threads does not change a single CSV byte, and a trace
+# gate that replays a quick figure run through the invariant checker.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,7 +24,7 @@ echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 echo "==> cargo test -q --features proptest (vendored shim)"
-cargo test -q --features proptest --test proptest_invariants
+cargo test -q --features proptest --test proptest_invariants --test proptest_parser
 
 echo "==> perf_smoke --quick"
 cargo run -q --release -p rif-bench --bin perf_smoke -- --quick
@@ -36,5 +37,10 @@ cargo run -q --release -p rif-bench --bin fig10_syndrome_correlation -- \
 cargo run -q --release -p rif-bench --bin fig10_syndrome_correlation -- \
     --quick --csv --seed 42 --threads 8 > "$tmpdir/t8.csv"
 diff "$tmpdir/t1.csv" "$tmpdir/t8.csv"
+
+echo "==> trace-invariant gate (fig19 --trace-out, then trace_check)"
+cargo run -q --release -p rif-bench --bin fig19_latency_cdf -- \
+    --quick --seed 42 --trace-out "$tmpdir/trace" > /dev/null
+cargo run -q --release -p rif-bench --bin trace_check -- "$tmpdir"/trace-*.jsonl
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,140 @@
+//! The trace checker applied to real simulator runs: three synthetic
+//! workloads (read-heavy, write-heavy, mixed at QD32) under every retry
+//! scheme must produce traces that satisfy all conservation invariants.
+
+use rif_events::trace::{JsonlSink, SharedBuf, TraceRecord};
+use rif_ssd::tracecheck::TraceChecker;
+use rif_ssd::{RetryKind, Simulator, SsdConfig};
+use rif_workloads::{SynthConfig, Trace};
+
+/// Runs one traced simulation and returns (parsed records, completed
+/// request count).
+fn traced_run(retry: RetryKind, pe: u32, qd: usize, trace: &Trace) -> (Vec<TraceRecord>, u64) {
+    let mut cfg = SsdConfig::small(retry, pe);
+    cfg.queue_depth = qd;
+    let buf = SharedBuf::new();
+    let report = Simulator::new(cfg)
+        .with_tracer(Box::new(JsonlSink::new(buf.clone())))
+        .with_metrics()
+        .run(trace);
+    let records = TraceRecord::parse_jsonl(&buf.contents()).expect("emitted trace parses");
+    (records, report.completed_requests)
+}
+
+fn read_heavy() -> Trace {
+    SynthConfig {
+        read_ratio: 1.0,
+        cold_read_ratio: 0.6,
+        ..SynthConfig::default()
+    }
+    .generate(150, 11)
+}
+
+fn write_heavy() -> Trace {
+    SynthConfig {
+        read_ratio: 0.1,
+        ..SynthConfig::default()
+    }
+    .generate(150, 12)
+}
+
+fn mixed() -> Trace {
+    SynthConfig {
+        read_ratio: 0.7,
+        cold_read_ratio: 0.5,
+        ..SynthConfig::default()
+    }
+    .generate(200, 13)
+}
+
+fn assert_clean(label: &str, retry: RetryKind, pe: u32, qd: usize, trace: &Trace) {
+    let (records, completed) = traced_run(retry, pe, qd, trace);
+    assert_eq!(completed, trace.len() as u64, "{label}/{retry}: drain");
+    assert!(!records.is_empty(), "{label}/{retry}: trace is empty");
+    let violations = TraceChecker::check(&records);
+    assert!(
+        violations.is_empty(),
+        "{label}/{retry} at {pe} P/E violated invariants:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn read_heavy_trace_clean_under_all_schemes() {
+    let trace = read_heavy();
+    for retry in RetryKind::ALL {
+        assert_clean("read-heavy", retry, 2000, 16, &trace);
+    }
+}
+
+#[test]
+fn write_heavy_trace_clean_under_all_schemes() {
+    let trace = write_heavy();
+    for retry in RetryKind::ALL {
+        assert_clean("write-heavy", retry, 1000, 16, &trace);
+    }
+}
+
+#[test]
+fn mixed_qd32_trace_clean_under_all_schemes() {
+    let trace = mixed();
+    for retry in RetryKind::ALL {
+        assert_clean("mixed-qd32", retry, 2000, 32, &trace);
+    }
+}
+
+#[test]
+fn forced_retry_paths_stay_clean() {
+    // Force decode failures so every scheme walks its full retry path
+    // (sentinel reads, in-die retries, corrective re-reads) under the
+    // checker's eye.
+    use rif_events::SimTime;
+    use rif_workloads::{IoOp, IoRequest};
+    let sb = 64 * 1024;
+    let trace = Trace::new(vec![
+        IoRequest {
+            arrival: SimTime::ZERO,
+            op: IoOp::Read,
+            offset: 8 * sb,
+            bytes: 65536,
+        },
+        IoRequest {
+            arrival: SimTime::from_us(1),
+            op: IoOp::Read,
+            offset: 40 * sb,
+            bytes: 65536,
+        },
+    ]);
+    for retry in RetryKind::ALL {
+        let mut cfg = SsdConfig::small(retry, 1000);
+        cfg.forced_failure_slots = Some(vec![8, 40]);
+        let buf = SharedBuf::new();
+        Simulator::new(cfg)
+            .with_tracer(Box::new(JsonlSink::new(buf.clone())))
+            .run(&trace);
+        let violations = TraceChecker::check_jsonl(&buf.contents()).expect("parses");
+        assert!(
+            violations.is_empty(),
+            "forced-retry/{retry} violated invariants: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_registry_accounts_for_the_run() {
+    let trace = mixed();
+    let mut cfg = SsdConfig::small(RetryKind::Rif, 2000);
+    cfg.queue_depth = 32;
+    let report = Simulator::new(cfg).with_metrics().run(&trace);
+    let m = report.metrics.as_ref().expect("metrics enabled");
+    assert_eq!(m.counter("requests.admitted"), trace.len() as u64);
+    assert_eq!(m.counter("requests.completed"), trace.len() as u64);
+    assert_eq!(m.counter("bytes.completed"), trace.total_bytes());
+    assert_eq!(m.counter("pages.sensed"), report.page_senses);
+    assert!(m.gauge("makespan_us").unwrap() > 0.0);
+    assert!(m.histogram("latency.read").is_some());
+}
