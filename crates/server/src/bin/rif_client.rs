@@ -1,0 +1,92 @@
+//! The closed-loop load generator / control client for `rif-server`.
+//!
+//! Load mode (default) prints one JSON report to stdout:
+//!
+//! ```text
+//! rif-client --addr 127.0.0.1:PORT [--requests N] [--connections N]
+//!            [--depth N] [--read-ratio X] [--zipf X] [--request-kib N]
+//!            [--tenant N] [--seed N] [--max-busy-retries N]
+//! ```
+//!
+//! Control modes:
+//!
+//! ```text
+//! rif-client --addr ADDR --stats      # print the server's metrics lines
+//! rif-client --addr ADDR --flush     # drain all shards, then return
+//! rif-client --addr ADDR --shutdown  # stop the server
+//! ```
+
+use rif_server::client::{fetch_stats, flush, run_load, send_shutdown, LoadConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rif-client --addr HOST:PORT [--stats|--flush|--shutdown]\n\
+         \x20                 [--requests N] [--connections N] [--depth N]\n\
+         \x20                 [--read-ratio X] [--zipf X] [--request-kib N]\n\
+         \x20                 [--tenant N] [--seed N] [--max-busy-retries N]"
+    );
+    std::process::exit(2);
+}
+
+enum Mode {
+    Load,
+    Stats,
+    Flush,
+    Shutdown,
+}
+
+fn main() {
+    let mut cfg = LoadConfig::default();
+    let mut mode = Mode::Load;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--stats" => mode = Mode::Stats,
+            "--flush" => mode = Mode::Flush,
+            "--shutdown" => mode = Mode::Shutdown,
+            "--requests" => cfg.requests = val("--requests").parse().unwrap_or_else(|_| usage()),
+            "--connections" => {
+                cfg.connections = val("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--depth" => cfg.depth = val("--depth").parse().unwrap_or_else(|_| usage()),
+            "--read-ratio" => {
+                cfg.read_ratio = val("--read-ratio").parse().unwrap_or_else(|_| usage())
+            }
+            "--zipf" => cfg.zipf_s = val("--zipf").parse().unwrap_or_else(|_| usage()),
+            "--request-kib" => {
+                let kib: u32 = val("--request-kib").parse().unwrap_or_else(|_| usage());
+                cfg.request_bytes = kib * 1024;
+            }
+            "--tenant" => cfg.tenant = val("--tenant").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--max-busy-retries" => {
+                cfg.max_busy_retries = val("--max-busy-retries")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+    if cfg.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage();
+    }
+
+    let result = match mode {
+        Mode::Stats => fetch_stats(&cfg.addr).map(|text| println!("{text}")),
+        Mode::Flush => flush(&cfg.addr).map(|()| println!("flushed")),
+        Mode::Shutdown => send_shutdown(&cfg.addr).map(|()| println!("shutdown acknowledged")),
+        Mode::Load => run_load(&cfg).map(|report| println!("{}", report.to_json())),
+    };
+    if let Err(e) = result {
+        eprintln!("rif-client: {e}");
+        std::process::exit(1);
+    }
+}

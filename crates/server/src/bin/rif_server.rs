@@ -1,0 +1,80 @@
+//! The storage-service daemon: serves the simulated SSD over loopback TCP.
+//!
+//! Usage:
+//!
+//! ```text
+//! rif-server [--port N] [--shards N] [--scheme LABEL] [--pe-cycles N]
+//!            [--inflight-limit N] [--rate N] [--burst N]
+//!            [--time-scale X] [--capacity-gib N] [--queue-depth N]
+//!            [--seed N]
+//! ```
+//!
+//! Prints `rif-server listening on ADDR` once ready, then runs until a
+//! SHUTDOWN frame arrives. `--rate 0` (default) disables rate limiting;
+//! `--time-scale 20` (default) plays simulated time 20× faster than wall
+//! time.
+
+use rif_server::server::{Server, ServerConfig};
+use rif_ssd::RetryKind;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rif-server [--port N] [--shards N] [--scheme LABEL] [--pe-cycles N]\n\
+         \x20                 [--inflight-limit N] [--rate N] [--burst N] [--time-scale X]\n\
+         \x20                 [--capacity-gib N] [--queue-depth N] [--seed N]\n\
+         schemes: SENC SWR SWR+ RPSSD RiFSSD SSDone SSDzero"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut port = 0u16;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--port" => port = val("--port").parse().unwrap_or_else(|_| usage()),
+            "--shards" => cfg.shards = val("--shards").parse().unwrap_or_else(|_| usage()),
+            "--scheme" => {
+                cfg.retry = RetryKind::by_label(&val("--scheme")).unwrap_or_else(|| usage())
+            }
+            "--pe-cycles" => cfg.pe_cycles = val("--pe-cycles").parse().unwrap_or_else(|_| usage()),
+            "--inflight-limit" => {
+                cfg.inflight_limit = val("--inflight-limit").parse().unwrap_or_else(|_| usage())
+            }
+            "--rate" => cfg.rate_per_sec = val("--rate").parse().unwrap_or_else(|_| usage()),
+            "--burst" => cfg.burst = val("--burst").parse().unwrap_or_else(|_| usage()),
+            "--time-scale" => {
+                cfg.time_scale = val("--time-scale").parse().unwrap_or_else(|_| usage())
+            }
+            "--capacity-gib" => {
+                let gib: u64 = val("--capacity-gib").parse().unwrap_or_else(|_| usage());
+                cfg.capacity_bytes = gib << 30;
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = val("--queue-depth").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    let server = match Server::start(cfg, port) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rif-server: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The sentinel line CI and scripts wait for; flushed immediately.
+    println!("rif-server listening on {}", server.local_addr());
+    server.wait_for_shutdown();
+    server.stop();
+    println!("rif-server: shut down cleanly");
+}

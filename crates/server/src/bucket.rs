@@ -1,0 +1,182 @@
+//! Per-tenant token-bucket rate limiting.
+//!
+//! The bucket is deliberately clock-agnostic: every operation takes the
+//! caller's monotonic time in seconds. The server feeds it wall-clock
+//! time from one `Instant`; the unit tests feed it hand-picked numbers,
+//! so the refill arithmetic is testable without sleeping.
+
+use std::collections::HashMap;
+
+/// A classic token bucket: `rate_per_sec` tokens accrue continuously up
+/// to a cap of `burst`; admitting a request costs one token.
+///
+/// A non-positive `rate_per_sec` disables limiting — every `admit` call
+/// succeeds. This is the configuration default: rate limiting is an
+/// opt-in protection.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last: f64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is not at least 1 while the rate is positive —
+    /// such a bucket could never admit anything.
+    pub fn new(rate_per_sec: f64, burst: f64, now: f64) -> Self {
+        if rate_per_sec > 0.0 {
+            assert!(burst >= 1.0, "burst {burst} can never admit a request");
+        }
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last: now,
+        }
+    }
+
+    /// True when limiting is disabled (non-positive rate).
+    pub fn unlimited(&self) -> bool {
+        self.rate_per_sec <= 0.0
+    }
+
+    fn refill(&mut self, now: f64) {
+        // A non-monotonic caller clock must not mint tokens.
+        let dt = (now - self.last).max(0.0);
+        self.last = self.last.max(now);
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+    }
+
+    /// Tries to admit one request at time `now` (seconds on the caller's
+    /// monotonic clock). Returns false when the bucket is empty.
+    pub fn admit(&mut self, now: f64) -> bool {
+        if self.unlimited() {
+            return true;
+        }
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: f64) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// One bucket per tenant id, created on first use from a shared template
+/// rate. All tenants get the same limit; the map exists so one noisy
+/// tenant cannot drain another's tokens.
+#[derive(Debug)]
+pub struct TenantBuckets {
+    rate_per_sec: f64,
+    burst: f64,
+    buckets: HashMap<u32, TokenBucket>,
+}
+
+impl TenantBuckets {
+    /// Creates the tenant map with a shared per-tenant rate.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        TenantBuckets {
+            rate_per_sec,
+            burst,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// True when limiting is globally disabled.
+    pub fn unlimited(&self) -> bool {
+        self.rate_per_sec <= 0.0
+    }
+
+    /// Admits one request for `tenant` at time `now`, creating the
+    /// tenant's bucket (full) on first sight.
+    pub fn admit(&mut self, tenant: u32, now: f64) -> bool {
+        if self.unlimited() {
+            return true;
+        }
+        let (rate, burst) = (self.rate_per_sec, self.burst);
+        self.buckets
+            .entry(tenant)
+            .or_insert_with(|| TokenBucket::new(rate, burst, now))
+            .admit(now)
+    }
+
+    /// Number of tenants seen so far.
+    pub fn tenants(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_starve_then_refill() {
+        let mut b = TokenBucket::new(10.0, 3.0, 0.0);
+        // The full burst is admitted instantly.
+        assert!(b.admit(0.0));
+        assert!(b.admit(0.0));
+        assert!(b.admit(0.0));
+        // Then the bucket is dry.
+        assert!(!b.admit(0.0));
+        assert!(!b.admit(0.05)); // 0.5 tokens accrued: still short
+                                 // 10 tokens/s: one token back after 100 ms.
+        assert!(b.admit(0.1 + 1e-9));
+        assert!(!b.admit(0.1 + 1e-9));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(100.0, 5.0, 0.0);
+        for _ in 0..5 {
+            assert!(b.admit(0.0));
+        }
+        // An hour of idle time still refills to only `burst` tokens.
+        assert!((b.available(3600.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_going_backwards_does_not_mint_tokens() {
+        let mut b = TokenBucket::new(10.0, 1.0, 100.0);
+        assert!(b.admit(100.0));
+        // now < last: no refill, and `last` must not move backwards
+        // (otherwise the next call would double-count the interval).
+        assert!(!b.admit(50.0));
+        assert!(!b.admit(100.05));
+        assert!(b.admit(100.11));
+    }
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let mut b = TokenBucket::new(0.0, 0.0, 0.0);
+        assert!(b.unlimited());
+        for _ in 0..10_000 {
+            assert!(b.admit(0.0));
+        }
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut t = TenantBuckets::new(10.0, 2.0);
+        // Tenant 1 burns its burst; tenant 2 is unaffected.
+        assert!(t.admit(1, 0.0));
+        assert!(t.admit(1, 0.0));
+        assert!(!t.admit(1, 0.0));
+        assert!(t.admit(2, 0.0));
+        assert!(t.admit(2, 0.0));
+        assert!(!t.admit(2, 0.0));
+        assert_eq!(t.tenants(), 2);
+    }
+}

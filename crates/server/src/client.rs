@@ -1,0 +1,373 @@
+//! The closed-loop load generator.
+//!
+//! Each connection keeps a fixed window of requests outstanding: it
+//! sends until `depth` are in flight, then blocks for one response
+//! before sending the next. Offsets and the read/write mix come from
+//! the same [`SynthConfig`] generator the offline experiments use, so a
+//! served workload is directly comparable to a batch-simulated one.
+//!
+//! `BUSY` responses are retried after a short backoff (and counted);
+//! `ERROR` responses and undecodable frames are protocol errors. Wall
+//! latency is measured per request from the moment its frame is written
+//! to the moment its `DONE` arrives, and aggregated in a log-bucketed
+//! histogram for p50/p99/p99.9.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rif_events::stats::LatencyHistogram;
+use rif_events::SimDuration;
+use rif_workloads::{IoOp, SynthConfig};
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, BusyReason, Request, Response,
+};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Parallel connections.
+    pub connections: usize,
+    /// Outstanding requests per connection (the closed-loop window).
+    pub depth: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Fraction of reads.
+    pub read_ratio: f64,
+    /// Zipf exponent for hot-region locality.
+    pub zipf_s: f64,
+    /// Transfer size per request.
+    pub request_bytes: u32,
+    /// Tenant id stamped on every request.
+    pub tenant: u32,
+    /// Workload seed; connection `i` uses `seed + i`.
+    pub seed: u64,
+    /// Backoff before retrying a BUSY response.
+    pub busy_backoff: Duration,
+    /// Give up on a request after this many BUSY retries (0 = drop on
+    /// first BUSY). Exhausted requests count as `busy_dropped`.
+    pub max_busy_retries: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            connections: 2,
+            depth: 8,
+            requests: 1000,
+            read_ratio: 0.9,
+            zipf_s: 0.9,
+            request_bytes: 64 * 1024,
+            tenant: 0,
+            seed: 1,
+            busy_backoff: Duration::from_micros(200),
+            max_busy_retries: 50,
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests that completed with DONE.
+    pub completed: u64,
+    /// BUSY responses observed (each retry counts once).
+    pub busy_queue: u64,
+    /// BUSY(rate_limit) responses observed.
+    pub busy_ratelimit: u64,
+    /// Requests dropped after exhausting BUSY retries.
+    pub busy_dropped: u64,
+    /// ERROR responses plus undecodable frames.
+    pub protocol_errors: u64,
+    /// Wall-clock seconds from first send to last response.
+    pub wall_secs: f64,
+    /// Wall-latency percentiles, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile wall latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile wall latency, microseconds.
+    pub p999_us: f64,
+    /// Mean wall latency, microseconds.
+    pub mean_us: f64,
+    /// Completed requests per wall second.
+    pub throughput_rps: f64,
+}
+
+impl LoadReport {
+    /// Canonical JSON rendering (stable key order, no external deps).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"completed\":{},\"busy_queue\":{},\"busy_ratelimit\":{},",
+                "\"busy_dropped\":{},\"protocol_errors\":{},\"wall_secs\":{:.6},",
+                "\"throughput_rps\":{:.1},\"latency_us\":{{\"mean\":{:.1},",
+                "\"p50\":{:.1},\"p99\":{:.1},\"p999\":{:.1}}}}}"
+            ),
+            self.completed,
+            self.busy_queue,
+            self.busy_ratelimit,
+            self.busy_dropped,
+            self.protocol_errors,
+            self.wall_secs,
+            self.throughput_rps,
+            self.mean_us,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+        )
+    }
+}
+
+/// One pre-generated request before it goes on the wire.
+struct PlannedIo {
+    op: IoOp,
+    offset: u64,
+    bytes: u32,
+}
+
+/// Runs the closed loop and aggregates all connections' results.
+pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    assert!(cfg.connections > 0 && cfg.depth > 0, "need work to do");
+    let per_conn = cfg.requests.div_ceil(cfg.connections);
+    let mut handles = Vec::with_capacity(cfg.connections);
+    for conn in 0..cfg.connections {
+        let n = per_conn.min(cfg.requests - (conn * per_conn).min(cfg.requests));
+        if n == 0 {
+            break;
+        }
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || run_connection(&cfg, conn, n)));
+    }
+    let mut total = LoadReport::default();
+    let mut hist = LatencyHistogram::new();
+    let started = Instant::now();
+    for h in handles {
+        let (part, part_hist) = h.join().expect("load thread panicked")?;
+        total.completed += part.completed;
+        total.busy_queue += part.busy_queue;
+        total.busy_ratelimit += part.busy_ratelimit;
+        total.busy_dropped += part.busy_dropped;
+        total.protocol_errors += part.protocol_errors;
+        hist.merge(&part_hist);
+    }
+    total.wall_secs = started.elapsed().as_secs_f64();
+    total.mean_us = hist.mean().as_us();
+    total.p50_us = hist.percentile(50.0).map_or(0.0, |d| d.as_us());
+    total.p99_us = hist.percentile(99.0).map_or(0.0, |d| d.as_us());
+    total.p999_us = hist.percentile(99.9).map_or(0.0, |d| d.as_us());
+    total.throughput_rps = if total.wall_secs > 0.0 {
+        total.completed as f64 / total.wall_secs
+    } else {
+        0.0
+    };
+    Ok(total)
+}
+
+fn plan(cfg: &LoadConfig, conn: usize, n: usize) -> Vec<PlannedIo> {
+    let synth = SynthConfig {
+        read_ratio: cfg.read_ratio,
+        zipf_s: cfg.zipf_s,
+        request_bytes: cfg.request_bytes,
+        ..SynthConfig::default()
+    };
+    // Arrivals are discarded: a closed loop paces itself by completions.
+    synth
+        .generate(n, cfg.seed + conn as u64)
+        .iter()
+        .map(|r| PlannedIo {
+            op: r.op,
+            offset: r.offset,
+            bytes: r.bytes,
+        })
+        .collect()
+}
+
+fn run_connection(
+    cfg: &LoadConfig,
+    conn: usize,
+    n: usize,
+) -> io::Result<(LoadReport, LatencyHistogram)> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true).ok();
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+
+    let mut queue: std::collections::VecDeque<(PlannedIo, u32)> =
+        plan(cfg, conn, n).into_iter().map(|p| (p, 0)).collect();
+    let mut inflight: HashMap<u64, (PlannedIo, u32, Instant)> = HashMap::new();
+    let mut next_tag = (conn as u64) << 32;
+    let mut report = LoadReport::default();
+    let mut hist = LatencyHistogram::new();
+
+    while !queue.is_empty() || !inflight.is_empty() {
+        // Fill the window.
+        while inflight.len() < cfg.depth {
+            let Some((io_req, retries)) = queue.pop_front() else {
+                break;
+            };
+            let tag = next_tag;
+            next_tag += 1;
+            let req = match io_req.op {
+                IoOp::Read => Request::Read {
+                    tenant: cfg.tenant,
+                    tag,
+                    offset: io_req.offset,
+                    bytes: io_req.bytes,
+                },
+                IoOp::Write => Request::Write {
+                    tenant: cfg.tenant,
+                    tag,
+                    offset: io_req.offset,
+                    bytes: io_req.bytes,
+                },
+            };
+            write_frame(&mut writer, &encode_request(&req))?;
+            inflight.insert(tag, (io_req, retries, Instant::now()));
+        }
+
+        // Block for one response.
+        let Some(payload) = read_frame(&mut reader)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed with requests in flight",
+            ));
+        };
+        match decode_response(&payload) {
+            Ok(Response::Done { tag, .. }) => {
+                if let Some((_, _, sent)) = inflight.remove(&tag) {
+                    report.completed += 1;
+                    hist.record(SimDuration::from_ns(sent.elapsed().as_nanos() as u64));
+                } else {
+                    report.protocol_errors += 1;
+                }
+            }
+            Ok(Response::Busy { tag, reason }) => {
+                match reason {
+                    BusyReason::Queue => report.busy_queue += 1,
+                    BusyReason::RateLimit => report.busy_ratelimit += 1,
+                }
+                if let Some((io_req, retries, _)) = inflight.remove(&tag) {
+                    if retries < cfg.max_busy_retries {
+                        queue.push_back((io_req, retries + 1));
+                    } else {
+                        report.busy_dropped += 1;
+                    }
+                }
+                // Back off so a saturated server is not hammered.
+                std::thread::sleep(cfg.busy_backoff);
+            }
+            Ok(Response::Error { tag, .. }) => {
+                inflight.remove(&tag);
+                report.protocol_errors += 1;
+            }
+            Ok(_) => {
+                // STATS/FLUSHED/GOODBYE are never solicited by the loop.
+                report.protocol_errors += 1;
+            }
+            Err(_) => {
+                report.protocol_errors += 1;
+            }
+        }
+    }
+    Ok((report, hist))
+}
+
+/// Requests a STATS snapshot on a fresh connection.
+pub fn fetch_stats(addr: &str) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    write_frame(&mut writer, &encode_request(&Request::Stats { tag: 1 }))?;
+    match read_and_decode(&mut reader)? {
+        Response::Stats { text, .. } => Ok(text),
+        other => Err(bad_reply("STATS", &other)),
+    }
+}
+
+/// Asks every shard to drain, blocking until the server acks.
+pub fn flush(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    write_frame(&mut writer, &encode_request(&Request::Flush { tag: 2 }))?;
+    match read_and_decode(&mut reader)? {
+        Response::Flushed { .. } => Ok(()),
+        other => Err(bad_reply("FLUSH", &other)),
+    }
+}
+
+/// Sends SHUTDOWN and waits for the GOODBYE ack.
+pub fn send_shutdown(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    write_frame(&mut writer, &encode_request(&Request::Shutdown { tag: 3 }))?;
+    match read_and_decode(&mut reader)? {
+        Response::Goodbye { .. } => Ok(()),
+        other => Err(bad_reply("SHUTDOWN", &other)),
+    }
+}
+
+fn read_and_decode<R: io::Read>(r: &mut R) -> io::Result<Response> {
+    let payload = read_frame(r)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed before replying",
+        )
+    })?;
+    decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn bad_reply(what: &str, got: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply to {what}: {got:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_well_formed_and_stable() {
+        let r = LoadReport {
+            completed: 10,
+            busy_queue: 1,
+            busy_ratelimit: 2,
+            busy_dropped: 0,
+            protocol_errors: 0,
+            wall_secs: 1.5,
+            p50_us: 100.0,
+            p99_us: 900.0,
+            p999_us: 1500.0,
+            mean_us: 200.0,
+            throughput_rps: 6.7,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"completed\":10"));
+        assert!(j.contains("\"p99\":900.0"));
+        assert_eq!(j, r.clone().to_json(), "rendering must be deterministic");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn plan_respects_mix_and_size() {
+        let cfg = LoadConfig {
+            read_ratio: 1.0,
+            requests: 64,
+            request_bytes: 16 * 1024,
+            ..LoadConfig::default()
+        };
+        let p = plan(&cfg, 0, 64);
+        assert_eq!(p.len(), 64);
+        assert!(p.iter().all(|x| x.op == IoOp::Read));
+        assert!(p.iter().all(|x| x.bytes == 16 * 1024));
+    }
+}

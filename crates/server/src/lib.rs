@@ -1,0 +1,47 @@
+//! Online storage-service layer over the RiF SSD simulator.
+//!
+//! The offline crates answer "what does this trace cost?"; this crate
+//! answers "what does the simulated device feel like to a live client?".
+//! It exposes the incremental stepper API of [`rif_ssd::Simulator`]
+//! (`submit` / `advance_until` / `drain_completions`) as a loopback TCP
+//! service:
+//!
+//! - [`protocol`] — the length-prefixed binary wire format;
+//! - [`bucket`] — per-tenant token-bucket rate limiting;
+//! - [`pacing`] — the virtual-time ↔ wall-clock bridge;
+//! - [`shard`] — one simulator worker thread per LBA range;
+//! - [`server`] — accept loop, admission control, metrics;
+//! - [`client`] — the closed-loop load generator and its JSON report.
+//!
+//! Everything is plain `std` (threads, mpsc, blocking sockets): the
+//! service layer adds no dependencies beyond the simulator itself.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rif_server::client::{run_load, LoadConfig};
+//! use rif_server::server::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default(), 0).unwrap();
+//! let report = run_load(&LoadConfig {
+//!     addr: server.local_addr().to_string(),
+//!     requests: 1000,
+//!     ..LoadConfig::default()
+//! })
+//! .unwrap();
+//! println!("{}", report.to_json());
+//! server.stop();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod client;
+pub mod pacing;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use client::{run_load, LoadConfig, LoadReport};
+pub use protocol::{Request, Response, WireError, MAX_FRAME_BYTES};
+pub use server::{Server, ServerConfig};

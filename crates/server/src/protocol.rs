@@ -1,0 +1,655 @@
+//! The length-prefixed binary wire protocol of the storage service.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | len: u32 LE    | payload (len bytes)       |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! with `len <= MAX_FRAME_BYTES`. The first payload byte is the opcode;
+//! all integers are little-endian. Request payloads:
+//!
+//! ```text
+//! READ / WRITE : op u8 | tenant u32 | tag u64 | offset u64 | bytes u32
+//! STATS / FLUSH / SHUTDOWN : op u8 | tag u64
+//! ```
+//!
+//! Response payloads:
+//!
+//! ```text
+//! DONE    : op u8 | tag u64 | latency_ns u64
+//! BUSY    : op u8 | tag u64 | reason u8
+//! ERROR   : op u8 | tag u64 | code u8
+//! STATS   : op u8 | tag u64 | text (UTF-8, rest of frame)
+//! FLUSHED / GOODBYE : op u8 | tag u64
+//! ```
+//!
+//! The `tag` is an opaque client-chosen correlation id echoed verbatim;
+//! responses may arrive out of submission order (the simulator completes
+//! requests when their last byte crosses the host link, not FIFO).
+//! Decoding is strict: unknown opcodes, short payloads, and trailing
+//! bytes are all [`WireError`]s, and a frame header announcing more than
+//! [`MAX_FRAME_BYTES`] is rejected before any allocation.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload. Large enough for a STATS dump, small
+/// enough that a corrupt length prefix cannot make the peer allocate
+/// gigabytes.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024;
+
+const OP_READ: u8 = 0x01;
+const OP_WRITE: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_FLUSH: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+
+const OP_DONE: u8 = 0x81;
+const OP_BUSY: u8 = 0x82;
+const OP_ERROR: u8 = 0x83;
+const OP_STATS_RESP: u8 = 0x84;
+const OP_FLUSHED: u8 = 0x85;
+const OP_GOODBYE: u8 = 0x86;
+
+/// Why the server refused a request without simulating it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The target shard's in-flight window is full (queue backpressure).
+    Queue,
+    /// The tenant's token bucket is empty (rate limit).
+    RateLimit,
+}
+
+/// Terminal error codes carried in ERROR responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame did not decode.
+    BadRequest,
+    /// The request addressed a zero-byte or oversized transfer.
+    BadLength,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Simulated read of `bytes` at logical `offset`.
+    Read {
+        /// Tenant id for rate limiting.
+        tenant: u32,
+        /// Client correlation tag, echoed in the response.
+        tag: u64,
+        /// Logical byte offset.
+        offset: u64,
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
+    /// Simulated write of `bytes` at logical `offset`.
+    Write {
+        /// Tenant id for rate limiting.
+        tenant: u32,
+        /// Client correlation tag, echoed in the response.
+        tag: u64,
+        /// Logical byte offset.
+        offset: u64,
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
+    /// Snapshot the server's metrics registry.
+    Stats {
+        /// Client correlation tag.
+        tag: u64,
+    },
+    /// Block until every in-flight request on every shard has completed.
+    Flush {
+        /// Client correlation tag.
+        tag: u64,
+    },
+    /// Ask the server process to exit after draining.
+    Shutdown {
+        /// Client correlation tag.
+        tag: u64,
+    },
+}
+
+impl Request {
+    /// The correlation tag of this request.
+    pub fn tag(&self) -> u64 {
+        match *self {
+            Request::Read { tag, .. }
+            | Request::Write { tag, .. }
+            | Request::Stats { tag }
+            | Request::Flush { tag }
+            | Request::Shutdown { tag } => tag,
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The simulated I/O completed.
+    Done {
+        /// The request's correlation tag.
+        tag: u64,
+        /// Virtual (simulation-clock) service latency.
+        latency_ns: u64,
+    },
+    /// Backpressure: retry later.
+    Busy {
+        /// The request's correlation tag.
+        tag: u64,
+        /// Which admission check refused the request.
+        reason: BusyReason,
+    },
+    /// The request was rejected outright.
+    Error {
+        /// The request's correlation tag (zero if none decoded).
+        tag: u64,
+        /// Why it was rejected.
+        code: ErrorCode,
+    },
+    /// Deterministic `MetricsRegistry::lines` rendering, one per line.
+    Stats {
+        /// The request's correlation tag.
+        tag: u64,
+        /// The rendered metrics text.
+        text: String,
+    },
+    /// All shards drained.
+    Flushed {
+        /// The request's correlation tag.
+        tag: u64,
+    },
+    /// Shutdown acknowledged; the connection closes next.
+    Goodbye {
+        /// The request's correlation tag.
+        tag: u64,
+    },
+}
+
+impl Response {
+    /// The correlation tag of this response.
+    pub fn tag(&self) -> u64 {
+        match *self {
+            Response::Done { tag, .. }
+            | Response::Busy { tag, .. }
+            | Response::Error { tag, .. }
+            | Response::Stats { tag, .. }
+            | Response::Flushed { tag }
+            | Response::Goodbye { tag } => tag,
+        }
+    }
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a fixed-size field.
+    Truncated {
+        /// Bytes the message needs up to and including the short field.
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// A frame header announced a payload above [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The announced length.
+        len: u32,
+    },
+    /// The first payload byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// Bytes remained after the last field of a fixed-size message.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// An enum byte (busy reason / error code) is out of range.
+    BadEnum {
+        /// Which field was malformed.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// STATS text is not valid UTF-8.
+    BadUtf8,
+    /// The payload is empty (no opcode byte).
+    Empty,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, got } => {
+                write!(f, "truncated payload: need {need} bytes, got {got}")
+            }
+            WireError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the last field")
+            }
+            WireError::BadEnum { field, value } => {
+                write!(f, "field {field} has out-of-range value {value}")
+            }
+            WireError::BadUtf8 => write!(f, "stats text is not valid UTF-8"),
+            WireError::Empty => write!(f, "empty payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ----- field cursors -----------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let got = self.buf.len() - self.pos;
+        if got < n {
+            return Err(WireError::Truncated {
+                need: self.pos + n,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            })
+        }
+    }
+}
+
+// ----- encoding ----------------------------------------------------------
+
+/// Serializes a request into a frame payload (no length prefix).
+pub fn encode_request(r: &Request) -> Vec<u8> {
+    let mut b = Vec::with_capacity(25);
+    match *r {
+        Request::Read {
+            tenant,
+            tag,
+            offset,
+            bytes,
+        }
+        | Request::Write {
+            tenant,
+            tag,
+            offset,
+            bytes,
+        } => {
+            b.push(if matches!(r, Request::Read { .. }) {
+                OP_READ
+            } else {
+                OP_WRITE
+            });
+            b.extend_from_slice(&tenant.to_le_bytes());
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&offset.to_le_bytes());
+            b.extend_from_slice(&bytes.to_le_bytes());
+        }
+        Request::Stats { tag } => {
+            b.push(OP_STATS);
+            b.extend_from_slice(&tag.to_le_bytes());
+        }
+        Request::Flush { tag } => {
+            b.push(OP_FLUSH);
+            b.extend_from_slice(&tag.to_le_bytes());
+        }
+        Request::Shutdown { tag } => {
+            b.push(OP_SHUTDOWN);
+            b.extend_from_slice(&tag.to_le_bytes());
+        }
+    }
+    b
+}
+
+/// Parses a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let op = r.u8().map_err(|_| WireError::Empty)?;
+    let req = match op {
+        OP_READ | OP_WRITE => {
+            let tenant = r.u32()?;
+            let tag = r.u64()?;
+            let offset = r.u64()?;
+            let bytes = r.u32()?;
+            if op == OP_READ {
+                Request::Read {
+                    tenant,
+                    tag,
+                    offset,
+                    bytes,
+                }
+            } else {
+                Request::Write {
+                    tenant,
+                    tag,
+                    offset,
+                    bytes,
+                }
+            }
+        }
+        OP_STATS => Request::Stats { tag: r.u64()? },
+        OP_FLUSH => Request::Flush { tag: r.u64()? },
+        OP_SHUTDOWN => Request::Shutdown { tag: r.u64()? },
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+/// Serializes a response into a frame payload (no length prefix).
+pub fn encode_response(r: &Response) -> Vec<u8> {
+    let mut b = Vec::with_capacity(17);
+    match r {
+        Response::Done { tag, latency_ns } => {
+            b.push(OP_DONE);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&latency_ns.to_le_bytes());
+        }
+        Response::Busy { tag, reason } => {
+            b.push(OP_BUSY);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.push(match reason {
+                BusyReason::Queue => 1,
+                BusyReason::RateLimit => 2,
+            });
+        }
+        Response::Error { tag, code } => {
+            b.push(OP_ERROR);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.push(match code {
+                ErrorCode::BadRequest => 1,
+                ErrorCode::BadLength => 2,
+                ErrorCode::ShuttingDown => 3,
+            });
+        }
+        Response::Stats { tag, text } => {
+            b.push(OP_STATS_RESP);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(text.as_bytes());
+        }
+        Response::Flushed { tag } => {
+            b.push(OP_FLUSHED);
+            b.extend_from_slice(&tag.to_le_bytes());
+        }
+        Response::Goodbye { tag } => {
+            b.push(OP_GOODBYE);
+            b.extend_from_slice(&tag.to_le_bytes());
+        }
+    }
+    b
+}
+
+/// Parses a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let op = r.u8().map_err(|_| WireError::Empty)?;
+    let resp = match op {
+        OP_DONE => Response::Done {
+            tag: r.u64()?,
+            latency_ns: r.u64()?,
+        },
+        OP_BUSY => {
+            let tag = r.u64()?;
+            let reason = match r.u8()? {
+                1 => BusyReason::Queue,
+                2 => BusyReason::RateLimit,
+                v => {
+                    return Err(WireError::BadEnum {
+                        field: "busy_reason",
+                        value: v,
+                    })
+                }
+            };
+            Response::Busy { tag, reason }
+        }
+        OP_ERROR => {
+            let tag = r.u64()?;
+            let code = match r.u8()? {
+                1 => ErrorCode::BadRequest,
+                2 => ErrorCode::BadLength,
+                3 => ErrorCode::ShuttingDown,
+                v => {
+                    return Err(WireError::BadEnum {
+                        field: "error_code",
+                        value: v,
+                    })
+                }
+            };
+            Response::Error { tag, code }
+        }
+        OP_STATS_RESP => {
+            let tag = r.u64()?;
+            let text = std::str::from_utf8(r.rest())
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Response::Stats { tag, text }
+        }
+        OP_FLUSHED => Response::Flushed { tag: r.u64()? },
+        OP_GOODBYE => Response::Goodbye { tag: r.u64()? },
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    if !matches!(resp, Response::Stats { .. }) {
+        r.done()?;
+    }
+    Ok(resp)
+}
+
+// ----- frame I/O ---------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_BYTES`] — encoders in this
+/// module never produce such a payload, so this is a caller bug.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES as usize,
+        "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+        payload.len()
+    );
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary; an EOF mid-frame is an [`io::ErrorKind::UnexpectedEof`]
+/// error and an oversized length prefix is [`io::ErrorKind::InvalidData`]
+/// (carrying a [`WireError::Oversized`]).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no more frames" from "died mid-header".
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len_buf)?;
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::Oversized { len },
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = [
+            Request::Read {
+                tenant: 3,
+                tag: 0xDEAD_BEEF,
+                offset: 1 << 33,
+                bytes: 65536,
+            },
+            Request::Write {
+                tenant: 0,
+                tag: u64::MAX,
+                offset: 0,
+                bytes: 1,
+            },
+            Request::Stats { tag: 7 },
+            Request::Flush { tag: 8 },
+            Request::Shutdown { tag: 9 },
+        ];
+        for r in reqs {
+            let enc = encode_request(&r);
+            assert_eq!(decode_request(&enc), Ok(r));
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = [
+            Response::Done {
+                tag: 1,
+                latency_ns: 123_456,
+            },
+            Response::Busy {
+                tag: 2,
+                reason: BusyReason::Queue,
+            },
+            Response::Busy {
+                tag: 2,
+                reason: BusyReason::RateLimit,
+            },
+            Response::Error {
+                tag: 3,
+                code: ErrorCode::BadRequest,
+            },
+            Response::Stats {
+                tag: 4,
+                text: "counter server.completed 10\ngauge x 1.5".to_string(),
+            },
+            Response::Flushed { tag: 5 },
+            Response::Goodbye { tag: 6 },
+        ];
+        for r in resps {
+            let enc = encode_response(&r);
+            assert_eq!(decode_response(&enc), Ok(r.clone()));
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let full = encode_request(&Request::Read {
+            tenant: 1,
+            tag: 2,
+            offset: 3,
+            bytes: 4,
+        });
+        for cut in 0..full.len() {
+            let e = decode_request(&full[..cut]).expect_err("must reject");
+            assert!(
+                matches!(e, WireError::Truncated { .. } | WireError::Empty),
+                "cut {cut}: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = encode_request(&Request::Stats { tag: 1 });
+        enc.push(0);
+        assert_eq!(
+            decode_request(&enc),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        assert_eq!(decode_request(&[0x7F]), Err(WireError::UnknownOpcode(0x7F)));
+        assert_eq!(decode_response(&[0x00]), Err(WireError::UnknownOpcode(0)));
+        assert_eq!(decode_request(&[]), Err(WireError::Empty));
+    }
+
+    #[test]
+    fn frame_io_roundtrips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().as_deref(), Some(&b"abc"[..]));
+        assert_eq!(read_frame(&mut cur).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let e = read_frame(&mut Cursor::new(buf)).expect_err("must reject");
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(buf.len() - 3); // lose half the payload
+        let e = read_frame(&mut Cursor::new(buf)).expect_err("must reject");
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,439 @@
+//! The loopback TCP storage service.
+//!
+//! One acceptor thread hands each connection a reader thread (decodes
+//! frames, runs admission control, routes to shards) and a writer thread
+//! (serializes every [`Response`] arriving on the connection's mpsc
+//! channel). Shard workers answer completions straight onto that channel,
+//! so responses from different shards interleave freely and may be out of
+//! submission order — the tag is the correlation key.
+//!
+//! Admission happens before a request ever reaches a simulator:
+//!
+//! 1. **Queue backpressure** — each shard exposes an atomic in-flight
+//!    count; if the target shard is at `inflight_limit`, the server
+//!    answers `BUSY(queue)` immediately instead of queueing unboundedly.
+//! 2. **Rate limiting** — a per-tenant token bucket; an empty bucket
+//!    answers `BUSY(rate_limit)`.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rif_events::trace::MetricsRegistry;
+use rif_ssd::{RetryKind, SsdConfig};
+use rif_workloads::IoOp;
+
+use crate::bucket::TenantBuckets;
+use crate::pacing::VirtualClock;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, BusyReason, ErrorCode, Request,
+    Response,
+};
+use crate::shard::{spawn_shard, ShardHandle, ShardMsg, ShardSpec, Submission};
+
+/// Largest single transfer the service accepts: 1 MiB keeps one request
+/// from monopolizing a shard's event queue.
+pub const MAX_IO_BYTES: u32 = 1 << 20;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of shard workers (simulators).
+    pub shards: usize,
+    /// Logical capacity served; request offsets are wrapped into it.
+    pub capacity_bytes: u64,
+    /// Per-shard in-flight cap before `BUSY(queue)`.
+    pub inflight_limit: usize,
+    /// Per-tenant admitted requests per second; `0` disables limiting.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst for the rate limit.
+    pub burst: f64,
+    /// Virtual nanoseconds per wall nanosecond (see [`VirtualClock`]).
+    pub time_scale: f64,
+    /// Read-retry scheme the simulated SSDs run.
+    pub retry: RetryKind,
+    /// Wear stage of the simulated flash.
+    pub pe_cycles: u32,
+    /// NVMe queue depth of each shard's simulator.
+    pub queue_depth: usize,
+    /// Base RNG seed; shard `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 2,
+            capacity_bytes: 8 << 30,
+            inflight_limit: 64,
+            rate_per_sec: 0.0,
+            burst: 0.0,
+            time_scale: 20.0,
+            retry: RetryKind::Rif,
+            pe_cycles: 2000,
+            queue_depth: 16,
+            seed: 1,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    clock: VirtualClock,
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    buckets: Mutex<TenantBuckets>,
+    shards: Vec<ShardTarget>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// The parts of a shard a connection needs: inbox + admission counter.
+struct ShardTarget {
+    spec: ShardSpec,
+    tx: Sender<ShardMsg>,
+    inflight: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+/// A running service instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    shard_handles: Vec<ShardHandle>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` (`port = 0` picks a free port) and starts
+    /// the shard workers and the acceptor.
+    pub fn start(cfg: ServerConfig, port: u16) -> io::Result<Server> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.inflight_limit > 0, "inflight limit must be positive");
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let clock = VirtualClock::start(cfg.time_scale);
+        let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let specs = ShardSpec::partition(cfg.capacity_bytes, cfg.shards);
+        let mut shard_handles = Vec::with_capacity(cfg.shards);
+        let mut targets = Vec::with_capacity(cfg.shards);
+        for spec in specs {
+            let mut sim_cfg = SsdConfig::small(cfg.retry, cfg.pe_cycles);
+            sim_cfg.queue_depth = cfg.queue_depth;
+            sim_cfg.seed = cfg.seed + spec.index as u64;
+            let (tx, rx) = mpsc::channel();
+            let handle = spawn_shard(
+                spec,
+                sim_cfg,
+                clock.clone(),
+                Arc::clone(&metrics),
+                rx,
+                tx.clone(),
+            );
+            targets.push(ShardTarget {
+                spec,
+                tx,
+                inflight: Arc::clone(&handle.inflight),
+            });
+            shard_handles.push(handle);
+        }
+
+        let shared = Arc::new(Shared {
+            buckets: Mutex::new(TenantBuckets::new(cfg.rate_per_sec, cfg.burst)),
+            cfg,
+            clock,
+            metrics,
+            shards: targets,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("rif-acceptor".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            shard_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a SHUTDOWN frame has been accepted.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown from the owning process (same effect as a
+    /// SHUTDOWN frame).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Blocks until shutdown is requested, polling every few ms.
+    pub fn wait_for_shutdown(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stops accepting, drains every shard, and joins all service
+    /// threads.
+    pub fn stop(mut self) {
+        self.request_shutdown();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for h in self.shard_handles.drain(..) {
+            h.stop();
+        }
+    }
+
+    /// A snapshot of the metrics registry (for in-process tests).
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        self.shared.metrics.lock().expect("metrics lock").clone()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name("rif-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, conn_shared);
+                    })
+                    .expect("spawn connection");
+                conns.push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Reader half of one connection. The writer half lives on its own
+/// thread and exits when every `Sender<Response>` clone is dropped —
+/// including those held by in-flight shard submissions.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let write_stream = stream.try_clone()?;
+    let (resp_tx, resp_rx) = mpsc::channel::<Response>();
+    let writer = std::thread::Builder::new()
+        .name("rif-conn-writer".into())
+        .spawn(move || {
+            let mut w = BufWriter::new(write_stream);
+            while let Ok(resp) = resp_rx.recv() {
+                if write_frame(&mut w, &encode_response(&resp)).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    let mut r = BufReader::new(stream);
+    let mut saw_goodbye = false;
+    while let Some(payload) = read_frame(&mut r)? {
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(_) => {
+                shared
+                    .metrics
+                    .lock()
+                    .expect("metrics lock")
+                    .inc("server.protocol_errors", 1);
+                // The frame boundary survived (length-prefixed), so the
+                // stream stays usable; tag 0 because none decoded.
+                let _ = resp_tx.send(Response::Error {
+                    tag: 0,
+                    code: ErrorCode::BadRequest,
+                });
+                continue;
+            }
+        };
+        handle_request(req, &shared, &resp_tx);
+        if matches!(req, Request::Shutdown { .. }) {
+            saw_goodbye = true;
+            break;
+        }
+    }
+    drop(resp_tx);
+    let _ = writer.join();
+    if saw_goodbye {
+        shared.shutdown.store(true, Ordering::Release);
+    }
+    Ok(())
+}
+
+fn handle_request(req: Request, shared: &Shared, resp_tx: &Sender<Response>) {
+    match req {
+        Request::Read {
+            tenant,
+            tag,
+            offset,
+            bytes,
+        } => admit_io(shared, resp_tx, tenant, tag, offset, bytes, IoOp::Read),
+        Request::Write {
+            tenant,
+            tag,
+            offset,
+            bytes,
+        } => admit_io(shared, resp_tx, tenant, tag, offset, bytes, IoOp::Write),
+        Request::Stats { tag } => {
+            let text = render_stats(shared);
+            let _ = resp_tx.send(Response::Stats { tag, text });
+        }
+        Request::Flush { tag } => {
+            let (done_tx, done_rx) = mpsc::channel();
+            for s in &shared.shards {
+                let _ = s.tx.send(ShardMsg::Flush(done_tx.clone()));
+            }
+            drop(done_tx);
+            // Workers ack after force-draining; a crashed worker shows up
+            // as a disconnect, which also ends the wait.
+            while done_rx.recv().is_ok() {}
+            let _ = resp_tx.send(Response::Flushed { tag });
+        }
+        Request::Shutdown { tag } => {
+            let _ = resp_tx.send(Response::Goodbye { tag });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn admit_io(
+    shared: &Shared,
+    resp_tx: &Sender<Response>,
+    tenant: u32,
+    tag: u64,
+    offset: u64,
+    bytes: u32,
+    op: IoOp,
+) {
+    if shared.shutdown.load(Ordering::Acquire) {
+        let _ = resp_tx.send(Response::Error {
+            tag,
+            code: ErrorCode::ShuttingDown,
+        });
+        return;
+    }
+    if bytes == 0 || bytes > MAX_IO_BYTES {
+        shared
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .inc("server.protocol_errors", 1);
+        let _ = resp_tx.send(Response::Error {
+            tag,
+            code: ErrorCode::BadLength,
+        });
+        return;
+    }
+
+    {
+        let mut m = shared.metrics.lock().expect("metrics lock");
+        m.inc(
+            if op == IoOp::Read {
+                "server.requests.read"
+            } else {
+                "server.requests.write"
+            },
+            1,
+        );
+    }
+
+    // Rate limit first: a rejected request must not consume queue budget.
+    let wall_secs = shared.started.elapsed().as_secs_f64();
+    let admitted = shared
+        .buckets
+        .lock()
+        .expect("bucket lock")
+        .admit(tenant, wall_secs);
+    if !admitted {
+        shared
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .inc("server.busy.ratelimit", 1);
+        let _ = resp_tx.send(Response::Busy {
+            tag,
+            reason: BusyReason::RateLimit,
+        });
+        return;
+    }
+
+    // Route: wrap into capacity, pick the shard, rebase into its local
+    // dense LBA space, and align down to the simulator's page grid.
+    let wrapped = offset % shared.cfg.capacity_bytes;
+    let idx = ShardSpec::route(shared.cfg.capacity_bytes, shared.cfg.shards, wrapped);
+    let target = &shared.shards[idx];
+    let local = wrapped - target.spec.base_offset;
+
+    // Queue backpressure: reserve an in-flight slot or refuse.
+    let reserved = target
+        .inflight
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < shared.cfg.inflight_limit).then_some(n + 1)
+        });
+    if reserved.is_err() {
+        shared
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .inc("server.busy.queue", 1);
+        let _ = resp_tx.send(Response::Busy {
+            tag,
+            reason: BusyReason::Queue,
+        });
+        return;
+    }
+
+    let sent = target.tx.send(ShardMsg::Submit(Submission {
+        tag,
+        op,
+        offset: local,
+        bytes,
+        reply: resp_tx.clone(),
+    }));
+    if sent.is_err() {
+        // Worker gone (shutdown race): release the slot and report.
+        target.inflight.fetch_sub(1, Ordering::AcqRel);
+        let _ = resp_tx.send(Response::Error {
+            tag,
+            code: ErrorCode::ShuttingDown,
+        });
+    }
+}
+
+fn render_stats(shared: &Shared) -> String {
+    let mut m = shared.metrics.lock().expect("metrics lock").clone();
+    for s in &shared.shards {
+        m.set_gauge(
+            &format!("server.inflight.shard{}", s.spec.index),
+            s.inflight.load(Ordering::Acquire) as f64,
+        );
+    }
+    m.set_gauge("server.uptime_secs", shared.started.elapsed().as_secs_f64());
+    m.set_gauge("server.virtual_now_us", shared.clock.now().as_us());
+    m.lines().join("\n")
+}

@@ -1,0 +1,266 @@
+//! Shard workers: one simulator per LBA range, each on its own thread.
+//!
+//! The server partitions the logical address space into `n` equal spans;
+//! shard `i` owns `[i * span, (i + 1) * span)` and runs a private
+//! [`Simulator`] for it. Requests arrive over an mpsc channel, are
+//! submitted at the current virtual time, and the worker repeatedly
+//! advances its simulator up to the [`VirtualClock`]'s *now* — which is
+//! what turns the discrete-event core into a live, wall-clock-paced
+//! service. Completions are answered directly to each request's
+//! originating connection through the reply sender carried in the
+//! [`Submission`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rif_events::trace::MetricsRegistry;
+use rif_events::SimTime;
+use rif_ssd::{Simulator, SsdConfig};
+use rif_workloads::{IoOp, IoRequest};
+
+use crate::pacing::VirtualClock;
+use crate::protocol::Response;
+
+/// The LBA range a shard owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index in `[0, n)`.
+    pub index: usize,
+    /// First logical byte owned by this shard.
+    pub base_offset: u64,
+    /// Bytes in the shard's span.
+    pub span_bytes: u64,
+}
+
+impl ShardSpec {
+    /// Splits `capacity_bytes` into `n` equal spans (the last shard
+    /// absorbs the remainder).
+    pub fn partition(capacity_bytes: u64, n: usize) -> Vec<ShardSpec> {
+        assert!(n > 0, "at least one shard");
+        assert!(capacity_bytes >= n as u64, "capacity too small to shard");
+        let span = capacity_bytes / n as u64;
+        (0..n)
+            .map(|i| ShardSpec {
+                index: i,
+                base_offset: i as u64 * span,
+                span_bytes: if i == n - 1 {
+                    capacity_bytes - i as u64 * span
+                } else {
+                    span
+                },
+            })
+            .collect()
+    }
+
+    /// The shard index owning `offset` (already wrapped into capacity).
+    pub fn route(capacity_bytes: u64, n: usize, offset: u64) -> usize {
+        let span = capacity_bytes / n as u64;
+        ((offset / span) as usize).min(n - 1)
+    }
+}
+
+/// One admitted I/O on its way to a shard.
+pub struct Submission {
+    /// Client correlation tag, echoed in the response.
+    pub tag: u64,
+    /// Read or write.
+    pub op: IoOp,
+    /// Offset *rebased* into the shard's local dense LBA space.
+    pub offset: u64,
+    /// Transfer size.
+    pub bytes: u32,
+    /// Where the completion goes (the originating connection's writer).
+    pub reply: Sender<Response>,
+}
+
+/// Messages a shard worker consumes.
+pub enum ShardMsg {
+    /// Simulate one I/O.
+    Submit(Submission),
+    /// Fast-forward the simulator until nothing is in flight, then ack.
+    Flush(Sender<()>),
+    /// Drain and exit.
+    Stop,
+}
+
+/// Handle to a running shard worker.
+pub struct ShardHandle {
+    /// The worker's inbox.
+    pub tx: Sender<ShardMsg>,
+    /// In-flight count, shared with the admission check in the server.
+    pub inflight: Arc<AtomicUsize>,
+    join: JoinHandle<()>,
+}
+
+impl ShardHandle {
+    /// Asks the worker to drain and exit, then joins it.
+    pub fn stop(self) {
+        let _ = self.tx.send(ShardMsg::Stop);
+        let _ = self.join.join();
+    }
+}
+
+/// Longest the worker sleeps between polls even with nothing scheduled,
+/// so Stop/Flush messages are always picked up promptly.
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+/// Spawns the worker thread for one shard.
+pub fn spawn_shard(
+    spec: ShardSpec,
+    cfg: SsdConfig,
+    clock: VirtualClock,
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    rx: Receiver<ShardMsg>,
+    tx: Sender<ShardMsg>,
+) -> ShardHandle {
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let inflight_worker = Arc::clone(&inflight);
+    let join = std::thread::Builder::new()
+        .name(format!("rif-shard-{}", spec.index))
+        .spawn(move || run_worker(spec, cfg, clock, inflight_worker, metrics, rx))
+        .expect("spawn shard worker");
+    ShardHandle { tx, inflight, join }
+}
+
+fn run_worker(
+    spec: ShardSpec,
+    cfg: SsdConfig,
+    clock: VirtualClock,
+    inflight: Arc<AtomicUsize>,
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    rx: Receiver<ShardMsg>,
+) {
+    let mut sim = Simulator::new(cfg);
+    // sim request id -> (client tag, reply channel)
+    let mut pending: HashMap<u64, (u64, Sender<Response>)> = HashMap::new();
+    let mut flush_waiters: Vec<Sender<()>> = Vec::new();
+    let mut stopping = false;
+    let shard_label = format!("shard{}", spec.index);
+
+    loop {
+        // Ingest everything queued without blocking.
+        loop {
+            match rx.try_recv() {
+                Ok(ShardMsg::Submit(s)) => {
+                    let id = sim.submit(IoRequest {
+                        arrival: clock.now(),
+                        op: s.op,
+                        offset: s.offset,
+                        bytes: s.bytes,
+                    });
+                    pending.insert(id, (s.tag, s.reply));
+                }
+                Ok(ShardMsg::Flush(done)) => flush_waiters.push(done),
+                Ok(ShardMsg::Stop) => stopping = true,
+                Err(_) => break,
+            }
+        }
+
+        // Flush and shutdown fast-forward past wall-clock pacing: the
+        // simulator is advanced until nothing is left in flight. Later
+        // submissions clamp their arrival to the simulator clock, so time
+        // stays monotonic.
+        let horizon = if stopping || !flush_waiters.is_empty() {
+            SimTime::MAX
+        } else {
+            clock.now()
+        };
+        sim.advance_until(horizon);
+
+        let done = sim.drain_completions();
+        if !done.is_empty() {
+            let mut m = metrics.lock().expect("metrics lock");
+            for c in &done {
+                m.inc("server.completed", 1);
+                m.inc(&format!("server.completed.{shard_label}"), 1);
+                m.observe("server.latency.virtual", c.latency());
+            }
+        }
+        for c in done {
+            inflight.fetch_sub(1, Ordering::AcqRel);
+            if let Some((tag, reply)) = pending.remove(&c.id) {
+                // A dead connection just drops its completions.
+                let _ = reply.send(Response::Done {
+                    tag,
+                    latency_ns: c.latency().as_ns(),
+                });
+            }
+        }
+
+        if pending.is_empty() && !flush_waiters.is_empty() {
+            for w in flush_waiters.drain(..) {
+                let _ = w.send(());
+            }
+        }
+        if stopping && pending.is_empty() {
+            return;
+        }
+
+        // Sleep until the next simulated event is due on the wall clock,
+        // waking early for new messages.
+        let nap = match sim.next_event_time() {
+            Some(t) => clock.wall_until(t).min(IDLE_POLL),
+            None => IDLE_POLL,
+        };
+        match rx.recv_timeout(nap) {
+            Ok(ShardMsg::Submit(s)) => {
+                let id = sim.submit(IoRequest {
+                    arrival: clock.now(),
+                    op: s.op,
+                    offset: s.offset,
+                    bytes: s.bytes,
+                });
+                pending.insert(id, (s.tag, s.reply));
+            }
+            Ok(ShardMsg::Flush(done)) => flush_waiters.push(done),
+            Ok(ShardMsg::Stop) => stopping = true,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => stopping = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_capacity_exactly() {
+        let shards = ShardSpec::partition(1000, 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].base_offset, 0);
+        assert_eq!(shards[1].base_offset, 333);
+        assert_eq!(shards[2].base_offset, 666);
+        let total: u64 = shards.iter().map(|s| s.span_bytes).sum();
+        assert_eq!(total, 1000, "last shard absorbs the remainder");
+        assert_eq!(shards[2].span_bytes, 334);
+    }
+
+    #[test]
+    fn routing_matches_partition() {
+        let cap = 1 << 30;
+        let n = 4;
+        let shards = ShardSpec::partition(cap, n);
+        for offset in [0u64, 1, (cap / 4) - 1, cap / 4, cap / 2, cap - 1] {
+            let idx = ShardSpec::route(cap, n, offset);
+            let s = shards[idx];
+            assert!(
+                offset >= s.base_offset && offset < s.base_offset + s.span_bytes,
+                "offset {offset} routed to shard {idx} [{}, {})",
+                s.base_offset,
+                s.base_offset + s.span_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn top_offset_routes_to_last_shard() {
+        // span division truncates, so the highest offsets must clamp to
+        // the last shard instead of indexing out of bounds.
+        assert_eq!(ShardSpec::route(1000, 3, 999), 2);
+    }
+}

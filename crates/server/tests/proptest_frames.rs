@@ -1,0 +1,163 @@
+//! Property-based tests for the wire protocol (run with
+//! `--features proptest`).
+//!
+//! Three families:
+//! - round-trip: encode → decode is the identity for every request and
+//!   response the encoders can produce;
+//! - rejection: every strict prefix of a valid payload is refused, and a
+//!   frame header announcing more than `MAX_FRAME_BYTES` is refused
+//!   before any payload is read;
+//! - framing: a stream of many frames survives concatenation — each
+//!   payload comes back whole and in order.
+
+use proptest::prelude::*;
+use rif_server::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    BusyReason, ErrorCode, Request, Response, WireError, MAX_FRAME_BYTES,
+};
+use std::io::Cursor;
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        0u8..5,
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+    )
+        .prop_map(|(kind, tenant, tag, offset, bytes)| match kind {
+            0 => Request::Read {
+                tenant,
+                tag,
+                offset,
+                bytes,
+            },
+            1 => Request::Write {
+                tenant,
+                tag,
+                offset,
+                bytes,
+            },
+            2 => Request::Stats { tag },
+            3 => Request::Flush { tag },
+            _ => Request::Shutdown { tag },
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        0u8..6,
+        any::<u64>(),
+        any::<u64>(),
+        // Printable-ASCII stats text (the shim has no regex strategies).
+        prop::collection::vec(0x20u8..0x7F, 0..120)
+            .prop_map(|b| String::from_utf8(b).expect("printable ascii")),
+    )
+        .prop_map(|(kind, tag, latency, text)| match kind {
+            0 => Response::Done {
+                tag,
+                latency_ns: latency,
+            },
+            1 => Response::Busy {
+                tag,
+                reason: if latency % 2 == 0 {
+                    BusyReason::Queue
+                } else {
+                    BusyReason::RateLimit
+                },
+            },
+            2 => Response::Error {
+                tag,
+                code: match latency % 3 {
+                    0 => ErrorCode::BadRequest,
+                    1 => ErrorCode::BadLength,
+                    _ => ErrorCode::ShuttingDown,
+                },
+            },
+            3 => Response::Stats { tag, text },
+            4 => Response::Flushed { tag },
+            _ => Response::Goodbye { tag },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_encode_decode_roundtrips(req in request_strategy()) {
+        let enc = encode_request(&req);
+        prop_assert_eq!(decode_request(&enc), Ok(req));
+    }
+
+    #[test]
+    fn response_encode_decode_roundtrips(resp in response_strategy()) {
+        let enc = encode_response(&resp);
+        prop_assert_eq!(decode_response(&enc), Ok(resp.clone()));
+    }
+
+    #[test]
+    fn truncated_requests_are_rejected(req in request_strategy(), cut_seed in any::<u64>()) {
+        let enc = encode_request(&req);
+        // Every strict prefix must fail to decode; none may panic.
+        let cut = (cut_seed as usize) % enc.len();
+        let e = decode_request(&enc[..cut]).expect_err("prefix must be rejected");
+        prop_assert!(
+            matches!(e, WireError::Truncated { .. } | WireError::Empty),
+            "cut {}: {:?}", cut, e
+        );
+    }
+
+    #[test]
+    fn truncated_responses_are_rejected(resp in response_strategy(), cut_seed in any::<u64>()) {
+        let enc = encode_response(&resp);
+        let cut = (cut_seed as usize) % enc.len();
+        let got = decode_response(&enc[..cut]);
+        // STATS prefixes that still cover the tag decode as shorter
+        // (still-valid) stats text; everything else must be refused.
+        match got {
+            Err(WireError::Truncated { .. }) | Err(WireError::Empty) => {}
+            Ok(Response::Stats { .. }) if matches!(resp, Response::Stats { .. }) && cut >= 9 => {}
+            other => prop_assert!(false, "cut {}: {:?}", cut, other),
+        }
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_payload_io(extra in 1u32..1_000_000) {
+        let len = MAX_FRAME_BYTES.saturating_add(extra);
+        let mut buf = len.to_le_bytes().to_vec();
+        // No payload behind the header at all: the reader must refuse on
+        // the header alone instead of trying to allocate and read.
+        let e = read_frame(&mut Cursor::new(&mut buf)).expect_err("oversized must fail");
+        prop_assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_streams_concatenate_losslessly(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 0..20)
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).expect("write");
+        }
+        let mut cur = Cursor::new(wire);
+        for p in &payloads {
+            let got = read_frame(&mut cur).expect("read").expect("frame present");
+            prop_assert_eq!(&got, p);
+        }
+        prop_assert_eq!(read_frame(&mut cur).expect("eof read"), None);
+    }
+
+    #[test]
+    fn corrupt_opcodes_never_panic(payload in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Arbitrary bytes: decoding may fail but must never panic, and a
+        // success must re-encode to the exact same bytes (canonicality),
+        // except for requests only — responses include STATS whose text
+        // re-encodes identically too.
+        if let Ok(req) = decode_request(&payload) {
+            prop_assert_eq!(encode_request(&req), payload.clone());
+        }
+        if let Ok(resp) = decode_response(&payload) {
+            prop_assert_eq!(encode_response(&resp), payload);
+        }
+    }
+}

@@ -38,5 +38,5 @@ pub mod tracecheck;
 pub use config::SsdConfig;
 pub use report::{ChannelUsage, SimReport};
 pub use retry::RetryKind;
-pub use simulator::Simulator;
+pub use simulator::{Completion, Simulator};
 pub use tracecheck::{TraceChecker, Violation};

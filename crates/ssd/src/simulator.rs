@@ -24,7 +24,7 @@ use rif_events::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, Uti
 use rif_flash::geometry::PageKind;
 use rif_flash::rber::BlockProfile;
 use rif_flash::vth::OperatingPoint;
-use rif_workloads::{IoOp, Trace};
+use rif_workloads::{IoOp, IoRequest, Trace};
 
 use crate::config::SsdConfig;
 use crate::ftl::{Ftl, SlotLocation};
@@ -167,6 +167,37 @@ struct Request {
     span: u64,
 }
 
+/// A finished host request, as surfaced by
+/// [`Simulator::drain_completions`].
+///
+/// The service layer built on the stepper API uses these to answer the
+/// wire requests it injected with [`Simulator::submit`]; batch callers
+/// can ignore them (the [`SimReport`] aggregates the same data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The id returned by the [`Simulator::submit`] call that started
+    /// this request (its position in submission order).
+    pub id: u64,
+    /// Read or write.
+    pub op: IoOp,
+    /// Starting logical byte address.
+    pub offset: u64,
+    /// Request length in bytes.
+    pub bytes: u32,
+    /// When the request arrived (after any clamping to the clock).
+    pub arrival: SimTime,
+    /// When the last byte reached the host (reads) or the program
+    /// finished (writes).
+    pub finished: SimTime,
+}
+
+impl Completion {
+    /// End-to-end latency on the simulation clock.
+    pub fn latency(&self) -> SimDuration {
+        self.finished.since(self.arrival)
+    }
+}
+
 #[derive(Debug)]
 struct WriteJob {
     req: usize,
@@ -212,6 +243,7 @@ pub struct Simulator {
     write_jobs: Vec<WriteJob>,
     backlog: VecDeque<usize>,
     outstanding: usize,
+    completions: Vec<Completion>,
     // Observability (both off by default and free when off).
     tracer: Tracer,
     metrics: Option<MetricsRegistry>,
@@ -266,6 +298,7 @@ impl Simulator {
             write_jobs: Vec::new(),
             backlog: VecDeque::new(),
             outstanding: 0,
+            completions: Vec::new(),
             tracer: Tracer::disabled(),
             metrics: None,
             host_span: 0,
@@ -338,20 +371,58 @@ impl Simulator {
     }
 
     /// Runs the trace to completion and returns the report.
+    ///
+    /// This is a thin wrapper over the incremental stepper API: every
+    /// request is [`submitted`](Simulator::submit) up-front, the event
+    /// loop is advanced past the last event, and the accumulated state is
+    /// [`finished`](Simulator::finish) into a report. Driving the stepper
+    /// by hand with the same trace yields a byte-identical canonical
+    /// report (see the `sim_determinism_golden` suite).
     pub fn run(mut self, trace: &Trace) -> SimReport {
-        for (i, r) in trace.iter().enumerate() {
-            self.requests.push(Request {
-                arrival: r.arrival,
-                op: r.op,
-                offset: r.offset,
-                bytes: r.bytes,
-                remaining: 0,
-                done: false,
-                span: 0,
-            });
-            self.events.schedule(r.arrival, Ev::Arrive(i));
+        for r in trace.iter() {
+            self.submit(*r);
         }
-        while let Some((now, ev)) = self.events.pop() {
+        self.advance_until(SimTime::MAX);
+        self.finish()
+    }
+
+    // ----- stepper API ---------------------------------------------------
+
+    /// Injects one host request into the live event loop and returns its
+    /// id (submission order, also the [`Completion::id`] it completes
+    /// under).
+    ///
+    /// An arrival earlier than the simulation clock is clamped to the
+    /// clock: the request arrives "now". This is what lets a service
+    /// layer feed wall-clock-paced arrivals into a running simulation
+    /// without ever scheduling into the past.
+    pub fn submit(&mut self, r: IoRequest) -> u64 {
+        let id = self.requests.len();
+        let arrival = r.arrival.max(self.events.now());
+        self.requests.push(Request {
+            arrival,
+            op: r.op,
+            offset: r.offset,
+            bytes: r.bytes,
+            remaining: 0,
+            done: false,
+            span: 0,
+        });
+        self.events.schedule(arrival, Ev::Arrive(id));
+        id as u64
+    }
+
+    /// Processes every pending event with a timestamp at or before
+    /// `limit`, returning the number of events handled. The clock never
+    /// moves past the last handled event, so a later [`Simulator::submit`]
+    /// may still arrive anywhere in `(clock, limit]`.
+    pub fn advance_until(&mut self, limit: SimTime) -> usize {
+        let mut handled = 0;
+        while let Some(at) = self.events.peek_time() {
+            if at > limit {
+                break;
+            }
+            let (now, ev) = self.events.pop().expect("peeked event exists");
             match ev {
                 Ev::Arrive(i) => self.on_arrive(now, i),
                 Ev::DieDone(d, epoch) => self.on_die_done(now, d, epoch),
@@ -359,11 +430,41 @@ impl Simulator {
                 Ev::EccDone(c) => self.on_ecc_done(now, c),
                 Ev::HostDone => self.on_host_done(now),
             }
+            handled += 1;
         }
-        self.finish()
+        handled
     }
 
-    fn finish(mut self) -> SimReport {
+    /// Takes the requests completed since the last drain, in completion
+    /// order.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// The simulation clock (timestamp of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Number of pending events in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Submitted requests that have not completed yet (in flight or
+    /// backlogged behind the queue depth).
+    pub fn unfinished_requests(&self) -> usize {
+        self.requests.len() - self.completed_requests as usize
+    }
+
+    /// Consumes the simulator and produces the aggregate report for
+    /// everything simulated so far.
+    pub fn finish(mut self) -> SimReport {
         let end = self.last_completion;
         self.tracer.flush();
         let per_channel_usage: Vec<ChannelUsage> = std::mem::take(&mut self.channels)
@@ -1164,6 +1265,14 @@ impl Simulator {
             }
         }
         self.last_completion = now;
+        self.completions.push(Completion {
+            id: req as u64,
+            op,
+            offset: self.requests[req].offset,
+            bytes: self.requests[req].bytes,
+            arrival,
+            finished: now,
+        });
         self.outstanding -= 1;
         if let Some(next) = self.backlog.pop_front() {
             self.admit(now, next);
@@ -1512,6 +1621,73 @@ mod tests {
         // And enabling it on a write-heavy trace changes read latency.
         let c = run(true);
         assert!(c.completed_requests == a.completed_requests);
+    }
+
+    #[test]
+    fn stepper_drains_completions_in_order() {
+        let mut cfg = SsdConfig::small(RetryKind::IdealOne, 0);
+        cfg.forced_failure_slots = Some(vec![]);
+        let mut sim = Simulator::new(cfg);
+        let a = sim.submit(read_req(0, 0, 65536));
+        let b = sim.submit(read_req(10, 65536, 65536));
+        assert_eq!((a, b), (0, 1));
+        // Nothing before the first sense finishes.
+        sim.advance_until(SimTime::from_us(30));
+        assert!(sim.drain_completions().is_empty());
+        assert_eq!(sim.unfinished_requests(), 2);
+        sim.advance_until(SimTime::MAX);
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].id, 0);
+        assert_eq!(done[1].id, 1);
+        assert!(done[0].finished <= done[1].finished);
+        assert!(done[0].latency() > SimDuration::from_us(50));
+        assert_eq!(sim.unfinished_requests(), 0);
+        // A second drain is empty; finish() still reports both requests.
+        assert!(sim.drain_completions().is_empty());
+        let report = sim.finish();
+        assert_eq!(report.completed_requests, 2);
+    }
+
+    #[test]
+    fn stepper_accepts_live_injection_mid_run() {
+        // Submit while the event loop has already advanced: the late
+        // request's stale arrival is clamped to the clock instead of
+        // panicking the event queue.
+        let mut cfg = SsdConfig::small(RetryKind::Rif, 1000);
+        cfg.forced_failure_slots = Some(vec![]);
+        let mut sim = Simulator::new(cfg);
+        sim.submit(read_req(0, 0, 65536));
+        sim.advance_until(SimTime::from_us(60)); // sense done, transfers going
+        let clock = sim.now();
+        assert!(clock > SimTime::ZERO);
+        let id = sim.submit(read_req(0, 65536, 65536)); // arrival 0 is in the past
+        sim.advance_until(SimTime::MAX);
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 2);
+        let late = done.iter().find(|c| c.id == id).unwrap();
+        assert_eq!(late.arrival, clock, "stale arrival clamps to the clock");
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.next_event_time(), None);
+    }
+
+    #[test]
+    fn stepper_advance_is_chunking_invariant() {
+        // Advancing in many small windows handles exactly the same events
+        // as one big advance: reports are byte-identical.
+        let trace = WorkloadProfile::by_name("Ali124").unwrap().generate(150, 9);
+        let batch = Simulator::new(SsdConfig::small(RetryKind::Rif, 1000)).run(&trace);
+        let mut sim = Simulator::new(SsdConfig::small(RetryKind::Rif, 1000));
+        for r in &trace {
+            sim.submit(*r);
+        }
+        let mut t = SimTime::ZERO;
+        while sim.pending_events() > 0 {
+            t = t + SimDuration::from_us(100);
+            sim.advance_until(t);
+        }
+        let stepped = sim.finish();
+        assert_eq!(batch.to_json(), stepped.to_json());
     }
 
     #[test]

@@ -77,6 +77,24 @@ impl WorkloadProfile {
         PAPER_WORKLOADS.iter().copied().find(|w| w.name == name)
     }
 
+    /// The profile with the highest read ratio, `None` for an empty
+    /// slice. Uses a total order in which a NaN ratio (e.g. from a
+    /// hand-built profile) loses to every real number, instead of
+    /// panicking the comparison the way `partial_cmp().unwrap()` did.
+    pub fn most_read_intensive(profiles: &[WorkloadProfile]) -> Option<WorkloadProfile> {
+        fn key(w: &WorkloadProfile) -> f64 {
+            if w.read_ratio.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                w.read_ratio
+            }
+        }
+        profiles
+            .iter()
+            .copied()
+            .max_by(|a, b| key(a).total_cmp(&key(b)))
+    }
+
     /// The four workloads of the motivation study (Fig. 6).
     pub fn motivation_set() -> [WorkloadProfile; 4] {
         [
@@ -134,11 +152,30 @@ mod tests {
     #[test]
     fn ali124_is_most_read_intensive() {
         // §III-B: "the most read-intensive workload Ali124".
-        let max = PAPER_WORKLOADS
-            .iter()
-            .max_by(|a, b| a.read_ratio.partial_cmp(&b.read_ratio).unwrap())
-            .unwrap();
+        let max = WorkloadProfile::most_read_intensive(&PAPER_WORKLOADS).unwrap();
         assert_eq!(max.name, "Ali124");
+    }
+
+    #[test]
+    fn most_read_intensive_survives_nan_and_empty() {
+        // Regression: the old partial_cmp().unwrap() panicked on NaN.
+        let with_nan = [
+            WorkloadProfile {
+                name: "broken",
+                read_ratio: f64::NAN,
+                cold_read_ratio: 0.5,
+            },
+            WorkloadProfile::by_name("Ali2").unwrap(),
+        ];
+        let max = WorkloadProfile::most_read_intensive(&with_nan).unwrap();
+        assert_eq!(max.name, "Ali2", "NaN must lose to any real ratio");
+        assert_eq!(WorkloadProfile::most_read_intensive(&[]), None);
+        // All-NaN input still yields an answer rather than panicking.
+        let all_nan = [with_nan[0]];
+        assert_eq!(
+            WorkloadProfile::most_read_intensive(&all_nan).unwrap().name,
+            "broken"
+        );
     }
 
     #[test]

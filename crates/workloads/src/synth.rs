@@ -240,16 +240,23 @@ mod tests {
             ..SynthConfig::default()
         };
         let t = cfg.generate(5000, 17);
-        let mut counts = std::collections::HashMap::new();
-        for r in &t {
-            *counts.entry(r.offset).or_insert(0usize) += 1;
-        }
-        let max = counts.values().copied().max().unwrap();
-        let distinct = counts.len();
+        // Regression: peak_offset_frequency replaces an inline
+        // max().unwrap() that panicked on empty histograms.
+        let max = t.peak_offset_frequency();
+        let distinct = t.distinct_offsets();
         assert!(
             max > 5000 / distinct * 10,
             "no hot spot: max {max}, distinct {distinct}"
         );
+    }
+
+    #[test]
+    fn peak_offset_frequency_of_empty_trace_is_zero() {
+        assert_eq!(Trace::default().peak_offset_frequency(), 0);
+        assert_eq!(Trace::default().distinct_offsets(), 0);
+        let t = SynthConfig::default().generate(100, 1);
+        assert!(t.peak_offset_frequency() >= 1);
+        assert!(t.distinct_offsets() >= 1);
     }
 
     #[test]

@@ -114,6 +114,26 @@ impl Trace {
     pub fn footprint(&self) -> u64 {
         self.requests.iter().map(|r| r.end()).max().unwrap_or(0)
     }
+
+    /// Number of requests targeting the most-requested offset — the
+    /// hot-spot height that Zipfian locality produces. Zero for an empty
+    /// trace (the offset histogram has no maximum to take).
+    pub fn peak_offset_frequency(&self) -> usize {
+        let mut counts = std::collections::HashMap::new();
+        for r in &self.requests {
+            *counts.entry(r.offset).or_insert(0usize) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct offsets addressed.
+    pub fn distinct_offsets(&self) -> usize {
+        self.requests
+            .iter()
+            .map(|r| r.offset)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
 }
 
 impl<'a> IntoIterator for &'a Trace {

@@ -5,11 +5,22 @@
 #
 # Steps: formatting, release build, test suite (default features plus the
 # gated proptest suites), the decode-kernel perf smoke, a determinism
-# check that --threads does not change a single CSV byte, and a trace
-# gate that replays a quick figure run through the invariant checker.
+# check that --threads does not change a single CSV byte, a trace
+# gate that replays a quick figure run through the invariant checker,
+# and a loopback serving smoke (rif-server + rif-client over TCP).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+tmpdir="$(mktemp -d)"
+server_pid=""
+rl_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    [ -n "$rl_pid" ] && kill "$rl_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -25,13 +36,12 @@ cargo test -q --workspace
 
 echo "==> cargo test -q --features proptest (vendored shim)"
 cargo test -q --features proptest --test proptest_invariants --test proptest_parser
+cargo test -q -p rif-server --features proptest --test proptest_frames
 
 echo "==> perf_smoke --quick"
 cargo run -q --release -p rif-bench --bin perf_smoke -- --quick
 
 echo "==> thread-count determinism (fig10, --threads 1 vs 8)"
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
 cargo run -q --release -p rif-bench --bin fig10_syndrome_correlation -- \
     --quick --csv --seed 42 --threads 1 > "$tmpdir/t1.csv"
 cargo run -q --release -p rif-bench --bin fig10_syndrome_correlation -- \
@@ -42,5 +52,67 @@ echo "==> trace-invariant gate (fig19 --trace-out, then trace_check)"
 cargo run -q --release -p rif-bench --bin fig19_latency_cdf -- \
     --quick --seed 42 --trace-out "$tmpdir/trace" > /dev/null
 cargo run -q --release -p rif-bench --bin trace_check -- "$tmpdir"/trace-*.jsonl
+
+echo "==> loopback serving smoke (rif-server + rif-client)"
+# Every client step runs under a hard timeout so a wedged server cannot
+# hang CI; the servers themselves are killed by the EXIT trap.
+cargo build -q --release -p rif-server
+SRV=./target/release/rif-server
+CLI=./target/release/rif-client
+
+# Wait for a background server to print its listening line, echo "host:port".
+wait_addr() {
+    _log="$1"
+    _i=0
+    while [ "$_i" -lt 100 ]; do
+        _addr="$(sed -n 's/^rif-server listening on //p' "$_log")"
+        if [ -n "$_addr" ]; then
+            printf '%s\n' "$_addr"
+            return 0
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    echo "rif-server never came up; log:" >&2
+    cat "$_log" >&2
+    return 1
+}
+
+"$SRV" --port 0 --shards 2 --time-scale 200 --seed 42 > "$tmpdir/server.log" &
+server_pid=$!
+addr="$(wait_addr "$tmpdir/server.log")"
+
+timeout 180 "$CLI" --addr "$addr" --requests 10000 --connections 4 \
+    --depth 16 --seed 7 > "$tmpdir/smoke.json"
+cat "$tmpdir/smoke.json"
+grep -q '"completed":10000' "$tmpdir/smoke.json"
+grep -q '"protocol_errors":0' "$tmpdir/smoke.json"
+grep -q '"p99":' "$tmpdir/smoke.json"
+
+timeout 30 "$CLI" --addr "$addr" --stats > "$tmpdir/stats.txt"
+grep -q '^counter server\.completed 10000$' "$tmpdir/stats.txt"
+grep -q '^histogram server\.latency\.virtual ' "$tmpdir/stats.txt"
+
+timeout 30 "$CLI" --addr "$addr" --shutdown
+wait "$server_pid" || { echo "server exited non-zero"; exit 1; }
+server_pid=""
+
+# An over-rate burst against a tiny token bucket must be throttled with
+# explicit BUSY backpressure (and still complete via client retries).
+"$SRV" --port 0 --shards 1 --time-scale 200 --rate 300 --burst 4 \
+    --seed 43 > "$tmpdir/server_rl.log" &
+rl_pid=$!
+addr_rl="$(wait_addr "$tmpdir/server_rl.log")"
+timeout 120 "$CLI" --addr "$addr_rl" --requests 200 --connections 1 \
+    --depth 16 --max-busy-retries 100000 --seed 9 > "$tmpdir/burst.json"
+cat "$tmpdir/burst.json"
+grep -q '"completed":200' "$tmpdir/burst.json"
+if grep -q '"busy_ratelimit":0,' "$tmpdir/burst.json"; then
+    echo "over-rate burst saw no BUSY backpressure"
+    exit 1
+fi
+timeout 30 "$CLI" --addr "$addr_rl" --shutdown
+wait "$rl_pid" || { echo "rate-limited server exited non-zero"; exit 1; }
+rl_pid=""
 
 echo "==> ci.sh: all green"

@@ -6,8 +6,9 @@
 
 use rif_events::parallel_trials;
 use rif_events::trace::{JsonlSink, SharedBuf};
+use rif_events::{SimDuration, SimTime};
 use rif_ssd::{RetryKind, Simulator, SsdConfig};
-use rif_workloads::SynthConfig;
+use rif_workloads::{SynthConfig, Trace};
 
 /// One fully-observed run: returns the canonical report JSON and the
 /// raw JSONL trace log.
@@ -56,6 +57,80 @@ fn repeated_threaded_runs_are_stable() {
     let first = parallel_trials(8, n, trial);
     let second = parallel_trials(8, n, trial);
     assert_eq!(first, second, "back-to-back threaded runs must agree");
+}
+
+/// The trace and configuration shared by the stepper-equivalence trials.
+fn equivalence_inputs(retry: RetryKind, seed: u64) -> (SsdConfig, Trace) {
+    let trace = SynthConfig {
+        read_ratio: 0.85,
+        cold_read_ratio: 0.6,
+        ..SynthConfig::default()
+    }
+    .generate(150, seed);
+    let mut cfg = SsdConfig::small(retry, 2000);
+    cfg.queue_depth = 16;
+    cfg.seed = seed;
+    (cfg, trace)
+}
+
+#[test]
+fn stepper_replay_matches_batch_run_byte_for_byte() {
+    // Driving the stepper API with a whole trace up-front — submitted
+    // once, then advanced in small fixed windows — must produce a
+    // canonical report byte-identical to the legacy one-shot run() for
+    // every (scheme, seed) pair tried. run() is a wrapper over the same
+    // core, but this pins the stronger property: chunked advancement
+    // cannot change a single event outcome.
+    for retry in [RetryKind::Rif, RetryKind::Sentinel, RetryKind::RpSsd] {
+        for seed in [11u64, 12, 13] {
+            let (cfg, trace) = equivalence_inputs(retry, seed);
+            let batch = Simulator::new(cfg.clone()).run(&trace).to_json();
+
+            let mut sim = Simulator::new(cfg);
+            for r in &trace {
+                sim.submit(*r);
+            }
+            let mut horizon = SimTime::ZERO;
+            let mut steps = 0usize;
+            while sim.pending_events() > 0 {
+                horizon = horizon + SimDuration::from_us(50);
+                sim.advance_until(horizon);
+                steps += 1;
+            }
+            assert!(
+                steps > 10,
+                "{retry:?}/{seed}: trace finished too fast to chunk"
+            );
+            let stepped = sim.finish().to_json();
+            assert_eq!(batch, stepped, "{retry:?} seed {seed}: stepper diverged");
+        }
+    }
+}
+
+#[test]
+fn stepper_completions_account_for_every_request() {
+    let (cfg, trace) = equivalence_inputs(RetryKind::Rif, 21);
+    let mut sim = Simulator::new(cfg);
+    for r in &trace {
+        sim.submit(*r);
+    }
+    // Drain in mid-flight chunks; the union must cover each id exactly
+    // once, in non-decreasing completion time.
+    let mut seen = vec![false; trace.len()];
+    let mut last = SimTime::ZERO;
+    let mut horizon = SimTime::ZERO;
+    while sim.pending_events() > 0 {
+        horizon = horizon + SimDuration::from_ms(1);
+        sim.advance_until(horizon);
+        for c in sim.drain_completions() {
+            assert!(!seen[c.id as usize], "id {} completed twice", c.id);
+            seen[c.id as usize] = true;
+            assert!(c.finished >= last, "completions out of order");
+            last = c.finished;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "some requests never completed");
+    assert_eq!(sim.unfinished_requests(), 0);
 }
 
 #[test]

@@ -205,6 +205,8 @@ tuple_strategy! {
     (A, B);
     (A, B, C);
     (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
 }
 
 /// The `prop` namespace (`prop::collection::vec`).
