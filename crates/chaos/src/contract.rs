@@ -1,0 +1,216 @@
+//! The client-contract checker.
+//!
+//! The ROADMAP contract for the serving layer: **every submitted tag
+//! resolves to exactly one of DONE / BUSY / ERROR or a clean connection
+//! error — never silence, never duplicate completions.** The hardened
+//! client records every wire submission in a [`Journal`]; this module
+//! audits that journal after a run and emits a JSON verdict.
+//!
+//! Verdict JSON contains only *violation* counts, all zero on PASS, so
+//! two runs with the same fault-plan seed render byte-identical verdicts
+//! even though wall-clock timing (and hence retry/timeout tallies) may
+//! differ between them.
+
+use rif_server::client::{Journal, LoadReport};
+
+use crate::plan::FaultPlan;
+
+/// Audits a [`Journal`] against the serving-layer contract.
+#[derive(Debug, Clone, Copy)]
+pub struct ContractChecker {
+    /// Accept post-resolution receipts whose payload differs from the
+    /// resolving one (possible when the plan duplicates/corrupts frames).
+    allow_conflicting: bool,
+    /// Accept decodable responses for tags never submitted (possible when
+    /// the plan mangles frames: corrupted tag bits, or the server's tag-0
+    /// reply to an undecodable request).
+    allow_unknown: bool,
+}
+
+impl ContractChecker {
+    /// The strictest checker: any duplicate-divergence or unknown tag is
+    /// a violation. Correct for fault-free runs and for plans that only
+    /// drop, delay, or reset.
+    pub fn strict() -> ContractChecker {
+        ContractChecker {
+            allow_conflicting: false,
+            allow_unknown: false,
+        }
+    }
+
+    /// Checker with exactly the relaxations `plan` justifies.
+    pub fn for_plan(plan: &FaultPlan) -> ContractChecker {
+        ContractChecker {
+            allow_conflicting: plan.can_duplicate_or_diverge(),
+            allow_unknown: plan.can_mangle(),
+        }
+    }
+
+    /// Audits one run. `requests` is the number of operations the load
+    /// generator planned; the report must account for every one of them.
+    pub fn check(&self, journal: &Journal, report: &LoadReport, requests: u64) -> ContractVerdict {
+        let mut v = ContractVerdict::default();
+
+        for rec in &journal.records {
+            // Silence: a submitted tag that never resolved.
+            if rec.outcome.is_none() {
+                v.unresolved_tags += 1;
+            }
+            // Duplicate completion with a *different* payload: the server
+            // answered one tag two contradictory ways.
+            if !self.allow_conflicting {
+                v.conflicting_receipts += rec.conflicting_receipts as u64;
+            }
+        }
+
+        if !self.allow_unknown {
+            v.unexpected_unknown = journal.unknown_receipts;
+        }
+
+        // Every planned op must end in exactly one ledger bucket.
+        let accounted = report.completed + report.failed + report.busy_dropped;
+        v.accounting_gap = requests as i64 - accounted as i64;
+
+        v.pass = v.unresolved_tags == 0
+            && v.conflicting_receipts == 0
+            && v.unexpected_unknown == 0
+            && v.accounting_gap == 0;
+        v
+    }
+}
+
+/// The audit result. All violation counts are zero on PASS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContractVerdict {
+    /// True iff every contract clause held.
+    pub pass: bool,
+    /// Submitted tags that never resolved (contract: never silence).
+    pub unresolved_tags: u64,
+    /// Post-resolution receipts with divergent payloads (contract: never
+    /// duplicate completions), when the plan cannot explain them.
+    pub conflicting_receipts: u64,
+    /// Receipts for never-submitted tags, when the plan cannot explain
+    /// them.
+    pub unexpected_unknown: u64,
+    /// `requests − (completed + failed + busy_dropped)`; non-zero means
+    /// the ledger lost or invented operations.
+    pub accounting_gap: i64,
+}
+
+impl ContractVerdict {
+    /// Canonical JSON rendering (deterministic for same-seed PASS runs).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"verdict\":\"{}\",\"unresolved_tags\":{},",
+                "\"conflicting_receipts\":{},\"unexpected_unknown\":{},",
+                "\"accounting_gap\":{}}}"
+            ),
+            if self.pass { "PASS" } else { "FAIL" },
+            self.unresolved_tags,
+            self.conflicting_receipts,
+            self.unexpected_unknown,
+            self.accounting_gap,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rif_server::client::{Outcome, TagRecord};
+    use rif_workloads::IoOp;
+
+    fn record(tag: u64, outcome: Option<Outcome>) -> TagRecord {
+        TagRecord {
+            conn: 0,
+            tag,
+            op: IoOp::Read,
+            retry_of: None,
+            outcome,
+            duplicate_receipts: 0,
+            conflicting_receipts: 0,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let journal = Journal {
+            records: vec![
+                record(1, Some(Outcome::Done)),
+                record(2, Some(Outcome::Busy)),
+            ],
+            ..Journal::default()
+        };
+        let report = LoadReport {
+            completed: 1,
+            busy_dropped: 1,
+            ..LoadReport::default()
+        };
+        let v = ContractChecker::strict().check(&journal, &report, 2);
+        assert!(v.pass, "{}", v.to_json());
+        assert!(v.to_json().contains("\"verdict\":\"PASS\""));
+    }
+
+    #[test]
+    fn silence_fails() {
+        let journal = Journal {
+            records: vec![record(1, None)],
+            ..Journal::default()
+        };
+        let report = LoadReport {
+            completed: 1,
+            ..LoadReport::default()
+        };
+        let v = ContractChecker::strict().check(&journal, &report, 1);
+        assert!(!v.pass);
+        assert_eq!(v.unresolved_tags, 1);
+    }
+
+    #[test]
+    fn conflicting_receipt_fails_strict_but_not_dup_plan() {
+        let mut rec = record(1, Some(Outcome::Done));
+        rec.conflicting_receipts = 1;
+        let journal = Journal {
+            records: vec![rec],
+            ..Journal::default()
+        };
+        let report = LoadReport {
+            completed: 1,
+            ..LoadReport::default()
+        };
+        let strict = ContractChecker::strict().check(&journal, &report, 1);
+        assert!(!strict.pass);
+        let plan = FaultPlan::parse("up.dup=0.1").unwrap();
+        let relaxed = ContractChecker::for_plan(&plan).check(&journal, &report, 1);
+        assert!(relaxed.pass, "{}", relaxed.to_json());
+    }
+
+    #[test]
+    fn accounting_gap_fails() {
+        let journal = Journal::default();
+        let report = LoadReport {
+            completed: 9,
+            ..LoadReport::default()
+        };
+        let v = ContractChecker::strict().check(&journal, &report, 10);
+        assert!(!v.pass);
+        assert_eq!(v.accounting_gap, 1);
+    }
+
+    #[test]
+    fn unknown_receipts_gated_on_mangling_plans() {
+        let journal = Journal {
+            unknown_receipts: 3,
+            ..Journal::default()
+        };
+        let report = LoadReport::default();
+        assert!(!ContractChecker::strict().check(&journal, &report, 0).pass);
+        let plan = FaultPlan::parse("down.corrupt=0.01").unwrap();
+        assert!(
+            ContractChecker::for_plan(&plan)
+                .check(&journal, &report, 0)
+                .pass
+        );
+    }
+}

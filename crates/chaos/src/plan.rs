@@ -1,0 +1,453 @@
+//! Seeded, serializable fault plans.
+//!
+//! A [`FaultPlan`] is the complete description of a chaos run: per-direction
+//! fault rates, fixed delay magnitude, and a list of worker-kill events.
+//! The *fault schedule* — which frame index on which connection suffers
+//! which fault — is a pure function of `(plan, connection id, direction)`
+//! via [`SimRng::stream`], so two runs with the same plan produce
+//! bit-identical schedules regardless of traffic timing, thread
+//! interleaving, or how many connections actually show up.
+//!
+//! Plans round-trip through a compact `key=value` spec string
+//! (see [`FaultPlan::parse`] / [`FaultPlan::to_spec`]) so ci scripts and
+//! the `rif-chaos` binary can carry them on the command line.
+
+use rif_events::SimRng;
+
+/// Fault rates for one proxy direction (client→server or server→client).
+///
+/// Each rate is a probability in `[0, 1]` applied independently per frame;
+/// the decision is exclusive (a frame suffers at most one fault), sampled
+/// against the cumulative distribution in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DirRates {
+    /// Probability a frame is silently discarded.
+    pub drop: f64,
+    /// Probability a frame is held for [`DirRates::delay_us`] before
+    /// forwarding.
+    pub delay: f64,
+    /// Fixed hold time for delayed frames, microseconds.
+    pub delay_us: u64,
+    /// Probability a frame is forwarded twice back-to-back.
+    pub duplicate: f64,
+    /// Probability one payload bit is flipped (framing preserved).
+    pub corrupt: f64,
+    /// Probability the frame is cut mid-payload and the connection
+    /// severed — the receiver sees a clean length prefix and then EOF.
+    pub truncate: f64,
+    /// Probability the connection is reset before the frame is sent.
+    pub reset: f64,
+}
+
+impl DirRates {
+    /// True if any fault can fire in this direction.
+    pub fn any(&self) -> bool {
+        self.drop > 0.0
+            || self.delay > 0.0
+            || self.duplicate > 0.0
+            || self.corrupt > 0.0
+            || self.truncate > 0.0
+            || self.reset > 0.0
+    }
+
+    fn total(&self) -> f64 {
+        self.drop + self.delay + self.duplicate + self.corrupt + self.truncate + self.reset
+    }
+}
+
+/// One scheduled worker kill: after the proxy has forwarded
+/// `after_frames` client→server frames, shard `shard`'s worker crashes
+/// and stays dead for `restart_after_ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Shard index (wrapped into the server's shard count at run time).
+    pub shard: usize,
+    /// Client→server frame count that triggers the kill.
+    pub after_frames: u64,
+    /// Dead window before the worker restarts, milliseconds.
+    pub restart_after_ms: u64,
+}
+
+/// A complete, reproducible chaos experiment description.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for every fault-decision stream.
+    pub seed: u64,
+    /// Faults on the client→server direction.
+    pub up: DirRates,
+    /// Faults on the server→client direction.
+    pub down: DirRates,
+    /// Scheduled worker kills.
+    pub kills: Vec<KillSpec>,
+}
+
+/// Parse failure for a plan spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError(pub String);
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault-plan spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// True if the plan can produce duplicated or divergent frames
+    /// (duplicate, corrupt, or truncate in either direction) — the
+    /// [`crate::contract::ContractChecker`] relaxes the duplicate-receipt
+    /// rules only for such plans.
+    pub fn can_duplicate_or_diverge(&self) -> bool {
+        self.up.duplicate > 0.0
+            || self.up.corrupt > 0.0
+            || self.up.truncate > 0.0
+            || self.down.duplicate > 0.0
+            || self.down.corrupt > 0.0
+            || self.down.truncate > 0.0
+    }
+
+    /// True if the plan can mangle frame contents (corrupt or truncate in
+    /// either direction), which may surface as unknown-tag receipts.
+    pub fn can_mangle(&self) -> bool {
+        self.up.corrupt > 0.0
+            || self.up.truncate > 0.0
+            || self.down.corrupt > 0.0
+            || self.down.truncate > 0.0
+    }
+
+    /// Parses a `key=value[,key=value…]` spec string.
+    ///
+    /// Keys: `seed`, `<dir>.drop`, `<dir>.delay`, `<dir>.delay_us`,
+    /// `<dir>.dup`, `<dir>.corrupt`, `<dir>.trunc`, `<dir>.reset` with
+    /// `<dir>` ∈ {`up`, `down`}, plus repeatable
+    /// `kill=<shard>@<frames>+<restart_ms>`. Empty string → no faults.
+    pub fn parse(spec: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::default();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| PlanParseError(format!("`{item}` is not key=value")))?;
+            match key {
+                "seed" => plan.seed = parse_u64(key, value)?,
+                "kill" => plan.kills.push(parse_kill(value)?),
+                _ => {
+                    let (dir, field) = key
+                        .split_once('.')
+                        .ok_or_else(|| PlanParseError(format!("unknown key `{key}`")))?;
+                    let rates = match dir {
+                        "up" => &mut plan.up,
+                        "down" => &mut plan.down,
+                        _ => return Err(PlanParseError(format!("unknown direction `{dir}`"))),
+                    };
+                    match field {
+                        "drop" => rates.drop = parse_rate(key, value)?,
+                        "delay" => rates.delay = parse_rate(key, value)?,
+                        "delay_us" => rates.delay_us = parse_u64(key, value)?,
+                        "dup" => rates.duplicate = parse_rate(key, value)?,
+                        "corrupt" => rates.corrupt = parse_rate(key, value)?,
+                        "trunc" => rates.truncate = parse_rate(key, value)?,
+                        "reset" => rates.reset = parse_rate(key, value)?,
+                        _ => return Err(PlanParseError(format!("unknown field `{key}`"))),
+                    }
+                }
+            }
+        }
+        if plan.up.total() > 1.0 || plan.down.total() > 1.0 {
+            return Err(PlanParseError(
+                "per-direction fault rates must sum to ≤ 1".into(),
+            ));
+        }
+        Ok(plan)
+    }
+
+    /// Canonical spec-string rendering; `parse(to_spec())` round-trips.
+    pub fn to_spec(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        for (name, r) in [("up", &self.up), ("down", &self.down)] {
+            for (field, v) in [
+                ("drop", r.drop),
+                ("delay", r.delay),
+                ("dup", r.duplicate),
+                ("corrupt", r.corrupt),
+                ("trunc", r.truncate),
+                ("reset", r.reset),
+            ] {
+                if v > 0.0 {
+                    parts.push(format!("{name}.{field}={v}"));
+                }
+            }
+            if r.delay_us > 0 {
+                parts.push(format!("{name}.delay_us={}", r.delay_us));
+            }
+        }
+        for k in &self.kills {
+            parts.push(format!(
+                "kill={}@{}+{}",
+                k.shard, k.after_frames, k.restart_after_ms
+            ));
+        }
+        parts.join(",")
+    }
+}
+
+fn parse_rate(key: &str, value: &str) -> Result<f64, PlanParseError> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| PlanParseError(format!("`{key}={value}`: not a number")))?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(PlanParseError(format!(
+            "`{key}={value}`: rate must be in [0, 1]"
+        )));
+    }
+    Ok(v)
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, PlanParseError> {
+    value
+        .parse()
+        .map_err(|_| PlanParseError(format!("`{key}={value}`: not an integer")))
+}
+
+fn parse_kill(value: &str) -> Result<KillSpec, PlanParseError> {
+    let bad = || {
+        PlanParseError(format!(
+            "`kill={value}`: want <shard>@<frames>+<restart_ms>"
+        ))
+    };
+    let (shard, rest) = value.split_once('@').ok_or_else(bad)?;
+    let (frames, restart) = rest.split_once('+').ok_or_else(bad)?;
+    Ok(KillSpec {
+        shard: shard.parse().map_err(|_| bad())?,
+        after_frames: frames.parse().map_err(|_| bad())?,
+        restart_after_ms: restart.parse().map_err(|_| bad())?,
+    })
+}
+
+/// Proxy direction, used to derive independent decision streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    Up,
+    /// Server → client.
+    Down,
+}
+
+/// What the plan dictates for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Pass the frame through untouched.
+    Forward,
+    /// Discard the frame.
+    Drop,
+    /// Hold the frame for `us` microseconds, then forward it.
+    Delay {
+        /// Hold time, microseconds.
+        us: u64,
+    },
+    /// Forward the frame twice.
+    Duplicate,
+    /// Flip payload bit `salt % bits` (evaluated against the actual frame
+    /// at apply time; the salt itself is traffic-independent).
+    Corrupt {
+        /// Seeded bit selector.
+        salt: u64,
+    },
+    /// Send the length prefix plus `keep_permille`/1000 of the payload,
+    /// then sever the connection.
+    Truncate {
+        /// Fraction of payload kept, in thousandths.
+        keep_permille: u16,
+    },
+    /// Reset the connection without sending the frame.
+    Reset,
+}
+
+/// The deterministic per-`(connection, direction)` fault-decision stream.
+///
+/// Frame `k`'s decision is drawn from draws `2k` and `2k+1` of
+/// `SimRng::stream(plan.seed, stream_index(conn, dir))`: one uniform for
+/// the fault class, one raw value for fault parameters. Exactly two draws
+/// are consumed per frame whatever the decision, so the stream never
+/// depends on earlier outcomes.
+#[derive(Debug, Clone)]
+pub struct DecisionStream {
+    rates: DirRates,
+    rng: SimRng,
+}
+
+/// Domain-separation salt so chaos streams never collide with workload
+/// or simulator streams derived from small indices.
+const STREAM_SALT: u64 = 0xC4A0_5EED_0000_0000;
+
+impl DecisionStream {
+    /// Stream for connection `conn` in direction `dir` under `plan`.
+    pub fn new(plan: &FaultPlan, conn: u64, dir: Direction) -> DecisionStream {
+        let rates = match dir {
+            Direction::Up => plan.up,
+            Direction::Down => plan.down,
+        };
+        let index = STREAM_SALT | (conn << 1) | matches!(dir, Direction::Down) as u64;
+        DecisionStream {
+            rates,
+            rng: SimRng::stream(plan.seed, index),
+        }
+    }
+
+    /// Decision for the next frame in this direction.
+    pub fn next_decision(&mut self) -> Decision {
+        let u = self.rng.uniform();
+        let aux = self.rng.next_u64();
+        let r = &self.rates;
+        let mut edge = r.drop;
+        if u < edge {
+            return Decision::Drop;
+        }
+        edge += r.delay;
+        if u < edge {
+            return Decision::Delay { us: r.delay_us };
+        }
+        edge += r.duplicate;
+        if u < edge {
+            return Decision::Duplicate;
+        }
+        edge += r.corrupt;
+        if u < edge {
+            return Decision::Corrupt { salt: aux };
+        }
+        edge += r.truncate;
+        if u < edge {
+            return Decision::Truncate {
+                keep_permille: (aux % 1000) as u16,
+            };
+        }
+        edge += r.reset;
+        if u < edge {
+            return Decision::Reset;
+        }
+        Decision::Forward
+    }
+}
+
+/// Renders the first `frames` decisions for `conns` connections in both
+/// directions as canonical JSON — the reproducibility artifact: two runs
+/// with the same plan must produce byte-identical schedules.
+pub fn schedule_json(plan: &FaultPlan, conns: u64, frames: u64) -> String {
+    let mut out = String::from("{\"plan\":\"");
+    out.push_str(&plan.to_spec());
+    out.push_str("\",\"streams\":[");
+    let mut first_stream = true;
+    for conn in 0..conns {
+        for dir in [Direction::Up, Direction::Down] {
+            if !first_stream {
+                out.push(',');
+            }
+            first_stream = false;
+            let dir_name = match dir {
+                Direction::Up => "up",
+                Direction::Down => "down",
+            };
+            out.push_str(&format!(
+                "{{\"conn\":{conn},\"dir\":\"{dir_name}\",\"decisions\":["
+            ));
+            let mut stream = DecisionStream::new(plan, conn, dir);
+            for k in 0..frames {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&decision_label(stream.next_decision()));
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn decision_label(d: Decision) -> String {
+    match d {
+        Decision::Forward => "\"fwd\"".into(),
+        Decision::Drop => "\"drop\"".into(),
+        Decision::Delay { us } => format!("\"delay:{us}\""),
+        Decision::Duplicate => "\"dup\"".into(),
+        Decision::Corrupt { salt } => format!("\"corrupt:{salt}\""),
+        Decision::Truncate { keep_permille } => format!("\"trunc:{keep_permille}\""),
+        Decision::Reset => "\"reset\"".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let spec =
+            "seed=42,up.drop=0.1,up.dup=0.02,down.delay=0.05,down.delay_us=2000,kill=0@500+50";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.up.drop, 0.1);
+        assert_eq!(plan.down.delay_us, 2000);
+        assert_eq!(
+            plan.kills,
+            vec![KillSpec {
+                shard: 0,
+                after_frames: 500,
+                restart_after_ms: 50
+            }]
+        );
+        let reparsed = FaultPlan::parse(&plan.to_spec()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("up.drop=2.0").is_err());
+        assert!(FaultPlan::parse("sideways.drop=0.1").is_err());
+        assert!(FaultPlan::parse("up.drop").is_err());
+        assert!(FaultPlan::parse("kill=0@x+1").is_err());
+        assert!(FaultPlan::parse("up.drop=0.6,up.delay=0.6").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_no_faults() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(!plan.up.any() && !plan.down.any() && plan.kills.is_empty());
+        let mut s = DecisionStream::new(&plan, 0, Direction::Up);
+        for _ in 0..100 {
+            assert_eq!(s.next_decision(), Decision::Forward);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let plan = FaultPlan::parse("seed=7,up.drop=0.3,down.dup=0.3").unwrap();
+        let take = |conn, dir| {
+            let mut s = DecisionStream::new(&plan, conn, dir);
+            (0..64).map(|_| s.next_decision()).collect::<Vec<_>>()
+        };
+        assert_eq!(take(0, Direction::Up), take(0, Direction::Up));
+        assert_ne!(take(0, Direction::Up), take(1, Direction::Up));
+        assert_ne!(take(0, Direction::Up), take(0, Direction::Down));
+    }
+
+    #[test]
+    fn schedule_json_is_reproducible() {
+        let plan = FaultPlan::parse("seed=9,up.drop=0.2,up.corrupt=0.1,down.trunc=0.05").unwrap();
+        let a = schedule_json(&plan, 2, 32);
+        let b = schedule_json(&plan, 2, 32);
+        assert_eq!(a, b);
+        assert!(a.contains("\"drop\""));
+    }
+
+    #[test]
+    fn rates_partition_matches_expectation() {
+        // With drop=0.5 on a long stream, roughly half the frames drop.
+        let plan = FaultPlan::parse("seed=3,up.drop=0.5").unwrap();
+        let mut s = DecisionStream::new(&plan, 0, Direction::Up);
+        let drops = (0..10_000)
+            .filter(|_| s.next_decision() == Decision::Drop)
+            .count();
+        assert!((4_000..6_000).contains(&drops), "drops={drops}");
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end chaos scenarios: server + proxy + hardened client +
+//! worker-kill injection + contract audit, in one call.
+//!
+//! [`run_scenario`] wires the pieces the way the ci gate and the
+//! integration tests use them: an in-process [`Server`] on an ephemeral
+//! loopback port, a [`ChaosProxy`] in front of it, the journaled load
+//! generator pointed at the proxy, and a watcher thread that fires the
+//! plan's [`KillSpec`]s when the proxy has seen the trigger frame count.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use rif_server::client::{run_load_journaled, Journal, LoadConfig, LoadReport};
+use rif_server::server::{Server, ServerConfig};
+
+use crate::contract::{ContractChecker, ContractVerdict};
+use crate::plan::{FaultPlan, KillSpec};
+use crate::proxy::{ChaosProxy, FaultStatsSnapshot};
+
+/// Kill-watcher poll interval.
+const WATCH_POLL: Duration = Duration::from_micros(500);
+
+/// Everything a chaos run needs.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The fault plan (seed, rates, kills).
+    pub plan: FaultPlan,
+    /// Total requests across all client connections.
+    pub requests: usize,
+    /// Client connections.
+    pub connections: usize,
+    /// Closed-loop window per connection.
+    pub depth: usize,
+    /// Server shard count.
+    pub shards: usize,
+    /// Virtual-time acceleration of the simulated device.
+    pub time_scale: f64,
+    /// Workload seed (independent of the fault-plan seed).
+    pub workload_seed: u64,
+    /// Fraction of reads in the workload.
+    pub read_ratio: f64,
+    /// Per-request client deadline.
+    pub request_deadline: Duration,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            plan: FaultPlan::default(),
+            requests: 2_000,
+            connections: 2,
+            depth: 8,
+            shards: 2,
+            time_scale: 200.0,
+            workload_seed: 1,
+            read_ratio: 0.9,
+            request_deadline: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The artifacts of one chaos run.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The load generator's aggregate report.
+    pub report: LoadReport,
+    /// The full client-side request journal.
+    pub journal: Journal,
+    /// The contract audit.
+    pub verdict: ContractVerdict,
+    /// What the proxy actually did to the traffic.
+    pub faults: FaultStatsSnapshot,
+    /// Worker kills that fired before the load finished.
+    pub kills_fired: usize,
+}
+
+/// Runs one complete chaos scenario and audits the journal.
+pub fn run_scenario(cfg: &ScenarioConfig) -> io::Result<ScenarioOutcome> {
+    let server = Server::start(
+        ServerConfig {
+            shards: cfg.shards,
+            time_scale: cfg.time_scale,
+            ..ServerConfig::default()
+        },
+        0,
+    )?;
+    let proxy = ChaosProxy::start(0, server.local_addr(), cfg.plan.clone())?;
+
+    let load_cfg = LoadConfig {
+        addr: proxy.local_addr().to_string(),
+        connections: cfg.connections,
+        depth: cfg.depth,
+        requests: cfg.requests,
+        read_ratio: cfg.read_ratio,
+        seed: cfg.workload_seed,
+        request_deadline: cfg.request_deadline,
+        ..LoadConfig::default()
+    };
+
+    let stop_watch = AtomicBool::new(false);
+    let loaded = thread::scope(|s| {
+        let watcher = s.spawn(|| kill_watcher(&server, &proxy, &cfg.plan.kills, &stop_watch));
+        let loaded = run_load_journaled(&load_cfg);
+        stop_watch.store(true, Ordering::SeqCst);
+        let kills_fired = watcher.join().unwrap_or(0);
+        loaded.map(|lj| (lj, kills_fired))
+    });
+
+    let faults = proxy.stats();
+    proxy.stop();
+    server.stop();
+
+    let ((report, journal), kills_fired) = loaded?;
+    let verdict =
+        ContractChecker::for_plan(&cfg.plan).check(&journal, &report, cfg.requests as u64);
+    Ok(ScenarioOutcome {
+        report,
+        journal,
+        verdict,
+        faults,
+        kills_fired,
+    })
+}
+
+/// Fires each [`KillSpec`] once the proxy's client→server frame count
+/// crosses its trigger; returns how many fired before the run ended.
+fn kill_watcher(
+    server: &Server,
+    proxy: &ChaosProxy,
+    kills: &[KillSpec],
+    stop: &AtomicBool,
+) -> usize {
+    let mut pending: Vec<KillSpec> = kills.to_vec();
+    pending.sort_by_key(|k| k.after_frames);
+    let mut fired = 0;
+    for kill in pending {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return fired;
+            }
+            if proxy.frames_up() >= kill.after_frames {
+                break;
+            }
+            thread::sleep(WATCH_POLL);
+        }
+        let shard = kill.shard % server.shard_count().max(1);
+        if server.inject_shard_crash(shard, Duration::from_millis(kill.restart_after_ms)) {
+            fired += 1;
+        }
+    }
+    fired
+}

@@ -168,6 +168,69 @@ mod tests {
     }
 
     #[test]
+    fn negative_rate_is_unlimited_too() {
+        // A config that computes a nonsense negative rate must fail open
+        // (unlimited), not underflow the token count.
+        let mut b = TokenBucket::new(-5.0, 0.0, 0.0);
+        assert!(b.unlimited());
+        for _ in 0..1_000 {
+            assert!(b.admit(0.0));
+        }
+    }
+
+    #[test]
+    fn burst_exactly_at_capacity_admits_exactly_burst() {
+        // burst = 1: the smallest legal bucket admits exactly one request
+        // per refill period, never two.
+        let mut b = TokenBucket::new(1.0, 1.0, 0.0);
+        assert!(b.admit(0.0));
+        assert!(!b.admit(0.0));
+        // Exactly one second later: exactly one token, not 1 + ε.
+        assert!(b.admit(1.0));
+        assert!(!b.admit(1.0));
+        // Ten idle seconds refill to the 1-token cap, not 10 tokens.
+        assert!(b.admit(11.0));
+        assert!(!b.admit(11.0));
+
+        // Integral burst N admits exactly N back-to-back, and the N+1'th
+        // is refused even though floating-point refill ran N times.
+        let mut b = TokenBucket::new(100.0, 7.0, 0.0);
+        for i in 0..7 {
+            assert!(b.admit(0.0), "request {i} within burst must pass");
+        }
+        assert!(!b.admit(0.0), "burst + 1 must be refused");
+    }
+
+    #[test]
+    fn zigzag_clock_never_mints_extra_tokens() {
+        // An injected non-monotonic clock oscillating ±dt around a slowly
+        // advancing mean must refill no faster than the forward component
+        // alone: backwards jumps are clamped to zero elapsed time and
+        // `last` holds the high-water mark, so re-traversing the same
+        // interval cannot double-count it.
+        let mut b = TokenBucket::new(10.0, 5.0, 0.0);
+        for _ in 0..5 {
+            assert!(b.admit(0.0));
+        }
+        assert!(!b.admit(0.0));
+        // Zigzag: 0.05 → 0.01 → 0.06 → 0.02 → 0.07 … forward progress is
+        // only the envelope maximum (0.08 s → 0.8 tokens), so no token
+        // has fully accrued, even though naively summing every positive
+        // delta (0.05 s × 5 legs = 0.25 s) would have minted two.
+        let mut high = 0.05;
+        for step in 0..4 {
+            assert!(!b.admit(high), "zigzag high {step} must not admit");
+            assert!(!b.admit(high - 0.04), "zigzag low {step} must not admit");
+            high += 0.01;
+        }
+        // By 0.201 s exactly two tokens have accrued on the envelope
+        // clock; the naive double-counting clock would have four.
+        assert!(b.admit(0.201));
+        assert!(b.admit(0.201));
+        assert!(!b.admit(0.201));
+    }
+
+    #[test]
     fn tenants_are_isolated() {
         let mut t = TenantBuckets::new(10.0, 2.0);
         // Tenant 1 burns its burst; tenant 2 is unaffected.

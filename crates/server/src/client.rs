@@ -1,28 +1,47 @@
-//! The closed-loop load generator.
+//! The closed-loop load generator, hardened for lossy transports.
 //!
 //! Each connection keeps a fixed window of requests outstanding: it
-//! sends until `depth` are in flight, then blocks for one response
-//! before sending the next. Offsets and the read/write mix come from
-//! the same [`SynthConfig`] generator the offline experiments use, so a
-//! served workload is directly comparable to a batch-simulated one.
+//! sends until `depth` are in flight, then polls for responses. Offsets
+//! and the read/write mix come from the same [`SynthConfig`] generator
+//! the offline experiments use, so a served workload is directly
+//! comparable to a batch-simulated one.
 //!
-//! `BUSY` responses are retried after a short backoff (and counted);
-//! `ERROR` responses and undecodable frames are protocol errors. Wall
-//! latency is measured per request from the moment its frame is written
-//! to the moment its `DONE` arrives, and aggregated in a log-bucketed
-//! histogram for p50/p99/p99.9.
+//! The client is built to survive a fault-injecting path (see the
+//! `rif-chaos` crate) without ever losing track of a request:
+//!
+//! - **Per-request deadlines** — every submission carries a deadline;
+//!   a response that never arrives (dropped frame, wedged server)
+//!   resolves the tag as `TimedOut` instead of hanging the loop.
+//! - **Bounded reconnect** — a broken connection is re-established with
+//!   exponential backoff plus seeded jitter, up to a configured number
+//!   of attempts; in-flight tags resolve as `ConnError`.
+//! - **Idempotent retry only** — reads (and `BUSY`-rejected requests of
+//!   either kind, which were never admitted) are re-issued under a fresh
+//!   tag with a bounded budget; a write whose fate is unknown (worker
+//!   crash, timeout, connection loss) is *failed* upward, never blindly
+//!   retried.
+//! - **Request journal** — every submission and its single terminal
+//!   outcome are recorded in a [`Journal`], which the `rif-chaos`
+//!   ContractChecker audits for the service contract: every tag resolves
+//!   to exactly one of DONE/BUSY/ERROR, a timeout, or a clean connection
+//!   error — never silence, never two outcomes.
+//!
+//! Wall latency is measured per request from the moment its frame is
+//! written to the moment its `DONE` arrives, and aggregated in a
+//! log-bucketed histogram for p50/p99/p99.9.
 
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufWriter, Read};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use rif_events::stats::LatencyHistogram;
-use rif_events::SimDuration;
+use rif_events::{SimDuration, SimRng};
 use rif_workloads::{IoOp, SynthConfig};
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, BusyReason, Request, Response,
+    decode_response, encode_request, read_frame, write_frame, BusyReason, ErrorCode, FrameBuffer,
+    Request, Response,
 };
 
 /// Load-generator configuration.
@@ -51,6 +70,18 @@ pub struct LoadConfig {
     /// Give up on a request after this many BUSY retries (0 = drop on
     /// first BUSY). Exhausted requests count as `busy_dropped`.
     pub max_busy_retries: u32,
+    /// A request with no response after this long resolves as timed out.
+    pub request_deadline: Duration,
+    /// Re-issue budget per operation for non-BUSY recoveries (timeouts,
+    /// worker crashes, connection loss). Only safely-retryable work is
+    /// re-issued: reads, plus anything that provably never reached a
+    /// simulator.
+    pub max_resends: u32,
+    /// Reconnect attempts per connection before giving up on it.
+    pub max_reconnects: u32,
+    /// Base reconnect backoff; attempt `k` waits `base * 2^k` (capped)
+    /// plus seeded jitter in `[0, base)`.
+    pub reconnect_backoff: Duration,
 }
 
 impl Default for LoadConfig {
@@ -67,7 +98,79 @@ impl Default for LoadConfig {
             seed: 1,
             busy_backoff: Duration::from_micros(200),
             max_busy_retries: 50,
+            request_deadline: Duration::from_secs(2),
+            max_resends: 16,
+            max_reconnects: 8,
+            reconnect_backoff: Duration::from_millis(10),
         }
+    }
+}
+
+/// How a submitted tag resolved. Exactly one outcome per tag — the
+/// client guarantees it by construction and the chaos ContractChecker
+/// audits it from the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The server answered DONE.
+    Done,
+    /// The server refused admission (queue, rate limit, or dead shard).
+    Busy,
+    /// The server answered ERROR.
+    Error,
+    /// No response within the request deadline.
+    TimedOut,
+    /// The connection died with the request in flight.
+    ConnError,
+}
+
+/// One submission's journal entry.
+#[derive(Debug, Clone)]
+pub struct TagRecord {
+    /// Connection index that issued the tag.
+    pub conn: u32,
+    /// The wire tag (unique across the whole run).
+    pub tag: u64,
+    /// Read or write.
+    pub op: IoOp,
+    /// The prior tag this submission re-issues, if any.
+    pub retry_of: Option<u64>,
+    /// Terminal outcome; `None` only while still in flight.
+    pub outcome: Option<Outcome>,
+    /// Responses received after resolution whose payload matched the
+    /// resolving one (e.g. a duplicated frame, or a late reply to a tag
+    /// that already timed out).
+    pub duplicate_receipts: u32,
+    /// Responses received after resolution whose payload *differed* from
+    /// the resolving one — a contract violation unless the fault plan
+    /// injects duplication or corruption.
+    pub conflicting_receipts: u32,
+}
+
+/// The client-side request journal for one load run.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// One record per wire submission, in per-connection send order.
+    pub records: Vec<TagRecord>,
+    /// Decodable responses whose tag matches no submission this client
+    /// ever made (corrupted tag bits, or the server's tag-0 error reply
+    /// to an undecodable request frame).
+    pub unknown_receipts: u64,
+    /// Frames that failed to decode as any response.
+    pub undecodable_frames: u64,
+    /// Connections lost mid-run.
+    pub conn_losses: u64,
+    /// Successful reconnects.
+    pub reconnects: u64,
+}
+
+impl Journal {
+    /// Folds another connection's journal into this one.
+    pub fn merge(&mut self, other: Journal) {
+        self.records.extend(other.records);
+        self.unknown_receipts += other.unknown_receipts;
+        self.undecodable_frames += other.undecodable_frames;
+        self.conn_losses += other.conn_losses;
+        self.reconnects += other.reconnects;
     }
 }
 
@@ -80,10 +183,31 @@ pub struct LoadReport {
     pub busy_queue: u64,
     /// BUSY(rate_limit) responses observed.
     pub busy_ratelimit: u64,
+    /// BUSY(unavailable) responses observed (dead shard window).
+    pub busy_unavailable: u64,
     /// Requests dropped after exhausting BUSY retries.
     pub busy_dropped: u64,
-    /// ERROR responses plus undecodable frames.
+    /// Protocol errors: undecodable frames, unsolicited response kinds,
+    /// and ERROR(BadRequest/BadLength) replies.
     pub protocol_errors: u64,
+    /// ERROR(Internal) replies (worker crashed with the request in
+    /// flight).
+    pub internal_errors: u64,
+    /// Tags that resolved by deadline expiry.
+    pub timed_out: u64,
+    /// Tags that resolved by connection loss.
+    pub conn_errors: u64,
+    /// Successful reconnects across all connections.
+    pub reconnects: u64,
+    /// Operations abandoned without completion (write fate unknown, or
+    /// retry budget exhausted). `completed + failed + busy_dropped`
+    /// accounts for every planned request.
+    pub failed: u64,
+    /// Post-resolution receipts with matching payloads (duplicated or
+    /// late frames).
+    pub dup_receipts: u64,
+    /// Decodable responses for tags never submitted.
+    pub unknown_receipts: u64,
     /// Wall-clock seconds from first send to last response.
     pub wall_secs: f64,
     /// Wall-latency percentiles, microseconds.
@@ -104,15 +228,26 @@ impl LoadReport {
         format!(
             concat!(
                 "{{\"completed\":{},\"busy_queue\":{},\"busy_ratelimit\":{},",
-                "\"busy_dropped\":{},\"protocol_errors\":{},\"wall_secs\":{:.6},",
+                "\"busy_unavailable\":{},\"busy_dropped\":{},\"protocol_errors\":{},",
+                "\"internal_errors\":{},\"timed_out\":{},\"conn_errors\":{},",
+                "\"reconnects\":{},\"failed\":{},\"dup_receipts\":{},",
+                "\"unknown_receipts\":{},\"wall_secs\":{:.6},",
                 "\"throughput_rps\":{:.1},\"latency_us\":{{\"mean\":{:.1},",
                 "\"p50\":{:.1},\"p99\":{:.1},\"p999\":{:.1}}}}}"
             ),
             self.completed,
             self.busy_queue,
             self.busy_ratelimit,
+            self.busy_unavailable,
             self.busy_dropped,
             self.protocol_errors,
+            self.internal_errors,
+            self.timed_out,
+            self.conn_errors,
+            self.reconnects,
+            self.failed,
+            self.dup_receipts,
+            self.unknown_receipts,
             self.wall_secs,
             self.throughput_rps,
             self.mean_us,
@@ -130,8 +265,23 @@ struct PlannedIo {
     bytes: u32,
 }
 
+/// One operation's retry bookkeeping across its (possibly many) tags.
+struct OpState {
+    io: PlannedIo,
+    busy_retries: u32,
+    resends: u32,
+    /// The previous tag of this op, linking the retry chain.
+    prior_tag: Option<u64>,
+}
+
 /// Runs the closed loop and aggregates all connections' results.
 pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    run_load_journaled(cfg).map(|(report, _journal)| report)
+}
+
+/// Like [`run_load`] but also returns the request [`Journal`] for
+/// contract checking.
+pub fn run_load_journaled(cfg: &LoadConfig) -> io::Result<(LoadReport, Journal)> {
     assert!(cfg.connections > 0 && cfg.depth > 0, "need work to do");
     let per_conn = cfg.requests.div_ceil(cfg.connections);
     let mut handles = Vec::with_capacity(cfg.connections);
@@ -144,16 +294,29 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         handles.push(std::thread::spawn(move || run_connection(&cfg, conn, n)));
     }
     let mut total = LoadReport::default();
+    let mut journal = Journal::default();
     let mut hist = LatencyHistogram::new();
     let started = Instant::now();
     for h in handles {
-        let (part, part_hist) = h.join().expect("load thread panicked")?;
+        let joined = h
+            .join()
+            .map_err(|_| io::Error::other("load connection thread panicked"))?;
+        let (part, part_hist, part_journal) = joined?;
         total.completed += part.completed;
         total.busy_queue += part.busy_queue;
         total.busy_ratelimit += part.busy_ratelimit;
+        total.busy_unavailable += part.busy_unavailable;
         total.busy_dropped += part.busy_dropped;
         total.protocol_errors += part.protocol_errors;
+        total.internal_errors += part.internal_errors;
+        total.timed_out += part.timed_out;
+        total.conn_errors += part.conn_errors;
+        total.reconnects += part.reconnects;
+        total.failed += part.failed;
+        total.dup_receipts += part.dup_receipts;
+        total.unknown_receipts += part.unknown_receipts;
         hist.merge(&part_hist);
+        journal.merge(part_journal);
     }
     total.wall_secs = started.elapsed().as_secs_f64();
     total.mean_us = hist.mean().as_us();
@@ -165,7 +328,7 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
     } else {
         0.0
     };
-    Ok(total)
+    Ok((total, journal))
 }
 
 fn plan(cfg: &LoadConfig, conn: usize, n: usize) -> Vec<PlannedIo> {
@@ -187,101 +350,385 @@ fn plan(cfg: &LoadConfig, conn: usize, n: usize) -> Vec<PlannedIo> {
         .collect()
 }
 
+/// How long one read poll blocks before the deadline sweep runs.
+const POLL_TICK: Duration = Duration::from_millis(1);
+
+/// Cap on the exponential reconnect backoff.
+const MAX_BACKOFF: Duration = Duration::from_millis(500);
+
+/// Salt for the per-connection jitter RNG stream.
+const JITTER_SALT: u64 = 0xC4A0_5C4A_05C4_A05C;
+
+/// FNV-1a over a response payload: the fingerprint duplicate detection
+/// compares post-resolution receipts against.
+fn fingerprint(payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+struct Conn {
+    stream: TcpStream,
+    writer: BufWriter<TcpStream>,
+    frames: FrameBuffer,
+}
+
+impl Conn {
+    fn open(addr: &str) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(POLL_TICK))?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Conn {
+            stream,
+            writer,
+            frames: FrameBuffer::new(),
+        })
+    }
+
+    /// Pulls whatever bytes are available (bounded by the read timeout)
+    /// into the frame buffer. `Ok(true)` if bytes arrived, `Ok(false)`
+    /// on a timeout tick, `Err` on EOF or a transport error.
+    fn pump(&mut self) -> io::Result<bool> {
+        let mut buf = [0u8; 16 * 1024];
+        match self.stream.read(&mut buf) {
+            Ok(0) => Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => {
+                self.frames.feed(&buf[..n]);
+                Ok(true)
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(false)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Everything `run_connection` tracks for one connection.
+struct ConnState {
+    conn: u32,
+    queue: VecDeque<OpState>,
+    /// tag -> (op, journal record index, sent, deadline)
+    inflight: HashMap<u64, (OpState, usize, Instant, Instant)>,
+    /// tag -> (journal record index, fingerprint of the resolving
+    /// payload if it was a wire response).
+    resolved: HashMap<u64, (usize, Option<u64>)>,
+    next_tag: u64,
+    report: LoadReport,
+    hist: LatencyHistogram,
+    journal: Journal,
+}
+
+impl ConnState {
+    fn resolve(&mut self, tag: u64, outcome: Outcome, fp: Option<u64>) -> Option<OpState> {
+        let (op, rec, _sent, _deadline) = self.inflight.remove(&tag)?;
+        self.journal.records[rec].outcome = Some(outcome);
+        self.resolved.insert(tag, (rec, fp));
+        Some(op)
+    }
+
+    /// Records a wire submission and returns its tag.
+    fn journal_send(&mut self, op: IoOp, retry_of: Option<u64>) -> (u64, usize) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let rec = self.journal.records.len();
+        self.journal.records.push(TagRecord {
+            conn: self.conn,
+            tag,
+            op,
+            retry_of,
+            outcome: None,
+            duplicate_receipts: 0,
+            conflicting_receipts: 0,
+        });
+        (tag, rec)
+    }
+
+    /// An operation is out of road: account for it.
+    fn fail_op(&mut self) {
+        self.report.failed += 1;
+    }
+}
+
 fn run_connection(
     cfg: &LoadConfig,
     conn: usize,
     n: usize,
-) -> io::Result<(LoadReport, LatencyHistogram)> {
-    let stream = TcpStream::connect(&cfg.addr)?;
-    stream.set_nodelay(true).ok();
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
+) -> io::Result<(LoadReport, LatencyHistogram, Journal)> {
+    let mut st = ConnState {
+        conn: conn as u32,
+        queue: plan(cfg, conn, n)
+            .into_iter()
+            .map(|io| OpState {
+                io,
+                busy_retries: 0,
+                resends: 0,
+                prior_tag: None,
+            })
+            .collect(),
+        inflight: HashMap::new(),
+        // Tag 0 is reserved: the server answers undecodable frames with
+        // tag 0, which must never collide with a real submission.
+        next_tag: ((conn as u64) << 32) | 1,
+        resolved: HashMap::new(),
+        report: LoadReport::default(),
+        hist: LatencyHistogram::new(),
+        journal: Journal::default(),
+    };
+    let mut jitter = SimRng::stream(cfg.seed ^ JITTER_SALT, conn as u64);
+    let mut link = Some(Conn::open(&cfg.addr)?);
+    let mut reconnects_used: u32 = 0;
 
-    let mut queue: std::collections::VecDeque<(PlannedIo, u32)> =
-        plan(cfg, conn, n).into_iter().map(|p| (p, 0)).collect();
-    let mut inflight: HashMap<u64, (PlannedIo, u32, Instant)> = HashMap::new();
-    let mut next_tag = (conn as u64) << 32;
-    let mut report = LoadReport::default();
-    let mut hist = LatencyHistogram::new();
+    while !st.queue.is_empty() || !st.inflight.is_empty() {
+        let Some(conn_ref) = link.as_mut() else {
+            // Connection permanently gone: everything left in the queue
+            // was never submitted; fail it and finish.
+            while st.queue.pop_front().is_some() {
+                st.report.failed += 1;
+            }
+            break;
+        };
 
-    while !queue.is_empty() || !inflight.is_empty() {
         // Fill the window.
-        while inflight.len() < cfg.depth {
-            let Some((io_req, retries)) = queue.pop_front() else {
+        let mut send_failed = false;
+        while st.inflight.len() < cfg.depth {
+            let Some(op) = st.queue.pop_front() else {
                 break;
             };
-            let tag = next_tag;
-            next_tag += 1;
-            let req = match io_req.op {
+            let (tag, rec) = st.journal_send(op.io.op, op.prior_tag);
+            let req = match op.io.op {
                 IoOp::Read => Request::Read {
                     tenant: cfg.tenant,
                     tag,
-                    offset: io_req.offset,
-                    bytes: io_req.bytes,
+                    offset: op.io.offset,
+                    bytes: op.io.bytes,
                 },
                 IoOp::Write => Request::Write {
                     tenant: cfg.tenant,
                     tag,
-                    offset: io_req.offset,
-                    bytes: io_req.bytes,
+                    offset: op.io.offset,
+                    bytes: op.io.bytes,
                 },
             };
-            write_frame(&mut writer, &encode_request(&req))?;
-            inflight.insert(tag, (io_req, retries, Instant::now()));
+            let now = Instant::now();
+            st.inflight
+                .insert(tag, (op, rec, now, now + cfg.request_deadline));
+            if write_frame(&mut conn_ref.writer, &encode_request(&req)).is_err() {
+                send_failed = true;
+                break;
+            }
         }
 
-        // Block for one response.
-        let Some(payload) = read_frame(&mut reader)? else {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed with requests in flight",
-            ));
-        };
-        match decode_response(&payload) {
-            Ok(Response::Done { tag, .. }) => {
-                if let Some((_, _, sent)) = inflight.remove(&tag) {
-                    report.completed += 1;
-                    hist.record(SimDuration::from_ns(sent.elapsed().as_nanos() as u64));
-                } else {
-                    report.protocol_errors += 1;
-                }
-            }
-            Ok(Response::Busy { tag, reason }) => {
-                match reason {
-                    BusyReason::Queue => report.busy_queue += 1,
-                    BusyReason::RateLimit => report.busy_ratelimit += 1,
-                }
-                if let Some((io_req, retries, _)) = inflight.remove(&tag) {
-                    if retries < cfg.max_busy_retries {
-                        queue.push_back((io_req, retries + 1));
-                    } else {
-                        report.busy_dropped += 1;
+        // Poll the transport and process every complete frame.
+        let mut conn_broken = send_failed;
+        if !conn_broken {
+            match conn_ref.pump() {
+                Ok(_) => loop {
+                    match conn_ref.frames.next_frame() {
+                        Ok(Some(payload)) => handle_frame(cfg, &mut st, &payload),
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Oversized prefix: framing is unrecoverable.
+                            st.journal.undecodable_frames += 1;
+                            st.report.protocol_errors += 1;
+                            conn_broken = true;
+                            break;
+                        }
                     }
+                },
+                Err(_) => conn_broken = true,
+            }
+        }
+
+        if conn_broken {
+            st.journal.conn_losses += 1;
+            // Every in-flight tag resolves as a clean connection error.
+            let tags: Vec<u64> = st.inflight.keys().copied().collect();
+            for tag in tags {
+                st.report.conn_errors += 1;
+                if let Some(op) = st.resolve(tag, Outcome::ConnError, None) {
+                    requeue_or_fail_cfg(cfg, &mut st, op, tag, true);
                 }
-                // Back off so a saturated server is not hammered.
-                std::thread::sleep(cfg.busy_backoff);
             }
-            Ok(Response::Error { tag, .. }) => {
-                inflight.remove(&tag);
-                report.protocol_errors += 1;
+            link = reconnect(cfg, &mut st, &mut jitter, &mut reconnects_used);
+            continue;
+        }
+
+        sweep_deadlines(cfg, &mut st);
+    }
+
+    st.report.reconnects = st.journal.reconnects;
+    st.report.dup_receipts = st
+        .journal
+        .records
+        .iter()
+        .map(|r| (r.duplicate_receipts + r.conflicting_receipts) as u64)
+        .sum();
+    st.report.unknown_receipts = st.journal.unknown_receipts;
+    Ok((st.report, st.hist, st.journal))
+}
+
+/// Re-establishes the connection with exponential backoff and seeded
+/// jitter, bounded by `cfg.max_reconnects` per connection.
+fn reconnect(
+    cfg: &LoadConfig,
+    st: &mut ConnState,
+    jitter: &mut SimRng,
+    used: &mut u32,
+) -> Option<Conn> {
+    let base_ns = cfg.reconnect_backoff.as_nanos().max(1) as u64;
+    let mut attempt: u32 = 0;
+    while *used < cfg.max_reconnects {
+        *used += 1;
+        let exp = base_ns.saturating_mul(1u64 << attempt.min(20));
+        let backoff = Duration::from_nanos(exp).min(MAX_BACKOFF)
+            + Duration::from_nanos(jitter.int_range(0, base_ns + 1));
+        std::thread::sleep(backoff);
+        attempt += 1;
+        if let Ok(c) = Conn::open(&cfg.addr) {
+            st.journal.reconnects += 1;
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Resolves every tag whose deadline has passed.
+fn sweep_deadlines(cfg: &LoadConfig, st: &mut ConnState) {
+    let now = Instant::now();
+    let expired: Vec<u64> = st
+        .inflight
+        .iter()
+        .filter(|(_, (_, _, _, deadline))| now >= *deadline)
+        .map(|(tag, _)| *tag)
+        .collect();
+    for tag in expired {
+        st.report.timed_out += 1;
+        if let Some(op) = st.resolve(tag, Outcome::TimedOut, None) {
+            // The request may have been admitted (response lost), so
+            // only idempotent work is re-issued.
+            requeue_or_fail_cfg(cfg, st, op, tag, true);
+        }
+    }
+}
+
+/// Re-queues an op for another attempt, or fails it. `maybe_admitted`
+/// is false when the server provably never started the I/O (a BUSY
+/// rejection), making even writes safe to retry.
+fn requeue_or_fail_cfg(
+    cfg: &LoadConfig,
+    st: &mut ConnState,
+    mut op: OpState,
+    prior_tag: u64,
+    maybe_admitted: bool,
+) {
+    let idempotent = !maybe_admitted || op.io.op == IoOp::Read;
+    if idempotent && op.resends < cfg.max_resends {
+        op.resends += 1;
+        op.prior_tag = Some(prior_tag);
+        st.queue.push_back(op);
+    } else {
+        st.fail_op();
+    }
+}
+
+/// Dispatches one decoded (or undecodable) response frame.
+fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
+    let resp = match decode_response(payload) {
+        Ok(r) => r,
+        Err(_) => {
+            st.journal.undecodable_frames += 1;
+            st.report.protocol_errors += 1;
+            return;
+        }
+    };
+    let fp = Some(fingerprint(payload));
+    let tag = resp.tag();
+
+    // A response for an already-resolved tag is a post-resolution
+    // receipt: a duplicated/late frame (same payload) or a conflicting
+    // one (different payload). Either way the tag stays resolved.
+    if let Some(&(rec, resolved_fp)) = st.resolved.get(&tag) {
+        if resolved_fp.is_some() && resolved_fp != fp {
+            st.journal.records[rec].conflicting_receipts += 1;
+        } else {
+            st.journal.records[rec].duplicate_receipts += 1;
+        }
+        return;
+    }
+    if !st.inflight.contains_key(&tag) {
+        st.journal.unknown_receipts += 1;
+        return;
+    }
+
+    match resp {
+        Response::Done { .. } => {
+            let sent = st.inflight.get(&tag).map(|(_, _, sent, _)| *sent);
+            if st.resolve(tag, Outcome::Done, fp).is_some() {
+                st.report.completed += 1;
+                if let Some(sent) = sent {
+                    st.hist
+                        .record(SimDuration::from_ns(sent.elapsed().as_nanos() as u64));
+                }
             }
-            Ok(_) => {
-                // STATS/FLUSHED/GOODBYE are never solicited by the loop.
-                report.protocol_errors += 1;
+        }
+        Response::Busy { reason, .. } => {
+            match reason {
+                BusyReason::Queue => st.report.busy_queue += 1,
+                BusyReason::RateLimit => st.report.busy_ratelimit += 1,
+                BusyReason::Unavailable => st.report.busy_unavailable += 1,
             }
-            Err(_) => {
-                report.protocol_errors += 1;
+            if let Some(mut op) = st.resolve(tag, Outcome::Busy, fp) {
+                if op.busy_retries < cfg.max_busy_retries {
+                    op.busy_retries += 1;
+                    op.prior_tag = Some(tag);
+                    st.queue.push_back(op);
+                } else {
+                    st.report.busy_dropped += 1;
+                }
+            }
+            // Back off so a saturated server is not hammered.
+            std::thread::sleep(cfg.busy_backoff);
+        }
+        Response::Error { code, .. } => {
+            if let Some(op) = st.resolve(tag, Outcome::Error, fp) {
+                match code {
+                    ErrorCode::Internal => {
+                        // Worker crash mid-flight: the I/O may have run.
+                        st.report.internal_errors += 1;
+                        requeue_or_fail_cfg(cfg, st, op, tag, true);
+                    }
+                    ErrorCode::BadRequest | ErrorCode::BadLength => {
+                        st.report.protocol_errors += 1;
+                        st.fail_op();
+                    }
+                    ErrorCode::ShuttingDown => st.fail_op(),
+                }
+            }
+        }
+        Response::Stats { .. } | Response::Flushed { .. } | Response::Goodbye { .. } => {
+            // Never solicited by the load loop; resolve the tag so it is
+            // not left dangling, but count the anomaly.
+            st.report.protocol_errors += 1;
+            if let Some(_op) = st.resolve(tag, Outcome::Error, fp) {
+                st.fail_op();
             }
         }
     }
-    Ok((report, hist))
 }
 
 /// Requests a STATS snapshot on a fresh connection.
 pub fn fetch_stats(addr: &str) -> io::Result<String> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
+    let mut reader = io::BufReader::new(stream);
     write_frame(&mut writer, &encode_request(&Request::Stats { tag: 1 }))?;
     match read_and_decode(&mut reader)? {
         Response::Stats { text, .. } => Ok(text),
@@ -293,7 +740,7 @@ pub fn fetch_stats(addr: &str) -> io::Result<String> {
 pub fn flush(addr: &str) -> io::Result<()> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
+    let mut reader = io::BufReader::new(stream);
     write_frame(&mut writer, &encode_request(&Request::Flush { tag: 2 }))?;
     match read_and_decode(&mut reader)? {
         Response::Flushed { .. } => Ok(()),
@@ -305,7 +752,7 @@ pub fn flush(addr: &str) -> io::Result<()> {
 pub fn send_shutdown(addr: &str) -> io::Result<()> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
+    let mut reader = io::BufReader::new(stream);
     write_frame(&mut writer, &encode_request(&Request::Shutdown { tag: 3 }))?;
     match read_and_decode(&mut reader)? {
         Response::Goodbye { .. } => Ok(()),
@@ -313,7 +760,7 @@ pub fn send_shutdown(addr: &str) -> io::Result<()> {
     }
 }
 
-fn read_and_decode<R: io::Read>(r: &mut R) -> io::Result<Response> {
+fn read_and_decode<R: Read>(r: &mut R) -> io::Result<Response> {
     let payload = read_frame(r)?.ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::UnexpectedEof,
@@ -348,11 +795,14 @@ mod tests {
             p999_us: 1500.0,
             mean_us: 200.0,
             throughput_rps: 6.7,
+            ..LoadReport::default()
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"completed\":10"));
         assert!(j.contains("\"p99\":900.0"));
+        assert!(j.contains("\"timed_out\":0"));
+        assert!(j.contains("\"failed\":0"));
         assert_eq!(j, r.clone().to_json(), "rendering must be deterministic");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
@@ -369,5 +819,38 @@ mod tests {
         assert_eq!(p.len(), 64);
         assert!(p.iter().all(|x| x.op == IoOp::Read));
         assert!(p.iter().all(|x| x.bytes == 16 * 1024));
+    }
+
+    #[test]
+    fn journal_merge_accumulates() {
+        let mut a = Journal {
+            unknown_receipts: 1,
+            ..Journal::default()
+        };
+        let b = Journal {
+            unknown_receipts: 2,
+            undecodable_frames: 3,
+            conn_losses: 1,
+            reconnects: 1,
+            records: vec![TagRecord {
+                conn: 0,
+                tag: 1,
+                op: IoOp::Read,
+                retry_of: None,
+                outcome: Some(Outcome::Done),
+                duplicate_receipts: 0,
+                conflicting_receipts: 0,
+            }],
+        };
+        a.merge(b);
+        assert_eq!(a.unknown_receipts, 3);
+        assert_eq!(a.undecodable_frames, 3);
+        assert_eq!(a.records.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_payloads() {
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
     }
 }

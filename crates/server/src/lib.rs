@@ -42,6 +42,8 @@ pub mod protocol;
 pub mod server;
 pub mod shard;
 
-pub use client::{run_load, LoadConfig, LoadReport};
-pub use protocol::{Request, Response, WireError, MAX_FRAME_BYTES};
+pub use client::{
+    run_load, run_load_journaled, Journal, LoadConfig, LoadReport, Outcome, TagRecord,
+};
+pub use protocol::{FrameBuffer, Request, Response, WireError, MAX_FRAME_BYTES};
 pub use server::{Server, ServerConfig};

@@ -61,6 +61,9 @@ pub enum BusyReason {
     Queue,
     /// The tenant's token bucket is empty (rate limit).
     RateLimit,
+    /// The target shard's worker is dead and has not restarted yet. The
+    /// request was *not* admitted, so retrying is always safe.
+    Unavailable,
 }
 
 /// Terminal error codes carried in ERROR responses.
@@ -72,6 +75,10 @@ pub enum ErrorCode {
     BadLength,
     /// The server is shutting down.
     ShuttingDown,
+    /// The shard worker crashed with this request in flight: the I/O may
+    /// or may not have executed. Reads can be retried; writes must be
+    /// surfaced to the caller.
+    Internal,
 }
 
 /// A client-to-server message.
@@ -278,15 +285,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn rest(&mut self) -> &'a [u8] {
@@ -400,6 +407,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             b.push(match reason {
                 BusyReason::Queue => 1,
                 BusyReason::RateLimit => 2,
+                BusyReason::Unavailable => 3,
             });
         }
         Response::Error { tag, code } => {
@@ -409,6 +417,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
                 ErrorCode::BadRequest => 1,
                 ErrorCode::BadLength => 2,
                 ErrorCode::ShuttingDown => 3,
+                ErrorCode::Internal => 4,
             });
         }
         Response::Stats { tag, text } => {
@@ -442,6 +451,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             let reason = match r.u8()? {
                 1 => BusyReason::Queue,
                 2 => BusyReason::RateLimit,
+                3 => BusyReason::Unavailable,
                 v => {
                     return Err(WireError::BadEnum {
                         field: "busy_reason",
@@ -457,6 +467,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 1 => ErrorCode::BadRequest,
                 2 => ErrorCode::BadLength,
                 3 => ErrorCode::ShuttingDown,
+                4 => ErrorCode::Internal,
                 v => {
                     return Err(WireError::BadEnum {
                         field: "error_code",
@@ -529,6 +540,55 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// Incremental frame parser for peers that read with a timeout.
+///
+/// `read_frame` assumes a blocking stream: a read timeout striking
+/// mid-frame would lose the bytes already consumed and de-sync the
+/// stream. A `FrameBuffer` instead accumulates whatever bytes arrive and
+/// yields complete frames as they become available, so a caller can poll
+/// with `set_read_timeout` and keep partial frames intact across wakeups.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame payload, if one is fully buffered.
+    /// An oversized length prefix poisons the stream permanently (the
+    /// frame boundary is unrecoverable) and is reported as `Err`.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized { len });
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,9 +634,17 @@ mod tests {
                 tag: 2,
                 reason: BusyReason::RateLimit,
             },
+            Response::Busy {
+                tag: 2,
+                reason: BusyReason::Unavailable,
+            },
             Response::Error {
                 tag: 3,
                 code: ErrorCode::BadRequest,
+            },
+            Response::Error {
+                tag: 3,
+                code: ErrorCode::Internal,
             },
             Response::Stats {
                 tag: 4,
@@ -642,6 +710,33 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         let e = read_frame(&mut Cursor::new(buf)).expect_err("must reject");
         assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world!").unwrap();
+
+        let mut fb = FrameBuffer::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        // Feed one byte at a time: every split point must be survivable.
+        for b in &wire {
+            fb.feed(std::slice::from_ref(b));
+            while let Some(p) = fb.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, vec![b"hello".to_vec(), Vec::new(), b"world!".to_vec()]);
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_prefix() {
+        let mut fb = FrameBuffer::new();
+        fb.feed(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(WireError::Oversized { .. })));
     }
 
     #[test]

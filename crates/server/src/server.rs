@@ -91,6 +91,21 @@ struct Shared {
     started: Instant,
 }
 
+impl Shared {
+    /// Locks the metrics registry, recovering from poisoning: a panic in
+    /// some other holder (e.g. an injected worker fault) must not wedge
+    /// STATS or admission for everyone else. Counters are monotonic
+    /// u64s, so a partially-applied update cannot corrupt the registry.
+    fn metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Locks the tenant buckets with the same poisoned-lock recovery.
+    fn buckets(&self) -> std::sync::MutexGuard<'_, TenantBuckets> {
+        self.buckets.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// The parts of a shard a connection needs: inbox + admission counter.
 struct ShardTarget {
     spec: ShardSpec,
@@ -133,7 +148,7 @@ impl Server {
                 Arc::clone(&metrics),
                 rx,
                 tx.clone(),
-            );
+            )?;
             targets.push(ShardTarget {
                 spec,
                 tx,
@@ -155,8 +170,7 @@ impl Server {
         let accept_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
             .name("rif-acceptor".into())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn acceptor");
+            .spawn(move || accept_loop(listener, accept_shared))?;
 
         Ok(Server {
             shared,
@@ -203,7 +217,24 @@ impl Server {
 
     /// A snapshot of the metrics registry (for in-process tests).
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
-        self.shared.metrics.lock().expect("metrics lock").clone()
+        self.shared.metrics().clone()
+    }
+
+    /// Fault-injection hook: kills shard `index`'s worker state mid-load.
+    /// In-flight requests on that shard resolve to `ERROR(Internal)`, new
+    /// submissions bounce with `BUSY(Unavailable)` for `restart_after`,
+    /// then the worker restarts with a fresh simulator. Returns false if
+    /// the index is out of range or the worker is already gone.
+    pub fn inject_shard_crash(&self, index: usize, restart_after: Duration) -> bool {
+        match self.shared.shards.get(index) {
+            Some(target) => target.tx.send(ShardMsg::Crash { restart_after }).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of shard workers (for harnesses picking a crash target).
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
     }
 }
 
@@ -213,13 +244,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let conn_shared = Arc::clone(&shared);
-                let h = std::thread::Builder::new()
-                    .name("rif-conn".into())
-                    .spawn(move || {
-                        let _ = serve_connection(stream, conn_shared);
-                    })
-                    .expect("spawn connection");
-                conns.push(h);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("rif-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, conn_shared);
+                        });
+                match spawned {
+                    Ok(h) => conns.push(h),
+                    Err(_) => {
+                        // Thread exhaustion must not take down the
+                        // acceptor: drop this connection (the peer sees a
+                        // clean close) and keep serving.
+                        shared.metrics().inc("server.spawn_failures", 1);
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -239,6 +278,8 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let write_stream = stream.try_clone()?;
     let (resp_tx, resp_rx) = mpsc::channel::<Response>();
+    // A failed writer spawn propagates as io::Error: the connection is
+    // dropped cleanly instead of panicking the reader thread.
     let writer = std::thread::Builder::new()
         .name("rif-conn-writer".into())
         .spawn(move || {
@@ -248,8 +289,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     break;
                 }
             }
-        })
-        .expect("spawn connection writer");
+        })?;
 
     let mut r = BufReader::new(stream);
     let mut saw_goodbye = false;
@@ -257,11 +297,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
         let req = match decode_request(&payload) {
             Ok(req) => req,
             Err(_) => {
-                shared
-                    .metrics
-                    .lock()
-                    .expect("metrics lock")
-                    .inc("server.protocol_errors", 1);
+                shared.metrics().inc("server.protocol_errors", 1);
                 // The frame boundary survived (length-prefixed), so the
                 // stream stays usable; tag 0 because none decoded.
                 let _ = resp_tx.send(Response::Error {
@@ -338,11 +374,7 @@ fn admit_io(
         return;
     }
     if bytes == 0 || bytes > MAX_IO_BYTES {
-        shared
-            .metrics
-            .lock()
-            .expect("metrics lock")
-            .inc("server.protocol_errors", 1);
+        shared.metrics().inc("server.protocol_errors", 1);
         let _ = resp_tx.send(Response::Error {
             tag,
             code: ErrorCode::BadLength,
@@ -351,7 +383,7 @@ fn admit_io(
     }
 
     {
-        let mut m = shared.metrics.lock().expect("metrics lock");
+        let mut m = shared.metrics();
         m.inc(
             if op == IoOp::Read {
                 "server.requests.read"
@@ -364,17 +396,9 @@ fn admit_io(
 
     // Rate limit first: a rejected request must not consume queue budget.
     let wall_secs = shared.started.elapsed().as_secs_f64();
-    let admitted = shared
-        .buckets
-        .lock()
-        .expect("bucket lock")
-        .admit(tenant, wall_secs);
+    let admitted = shared.buckets().admit(tenant, wall_secs);
     if !admitted {
-        shared
-            .metrics
-            .lock()
-            .expect("metrics lock")
-            .inc("server.busy.ratelimit", 1);
+        shared.metrics().inc("server.busy.ratelimit", 1);
         let _ = resp_tx.send(Response::Busy {
             tag,
             reason: BusyReason::RateLimit,
@@ -396,11 +420,7 @@ fn admit_io(
             (n < shared.cfg.inflight_limit).then_some(n + 1)
         });
     if reserved.is_err() {
-        shared
-            .metrics
-            .lock()
-            .expect("metrics lock")
-            .inc("server.busy.queue", 1);
+        shared.metrics().inc("server.busy.queue", 1);
         let _ = resp_tx.send(Response::Busy {
             tag,
             reason: BusyReason::Queue,
@@ -416,17 +436,27 @@ fn admit_io(
         reply: resp_tx.clone(),
     }));
     if sent.is_err() {
-        // Worker gone (shutdown race): release the slot and report.
+        // Worker channel gone: release the slot and report. During
+        // shutdown that is expected; otherwise the worker thread itself
+        // died, which is retryable — the request was never admitted.
         target.inflight.fetch_sub(1, Ordering::AcqRel);
-        let _ = resp_tx.send(Response::Error {
-            tag,
-            code: ErrorCode::ShuttingDown,
-        });
+        if shared.shutdown.load(Ordering::Acquire) {
+            let _ = resp_tx.send(Response::Error {
+                tag,
+                code: ErrorCode::ShuttingDown,
+            });
+        } else {
+            shared.metrics().inc("server.busy.unavailable", 1);
+            let _ = resp_tx.send(Response::Busy {
+                tag,
+                reason: BusyReason::Unavailable,
+            });
+        }
     }
 }
 
 fn render_stats(shared: &Shared) -> String {
-    let mut m = shared.metrics.lock().expect("metrics lock").clone();
+    let mut m = shared.metrics().clone();
     for s in &shared.shards {
         m.set_gauge(
             &format!("server.inflight.shard{}", s.spec.index),

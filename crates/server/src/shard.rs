@@ -9,13 +9,33 @@
 //! service. Completions are answered directly to each request's
 //! originating connection through the reply sender carried in the
 //! [`Submission`].
+//!
+//! # Crash injection
+//!
+//! A worker can be *killed* mid-load through [`ShardMsg::Crash`] (the
+//! hook the `rif-chaos` fault-injection harness drives). A crash models
+//! the abrupt death of the worker's simulator state:
+//!
+//! - every in-flight request is answered `ERROR(Internal)` — the I/O may
+//!   or may not have executed, so the client must decide whether a retry
+//!   is safe (reads: yes, writes: no);
+//! - for the configured restart window the shard is *dead*: submissions
+//!   are bounced immediately with `BUSY(Unavailable)` (never admitted,
+//!   always safe to retry) instead of hanging;
+//! - after the window the worker builds a fresh simulator (seed salted
+//!   by the crash generation so replays stay deterministic) and resumes.
+//!
+//! The worker thread itself never exits on a crash — that keeps the mpsc
+//! channel alive, so the server's routing table needs no swap and no
+//! request can race into a closed channel during the restart.
 
 use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rif_events::trace::MetricsRegistry;
 use rif_events::SimTime;
@@ -23,7 +43,7 @@ use rif_ssd::{Simulator, SsdConfig};
 use rif_workloads::{IoOp, IoRequest};
 
 use crate::pacing::VirtualClock;
-use crate::protocol::Response;
+use crate::protocol::{BusyReason, ErrorCode, Response};
 
 /// The LBA range a shard owns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +103,13 @@ pub enum ShardMsg {
     Submit(Submission),
     /// Fast-forward the simulator until nothing is in flight, then ack.
     Flush(Sender<()>),
+    /// Kill the worker's simulator state: fail everything in flight with
+    /// `ERROR(Internal)`, bounce submissions with `BUSY(Unavailable)` for
+    /// the given window, then restart with a fresh simulator.
+    Crash {
+        /// How long the shard stays dead before restarting.
+        restart_after: Duration,
+    },
     /// Drain and exit.
     Stop,
 }
@@ -108,7 +135,12 @@ impl ShardHandle {
 /// so Stop/Flush messages are always picked up promptly.
 const IDLE_POLL: Duration = Duration::from_micros(500);
 
-/// Spawns the worker thread for one shard.
+/// Salt mixed into the simulator seed on each crash generation, so a
+/// restarted shard gets a fresh but still seed-deterministic stream.
+const GENERATION_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Spawns the worker thread for one shard. Fails if the OS refuses the
+/// thread — the caller propagates the error instead of panicking.
 pub fn spawn_shard(
     spec: ShardSpec,
     cfg: SsdConfig,
@@ -116,14 +148,146 @@ pub fn spawn_shard(
     metrics: Arc<Mutex<MetricsRegistry>>,
     rx: Receiver<ShardMsg>,
     tx: Sender<ShardMsg>,
-) -> ShardHandle {
+) -> io::Result<ShardHandle> {
     let inflight = Arc::new(AtomicUsize::new(0));
     let inflight_worker = Arc::clone(&inflight);
     let join = std::thread::Builder::new()
         .name(format!("rif-shard-{}", spec.index))
-        .spawn(move || run_worker(spec, cfg, clock, inflight_worker, metrics, rx))
-        .expect("spawn shard worker");
-    ShardHandle { tx, inflight, join }
+        .spawn(move || run_worker(spec, cfg, clock, inflight_worker, metrics, rx))?;
+    Ok(ShardHandle { tx, inflight, join })
+}
+
+/// The worker's mutable state, factored out so message handling and the
+/// main loop can share it without borrow gymnastics.
+struct Worker {
+    cfg: SsdConfig,
+    clock: VirtualClock,
+    inflight: Arc<AtomicUsize>,
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    sim: Simulator,
+    /// sim request id -> (client tag, reply channel)
+    pending: HashMap<u64, (u64, Sender<Response>)>,
+    flush_waiters: Vec<Sender<()>>,
+    stopping: bool,
+    /// `Some(t)` while the shard is dead; it restarts once `Instant::now() >= t`.
+    dead_until: Option<Instant>,
+    /// Crash count; salts the restarted simulator's seed.
+    generation: u64,
+    shard_label: String,
+}
+
+impl Worker {
+    fn sim_for_generation(cfg: &SsdConfig, generation: u64) -> Simulator {
+        let mut c = cfg.clone();
+        c.seed = c
+            .seed
+            .wrapping_add(generation.wrapping_mul(GENERATION_SALT));
+        Simulator::new(c)
+    }
+
+    fn metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        // A panicking holder must not wedge the worker: recover the data.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn handle(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Submit(s) => {
+                if self.dead_until.is_some() {
+                    // Dead shard: never admit, never hang. The slot the
+                    // server reserved is released here.
+                    self.inflight.fetch_sub(1, Ordering::AcqRel);
+                    self.metrics().inc("server.busy.unavailable", 1);
+                    let _ = s.reply.send(Response::Busy {
+                        tag: s.tag,
+                        reason: BusyReason::Unavailable,
+                    });
+                    return;
+                }
+                let id = self.sim.submit(IoRequest {
+                    arrival: self.clock.now(),
+                    op: s.op,
+                    offset: s.offset,
+                    bytes: s.bytes,
+                });
+                self.pending.insert(id, (s.tag, s.reply));
+            }
+            ShardMsg::Flush(done) => self.flush_waiters.push(done),
+            ShardMsg::Crash { restart_after } => self.crash(restart_after),
+            ShardMsg::Stop => self.stopping = true,
+        }
+    }
+
+    /// Kills the simulator state: fails every pending request and enters
+    /// the dead window.
+    fn crash(&mut self, restart_after: Duration) {
+        {
+            let mut m = self.metrics();
+            m.inc("server.shard_crashes", 1);
+            m.inc(&format!("server.shard_crashes.{}", self.shard_label), 1);
+        }
+        for (_, (tag, reply)) in self.pending.drain() {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            let _ = reply.send(Response::Error {
+                tag,
+                code: ErrorCode::Internal,
+            });
+        }
+        // Replace the simulator now so crashed state is gone immediately;
+        // it is rebuilt again (fresh) at restart anyway.
+        self.generation += 1;
+        self.sim = Self::sim_for_generation(&self.cfg, self.generation);
+        let deadline = Instant::now() + restart_after;
+        // A crash during the dead window extends it.
+        self.dead_until = Some(match self.dead_until {
+            Some(t) => t.max(deadline),
+            None => deadline,
+        });
+    }
+
+    /// Leaves the dead window if its deadline has passed.
+    fn maybe_restart(&mut self) {
+        if let Some(t) = self.dead_until {
+            if Instant::now() >= t {
+                self.dead_until = None;
+                self.metrics().inc("server.shard_restarts", 1);
+            }
+        }
+    }
+
+    /// Advances the simulator and answers completions.
+    fn advance_and_complete(&mut self) {
+        // Flush and shutdown fast-forward past wall-clock pacing: the
+        // simulator is advanced until nothing is left in flight. Later
+        // submissions clamp their arrival to the simulator clock, so time
+        // stays monotonic.
+        let horizon = if self.stopping || !self.flush_waiters.is_empty() {
+            SimTime::MAX
+        } else {
+            self.clock.now()
+        };
+        self.sim.advance_until(horizon);
+
+        let done = self.sim.drain_completions();
+        if !done.is_empty() {
+            let mut m = self.metrics();
+            for c in &done {
+                m.inc("server.completed", 1);
+                m.inc(&format!("server.completed.{}", self.shard_label), 1);
+                m.observe("server.latency.virtual", c.latency());
+            }
+        }
+        for c in done {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            if let Some((tag, reply)) = self.pending.remove(&c.id) {
+                // A dead connection just drops its completions.
+                let _ = reply.send(Response::Done {
+                    tag,
+                    latency_ns: c.latency().as_ns(),
+                });
+            }
+        }
+    }
 }
 
 fn run_worker(
@@ -134,92 +298,59 @@ fn run_worker(
     metrics: Arc<Mutex<MetricsRegistry>>,
     rx: Receiver<ShardMsg>,
 ) {
-    let mut sim = Simulator::new(cfg);
-    // sim request id -> (client tag, reply channel)
-    let mut pending: HashMap<u64, (u64, Sender<Response>)> = HashMap::new();
-    let mut flush_waiters: Vec<Sender<()>> = Vec::new();
-    let mut stopping = false;
-    let shard_label = format!("shard{}", spec.index);
+    let mut w = Worker {
+        shard_label: format!("shard{}", spec.index),
+        sim: Worker::sim_for_generation(&cfg, 0),
+        cfg,
+        clock,
+        inflight,
+        metrics,
+        pending: HashMap::new(),
+        flush_waiters: Vec::new(),
+        stopping: false,
+        dead_until: None,
+        generation: 0,
+    };
 
     loop {
         // Ingest everything queued without blocking.
         loop {
             match rx.try_recv() {
-                Ok(ShardMsg::Submit(s)) => {
-                    let id = sim.submit(IoRequest {
-                        arrival: clock.now(),
-                        op: s.op,
-                        offset: s.offset,
-                        bytes: s.bytes,
-                    });
-                    pending.insert(id, (s.tag, s.reply));
-                }
-                Ok(ShardMsg::Flush(done)) => flush_waiters.push(done),
-                Ok(ShardMsg::Stop) => stopping = true,
+                Ok(msg) => w.handle(msg),
                 Err(_) => break,
             }
         }
 
-        // Flush and shutdown fast-forward past wall-clock pacing: the
-        // simulator is advanced until nothing is left in flight. Later
-        // submissions clamp their arrival to the simulator clock, so time
-        // stays monotonic.
-        let horizon = if stopping || !flush_waiters.is_empty() {
-            SimTime::MAX
-        } else {
-            clock.now()
-        };
-        sim.advance_until(horizon);
-
-        let done = sim.drain_completions();
-        if !done.is_empty() {
-            let mut m = metrics.lock().expect("metrics lock");
-            for c in &done {
-                m.inc("server.completed", 1);
-                m.inc(&format!("server.completed.{shard_label}"), 1);
-                m.observe("server.latency.virtual", c.latency());
-            }
-        }
-        for c in done {
-            inflight.fetch_sub(1, Ordering::AcqRel);
-            if let Some((tag, reply)) = pending.remove(&c.id) {
-                // A dead connection just drops its completions.
-                let _ = reply.send(Response::Done {
-                    tag,
-                    latency_ns: c.latency().as_ns(),
-                });
-            }
+        w.maybe_restart();
+        if w.dead_until.is_none() {
+            w.advance_and_complete();
         }
 
-        if pending.is_empty() && !flush_waiters.is_empty() {
-            for w in flush_waiters.drain(..) {
-                let _ = w.send(());
+        // A crash clears `pending`, so flushes ack immediately while dead.
+        if w.pending.is_empty() && !w.flush_waiters.is_empty() {
+            for waiter in w.flush_waiters.drain(..) {
+                let _ = waiter.send(());
             }
         }
-        if stopping && pending.is_empty() {
+        if w.stopping && w.pending.is_empty() {
             return;
         }
 
         // Sleep until the next simulated event is due on the wall clock,
-        // waking early for new messages.
-        let nap = match sim.next_event_time() {
-            Some(t) => clock.wall_until(t).min(IDLE_POLL),
-            None => IDLE_POLL,
+        // waking early for new messages. A dead shard just polls its
+        // inbox until the restart deadline.
+        let nap = if w.dead_until.is_some() {
+            IDLE_POLL
+        } else {
+            match w.sim.next_event_time() {
+                Some(t) => w.clock.wall_until(t).min(IDLE_POLL),
+                None => IDLE_POLL,
+            }
         };
         match rx.recv_timeout(nap) {
-            Ok(ShardMsg::Submit(s)) => {
-                let id = sim.submit(IoRequest {
-                    arrival: clock.now(),
-                    op: s.op,
-                    offset: s.offset,
-                    bytes: s.bytes,
-                });
-                pending.insert(id, (s.tag, s.reply));
-            }
-            Ok(ShardMsg::Flush(done)) => flush_waiters.push(done),
-            Ok(ShardMsg::Stop) => stopping = true,
+            Ok(msg) => w.handle(msg),
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => stopping = true,
+            Err(RecvTimeoutError::Disconnected) => w.stopping = true,
         }
     }
 }
@@ -262,5 +393,104 @@ mod tests {
         // span division truncates, so the highest offsets must clamp to
         // the last shard instead of indexing out of bounds.
         assert_eq!(ShardSpec::route(1000, 3, 999), 2);
+    }
+
+    #[test]
+    fn crashed_worker_fails_pending_and_bounces_then_restarts() {
+        use rif_ssd::RetryKind;
+        use std::sync::mpsc;
+
+        let clock = VirtualClock::start(1000.0);
+        let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let (tx, rx) = mpsc::channel();
+        let spec = ShardSpec {
+            index: 0,
+            base_offset: 0,
+            span_bytes: 1 << 30,
+        };
+        let cfg = SsdConfig::small(RetryKind::Rif, 2000);
+        let handle = spawn_shard(spec, cfg, clock, Arc::clone(&metrics), rx, tx.clone())
+            .expect("spawn shard");
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        // Submit one request, then crash before it can complete. The
+        // reserved in-flight slot is what the worker must release.
+        handle.inflight.fetch_add(1, Ordering::AcqRel);
+        tx.send(ShardMsg::Submit(Submission {
+            tag: 7,
+            op: IoOp::Read,
+            offset: 0,
+            bytes: 4096,
+            reply: reply_tx.clone(),
+        }))
+        .unwrap();
+        tx.send(ShardMsg::Crash {
+            restart_after: Duration::from_millis(30),
+        })
+        .unwrap();
+
+        let first = reply_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("crash must resolve the in-flight request");
+        // Either the request completed before the crash landed (DONE) or
+        // the crash failed it (ERROR Internal) — silence is the only
+        // forbidden outcome.
+        assert!(
+            matches!(
+                first,
+                Response::Done { tag: 7, .. }
+                    | Response::Error {
+                        tag: 7,
+                        code: ErrorCode::Internal
+                    }
+            ),
+            "unexpected: {first:?}"
+        );
+        assert_eq!(handle.inflight.load(Ordering::Acquire), 0);
+
+        // While dead, submissions bounce with BUSY(Unavailable).
+        handle.inflight.fetch_add(1, Ordering::AcqRel);
+        tx.send(ShardMsg::Submit(Submission {
+            tag: 8,
+            op: IoOp::Read,
+            offset: 0,
+            bytes: 4096,
+            reply: reply_tx.clone(),
+        }))
+        .unwrap();
+        let bounced = reply_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("dead shard must answer, not hang");
+        assert_eq!(
+            bounced,
+            Response::Busy {
+                tag: 8,
+                reason: BusyReason::Unavailable
+            }
+        );
+        assert_eq!(handle.inflight.load(Ordering::Acquire), 0);
+
+        // After the restart window the shard serves again.
+        std::thread::sleep(Duration::from_millis(60));
+        handle.inflight.fetch_add(1, Ordering::AcqRel);
+        tx.send(ShardMsg::Submit(Submission {
+            tag: 9,
+            op: IoOp::Write,
+            offset: 4096,
+            bytes: 4096,
+            reply: reply_tx,
+        }))
+        .unwrap();
+        let served = reply_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("restarted shard must serve");
+        assert!(
+            matches!(served, Response::Done { tag: 9, .. }),
+            "unexpected: {served:?}"
+        );
+
+        let m = metrics.lock().unwrap().clone();
+        assert_eq!(m.counter("server.shard_crashes"), 1);
+        handle.stop();
     }
 }

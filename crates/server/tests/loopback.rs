@@ -145,6 +145,67 @@ fn flush_then_stats_shows_nothing_in_flight() {
 }
 
 #[test]
+fn worker_crash_mid_load_never_hangs_and_other_shards_keep_serving() {
+    let server = quick_server(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let requests = 600;
+
+    // Crash shard 0 shortly after the load starts; it stays dead 50 ms.
+    let outcome = std::thread::scope(|s| {
+        let killer = s.spawn(|| {
+            // Wait until real traffic is flowing, then pull the rug.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while server.metrics_snapshot().counter("server.completed") < 50 {
+                assert!(std::time::Instant::now() < deadline, "load never started");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert!(server.inject_shard_crash(0, std::time::Duration::from_millis(50)));
+        });
+        let report = rif_server::client::run_load_journaled(&LoadConfig {
+            addr: addr.clone(),
+            connections: 2,
+            depth: 8,
+            requests,
+            seed: 9,
+            request_deadline: std::time::Duration::from_millis(500),
+            ..LoadConfig::default()
+        })
+        .expect("load run");
+        killer.join().expect("killer thread");
+        report
+    });
+    let (report, journal) = outcome;
+
+    // Nothing hangs: every planned op lands in exactly one bucket…
+    assert_eq!(
+        report.completed + report.failed + report.busy_dropped,
+        requests as u64,
+        "{}",
+        report.to_json()
+    );
+    // …no submitted tag is left unresolved…
+    assert!(
+        journal.records.iter().all(|r| r.outcome.is_some()),
+        "silent tags after worker crash"
+    );
+    // …and the healthy shard plus the restarted one still complete the
+    // bulk of the run.
+    assert!(
+        report.completed > (requests as u64) / 2,
+        "{}",
+        report.to_json()
+    );
+    // The crash actually happened and was observed by the server.
+    let m = server.metrics_snapshot();
+    assert_eq!(m.counter("server.shard_crashes"), 1);
+
+    server.stop();
+}
+
+#[test]
 fn shutdown_frame_stops_the_server() {
     let server = quick_server(ServerConfig {
         retry: RetryKind::Sentinel,

@@ -60,17 +60,18 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             },
             1 => Response::Busy {
                 tag,
-                reason: if latency % 2 == 0 {
-                    BusyReason::Queue
-                } else {
-                    BusyReason::RateLimit
+                reason: match latency % 3 {
+                    0 => BusyReason::Queue,
+                    1 => BusyReason::RateLimit,
+                    _ => BusyReason::Unavailable,
                 },
             },
             2 => Response::Error {
                 tag,
-                code: match latency % 3 {
+                code: match latency % 4 {
                     0 => ErrorCode::BadRequest,
                     1 => ErrorCode::BadLength,
+                    2 => ErrorCode::Internal,
                     _ => ErrorCode::ShuttingDown,
                 },
             },
@@ -78,6 +79,20 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             4 => Response::Flushed { tag },
             _ => Response::Goodbye { tag },
         })
+}
+
+/// Applies one chaos-proxy-style mutation to an encoded buffer:
+/// `0` flips a single bit, `1` overwrites one byte, `2` truncates.
+fn mutate(buf: &mut Vec<u8>, kind: u8, pos_seed: u64, byte: u8) {
+    if buf.is_empty() {
+        return;
+    }
+    let pos = (pos_seed as usize) % buf.len();
+    match kind {
+        0 => buf[pos] ^= 1 << (pos_seed % 8),
+        1 => buf[pos] = byte,
+        _ => buf.truncate(pos),
+    }
 }
 
 proptest! {
@@ -145,6 +160,73 @@ proptest! {
             prop_assert_eq!(&got, p);
         }
         prop_assert_eq!(read_frame(&mut cur).expect("eof read"), None);
+    }
+
+    #[test]
+    fn mutated_requests_never_panic_the_decoder(
+        req in request_strategy(),
+        kind in 0u8..3,
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        // Start from a *valid* encoding, then vandalize it the way the
+        // chaos proxy does: flip a bit, splice a byte, or truncate.
+        let mut enc = encode_request(&req);
+        mutate(&mut enc, kind, pos_seed, byte);
+        // Decode must return cleanly — Ok (the mutation landed on a
+        // don't-care bit pattern that is still canonical) or a typed Err —
+        // and must never panic.
+        let _ = decode_request(&enc);
+    }
+
+    #[test]
+    fn mutated_responses_never_panic_the_decoder(
+        resp in response_strategy(),
+        kind in 0u8..3,
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let mut enc = encode_response(&resp);
+        mutate(&mut enc, kind, pos_seed, byte);
+        let _ = decode_response(&enc);
+    }
+
+    #[test]
+    fn mutated_frame_streams_never_panic_the_frame_buffer(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..8),
+        kind in 0u8..3,
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+        chunk in 1usize..17,
+    ) {
+        use rif_server::protocol::FrameBuffer;
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).expect("write");
+        }
+        mutate(&mut wire, kind, pos_seed, byte);
+        // Feed the vandalized stream in odd-sized chunks; the buffer must
+        // hand back frames or a clean error, never panic, and an error
+        // must be sticky (the stream is poisoned, not mis-framed).
+        let mut fb = FrameBuffer::new();
+        let mut poisoned = false;
+        for piece in wire.chunks(chunk) {
+            fb.feed(piece);
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(frame)) => {
+                        prop_assert!(!poisoned, "frame after poison");
+                        let _ = decode_request(&frame);
+                        let _ = decode_response(&frame);
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        poisoned = true;
+                        break;
+                    }
+                }
+            }
+        }
     }
 
     #[test]

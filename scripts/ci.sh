@@ -115,4 +115,25 @@ timeout 30 "$CLI" --addr "$addr_rl" --shutdown
 wait "$rl_pid" || { echo "rate-limited server exited non-zero"; exit 1; }
 rl_pid=""
 
+# Chaos gate: 10k requests through the fault-injecting proxy — 10% drop,
+# 5% delay, 2% duplicate, one mid-run worker kill — must finish under the
+# hard timeout with a PASS verdict from the contract checker, and the
+# seeded fault schedule must reproduce byte-for-byte.
+echo "==> chaos gate (fault proxy + worker kill + contract checker)"
+cargo build -q --release -p rif-chaos
+CHAOS=./target/release/rif-chaos
+plan='seed=42,up.drop=0.1,down.delay=0.05,down.delay_us=2000,up.dup=0.02,kill=0@2000+50'
+"$CHAOS" schedule --plan "$plan" --conns 4 --frames 4096 > "$tmpdir/sched1.json"
+"$CHAOS" schedule --plan "$plan" --conns 4 --frames 4096 > "$tmpdir/sched2.json"
+diff "$tmpdir/sched1.json" "$tmpdir/sched2.json"
+timeout 300 "$CHAOS" run --plan "$plan" --requests 10000 --connections 4 \
+    --depth 16 --shards 2 --deadline-ms 200 --workload-seed 7 > "$tmpdir/chaos.json"
+cat "$tmpdir/chaos.json"
+grep -q '"verdict":"PASS"' "$tmpdir/chaos.json"
+grep -q '"kills_fired":1' "$tmpdir/chaos.json"
+if grep -q '"dropped":0,' "$tmpdir/chaos.json"; then
+    echo "proxy injected no drops"
+    exit 1
+fi
+
 echo "==> ci.sh: all green"
