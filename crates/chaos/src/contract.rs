@@ -126,6 +126,8 @@ mod tests {
             conn: 0,
             tag,
             op: IoOp::Read,
+            offset: 0,
+            bytes: 4096,
             retry_of: None,
             outcome,
             duplicate_receipts: 0,

@@ -5,7 +5,22 @@
 //! ```text
 //! rif-client --addr 127.0.0.1:PORT [--requests N] [--connections N]
 //!            [--depth N] [--read-ratio X] [--zipf X] [--request-kib N]
-//!            [--tenant N] [--seed N] [--max-busy-retries N]
+//!            [--tenant N] [--seed N] [--max-busy-retries N] [--batch N]
+//! ```
+//!
+//! `--batch N` packs up to N requests per BATCH frame (protocol v2,
+//! negotiated by HELLO; falls back to single frames on a v1 server).
+//!
+//! Replay modes:
+//!
+//! ```text
+//! rif-client --addr ADDR --replay FILE [--speed X] [--batch N]
+//!     # drive a captured trace back through the live server at recorded
+//!     # (or X-scaled) pacing; prints the load report and the
+//!     # capture-vs-journal diff, exits 1 unless the diff passes
+//! rif-client --replay-offline FILE [--scheme LABEL] [--pe-cycles N]
+//!     # replay a capture through the offline simulator (no server);
+//!     # prints the deterministic SimReport JSON
 //! ```
 //!
 //! Control modes:
@@ -17,13 +32,18 @@
 //! ```
 
 use rif_server::client::{fetch_stats, flush, run_load, send_shutdown, LoadConfig};
+use rif_server::replay::{diff_against_capture, run_replay_journaled, ReplayConfig};
+use rif_ssd::{RetryKind, Simulator, SsdConfig};
+use rif_workloads::Capture;
 
 fn usage() -> ! {
     eprintln!(
         "usage: rif-client --addr HOST:PORT [--stats|--flush|--shutdown]\n\
          \x20                 [--requests N] [--connections N] [--depth N]\n\
          \x20                 [--read-ratio X] [--zipf X] [--request-kib N]\n\
-         \x20                 [--tenant N] [--seed N] [--max-busy-retries N]"
+         \x20                 [--tenant N] [--seed N] [--max-busy-retries N]\n\
+         \x20                 [--batch N] [--replay FILE] [--speed X]\n\
+         \x20      rif-client --replay-offline FILE [--scheme LABEL] [--pe-cycles N]"
     );
     std::process::exit(2);
 }
@@ -33,11 +53,27 @@ enum Mode {
     Stats,
     Flush,
     Shutdown,
+    Replay(String),
+    ReplayOffline(String),
+}
+
+fn load_capture(path: &str) -> Capture {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("rif-client: cannot read capture {path}: {e}");
+        std::process::exit(1);
+    });
+    Capture::parse_csv(&text).unwrap_or_else(|e| {
+        eprintln!("rif-client: malformed capture {path}: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn main() {
     let mut cfg = LoadConfig::default();
     let mut mode = Mode::Load;
+    let mut speed = 1.0f64;
+    let mut scheme = RetryKind::Rif;
+    let mut pe_cycles = 3000u32;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut val = |name: &str| -> String {
@@ -71,10 +107,20 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--batch" => cfg.batch = val("--batch").parse().unwrap_or_else(|_| usage()),
+            "--speed" => speed = val("--speed").parse().unwrap_or_else(|_| usage()),
+            "--replay" => mode = Mode::Replay(val("--replay")),
+            "--replay-offline" => mode = Mode::ReplayOffline(val("--replay-offline")),
+            "--scheme" => scheme = RetryKind::by_label(&val("--scheme")).unwrap_or_else(|| usage()),
+            "--pe-cycles" => pe_cycles = val("--pe-cycles").parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
-    if cfg.addr.is_empty() {
+    if speed <= 0.0 {
+        eprintln!("--speed must be positive");
+        usage();
+    }
+    if cfg.addr.is_empty() && !matches!(mode, Mode::ReplayOffline(_)) {
         eprintln!("--addr is required");
         usage();
     }
@@ -84,6 +130,31 @@ fn main() {
         Mode::Flush => flush(&cfg.addr).map(|()| println!("flushed")),
         Mode::Shutdown => send_shutdown(&cfg.addr).map(|()| println!("shutdown acknowledged")),
         Mode::Load => run_load(&cfg).map(|report| println!("{}", report.to_json())),
+        Mode::Replay(path) => {
+            let cap = load_capture(&path);
+            let rcfg = ReplayConfig {
+                addr: cfg.addr.clone(),
+                connections: cfg.connections,
+                depth: cfg.depth,
+                speed,
+                batch: cfg.batch,
+                base: cfg.clone(),
+            };
+            run_replay_journaled(&rcfg, &cap).map(|(report, journal)| {
+                println!("{}", report.to_json());
+                let diff = diff_against_capture(&journal, &cap);
+                println!("{}", diff.to_json());
+                if !diff.pass() {
+                    std::process::exit(1);
+                }
+            })
+        }
+        Mode::ReplayOffline(path) => {
+            let cap = load_capture(&path);
+            let report = Simulator::new(SsdConfig::small(scheme, pe_cycles)).run(&cap.to_trace());
+            println!("{}", report.to_json());
+            Ok(())
+        }
     };
     if let Err(e) = result {
         eprintln!("rif-client: {e}");

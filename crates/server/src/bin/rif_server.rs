@@ -6,13 +6,15 @@
 //! rif-server [--port N] [--shards N] [--scheme LABEL] [--pe-cycles N]
 //!            [--inflight-limit N] [--rate N] [--burst N]
 //!            [--time-scale X] [--capacity-gib N] [--queue-depth N]
-//!            [--seed N]
+//!            [--seed N] [--capture FILE]
 //! ```
 //!
 //! Prints `rif-server listening on ADDR` once ready, then runs until a
 //! SHUTDOWN frame arrives. `--rate 0` (default) disables rate limiting;
 //! `--time-scale 20` (default) plays simulated time 20× faster than wall
-//! time.
+//! time. With `--capture FILE` every admitted request is journaled and
+//! written as a captured-trace CSV on shutdown, replayable offline
+//! (`rif-client --replay-offline FILE`) or live (`--replay FILE`).
 
 use rif_server::server::{Server, ServerConfig};
 use rif_ssd::RetryKind;
@@ -21,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rif-server [--port N] [--shards N] [--scheme LABEL] [--pe-cycles N]\n\
          \x20                 [--inflight-limit N] [--rate N] [--burst N] [--time-scale X]\n\
-         \x20                 [--capacity-gib N] [--queue-depth N] [--seed N]\n\
+         \x20                 [--capacity-gib N] [--queue-depth N] [--seed N] [--capture FILE]\n\
          schemes: SENC SWR SWR+ RPSSD RiFSSD SSDone SSDzero"
     );
     std::process::exit(2);
@@ -30,6 +32,7 @@ fn usage() -> ! {
 fn main() {
     let mut cfg = ServerConfig::default();
     let mut port = 0u16;
+    let mut capture_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut val = |name: &str| -> String {
@@ -61,6 +64,10 @@ fn main() {
                 cfg.queue_depth = val("--queue-depth").parse().unwrap_or_else(|_| usage())
             }
             "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--capture" => {
+                capture_path = Some(val("--capture"));
+                cfg.capture = true;
+            }
             _ => usage(),
         }
     }
@@ -75,6 +82,19 @@ fn main() {
     // The sentinel line CI and scripts wait for; flushed immediately.
     println!("rif-server listening on {}", server.local_addr());
     server.wait_for_shutdown();
+    let recorder = server.recorder();
     server.stop();
+    if let Some(path) = capture_path {
+        // Snapshot after stop(): every shard has drained, so outcomes
+        // are final.
+        let cap = recorder.capture();
+        match std::fs::write(&path, cap.to_csv()) {
+            Ok(()) => println!("rif-server: captured {} requests to {path}", cap.len()),
+            Err(e) => {
+                eprintln!("rif-server: cannot write capture {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!("rif-server: shut down cleanly");
 }

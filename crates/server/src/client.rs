@@ -40,8 +40,8 @@ use rif_events::{SimDuration, SimRng};
 use rif_workloads::{IoOp, SynthConfig};
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, BusyReason, ErrorCode, FrameBuffer,
-    Request, Response,
+    decode_response, encode_request, read_frame, write_frame, BatchEntry, BusyReason, ErrorCode,
+    FrameBuffer, Request, Response, MAX_BATCH_ENTRIES, PROTOCOL_VERSION,
 };
 
 /// Load-generator configuration.
@@ -82,6 +82,14 @@ pub struct LoadConfig {
     /// Base reconnect backoff; attempt `k` waits `base * 2^k` (capped)
     /// plus seeded jitter in `[0, base)`.
     pub reconnect_backoff: Duration,
+    /// Requests per BATCH frame (`<= 1` disables batching: every request
+    /// rides the v1 single-request frame). Batching requires the server
+    /// to negotiate protocol v2; a connection that falls back to v1
+    /// sends single frames regardless.
+    pub batch: usize,
+    /// Longest a partially-filled batch waits for more requests before
+    /// being flushed anyway.
+    pub batch_deadline: Duration,
 }
 
 impl Default for LoadConfig {
@@ -102,6 +110,8 @@ impl Default for LoadConfig {
             max_resends: 16,
             max_reconnects: 8,
             reconnect_backoff: Duration::from_millis(10),
+            batch: 1,
+            batch_deadline: Duration::from_millis(2),
         }
     }
 }
@@ -132,6 +142,10 @@ pub struct TagRecord {
     pub tag: u64,
     /// Read or write.
     pub op: IoOp,
+    /// Logical byte offset of the submission.
+    pub offset: u64,
+    /// Transfer size in bytes.
+    pub bytes: u32,
     /// The prior tag this submission re-issues, if any.
     pub retry_of: Option<u64>,
     /// Terminal outcome; `None` only while still in flight.
@@ -199,6 +213,9 @@ pub struct LoadReport {
     pub conn_errors: u64,
     /// Successful reconnects across all connections.
     pub reconnects: u64,
+    /// BATCH frames sent (zero when batching is disabled or every
+    /// connection fell back to protocol v1).
+    pub batches_sent: u64,
     /// Operations abandoned without completion (write fate unknown, or
     /// retry budget exhausted). `completed + failed + busy_dropped`
     /// accounts for every planned request.
@@ -230,7 +247,7 @@ impl LoadReport {
                 "{{\"completed\":{},\"busy_queue\":{},\"busy_ratelimit\":{},",
                 "\"busy_unavailable\":{},\"busy_dropped\":{},\"protocol_errors\":{},",
                 "\"internal_errors\":{},\"timed_out\":{},\"conn_errors\":{},",
-                "\"reconnects\":{},\"failed\":{},\"dup_receipts\":{},",
+                "\"reconnects\":{},\"batches_sent\":{},\"failed\":{},\"dup_receipts\":{},",
                 "\"unknown_receipts\":{},\"wall_secs\":{:.6},",
                 "\"throughput_rps\":{:.1},\"latency_us\":{{\"mean\":{:.1},",
                 "\"p50\":{:.1},\"p99\":{:.1},\"p999\":{:.1}}}}}"
@@ -245,6 +262,7 @@ impl LoadReport {
             self.timed_out,
             self.conn_errors,
             self.reconnects,
+            self.batches_sent,
             self.failed,
             self.dup_receipts,
             self.unknown_receipts,
@@ -259,10 +277,20 @@ impl LoadReport {
 }
 
 /// One pre-generated request before it goes on the wire.
-struct PlannedIo {
-    op: IoOp,
-    offset: u64,
-    bytes: u32,
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedIo {
+    /// Read or write.
+    pub op: IoOp,
+    /// Logical byte offset.
+    pub offset: u64,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+    /// Tenant the request is stamped with.
+    pub tenant: u32,
+    /// Earliest wall time (µs after the run starts) this request may be
+    /// sent. `None` = closed-loop pacing (send as soon as the window has
+    /// room); `Some` = open-loop replay pacing at recorded arrivals.
+    pub due_us: Option<u64>,
 }
 
 /// One operation's retry bookkeeping across its (possibly many) tags.
@@ -282,16 +310,34 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
 /// Like [`run_load`] but also returns the request [`Journal`] for
 /// contract checking.
 pub fn run_load_journaled(cfg: &LoadConfig) -> io::Result<(LoadReport, Journal)> {
-    assert!(cfg.connections > 0 && cfg.depth > 0, "need work to do");
-    let per_conn = cfg.requests.div_ceil(cfg.connections);
-    let mut handles = Vec::with_capacity(cfg.connections);
+    let per_conn = cfg.requests.div_ceil(cfg.connections.max(1));
+    let mut plans = Vec::with_capacity(cfg.connections);
     for conn in 0..cfg.connections {
         let n = per_conn.min(cfg.requests - (conn * per_conn).min(cfg.requests));
         if n == 0 {
             break;
         }
+        plans.push(plan(cfg, conn, n));
+    }
+    run_plans(cfg, plans)
+}
+
+/// Drives one pre-built request plan per connection through the server.
+/// This is the shared engine under [`run_load_journaled`] (synthetic
+/// closed-loop plans) and [`crate::replay::run_replay_journaled`]
+/// (captured open-loop plans with recorded due times).
+pub fn run_plans(
+    cfg: &LoadConfig,
+    plans: Vec<Vec<PlannedIo>>,
+) -> io::Result<(LoadReport, Journal)> {
+    assert!(cfg.depth > 0, "need a send window");
+    let mut handles = Vec::with_capacity(plans.len());
+    for (conn, plan) in plans.into_iter().enumerate() {
+        if plan.is_empty() {
+            continue;
+        }
         let cfg = cfg.clone();
-        handles.push(std::thread::spawn(move || run_connection(&cfg, conn, n)));
+        handles.push(std::thread::spawn(move || run_connection(&cfg, conn, plan)));
     }
     let mut total = LoadReport::default();
     let mut journal = Journal::default();
@@ -312,6 +358,7 @@ pub fn run_load_journaled(cfg: &LoadConfig) -> io::Result<(LoadReport, Journal)>
         total.timed_out += part.timed_out;
         total.conn_errors += part.conn_errors;
         total.reconnects += part.reconnects;
+        total.batches_sent += part.batches_sent;
         total.failed += part.failed;
         total.dup_receipts += part.dup_receipts;
         total.unknown_receipts += part.unknown_receipts;
@@ -346,6 +393,8 @@ fn plan(cfg: &LoadConfig, conn: usize, n: usize) -> Vec<PlannedIo> {
             op: r.op,
             offset: r.offset,
             bytes: r.bytes,
+            tenant: cfg.tenant,
+            due_us: None,
         })
         .collect()
 }
@@ -374,6 +423,8 @@ struct Conn {
     stream: TcpStream,
     writer: BufWriter<TcpStream>,
     frames: FrameBuffer,
+    /// True once HELLO negotiated protocol v2 on this connection.
+    v2: bool,
 }
 
 impl Conn {
@@ -386,6 +437,7 @@ impl Conn {
             stream,
             writer,
             frames: FrameBuffer::new(),
+            v2: false,
         })
     }
 
@@ -411,6 +463,55 @@ impl Conn {
     }
 }
 
+/// Correlation tag reserved for the HELLO handshake. Load tags are
+/// `(conn << 32) | counter`, so `u64::MAX` can never collide.
+const HELLO_TAG: u64 = u64::MAX;
+
+/// How long the handshake waits for HELLO_ACK before assuming a v1 peer
+/// (or a transport that ate the ack) and falling back to single frames.
+const HELLO_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Opens a connection, negotiating protocol v2 when batching is wanted.
+fn open_link(cfg: &LoadConfig) -> io::Result<Conn> {
+    let mut c = Conn::open(&cfg.addr)?;
+    // Negotiate even when not batching: a v2 link lets re-issues ride in
+    // single-entry BATCH frames whose `retry_of` tells the server-side
+    // recorder they are the same logical request, not new load.
+    c.v2 = negotiate(&mut c);
+    Ok(c)
+}
+
+/// Blocking HELLO handshake. `true` only when the server acked v2+. A
+/// v1 server answers the unknown opcode with `ERROR(tag=0)`; a lossy
+/// path may answer with nothing — both fall back to v1 framing, which
+/// every server speaks.
+fn negotiate(c: &mut Conn) -> bool {
+    let hello = Request::Hello {
+        tag: HELLO_TAG,
+        version: PROTOCOL_VERSION,
+    };
+    if write_frame(&mut c.writer, &encode_request(&hello)).is_err() {
+        return false;
+    }
+    let deadline = Instant::now() + HELLO_TIMEOUT;
+    while Instant::now() < deadline {
+        if c.pump().is_err() {
+            return false;
+        }
+        match c.frames.next_frame() {
+            Ok(Some(payload)) => {
+                return matches!(
+                    decode_response(&payload),
+                    Ok(Response::HelloAck { version, .. }) if version >= 2
+                );
+            }
+            Ok(None) => {}
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
 /// Everything `run_connection` tracks for one connection.
 struct ConnState {
     conn: u32,
@@ -424,6 +525,10 @@ struct ConnState {
     report: LoadReport,
     hist: LatencyHistogram,
     journal: Journal,
+    /// Journaled-but-unsent entries accumulating toward one BATCH frame.
+    pending_batch: Vec<BatchEntry>,
+    /// When the oldest pending entry was journaled (deadline flush).
+    batch_started: Option<Instant>,
 }
 
 impl ConnState {
@@ -435,7 +540,13 @@ impl ConnState {
     }
 
     /// Records a wire submission and returns its tag.
-    fn journal_send(&mut self, op: IoOp, retry_of: Option<u64>) -> (u64, usize) {
+    fn journal_send(
+        &mut self,
+        op: IoOp,
+        offset: u64,
+        bytes: u32,
+        retry_of: Option<u64>,
+    ) -> (u64, usize) {
         let tag = self.next_tag;
         self.next_tag += 1;
         let rec = self.journal.records.len();
@@ -443,6 +554,8 @@ impl ConnState {
             conn: self.conn,
             tag,
             op,
+            offset,
+            bytes,
             retry_of,
             outcome: None,
             duplicate_receipts: 0,
@@ -460,11 +573,11 @@ impl ConnState {
 fn run_connection(
     cfg: &LoadConfig,
     conn: usize,
-    n: usize,
+    plan: Vec<PlannedIo>,
 ) -> io::Result<(LoadReport, LatencyHistogram, Journal)> {
     let mut st = ConnState {
         conn: conn as u32,
-        queue: plan(cfg, conn, n)
+        queue: plan
             .into_iter()
             .map(|io| OpState {
                 io,
@@ -481,10 +594,13 @@ fn run_connection(
         report: LoadReport::default(),
         hist: LatencyHistogram::new(),
         journal: Journal::default(),
+        pending_batch: Vec::new(),
+        batch_started: None,
     };
     let mut jitter = SimRng::stream(cfg.seed ^ JITTER_SALT, conn as u64);
-    let mut link = Some(Conn::open(&cfg.addr)?);
+    let mut link = Some(open_link(cfg)?);
     let mut reconnects_used: u32 = 0;
+    let started = Instant::now();
 
     while !st.queue.is_empty() || !st.inflight.is_empty() {
         let Some(conn_ref) = link.as_mut() else {
@@ -498,31 +614,89 @@ fn run_connection(
 
         // Fill the window.
         let mut send_failed = false;
+        let batching = conn_ref.v2 && cfg.batch > 1;
         while st.inflight.len() < cfg.depth {
+            // Replay pacing: hold the next request until its recorded
+            // due time. The queue keeps plan order, so the head gates
+            // everything behind it.
+            if let Some(due) = st.queue.front().and_then(|op| op.io.due_us) {
+                if (started.elapsed().as_micros() as u64) < due {
+                    break;
+                }
+            }
             let Some(op) = st.queue.pop_front() else {
                 break;
             };
-            let (tag, rec) = st.journal_send(op.io.op, op.prior_tag);
-            let req = match op.io.op {
-                IoOp::Read => Request::Read {
-                    tenant: cfg.tenant,
-                    tag,
-                    offset: op.io.offset,
-                    bytes: op.io.bytes,
-                },
-                IoOp::Write => Request::Write {
-                    tenant: cfg.tenant,
-                    tag,
-                    offset: op.io.offset,
-                    bytes: op.io.bytes,
-                },
-            };
+            let (tag, rec) = st.journal_send(op.io.op, op.io.offset, op.io.bytes, op.prior_tag);
+            let io = op.io;
+            let retry_of = op.prior_tag.unwrap_or(0);
             let now = Instant::now();
             st.inflight
                 .insert(tag, (op, rec, now, now + cfg.request_deadline));
-            if write_frame(&mut conn_ref.writer, &encode_request(&req)).is_err() {
+            if batching {
+                st.pending_batch.push(BatchEntry {
+                    op: io.op,
+                    tenant: io.tenant,
+                    tag,
+                    offset: io.offset,
+                    bytes: io.bytes,
+                    retry_of,
+                });
+                if st.batch_started.is_none() {
+                    st.batch_started = Some(now);
+                }
+                if st.pending_batch.len() >= cfg.batch.min(MAX_BATCH_ENTRIES as usize)
+                    && flush_batch(conn_ref, &mut st).is_err()
+                {
+                    send_failed = true;
+                    break;
+                }
+            } else {
+                // Re-issues on a v2 link travel as one-entry BATCH frames:
+                // the only frame kind that carries `retry_of`, so the
+                // server's recorder can alias them onto the original
+                // instead of journaling a second logical request.
+                let req = if conn_ref.v2 && retry_of != 0 {
+                    Request::Batch(vec![BatchEntry {
+                        op: io.op,
+                        tenant: io.tenant,
+                        tag,
+                        offset: io.offset,
+                        bytes: io.bytes,
+                        retry_of,
+                    }])
+                } else {
+                    match io.op {
+                        IoOp::Read => Request::Read {
+                            tenant: io.tenant,
+                            tag,
+                            offset: io.offset,
+                            bytes: io.bytes,
+                        },
+                        IoOp::Write => Request::Write {
+                            tenant: io.tenant,
+                            tag,
+                            offset: io.offset,
+                            bytes: io.bytes,
+                        },
+                    }
+                };
+                if write_frame(&mut conn_ref.writer, &encode_request(&req)).is_err() {
+                    send_failed = true;
+                    break;
+                }
+            }
+        }
+        // A straggler batch flushes when no more work can join it or its
+        // deadline passes — partial frames must not wait forever.
+        if !send_failed && !st.pending_batch.is_empty() {
+            let expired = st
+                .batch_started
+                .is_some_and(|t| t.elapsed() >= cfg.batch_deadline);
+            if (expired || st.queue.is_empty() || st.inflight.len() >= cfg.depth)
+                && flush_batch(conn_ref, &mut st).is_err()
+            {
                 send_failed = true;
-                break;
             }
         }
 
@@ -549,6 +723,10 @@ fn run_connection(
 
         if conn_broken {
             st.journal.conn_losses += 1;
+            // Unsent batch entries die with the connection; their tags
+            // are in flight and resolve as ConnError just below.
+            st.pending_batch.clear();
+            st.batch_started = None;
             // Every in-flight tag resolves as a clean connection error.
             let tags: Vec<u64> = st.inflight.keys().copied().collect();
             for tag in tags {
@@ -575,6 +753,17 @@ fn run_connection(
     Ok((st.report, st.hist, st.journal))
 }
 
+/// Sends the accumulated BATCH frame, if any.
+fn flush_batch(conn: &mut Conn, st: &mut ConnState) -> io::Result<()> {
+    if st.pending_batch.is_empty() {
+        return Ok(());
+    }
+    let entries = std::mem::take(&mut st.pending_batch);
+    st.batch_started = None;
+    st.report.batches_sent += 1;
+    write_frame(&mut conn.writer, &encode_request(&Request::Batch(entries)))
+}
+
 /// Re-establishes the connection with exponential backoff and seeded
 /// jitter, bounded by `cfg.max_reconnects` per connection.
 fn reconnect(
@@ -592,7 +781,7 @@ fn reconnect(
             + Duration::from_nanos(jitter.int_range(0, base_ns + 1));
         std::thread::sleep(backoff);
         attempt += 1;
-        if let Ok(c) = Conn::open(&cfg.addr) {
+        if let Ok(c) = open_link(cfg) {
             st.journal.reconnects += 1;
             return Some(c);
         }
@@ -649,6 +838,11 @@ fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
             return;
         }
     };
+    if matches!(resp, Response::HelloAck { .. }) {
+        // A late or transport-duplicated handshake ack: harmless, and it
+        // must not count against the journal's receipt accounting.
+        return;
+    }
     let fp = Some(fingerprint(payload));
     let tag = resp.tag();
 
@@ -713,9 +907,13 @@ fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
                 }
             }
         }
-        Response::Stats { .. } | Response::Flushed { .. } | Response::Goodbye { .. } => {
-            // Never solicited by the load loop; resolve the tag so it is
-            // not left dangling, but count the anomaly.
+        Response::Stats { .. }
+        | Response::Flushed { .. }
+        | Response::Goodbye { .. }
+        | Response::HelloAck { .. } => {
+            // Never solicited by the load loop (HelloAck returns early
+            // above); resolve the tag so it is not left dangling, but
+            // count the anomaly.
             st.report.protocol_errors += 1;
             if let Some(_op) = st.resolve(tag, Outcome::Error, fp) {
                 st.fail_op();
@@ -836,6 +1034,8 @@ mod tests {
                 conn: 0,
                 tag: 1,
                 op: IoOp::Read,
+                offset: 4096,
+                bytes: 65536,
                 retry_of: None,
                 outcome: Some(Outcome::Done),
                 duplicate_receipts: 0,

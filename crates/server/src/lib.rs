@@ -11,7 +11,9 @@
 //! - [`pacing`] — the virtual-time ↔ wall-clock bridge;
 //! - [`shard`] — one simulator worker thread per LBA range;
 //! - [`server`] — accept loop, admission control, metrics;
-//! - [`client`] — the closed-loop load generator and its JSON report.
+//! - [`client`] — the closed-loop load generator and its JSON report;
+//! - [`recorder`] — live trace capture of every admitted request;
+//! - [`replay`] — driving a captured trace back through a live server.
 //!
 //! Everything is plain `std` (threads, mpsc, blocking sockets): the
 //! service layer adds no dependencies beyond the simulator itself.
@@ -39,11 +41,19 @@ pub mod bucket;
 pub mod client;
 pub mod pacing;
 pub mod protocol;
+pub mod recorder;
+pub mod replay;
 pub mod server;
 pub mod shard;
 
 pub use client::{
-    run_load, run_load_journaled, Journal, LoadConfig, LoadReport, Outcome, TagRecord,
+    run_load, run_load_journaled, run_plans, Journal, LoadConfig, LoadReport, Outcome, PlannedIo,
+    TagRecord,
 };
-pub use protocol::{FrameBuffer, Request, Response, WireError, MAX_FRAME_BYTES};
+pub use protocol::{
+    BatchEntry, FrameBuffer, Request, Response, WireError, MAX_BATCH_ENTRIES, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+pub use recorder::TraceRecorder;
+pub use replay::{run_replay_journaled, ReplayConfig, ReplayDiff};
 pub use server::{Server, ServerConfig};

@@ -14,6 +14,10 @@
 //! ```text
 //! READ / WRITE : op u8 | tenant u32 | tag u64 | offset u64 | bytes u32
 //! STATS / FLUSH / SHUTDOWN : op u8 | tag u64
+//! HELLO   : op u8 | tag u64 | version u32
+//! BATCH   : op u8 | count u16 | count × entry
+//!   entry : op u8 (READ|WRITE) | tenant u32 | tag u64 | offset u64
+//!         | bytes u32 | retry_of u64
 //! ```
 //!
 //! Response payloads:
@@ -24,7 +28,18 @@
 //! ERROR   : op u8 | tag u64 | code u8
 //! STATS   : op u8 | tag u64 | text (UTF-8, rest of frame)
 //! FLUSHED / GOODBYE : op u8 | tag u64
+//! HELLO_ACK : op u8 | tag u64 | version u32
 //! ```
+//!
+//! BATCH and HELLO are protocol-version-2 messages. A v2 client opens
+//! with HELLO carrying [`PROTOCOL_VERSION`]; the server answers
+//! HELLO_ACK with `min(its version, the client's)`. A v1 server instead
+//! answers the unknown opcode with `ERROR(tag=0, BadRequest)`, which a
+//! v2 client treats as "speak v1": single-request frames only. BATCH
+//! carries up to [`MAX_BATCH_ENTRIES`] I/O submissions under one length
+//! prefix; each entry keeps its own tag (responses stay per-request and
+//! may interleave with other traffic) and a `retry_of` field naming the
+//! original tag when the entry is a client re-issue (zero otherwise).
 //!
 //! The `tag` is an opaque client-chosen correlation id echoed verbatim;
 //! responses may arrive out of submission order (the simulator completes
@@ -36,16 +51,31 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use rif_workloads::IoOp;
+
 /// Upper bound on a frame payload. Large enough for a STATS dump, small
 /// enough that a corrupt length prefix cannot make the peer allocate
 /// gigabytes.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024;
+
+/// The protocol version this build speaks. Version 2 added HELLO
+/// negotiation and BATCH frames; version 1 (single-request frames only)
+/// remains the wire baseline for peers that never say HELLO.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Upper bound on entries in one BATCH frame. At 33 bytes per entry a
+/// full batch stays well under [`MAX_FRAME_BYTES`].
+pub const MAX_BATCH_ENTRIES: u16 = 512;
+
+const BATCH_ENTRY_BYTES: usize = 33;
 
 const OP_READ: u8 = 0x01;
 const OP_WRITE: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_FLUSH: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_HELLO: u8 = 0x06;
+const OP_BATCH: u8 = 0x07;
 
 const OP_DONE: u8 = 0x81;
 const OP_BUSY: u8 = 0x82;
@@ -53,6 +83,7 @@ const OP_ERROR: u8 = 0x83;
 const OP_STATS_RESP: u8 = 0x84;
 const OP_FLUSHED: u8 = 0x85;
 const OP_GOODBYE: u8 = 0x86;
+const OP_HELLO_ACK: u8 = 0x87;
 
 /// Why the server refused a request without simulating it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,8 +112,28 @@ pub enum ErrorCode {
     Internal,
 }
 
-/// A client-to-server message.
+/// One I/O submission inside a BATCH frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// Read or write (the only ops a batch may carry).
+    pub op: IoOp,
+    /// Tenant id for rate limiting.
+    pub tenant: u32,
+    /// Client correlation tag, echoed in this entry's response.
+    pub tag: u64,
+    /// Logical byte offset.
+    pub offset: u64,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+    /// Tag of the original submission when this entry is a client
+    /// re-issue of an earlier request; zero for a first submission. The
+    /// server's trace recorder uses it to journal the logical request
+    /// once rather than once per retry.
+    pub retry_of: u64,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Simulated read of `bytes` at logical `offset`.
     Read {
@@ -121,17 +172,32 @@ pub enum Request {
         /// Client correlation tag.
         tag: u64,
     },
+    /// Version negotiation: "I speak `version`". Answered by
+    /// [`Response::HelloAck`] on a v2+ server, `ERROR(BadRequest)` on v1.
+    Hello {
+        /// Client correlation tag.
+        tag: u64,
+        /// Highest protocol version the client speaks.
+        version: u32,
+    },
+    /// Up to [`MAX_BATCH_ENTRIES`] I/O submissions in one frame.
+    /// Admission is per-entry: each entry gets its own DONE/BUSY/ERROR.
+    Batch(Vec<BatchEntry>),
 }
 
 impl Request {
-    /// The correlation tag of this request.
+    /// The correlation tag of this request. A batch has no frame-level
+    /// tag (each entry carries its own); its first entry's tag stands in
+    /// so diagnostics have something to point at.
     pub fn tag(&self) -> u64 {
-        match *self {
+        match self {
             Request::Read { tag, .. }
             | Request::Write { tag, .. }
             | Request::Stats { tag }
             | Request::Flush { tag }
-            | Request::Shutdown { tag } => tag,
+            | Request::Shutdown { tag }
+            | Request::Hello { tag, .. } => *tag,
+            Request::Batch(entries) => entries.first().map_or(0, |e| e.tag),
         }
     }
 }
@@ -177,6 +243,14 @@ pub enum Response {
         /// The request's correlation tag.
         tag: u64,
     },
+    /// Version negotiation reply: the version both sides will speak
+    /// (`min(server, client)`).
+    HelloAck {
+        /// The HELLO's correlation tag.
+        tag: u64,
+        /// The negotiated protocol version.
+        version: u32,
+    },
 }
 
 impl Response {
@@ -188,7 +262,8 @@ impl Response {
             | Response::Error { tag, .. }
             | Response::Stats { tag, .. }
             | Response::Flushed { tag }
-            | Response::Goodbye { tag } => tag,
+            | Response::Goodbye { tag }
+            | Response::HelloAck { tag, .. } => tag,
         }
     }
 }
@@ -226,6 +301,13 @@ pub enum WireError {
     BadUtf8,
     /// The payload is empty (no opcode byte).
     Empty,
+    /// A BATCH frame announced zero entries.
+    EmptyBatch,
+    /// A BATCH frame announced more entries than [`MAX_BATCH_ENTRIES`].
+    BatchTooLarge {
+        /// The announced entry count.
+        count: u16,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -249,6 +331,13 @@ impl fmt::Display for WireError {
             }
             WireError::BadUtf8 => write!(f, "stats text is not valid UTF-8"),
             WireError::Empty => write!(f, "empty payload"),
+            WireError::EmptyBatch => write!(f, "batch frame with zero entries"),
+            WireError::BatchTooLarge { count } => {
+                write!(
+                    f,
+                    "batch of {count} entries exceeds the {MAX_BATCH_ENTRIES}-entry cap"
+                )
+            }
         }
     }
 }
@@ -316,9 +405,15 @@ impl<'a> Reader<'a> {
 // ----- encoding ----------------------------------------------------------
 
 /// Serializes a request into a frame payload (no length prefix).
+///
+/// # Panics
+///
+/// Panics on a [`Request::Batch`] that is empty or exceeds
+/// [`MAX_BATCH_ENTRIES`] — such a batch can never decode, so encoding
+/// one is a caller bug.
 pub fn encode_request(r: &Request) -> Vec<u8> {
     let mut b = Vec::with_capacity(25);
-    match *r {
+    match r {
         Request::Read {
             tenant,
             tag,
@@ -353,6 +448,34 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
             b.push(OP_SHUTDOWN);
             b.extend_from_slice(&tag.to_le_bytes());
         }
+        Request::Hello { tag, version } => {
+            b.push(OP_HELLO);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&version.to_le_bytes());
+        }
+        Request::Batch(entries) => {
+            assert!(!entries.is_empty(), "encoding an empty batch");
+            assert!(
+                entries.len() <= MAX_BATCH_ENTRIES as usize,
+                "batch of {} entries exceeds the {MAX_BATCH_ENTRIES}-entry cap",
+                entries.len()
+            );
+            b.reserve(3 + entries.len() * BATCH_ENTRY_BYTES);
+            b.push(OP_BATCH);
+            b.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+            for e in entries {
+                b.push(if e.op == IoOp::Read {
+                    OP_READ
+                } else {
+                    OP_WRITE
+                });
+                b.extend_from_slice(&e.tenant.to_le_bytes());
+                b.extend_from_slice(&e.tag.to_le_bytes());
+                b.extend_from_slice(&e.offset.to_le_bytes());
+                b.extend_from_slice(&e.bytes.to_le_bytes());
+                b.extend_from_slice(&e.retry_of.to_le_bytes());
+            }
+        }
     }
     b
 }
@@ -386,6 +509,41 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         OP_STATS => Request::Stats { tag: r.u64()? },
         OP_FLUSH => Request::Flush { tag: r.u64()? },
         OP_SHUTDOWN => Request::Shutdown { tag: r.u64()? },
+        OP_HELLO => Request::Hello {
+            tag: r.u64()?,
+            version: r.u32()?,
+        },
+        OP_BATCH => {
+            let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
+            if count == 0 {
+                return Err(WireError::EmptyBatch);
+            }
+            if count > MAX_BATCH_ENTRIES {
+                return Err(WireError::BatchTooLarge { count });
+            }
+            let mut entries = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let op = match r.u8()? {
+                    OP_READ => IoOp::Read,
+                    OP_WRITE => IoOp::Write,
+                    v => {
+                        return Err(WireError::BadEnum {
+                            field: "batch_entry_op",
+                            value: v,
+                        })
+                    }
+                };
+                entries.push(BatchEntry {
+                    op,
+                    tenant: r.u32()?,
+                    tag: r.u64()?,
+                    offset: r.u64()?,
+                    bytes: r.u32()?,
+                    retry_of: r.u64()?,
+                });
+            }
+            Request::Batch(entries)
+        }
         other => return Err(WireError::UnknownOpcode(other)),
     };
     r.done()?;
@@ -432,6 +590,11 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
         Response::Goodbye { tag } => {
             b.push(OP_GOODBYE);
             b.extend_from_slice(&tag.to_le_bytes());
+        }
+        Response::HelloAck { tag, version } => {
+            b.push(OP_HELLO_ACK);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&version.to_le_bytes());
         }
     }
     b
@@ -486,6 +649,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         }
         OP_FLUSHED => Response::Flushed { tag: r.u64()? },
         OP_GOODBYE => Response::Goodbye { tag: r.u64()? },
+        OP_HELLO_ACK => Response::HelloAck {
+            tag: r.u64()?,
+            version: r.u32()?,
+        },
         other => return Err(WireError::UnknownOpcode(other)),
     };
     if !matches!(resp, Response::Stats { .. }) {
@@ -612,11 +779,116 @@ mod tests {
             Request::Stats { tag: 7 },
             Request::Flush { tag: 8 },
             Request::Shutdown { tag: 9 },
+            Request::Hello {
+                tag: 10,
+                version: PROTOCOL_VERSION,
+            },
+            Request::Batch(vec![
+                BatchEntry {
+                    op: IoOp::Read,
+                    tenant: 1,
+                    tag: 11,
+                    offset: 4096,
+                    bytes: 65536,
+                    retry_of: 0,
+                },
+                BatchEntry {
+                    op: IoOp::Write,
+                    tenant: 2,
+                    tag: 12,
+                    offset: 1 << 40,
+                    bytes: 4096,
+                    retry_of: 11,
+                },
+            ]),
         ];
         for r in reqs {
             let enc = encode_request(&r);
             assert_eq!(decode_request(&enc), Ok(r));
         }
+    }
+
+    #[test]
+    fn full_batch_fits_in_a_frame() {
+        let entries = vec![
+            BatchEntry {
+                op: IoOp::Read,
+                tenant: 0,
+                tag: 1,
+                offset: 0,
+                bytes: 4096,
+                retry_of: 0,
+            };
+            MAX_BATCH_ENTRIES as usize
+        ];
+        let enc = encode_request(&Request::Batch(entries.clone()));
+        assert!(enc.len() <= MAX_FRAME_BYTES as usize);
+        assert_eq!(decode_request(&enc), Ok(Request::Batch(entries)));
+    }
+
+    #[test]
+    fn batch_count_lies_are_rejected_without_panic() {
+        let entries = vec![
+            BatchEntry {
+                op: IoOp::Write,
+                tenant: 3,
+                tag: 21,
+                offset: 8192,
+                bytes: 4096,
+                retry_of: 0,
+            },
+            BatchEntry {
+                op: IoOp::Read,
+                tenant: 3,
+                tag: 22,
+                offset: 0,
+                bytes: 4096,
+                retry_of: 0,
+            },
+        ];
+        let mut enc = encode_request(&Request::Batch(entries));
+        // Count says 3, but only 2 entries follow → truncated.
+        enc[1..3].copy_from_slice(&3u16.to_le_bytes());
+        assert!(matches!(
+            decode_request(&enc),
+            Err(WireError::Truncated { .. })
+        ));
+        // Count says 1, but 2 entries follow → trailing bytes.
+        enc[1..3].copy_from_slice(&1u16.to_le_bytes());
+        assert!(matches!(
+            decode_request(&enc),
+            Err(WireError::TrailingBytes { .. })
+        ));
+        // Count 0 and over-cap counts are their own errors.
+        enc[1..3].copy_from_slice(&0u16.to_le_bytes());
+        assert_eq!(decode_request(&enc), Err(WireError::EmptyBatch));
+        enc[1..3].copy_from_slice(&(MAX_BATCH_ENTRIES + 1).to_le_bytes());
+        assert_eq!(
+            decode_request(&enc),
+            Err(WireError::BatchTooLarge {
+                count: MAX_BATCH_ENTRIES + 1
+            })
+        );
+    }
+
+    #[test]
+    fn batch_entry_op_must_be_read_or_write() {
+        let mut enc = encode_request(&Request::Batch(vec![BatchEntry {
+            op: IoOp::Read,
+            tenant: 0,
+            tag: 1,
+            offset: 0,
+            bytes: 4096,
+            retry_of: 0,
+        }]));
+        enc[3] = OP_STATS; // first entry's op byte
+        assert_eq!(
+            decode_request(&enc),
+            Err(WireError::BadEnum {
+                field: "batch_entry_op",
+                value: OP_STATS,
+            })
+        );
     }
 
     #[test]
@@ -652,6 +924,10 @@ mod tests {
             },
             Response::Flushed { tag: 5 },
             Response::Goodbye { tag: 6 },
+            Response::HelloAck {
+                tag: 7,
+                version: PROTOCOL_VERSION,
+            },
         ];
         for r in resps {
             let enc = encode_response(&r);

@@ -31,8 +31,9 @@ use crate::bucket::TenantBuckets;
 use crate::pacing::VirtualClock;
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, BusyReason, ErrorCode, Request,
-    Response,
+    Response, PROTOCOL_VERSION,
 };
+use crate::recorder::TraceRecorder;
 use crate::shard::{spawn_shard, ShardHandle, ShardMsg, ShardSpec, Submission};
 
 /// Largest single transfer the service accepts: 1 MiB keeps one request
@@ -62,6 +63,9 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Base RNG seed; shard `i` uses `seed + i`.
     pub seed: u64,
+    /// Journal every admitted request in the [`TraceRecorder`] for
+    /// capture → replay.
+    pub capture: bool,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +81,7 @@ impl Default for ServerConfig {
             pe_cycles: 2000,
             queue_depth: 16,
             seed: 1,
+            capture: false,
         }
     }
 }
@@ -89,6 +94,7 @@ struct Shared {
     shards: Vec<ShardTarget>,
     shutdown: AtomicBool,
     started: Instant,
+    recorder: Arc<TraceRecorder>,
 }
 
 impl Shared {
@@ -133,6 +139,7 @@ impl Server {
 
         let clock = VirtualClock::start(cfg.time_scale);
         let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let recorder = Arc::new(TraceRecorder::new(cfg.capture));
         let specs = ShardSpec::partition(cfg.capacity_bytes, cfg.shards);
         let mut shard_handles = Vec::with_capacity(cfg.shards);
         let mut targets = Vec::with_capacity(cfg.shards);
@@ -146,6 +153,7 @@ impl Server {
                 sim_cfg,
                 clock.clone(),
                 Arc::clone(&metrics),
+                Arc::clone(&recorder),
                 rx,
                 tx.clone(),
             )?;
@@ -165,6 +173,7 @@ impl Server {
             shards: targets,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            recorder,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -236,6 +245,13 @@ impl Server {
     pub fn shard_count(&self) -> usize {
         self.shared.shards.len()
     }
+
+    /// The request journal (empty unless [`ServerConfig::capture`] was
+    /// set). Clone the `Arc` before `stop()` to snapshot the capture
+    /// after drain.
+    pub fn recorder(&self) -> Arc<TraceRecorder> {
+        Arc::clone(&self.shared.recorder)
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -293,6 +309,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
 
     let mut r = BufReader::new(stream);
     let mut saw_goodbye = false;
+    // Protocol version this connection speaks; starts at the v1 baseline
+    // until the peer negotiates up with HELLO.
+    let mut negotiated: u32 = 1;
     while let Some(payload) = read_frame(&mut r)? {
         let req = match decode_request(&payload) {
             Ok(req) => req,
@@ -307,8 +326,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 continue;
             }
         };
-        handle_request(req, &shared, &resp_tx);
-        if matches!(req, Request::Shutdown { .. }) {
+        let is_shutdown = matches!(req, Request::Shutdown { .. });
+        handle_request(req, &shared, &resp_tx, &mut negotiated);
+        if is_shutdown {
             saw_goodbye = true;
             break;
         }
@@ -321,20 +341,50 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     Ok(())
 }
 
-fn handle_request(req: Request, shared: &Shared, resp_tx: &Sender<Response>) {
+fn handle_request(req: Request, shared: &Shared, resp_tx: &Sender<Response>, negotiated: &mut u32) {
     match req {
         Request::Read {
             tenant,
             tag,
             offset,
             bytes,
-        } => admit_io(shared, resp_tx, tenant, tag, offset, bytes, IoOp::Read),
+        } => admit_io(shared, resp_tx, tenant, tag, offset, bytes, IoOp::Read, 0),
         Request::Write {
             tenant,
             tag,
             offset,
             bytes,
-        } => admit_io(shared, resp_tx, tenant, tag, offset, bytes, IoOp::Write),
+        } => admit_io(shared, resp_tx, tenant, tag, offset, bytes, IoOp::Write, 0),
+        Request::Hello { tag, version } => {
+            *negotiated = version.min(PROTOCOL_VERSION).max(1);
+            let _ = resp_tx.send(Response::HelloAck {
+                tag,
+                version: *negotiated,
+            });
+        }
+        Request::Batch(entries) => {
+            if *negotiated < 2 {
+                // BATCH before (or without) HELLO: a v2-only message on a
+                // v1 connection. Reject the whole frame by its first tag.
+                shared.metrics().inc("server.protocol_errors", 1);
+                let tag = entries.first().map_or(0, |e| e.tag);
+                let _ = resp_tx.send(Response::Error {
+                    tag,
+                    code: ErrorCode::BadRequest,
+                });
+                return;
+            }
+            shared.metrics().inc("server.batches", 1);
+            // Per-entry admission: the batch amortizes framing, not the
+            // token bucket — each entry spends its own tenant token and
+            // reserves its own in-flight slot, exactly as if it had
+            // arrived in its own frame.
+            for e in entries {
+                admit_io(
+                    shared, resp_tx, e.tenant, e.tag, e.offset, e.bytes, e.op, e.retry_of,
+                );
+            }
+        }
         Request::Stats { tag } => {
             let text = render_stats(shared);
             let _ = resp_tx.send(Response::Stats { tag, text });
@@ -365,6 +415,7 @@ fn admit_io(
     offset: u64,
     bytes: u32,
     op: IoOp,
+    retry_of: u64,
 ) {
     if shared.shutdown.load(Ordering::Acquire) {
         let _ = resp_tx.send(Response::Error {
@@ -428,6 +479,14 @@ fn admit_io(
         return;
     }
 
+    // Journal the admission with the *wrapped* global offset — a replay
+    // through a same-shaped server routes it identically — and do it
+    // BEFORE handing the submission to the worker: the worker's
+    // reject/complete for this tag must never race ahead of its
+    // admission, or the record sticks half-written.
+    shared
+        .recorder
+        .admit(tag, retry_of, op, wrapped, bytes, tenant, idx as u32);
     let sent = target.tx.send(ShardMsg::Submit(Submission {
         tag,
         op,
@@ -436,6 +495,8 @@ fn admit_io(
         reply: resp_tx.clone(),
     }));
     if sent.is_err() {
+        // The worker never saw it: retract the admission.
+        shared.recorder.reject(tag);
         // Worker channel gone: release the slot and report. During
         // shutdown that is expected; otherwise the worker thread itself
         // died, which is retryable — the request was never admitted.

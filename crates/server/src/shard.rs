@@ -44,6 +44,7 @@ use rif_workloads::{IoOp, IoRequest};
 
 use crate::pacing::VirtualClock;
 use crate::protocol::{BusyReason, ErrorCode, Response};
+use crate::recorder::TraceRecorder;
 
 /// The LBA range a shard owns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +147,7 @@ pub fn spawn_shard(
     cfg: SsdConfig,
     clock: VirtualClock,
     metrics: Arc<Mutex<MetricsRegistry>>,
+    recorder: Arc<TraceRecorder>,
     rx: Receiver<ShardMsg>,
     tx: Sender<ShardMsg>,
 ) -> io::Result<ShardHandle> {
@@ -153,7 +155,7 @@ pub fn spawn_shard(
     let inflight_worker = Arc::clone(&inflight);
     let join = std::thread::Builder::new()
         .name(format!("rif-shard-{}", spec.index))
-        .spawn(move || run_worker(spec, cfg, clock, inflight_worker, metrics, rx))?;
+        .spawn(move || run_worker(spec, cfg, clock, inflight_worker, metrics, recorder, rx))?;
     Ok(ShardHandle { tx, inflight, join })
 }
 
@@ -164,6 +166,7 @@ struct Worker {
     clock: VirtualClock,
     inflight: Arc<AtomicUsize>,
     metrics: Arc<Mutex<MetricsRegistry>>,
+    recorder: Arc<TraceRecorder>,
     sim: Simulator,
     /// sim request id -> (client tag, reply channel)
     pending: HashMap<u64, (u64, Sender<Response>)>,
@@ -195,8 +198,10 @@ impl Worker {
             ShardMsg::Submit(s) => {
                 if self.dead_until.is_some() {
                     // Dead shard: never admit, never hang. The slot the
-                    // server reserved is released here.
+                    // server reserved is released here, and the recorder
+                    // retracts the admission — this I/O never ran.
                     self.inflight.fetch_sub(1, Ordering::AcqRel);
+                    self.recorder.reject(s.tag);
                     self.metrics().inc("server.busy.unavailable", 1);
                     let _ = s.reply.send(Response::Busy {
                         tag: s.tag,
@@ -228,6 +233,7 @@ impl Worker {
         }
         for (_, (tag, reply)) in self.pending.drain() {
             self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.recorder.complete(tag, false);
             let _ = reply.send(Response::Error {
                 tag,
                 code: ErrorCode::Internal,
@@ -280,6 +286,7 @@ impl Worker {
         for c in done {
             self.inflight.fetch_sub(1, Ordering::AcqRel);
             if let Some((tag, reply)) = self.pending.remove(&c.id) {
+                self.recorder.complete(tag, true);
                 // A dead connection just drops its completions.
                 let _ = reply.send(Response::Done {
                     tag,
@@ -296,6 +303,7 @@ fn run_worker(
     clock: VirtualClock,
     inflight: Arc<AtomicUsize>,
     metrics: Arc<Mutex<MetricsRegistry>>,
+    recorder: Arc<TraceRecorder>,
     rx: Receiver<ShardMsg>,
 ) {
     let mut w = Worker {
@@ -305,6 +313,7 @@ fn run_worker(
         clock,
         inflight,
         metrics,
+        recorder,
         pending: HashMap::new(),
         flush_waiters: Vec::new(),
         stopping: false,
@@ -409,8 +418,17 @@ mod tests {
             span_bytes: 1 << 30,
         };
         let cfg = SsdConfig::small(RetryKind::Rif, 2000);
-        let handle = spawn_shard(spec, cfg, clock, Arc::clone(&metrics), rx, tx.clone())
-            .expect("spawn shard");
+        let recorder = Arc::new(TraceRecorder::new(false));
+        let handle = spawn_shard(
+            spec,
+            cfg,
+            clock,
+            Arc::clone(&metrics),
+            recorder,
+            rx,
+            tx.clone(),
+        )
+        .expect("spawn shard");
 
         let (reply_tx, reply_rx) = mpsc::channel();
         // Submit one request, then crash before it can complete. The

@@ -13,8 +13,9 @@
 use proptest::prelude::*;
 use rif_server::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    BusyReason, ErrorCode, Request, Response, WireError, MAX_FRAME_BYTES,
+    BatchEntry, BusyReason, ErrorCode, Request, Response, WireError, MAX_FRAME_BYTES,
 };
+use rif_workloads::IoOp;
 use std::io::Cursor;
 
 fn request_strategy() -> impl Strategy<Value = Request> {
@@ -44,9 +45,36 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         })
 }
 
+fn batch_entry_strategy() -> impl Strategy<Value = BatchEntry> {
+    (
+        0u8..2,
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(|(op, tenant, tag, offset, bytes, retry_of)| BatchEntry {
+            op: if op == 0 { IoOp::Read } else { IoOp::Write },
+            tenant,
+            tag,
+            offset,
+            bytes,
+            retry_of,
+        })
+}
+
+fn batch_strategy() -> impl Strategy<Value = Request> {
+    prop::collection::vec(batch_entry_strategy(), 1..24).prop_map(Request::Batch)
+}
+
+fn hello_strategy() -> impl Strategy<Value = Request> {
+    (any::<u64>(), any::<u32>()).prop_map(|(tag, version)| Request::Hello { tag, version })
+}
+
 fn response_strategy() -> impl Strategy<Value = Response> {
     (
-        0u8..6,
+        0u8..7,
         any::<u64>(),
         any::<u64>(),
         // Printable-ASCII stats text (the shim has no regex strategies).
@@ -77,6 +105,10 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             },
             3 => Response::Stats { tag, text },
             4 => Response::Flushed { tag },
+            5 => Response::HelloAck {
+                tag,
+                version: latency as u32,
+            },
             _ => Response::Goodbye { tag },
         })
 }
@@ -218,6 +250,90 @@ proptest! {
                         prop_assert!(!poisoned, "frame after poison");
                         let _ = decode_request(&frame);
                         let _ = decode_response(&frame);
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        poisoned = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_requests_roundtrip(req in batch_strategy()) {
+        let enc = encode_request(&req);
+        prop_assert_eq!(decode_request(&enc), Ok(req));
+    }
+
+    #[test]
+    fn hello_requests_roundtrip(req in hello_strategy()) {
+        let enc = encode_request(&req);
+        prop_assert_eq!(decode_request(&enc), Ok(req));
+    }
+
+    #[test]
+    fn truncated_batches_are_rejected(req in batch_strategy(), cut_seed in any::<u64>()) {
+        let enc = encode_request(&req);
+        let cut = (cut_seed as usize) % enc.len();
+        let e = decode_request(&enc[..cut]).expect_err("prefix must be rejected");
+        prop_assert!(
+            matches!(e, WireError::Truncated { .. } | WireError::Empty),
+            "cut {}: {:?}", cut, e
+        );
+    }
+
+    #[test]
+    fn batch_count_lies_never_panic_or_misparse(
+        req in batch_strategy(),
+        lie in any::<u16>(),
+    ) {
+        // The nested length prefix: overwrite the entry count with an
+        // arbitrary lie. Decode must refuse any count that disagrees
+        // with the payload it frames — without panicking.
+        let true_count = match &req {
+            Request::Batch(entries) => entries.len() as u16,
+            _ => unreachable!(),
+        };
+        let mut enc = encode_request(&req);
+        enc[1..3].copy_from_slice(&lie.to_le_bytes());
+        match decode_request(&enc) {
+            Ok(got) => {
+                prop_assert_eq!(lie, true_count, "a lying count must not decode");
+                prop_assert_eq!(got, req);
+            }
+            Err(_) => prop_assert!(lie != true_count, "the honest count must decode"),
+        }
+    }
+
+    #[test]
+    fn mutated_batch_frames_never_panic_the_frame_buffer(
+        batches in prop::collection::vec(batch_strategy(), 1..6),
+        kind in 0u8..3,
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+        chunk in 1usize..17,
+    ) {
+        use rif_server::protocol::FrameBuffer;
+        // A stream of valid BATCH frames, vandalized once (bit flip,
+        // byte splice, or truncation — including mid-count and mid-entry
+        // positions), fed in odd-sized chunks. The framing layer and the
+        // batch decoder must return frames/typed errors, never panic.
+        let mut wire = Vec::new();
+        for b in &batches {
+            write_frame(&mut wire, &encode_request(b)).expect("write");
+        }
+        mutate(&mut wire, kind, pos_seed, byte);
+        let mut fb = FrameBuffer::new();
+        let mut poisoned = false;
+        for piece in wire.chunks(chunk) {
+            fb.feed(piece);
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(frame)) => {
+                        prop_assert!(!poisoned, "frame after poison");
+                        let _ = decode_request(&frame);
                     }
                     Ok(None) => break,
                     Err(_) => {

@@ -13,8 +13,11 @@
 //!   presets;
 //! * [`parser`] — a CSV block-trace parser for users who do have real
 //!   traces;
+//! * [`capture`] — the captured-trace format `rif-server` journals served
+//!   requests in, replayable through the offline pipeline;
 //! * [`stats`] — trace statistics (regenerates Table II from any trace).
 
+pub mod capture;
 pub mod parser;
 pub mod profiles;
 pub mod stats;
@@ -22,6 +25,7 @@ pub mod synth;
 pub mod trace;
 pub mod writer;
 
+pub use capture::{Capture, CaptureOutcome, CapturedRequest, ParseCaptureError};
 pub use profiles::WorkloadProfile;
 pub use stats::TraceStats;
 pub use synth::SynthConfig;

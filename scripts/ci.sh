@@ -15,9 +15,13 @@ cd "$(dirname "$0")/.."
 tmpdir="$(mktemp -d)"
 server_pid=""
 rl_pid=""
+cap_pid=""
+rp_pid=""
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
     [ -n "$rl_pid" ] && kill "$rl_pid" 2>/dev/null || true
+    [ -n "$cap_pid" ] && kill "$cap_pid" 2>/dev/null || true
+    [ -n "$rp_pid" ] && kill "$rp_pid" 2>/dev/null || true
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -35,7 +39,8 @@ echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 echo "==> cargo test -q --features proptest (vendored shim)"
-cargo test -q --features proptest --test proptest_invariants --test proptest_parser
+cargo test -q --features proptest --test proptest_invariants --test proptest_parser \
+    --test proptest_capture
 cargo test -q -p rif-server --features proptest --test proptest_frames
 
 echo "==> perf_smoke --quick"
@@ -89,8 +94,20 @@ grep -q '"completed":10000' "$tmpdir/smoke.json"
 grep -q '"protocol_errors":0' "$tmpdir/smoke.json"
 grep -q '"p99":' "$tmpdir/smoke.json"
 
+# Batched submission frames: the same load again over BATCH(8) frames
+# (HELLO-negotiated protocol v2) must stay error-free and actually batch.
+timeout 180 "$CLI" --addr "$addr" --requests 10000 --connections 4 \
+    --depth 16 --seed 7 --batch 8 > "$tmpdir/batched.json"
+cat "$tmpdir/batched.json"
+grep -q '"completed":10000' "$tmpdir/batched.json"
+grep -q '"protocol_errors":0' "$tmpdir/batched.json"
+if grep -q '"batches_sent":0,' "$tmpdir/batched.json"; then
+    echo "batched run sent no BATCH frames"
+    exit 1
+fi
+
 timeout 30 "$CLI" --addr "$addr" --stats > "$tmpdir/stats.txt"
-grep -q '^counter server\.completed 10000$' "$tmpdir/stats.txt"
+grep -q '^counter server\.completed 20000$' "$tmpdir/stats.txt"
 grep -q '^histogram server\.latency\.virtual ' "$tmpdir/stats.txt"
 
 timeout 30 "$CLI" --addr "$addr" --shutdown
@@ -114,6 +131,39 @@ fi
 timeout 30 "$CLI" --addr "$addr_rl" --shutdown
 wait "$rl_pid" || { echo "rate-limited server exited non-zero"; exit 1; }
 rl_pid=""
+
+# Capture -> replay gate: journal a served load, replay it offline twice
+# (byte-identical SimReports), then drive it back through a fresh live
+# server and require the wire diff to pass.
+echo "==> capture/replay gate (journal, offline bit-exactness, live diff)"
+"$SRV" --port 0 --shards 2 --time-scale 200 --seed 44 \
+    --capture "$tmpdir/load.csv" > "$tmpdir/server_cap.log" &
+cap_pid=$!
+addr_cap="$(wait_addr "$tmpdir/server_cap.log")"
+timeout 120 "$CLI" --addr "$addr_cap" --requests 2000 --connections 2 \
+    --depth 8 --seed 17 > "$tmpdir/capload.json"
+grep -q '"completed":2000' "$tmpdir/capload.json"
+timeout 30 "$CLI" --addr "$addr_cap" --shutdown
+wait "$cap_pid" || { echo "capture server exited non-zero"; exit 1; }
+cap_pid=""
+grep -q '^# rif-capture v1:' "$tmpdir/load.csv"
+[ "$(grep -vc '^#' "$tmpdir/load.csv")" = "2000" ]
+
+timeout 60 "$CLI" --replay-offline "$tmpdir/load.csv" > "$tmpdir/replay1.json"
+timeout 60 "$CLI" --replay-offline "$tmpdir/load.csv" > "$tmpdir/replay2.json"
+diff "$tmpdir/replay1.json" "$tmpdir/replay2.json"
+grep -q '"completed_requests": 2000' "$tmpdir/replay1.json"
+
+"$SRV" --port 0 --shards 2 --time-scale 200 --seed 45 > "$tmpdir/server_rp.log" &
+rp_pid=$!
+addr_rp="$(wait_addr "$tmpdir/server_rp.log")"
+timeout 120 "$CLI" --addr "$addr_rp" --replay "$tmpdir/load.csv" \
+    --speed 20 --batch 4 > "$tmpdir/livereplay.json"
+cat "$tmpdir/livereplay.json"
+grep -q '"pass":true' "$tmpdir/livereplay.json"
+timeout 30 "$CLI" --addr "$addr_rp" --shutdown
+wait "$rp_pid" || { echo "replay server exited non-zero"; exit 1; }
+rp_pid=""
 
 # Chaos gate: 10k requests through the fault-injecting proxy — 10% drop,
 # 5% delay, 2% duplicate, one mid-run worker kill — must finish under the
