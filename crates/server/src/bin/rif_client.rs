@@ -6,10 +6,21 @@
 //! rif-client --addr 127.0.0.1:PORT [--requests N] [--connections N]
 //!            [--depth N] [--read-ratio X] [--zipf X] [--request-kib N]
 //!            [--tenant N] [--seed N] [--max-busy-retries N] [--batch N]
+//!            [--deadline-ms N]
 //! ```
 //!
 //! `--batch N` packs up to N requests per BATCH frame (protocol v2,
 //! negotiated by HELLO; falls back to single frames on a v1 server).
+//!
+//! High-concurrency mode:
+//!
+//! ```text
+//! rif-client --addr ADDR --mux [--connections N] [--threads N] ...
+//! ```
+//!
+//! `--mux` multiplexes all connections over a few poller-driven worker
+//! threads instead of one thread per connection, making ≥10k concurrent
+//! connections practical (v1 single frames only — no batching).
 //!
 //! Replay modes:
 //!
@@ -32,6 +43,7 @@
 //! ```
 
 use rif_server::client::{fetch_stats, flush, run_load, send_shutdown, LoadConfig};
+use rif_server::mux::run_mux_load;
 use rif_server::replay::{diff_against_capture, run_replay_journaled, ReplayConfig};
 use rif_ssd::{RetryKind, Simulator, SsdConfig};
 use rif_workloads::Capture;
@@ -42,7 +54,8 @@ fn usage() -> ! {
          \x20                 [--requests N] [--connections N] [--depth N]\n\
          \x20                 [--read-ratio X] [--zipf X] [--request-kib N]\n\
          \x20                 [--tenant N] [--seed N] [--max-busy-retries N]\n\
-         \x20                 [--batch N] [--replay FILE] [--speed X]\n\
+         \x20                 [--batch N] [--deadline-ms N] [--replay FILE] [--speed X]\n\
+         \x20                 [--mux] [--threads N]\n\
          \x20      rif-client --replay-offline FILE [--scheme LABEL] [--pe-cycles N]"
     );
     std::process::exit(2);
@@ -50,6 +63,7 @@ fn usage() -> ! {
 
 enum Mode {
     Load,
+    Mux,
     Stats,
     Flush,
     Shutdown,
@@ -71,6 +85,7 @@ fn load_capture(path: &str) -> Capture {
 fn main() {
     let mut cfg = LoadConfig::default();
     let mut mode = Mode::Load;
+    let mut threads = 4usize;
     let mut speed = 1.0f64;
     let mut scheme = RetryKind::Rif;
     let mut pe_cycles = 3000u32;
@@ -84,6 +99,8 @@ fn main() {
         };
         match flag.as_str() {
             "--addr" => cfg.addr = val("--addr"),
+            "--mux" => mode = Mode::Mux,
+            "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--stats" => mode = Mode::Stats,
             "--flush" => mode = Mode::Flush,
             "--shutdown" => mode = Mode::Shutdown,
@@ -106,6 +123,10 @@ fn main() {
                 cfg.max_busy_retries = val("--max-busy-retries")
                     .parse()
                     .unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => {
+                let ms: u64 = val("--deadline-ms").parse().unwrap_or_else(|_| usage());
+                cfg.request_deadline = std::time::Duration::from_millis(ms);
             }
             "--batch" => cfg.batch = val("--batch").parse().unwrap_or_else(|_| usage()),
             "--speed" => speed = val("--speed").parse().unwrap_or_else(|_| usage()),
@@ -130,6 +151,7 @@ fn main() {
         Mode::Flush => flush(&cfg.addr).map(|()| println!("flushed")),
         Mode::Shutdown => send_shutdown(&cfg.addr).map(|()| println!("shutdown acknowledged")),
         Mode::Load => run_load(&cfg).map(|report| println!("{}", report.to_json())),
+        Mode::Mux => run_mux_load(&cfg, threads).map(|report| println!("{}", report.to_json())),
         Mode::Replay(path) => {
             let cap = load_capture(&path);
             let rcfg = ReplayConfig {

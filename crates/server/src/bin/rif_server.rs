@@ -6,8 +6,17 @@
 //! rif-server [--port N] [--shards N] [--scheme LABEL] [--pe-cycles N]
 //!            [--inflight-limit N] [--rate N] [--burst N]
 //!            [--time-scale X] [--capacity-gib N] [--queue-depth N]
-//!            [--seed N] [--capture FILE]
+//!            [--seed N] [--capture FILE] [--core epoll|legacy]
+//!            [--max-connections N] [--write-queue-kib N]
 //! ```
+//!
+//! `--core epoll` (default) serves every connection from one
+//! readiness-driven event-loop thread; `--core legacy` restores the
+//! thread-per-connection core. `--max-connections 0` lifts the accept
+//! limit; over-limit connects get one `ERROR(conn_limit)` frame and a
+//! close. `--write-queue-kib` bounds each connection's response queue
+//! (shed `BUSY` past the limit, stop reading past twice it; 0 =
+//! unbounded).
 //!
 //! Prints `rif-server listening on ADDR` once ready, then runs until a
 //! SHUTDOWN frame arrives. `--rate 0` (default) disables rate limiting;
@@ -16,7 +25,7 @@
 //! written as a captured-trace CSV on shutdown, replayable offline
 //! (`rif-client --replay-offline FILE`) or live (`--replay FILE`).
 
-use rif_server::server::{Server, ServerConfig};
+use rif_server::server::{CoreKind, Server, ServerConfig};
 use rif_ssd::RetryKind;
 
 fn usage() -> ! {
@@ -24,6 +33,7 @@ fn usage() -> ! {
         "usage: rif-server [--port N] [--shards N] [--scheme LABEL] [--pe-cycles N]\n\
          \x20                 [--inflight-limit N] [--rate N] [--burst N] [--time-scale X]\n\
          \x20                 [--capacity-gib N] [--queue-depth N] [--seed N] [--capture FILE]\n\
+         \x20                 [--core epoll|legacy] [--max-connections N] [--write-queue-kib N]\n\
          schemes: SENC SWR SWR+ RPSSD RiFSSD SSDone SSDzero"
     );
     std::process::exit(2);
@@ -67,6 +77,18 @@ fn main() {
             "--capture" => {
                 capture_path = Some(val("--capture"));
                 cfg.capture = true;
+            }
+            "--core" => {
+                cfg.core = val("--core")
+                    .parse::<CoreKind>()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-connections" => {
+                cfg.max_connections = val("--max-connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--write-queue-kib" => {
+                let kib: usize = val("--write-queue-kib").parse().unwrap_or_else(|_| usage());
+                cfg.write_queue_limit = kib * 1024;
             }
             _ => usage(),
         }

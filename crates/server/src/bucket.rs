@@ -55,16 +55,34 @@ impl TokenBucket {
     /// Tries to admit one request at time `now` (seconds on the caller's
     /// monotonic clock). Returns false when the bucket is empty.
     pub fn admit(&mut self, now: f64) -> bool {
-        if self.unlimited() {
+        self.admit_n(now, 1)
+    }
+
+    /// Tries to admit `n` requests as one unit: all `n` tokens are taken
+    /// or none are. This is what makes BATCH admission all-or-nothing —
+    /// a batch is never left half-charged against the rate limit.
+    pub fn admit_n(&mut self, now: f64, n: u32) -> bool {
+        if self.unlimited() || n == 0 {
             return true;
         }
         self.refill(now);
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
+        let need = f64::from(n);
+        if self.tokens >= need {
+            self.tokens -= need;
             true
         } else {
             false
         }
+    }
+
+    /// Returns `n` tokens to the bucket (capped at `burst`). Used to roll
+    /// back tenants already charged when a multi-tenant batch admission
+    /// fails partway: with an unchanged `now` the refund is exact.
+    pub fn refund(&mut self, n: u32) {
+        if self.unlimited() {
+            return;
+        }
+        self.tokens = (self.tokens + f64::from(n)).min(self.burst);
     }
 
     /// Tokens currently available (after refilling to `now`).
@@ -102,6 +120,12 @@ impl TenantBuckets {
     /// Admits one request for `tenant` at time `now`, creating the
     /// tenant's bucket (full) on first sight.
     pub fn admit(&mut self, tenant: u32, now: f64) -> bool {
+        self.admit_n(tenant, now, 1)
+    }
+
+    /// Admits `n` requests for `tenant` atomically (all tokens or none),
+    /// creating the tenant's bucket (full) on first sight.
+    pub fn admit_n(&mut self, tenant: u32, now: f64, n: u32) -> bool {
         if self.unlimited() {
             return true;
         }
@@ -109,7 +133,15 @@ impl TenantBuckets {
         self.buckets
             .entry(tenant)
             .or_insert_with(|| TokenBucket::new(rate, burst, now))
-            .admit(now)
+            .admit_n(now, n)
+    }
+
+    /// Returns `n` tokens to `tenant`'s bucket (no-op for an unseen
+    /// tenant — it was never charged).
+    pub fn refund(&mut self, tenant: u32, n: u32) {
+        if let Some(b) = self.buckets.get_mut(&tenant) {
+            b.refund(n);
+        }
     }
 
     /// Number of tenants seen so far.
@@ -228,6 +260,36 @@ mod tests {
         assert!(b.admit(0.201));
         assert!(b.admit(0.201));
         assert!(!b.admit(0.201));
+    }
+
+    #[test]
+    fn admit_n_is_all_or_nothing() {
+        let mut b = TokenBucket::new(10.0, 5.0, 0.0);
+        // 5 tokens: a 6-request batch is refused *without* draining any.
+        assert!(!b.admit_n(0.0, 6));
+        assert!((b.available(0.0) - 5.0).abs() < 1e-9);
+        // A 5-request batch takes exactly the burst.
+        assert!(b.admit_n(0.0, 5));
+        assert!(!b.admit(0.0));
+        // n = 0 is vacuously admitted even when dry.
+        assert!(b.admit_n(0.0, 0));
+    }
+
+    #[test]
+    fn refund_rolls_back_a_failed_group_charge() {
+        let mut t = TenantBuckets::new(10.0, 4.0);
+        // Tenant 1 charged for 3, tenant 2 refuses its 5 → roll back 1.
+        assert!(t.admit_n(1, 0.0, 3));
+        assert!(!t.admit_n(2, 0.0, 5));
+        t.refund(1, 3);
+        // Tenant 1's full burst is intact again.
+        assert!(t.admit_n(1, 0.0, 4));
+        assert!(!t.admit(1, 0.0));
+        // Refunds cap at burst and unseen tenants are a no-op.
+        t.refund(1, 100);
+        assert!(t.admit_n(1, 0.0, 4));
+        assert!(!t.admit(1, 0.0));
+        t.refund(99, 7);
     }
 
     #[test]

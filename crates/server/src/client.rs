@@ -903,7 +903,9 @@ fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
                         st.report.protocol_errors += 1;
                         st.fail_op();
                     }
-                    ErrorCode::ShuttingDown => st.fail_op(),
+                    // ConnLimit never arrives tagged mid-stream (it is a
+                    // pre-HELLO refusal), but treat it as terminal too.
+                    ErrorCode::ShuttingDown | ErrorCode::ConnLimit => st.fail_op(),
                 }
             }
         }

@@ -1,0 +1,584 @@
+//! Readiness-based single-thread server core.
+//!
+//! One thread owns every connection socket plus the listener: a
+//! [`Poller`](crate::poller::Poller) (epoll on Linux, `poll(2)`
+//! elsewhere) reports readiness, nonblocking reads land in each
+//! connection's [`RecvBuffer`], frames decode in place via
+//! [`decode_request_view`] (no per-frame allocation), and responses
+//! queue in per-connection [`WriteQueue`]s flushed with vectored
+//! writes. Writable interest is registered only while a queue holds
+//! unflushed bytes, so an idle server produces near-zero wakeups.
+//!
+//! Every response — synchronous (HELLO ack, STATS, admission refusals)
+//! and asynchronous (shard completions) — travels the same path: a
+//! `(key, Response)` completion channel plus a [`Waker`]. The key packs
+//! `slot | generation << 32`; a completion that outlives its connection
+//! (the slot was closed and recycled) fails the generation check and is
+//! dropped instead of landing on a stranger's socket.
+//!
+//! Backpressure is layered per connection: once the write queue exceeds
+//! [`ServerConfig::write_queue_limit`](crate::server::ServerConfig),
+//! new IO requests are shed with `BUSY(queue)` instead of admitted, and
+//! past twice the limit the loop stops reading from the socket entirely
+//! until the peer drains what it already owes.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::poller::{best_poller, Interest, PollEvent, Poller, Waker};
+use crate::protocol::{BusyReason, ErrorCode, Response, PROTOCOL_VERSION};
+use crate::ring::{decode_request_view, RecvBuffer, RequestView, WriteQueue};
+use crate::server::{
+    admit_batch, admit_io, at_conn_limit, refuse_over_limit, reject_unnegotiated_batch,
+    render_stats, Shared,
+};
+use crate::shard::{ReplyTo, ShardMsg};
+use rif_workloads::IoOp;
+
+/// Poller token of the listening socket.
+const TOK_LISTENER: usize = 0;
+/// Poller token of the waker pipe's read end.
+const TOK_WAKER: usize = 1;
+/// First token available for connections (`token = slot + TOK_CONN0`).
+const TOK_CONN0: usize = 2;
+
+/// How long the drain phase waits for queued responses (the GOODBYE
+/// among them) to reach their sockets before tearing down anyway.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(1);
+/// Poll granularity while draining (the only time the loop uses a
+/// timeout at all — steady state blocks indefinitely).
+const DRAIN_TICK: Duration = Duration::from_millis(20);
+
+/// Per-connection state, owned exclusively by the loop thread.
+struct Conn {
+    stream: TcpStream,
+    ring: RecvBuffer,
+    wq: WriteQueue,
+    /// Protocol version negotiated by HELLO (v1 baseline until then).
+    negotiated: u32,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// `wq.len()` as last accounted into the aggregate gauge.
+    last_wq: usize,
+    /// Close once the write queue drains (EOF seen or GOODBYE queued).
+    close_after_flush: bool,
+    /// Close in the next sweep regardless of queued bytes.
+    close_now: bool,
+    /// Already on this iteration's touched list.
+    dirty: bool,
+}
+
+/// Connection slab: slot indices are stable for a connection's life and
+/// become poller tokens; `gens[slot]` bumps on every reuse so stale
+/// completion keys can be told apart from the slot's new tenant.
+struct Slab {
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, conn: Conn) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.conns[slot] = Some(conn);
+                slot
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        }
+    }
+
+    fn get_mut(&mut self, slot: usize) -> Option<&mut Conn> {
+        self.conns.get_mut(slot).and_then(Option::as_mut)
+    }
+
+    fn remove(&mut self, slot: usize) -> Option<Conn> {
+        let conn = self.conns.get_mut(slot)?.take();
+        if conn.is_some() {
+            // Recycled slots get a new generation so in-flight
+            // completions keyed to the old tenant miss.
+            self.gens[slot] = self.gens[slot].wrapping_add(1);
+            self.free.push(slot);
+        }
+        conn
+    }
+
+    fn open(&self) -> usize {
+        self.conns.len() - self.free.len()
+    }
+}
+
+/// Packs a completion key for `slot` at generation `generation`.
+fn comp_key(slot: usize, generation: u32) -> u64 {
+    (slot as u64) | (u64::from(generation) << 32)
+}
+
+/// Builds the reply route for `slot`: completions land on the channel
+/// and the waker kicks the loop out of its blocking wait.
+fn reply_for(comp_tx: &Sender<(u64, Response)>, waker: &Waker, slot: usize, gen: u32) -> ReplyTo {
+    ReplyTo::Event {
+        tx: comp_tx.clone(),
+        key: comp_key(slot, gen),
+        waker: waker.clone(),
+    }
+}
+
+/// Entry point spawned by [`Server::start`](crate::server::Server):
+/// runs until shutdown, logging (not panicking) on a fatal loop error
+/// so the owning process can still drain shards and exit.
+pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>, waker: Waker, waker_rx: UnixStream) {
+    if let Err(e) = run_inner(&listener, &shared, &waker, &waker_rx) {
+        eprintln!("rif-server: event loop failed: {e}");
+        shared.shutdown.store(true, Ordering::Release);
+    }
+}
+
+fn run_inner(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    waker: &Waker,
+    waker_rx: &UnixStream,
+) -> io::Result<()> {
+    let mut poller = best_poller()?;
+    poller.register(listener.as_raw_fd(), TOK_LISTENER, Interest::READ)?;
+    poller.register(waker_rx.as_raw_fd(), TOK_WAKER, Interest::READ)?;
+    shared.metrics().set_gauge(
+        "server.poller_is_epoll",
+        f64::from(u8::from(poller.name() == "epoll")),
+    );
+
+    // Every response funnels through here; the waker kicks the loop out
+    // of `wait` when a completion arrives from a shard thread.
+    let (comp_tx, comp_rx) = mpsc::channel::<(u64, Response)>();
+
+    let mut slab = Slab::new();
+    let mut events: Vec<PollEvent> = Vec::new();
+    // Slots touched this iteration (new bytes, new responses, state
+    // flags) that the sweep phase must flush / re-register / close.
+    let mut touched: Vec<usize> = Vec::new();
+    let mut draining: Option<Instant> = None;
+
+    loop {
+        events.clear();
+        let timeout = draining.map(|_| DRAIN_TICK);
+        poller.wait(&mut events, timeout)?;
+        shared
+            .front_door
+            .epoll_wakeups
+            .fetch_add(1, Ordering::Relaxed);
+
+        for i in 0..events.len() {
+            let ev = events[i];
+            match ev.token {
+                TOK_LISTENER => {
+                    if draining.is_none() {
+                        accept_ready(
+                            listener,
+                            shared,
+                            poller.as_mut(),
+                            &mut slab,
+                            &mut touched,
+                            &comp_tx,
+                            waker,
+                        )?;
+                    }
+                }
+                TOK_WAKER => {} // drained below, every iteration
+                tok => {
+                    let slot = tok - TOK_CONN0;
+                    let gen = slab.gens[slot];
+                    let Some(conn) = slab.get_mut(slot) else {
+                        continue; // closed earlier this iteration
+                    };
+                    touch(conn, slot, &mut touched);
+                    if ev.error {
+                        conn.close_now = true;
+                        continue;
+                    }
+                    if ev.readable && !conn.close_now && !conn.close_after_flush {
+                        let reply = reply_for(&comp_tx, waker, slot, gen);
+                        read_ready(conn, shared, &reply);
+                    }
+                    // Writability is consumed by the sweep's flush.
+                }
+            }
+        }
+
+        // Drain the waker *before* the completion queue: a completion
+        // racing this drain either lands in the queue we are about to
+        // empty or re-arms the pipe for the next `wait`.
+        waker.drain(waker_rx);
+        while let Ok((key, resp)) = comp_rx.try_recv() {
+            let slot = (key & u64::from(u32::MAX)) as usize;
+            let gen = (key >> 32) as u32;
+            if slab.gens.get(slot).copied() != Some(gen) {
+                continue; // late completion for a recycled slot: drop
+            }
+            if let Some(conn) = slab.get_mut(slot) {
+                conn.wq.push_response(&resp);
+                shared
+                    .front_door
+                    .write_queue_max_bytes
+                    .fetch_max(conn.wq.len(), Ordering::Relaxed);
+                touch(conn, slot, &mut touched);
+            }
+        }
+
+        // A SHUTDOWN frame (or an external `request_shutdown`) starts
+        // the drain: stop accepting, flush what every socket is owed,
+        // close as queues empty, and give up at the deadline.
+        if draining.is_none() && shared.shutdown.load(Ordering::Acquire) {
+            draining = Some(Instant::now());
+            poller.deregister(listener.as_raw_fd())?;
+            for slot in 0..slab.conns.len() {
+                if let Some(conn) = slab.conns[slot].as_mut() {
+                    conn.close_after_flush = true;
+                    touch(conn, slot, &mut touched);
+                }
+            }
+        }
+
+        // Sweep: flush touched queues, close finished connections, and
+        // reconcile poller interest with what each connection now needs.
+        for slot in touched.drain(..) {
+            let Some(conn) = slab.get_mut(slot) else {
+                continue;
+            };
+            conn.dirty = false;
+            if !conn.close_now && !conn.wq.is_empty() {
+                let mut dst = &conn.stream;
+                if conn.wq.flush(&mut dst).is_err() {
+                    conn.close_now = true;
+                }
+            }
+            account_wq(shared, conn);
+            if conn.close_now || (conn.close_after_flush && conn.wq.is_empty()) {
+                let fd = conn.stream.as_raw_fd();
+                poller.deregister(fd)?;
+                let gone = slab.remove(slot).expect("slot occupied");
+                // Gauge bookkeeping before the socket drops.
+                shared
+                    .front_door
+                    .write_queue_bytes
+                    .fetch_sub(gone.last_wq, Ordering::AcqRel);
+                shared
+                    .front_door
+                    .connections_open
+                    .fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            let desired = desired_interest(shared, conn);
+            if desired != conn.interest {
+                poller.reregister(conn.stream.as_raw_fd(), TOK_CONN0 + slot, desired)?;
+                conn.interest = desired;
+            }
+        }
+
+        if let Some(started) = draining {
+            if slab.open() == 0 || started.elapsed() >= DRAIN_DEADLINE {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Marks `conn` for the sweep phase, once per iteration.
+fn touch(conn: &mut Conn, slot: usize, touched: &mut Vec<usize>) {
+    if !conn.dirty {
+        conn.dirty = true;
+        touched.push(slot);
+    }
+}
+
+/// Folds a connection's write-queue delta into the aggregate gauge.
+fn account_wq(shared: &Shared, conn: &mut Conn) {
+    let now = conn.wq.len();
+    if now != conn.last_wq {
+        let gauge = &shared.front_door.write_queue_bytes;
+        if now > conn.last_wq {
+            gauge.fetch_add(now - conn.last_wq, Ordering::AcqRel);
+        } else {
+            gauge.fetch_sub(conn.last_wq - now, Ordering::AcqRel);
+        }
+        conn.last_wq = now;
+    }
+}
+
+/// The interest a connection should be registered with right now:
+/// writable only while bytes are queued, readable unless the peer owes
+/// us a drain (queue past twice the shed limit) or the connection is on
+/// its way out.
+fn desired_interest(shared: &Shared, conn: &Conn) -> Interest {
+    let limit = shared.cfg.write_queue_limit;
+    let read_paused = limit > 0 && conn.wq.len() >= limit.saturating_mul(2);
+    Interest {
+        readable: !conn.close_after_flush && !read_paused,
+        writable: !conn.wq.is_empty(),
+    }
+}
+
+/// Accepts until the listener would block, enforcing the connection
+/// limit and registering each new socket read-only. Bytes that arrived
+/// with the connection are served immediately instead of waiting for
+/// the next readiness round.
+#[allow(clippy::too_many_arguments)]
+fn accept_ready(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    poller: &mut dyn Poller,
+    slab: &mut Slab,
+    touched: &mut Vec<usize>,
+    comp_tx: &Sender<(u64, Response)>,
+    waker: &Waker,
+) -> io::Result<()> {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Transient per-connection failures (ConnectionAborted, fd
+            // exhaustion, ...) must not kill the loop.
+            Err(_) => return Ok(()),
+        };
+        if at_conn_limit(shared) {
+            refuse_over_limit(stream, shared);
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        stream.set_nodelay(true).ok();
+        shared
+            .front_door
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .front_door
+            .connections_open
+            .fetch_add(1, Ordering::AcqRel);
+        let slot = slab.insert(Conn {
+            stream,
+            ring: RecvBuffer::new(),
+            wq: WriteQueue::new(),
+            negotiated: 1,
+            interest: Interest::READ,
+            last_wq: 0,
+            close_after_flush: false,
+            close_now: false,
+            dirty: false,
+        });
+        let gen = slab.gens[slot];
+        let conn = slab.get_mut(slot).expect("just inserted");
+        if let Err(e) = poller.register(conn.stream.as_raw_fd(), TOK_CONN0 + slot, Interest::READ) {
+            slab.remove(slot);
+            shared
+                .front_door
+                .connections_open
+                .fetch_sub(1, Ordering::AcqRel);
+            return Err(e);
+        }
+        touch(conn, slot, touched);
+        let reply = reply_for(comp_tx, waker, slot, gen);
+        read_ready(conn, shared, &reply);
+    }
+}
+
+/// Reads until the socket would block (or EOF), decoding and
+/// dispatching every complete frame in the ring.
+fn read_ready(conn: &mut Conn, shared: &Arc<Shared>, reply: &ReplyTo) {
+    loop {
+        let mut src = &conn.stream;
+        match conn.ring.read_from(&mut src) {
+            Ok(0) => {
+                // EOF: serve what is buffered, flush what is owed, then
+                // close. No more bytes will ever arrive.
+                drain_frames(conn, shared, reply);
+                conn.close_after_flush = true;
+                return;
+            }
+            Ok(_) => {
+                if !drain_frames(conn, shared, reply) {
+                    return; // poisoned or closing: stop reading
+                }
+                // Stop pulling once the peer has pushed us past the
+                // hard backpressure line; readable interest drops in
+                // the sweep and resumes after the queue drains.
+                let limit = shared.cfg.write_queue_limit;
+                if limit > 0 && conn.wq.len() >= limit.saturating_mul(2) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.close_now = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Decodes and dispatches every complete frame currently buffered.
+/// Returns false when the connection should not be read further (the
+/// ring is poisoned, or SHUTDOWN started the goodbye handshake).
+fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>, reply: &ReplyTo) -> bool {
+    loop {
+        let payload = match conn.ring.next_frame() {
+            Ok(Some(p)) => p,
+            Ok(None) => return true,
+            Err(_) => {
+                // The length prefix lied: frame sync is gone for good.
+                shared.metrics().inc("server.protocol_errors", 1);
+                conn.close_now = true;
+                return false;
+            }
+        };
+        let view = match decode_request_view(payload) {
+            Ok(view) => view,
+            Err(_) => {
+                shared.metrics().inc("server.protocol_errors", 1);
+                // Frame boundaries survived; the stream stays usable.
+                reply.send(Response::Error {
+                    tag: 0,
+                    code: ErrorCode::BadRequest,
+                });
+                continue;
+            }
+        };
+
+        // Shed IO once the peer's write queue is past the limit: a
+        // small BUSY beats queueing an admission it will not drain.
+        let limit = shared.cfg.write_queue_limit;
+        let overloaded = limit > 0 && conn.wq.len() >= limit;
+        match view {
+            RequestView::Read {
+                tenant,
+                tag,
+                offset,
+                bytes,
+            } => {
+                if overloaded {
+                    shed(shared, reply, tag, 1);
+                } else {
+                    admit_io(shared, reply, tenant, tag, offset, bytes, IoOp::Read, 0);
+                }
+            }
+            RequestView::Write {
+                tenant,
+                tag,
+                offset,
+                bytes,
+            } => {
+                if overloaded {
+                    shed(shared, reply, tag, 1);
+                } else {
+                    admit_io(shared, reply, tenant, tag, offset, bytes, IoOp::Write, 0);
+                }
+            }
+            RequestView::Batch(batch) => {
+                if conn.negotiated < 2 {
+                    let tag = if batch.count() == 0 {
+                        0
+                    } else {
+                        batch.entry(0).tag
+                    };
+                    reject_unnegotiated_batch(shared, reply, tag);
+                } else if overloaded {
+                    shared.metrics().inc("server.batches", 1);
+                    for e in batch.iter() {
+                        shed(shared, reply, e.tag, 0);
+                    }
+                    shared
+                        .metrics()
+                        .inc("server.busy.writeq", batch.count() as u64);
+                } else {
+                    admit_batch(shared, reply, batch.iter());
+                }
+            }
+            RequestView::Hello { tag, version } => {
+                conn.negotiated = version.min(PROTOCOL_VERSION).max(1);
+                reply.send(Response::HelloAck {
+                    tag,
+                    version: conn.negotiated,
+                });
+            }
+            RequestView::Stats { tag } => {
+                let text = render_stats(shared);
+                reply.send(Response::Stats { tag, text });
+            }
+            RequestView::Flush { tag } => {
+                flush_async(shared, reply, tag);
+            }
+            RequestView::Shutdown { tag } => {
+                reply.send(Response::Goodbye { tag });
+                conn.close_after_flush = true;
+                shared.shutdown.store(true, Ordering::Release);
+                // Anything pipelined behind SHUTDOWN is intentionally
+                // not served, matching the threaded core.
+                return false;
+            }
+        }
+    }
+}
+
+/// Answers one shed request with `BUSY(queue)`; `count_metric` requests
+/// are charged to the shed counter (0 lets batch paths bulk-charge).
+fn shed(shared: &Shared, reply: &ReplyTo, tag: u64, count_metric: u64) {
+    if count_metric > 0 {
+        shared.metrics().inc("server.busy.writeq", count_metric);
+    }
+    reply.send(Response::Busy {
+        tag,
+        reason: BusyReason::Queue,
+    });
+}
+
+/// FLUSH without stalling the loop: an ephemeral thread waits for every
+/// shard's drain ack, then routes `Flushed` back through the completion
+/// channel like any other response.
+fn flush_async(shared: &Arc<Shared>, reply: &ReplyTo, tag: u64) {
+    let sh = Arc::clone(shared);
+    let thread_reply = reply.clone();
+    let spawned = std::thread::Builder::new()
+        .name("rif-flush".into())
+        .spawn(move || {
+            wait_shards_flushed(&sh);
+            thread_reply.send(Response::Flushed { tag });
+        });
+    if let Err(e) = spawned {
+        // Thread exhaustion: fall back to flushing inline. Slow, but
+        // the barrier semantics hold.
+        eprintln!("rif-server: flush thread spawn failed ({e}); flushing inline");
+        wait_shards_flushed(shared);
+        reply.send(Response::Flushed { tag });
+    }
+}
+
+fn wait_shards_flushed(shared: &Shared) {
+    let (done_tx, done_rx) = mpsc::channel();
+    for s in &shared.shards {
+        let _ = s.tx.send(ShardMsg::Flush(done_tx.clone()));
+    }
+    drop(done_tx);
+    // Workers ack after force-draining; a crashed worker shows up as a
+    // disconnect, which also ends the wait.
+    while done_rx.recv().is_ok() {}
+}

@@ -9,9 +9,13 @@
 //! - [`protocol`] — the length-prefixed binary wire format;
 //! - [`bucket`] — per-tenant token-bucket rate limiting;
 //! - [`pacing`] — the virtual-time ↔ wall-clock bridge;
+//! - [`poller`] — vendored epoll shim with a portable `poll(2)` fallback;
+//! - [`ring`] — zero-copy receive rings and vectored write queues;
 //! - [`shard`] — one simulator worker thread per LBA range;
 //! - [`server`] — accept loop, admission control, metrics;
+//! - [`event_loop`] — the readiness-based single-thread server core;
 //! - [`client`] — the closed-loop load generator and its JSON report;
+//! - [`mux`] — the poller-multiplexed high-concurrency load generator;
 //! - [`recorder`] — live trace capture of every admitted request;
 //! - [`replay`] — driving a captured trace back through a live server.
 //!
@@ -39,10 +43,14 @@
 
 pub mod bucket;
 pub mod client;
+pub mod event_loop;
+pub mod mux;
 pub mod pacing;
+pub mod poller;
 pub mod protocol;
 pub mod recorder;
 pub mod replay;
+pub mod ring;
 pub mod server;
 pub mod shard;
 

@@ -67,15 +67,15 @@ pub const PROTOCOL_VERSION: u32 = 2;
 /// full batch stays well under [`MAX_FRAME_BYTES`].
 pub const MAX_BATCH_ENTRIES: u16 = 512;
 
-const BATCH_ENTRY_BYTES: usize = 33;
+pub(crate) const BATCH_ENTRY_BYTES: usize = 33;
 
-const OP_READ: u8 = 0x01;
-const OP_WRITE: u8 = 0x02;
-const OP_STATS: u8 = 0x03;
-const OP_FLUSH: u8 = 0x04;
-const OP_SHUTDOWN: u8 = 0x05;
-const OP_HELLO: u8 = 0x06;
-const OP_BATCH: u8 = 0x07;
+pub(crate) const OP_READ: u8 = 0x01;
+pub(crate) const OP_WRITE: u8 = 0x02;
+pub(crate) const OP_STATS: u8 = 0x03;
+pub(crate) const OP_FLUSH: u8 = 0x04;
+pub(crate) const OP_SHUTDOWN: u8 = 0x05;
+pub(crate) const OP_HELLO: u8 = 0x06;
+pub(crate) const OP_BATCH: u8 = 0x07;
 
 const OP_DONE: u8 = 0x81;
 const OP_BUSY: u8 = 0x82;
@@ -110,6 +110,9 @@ pub enum ErrorCode {
     /// or may not have executed. Reads can be retried; writes must be
     /// surfaced to the caller.
     Internal,
+    /// The server's connection limit is reached; this connection was
+    /// refused at accept time and closes immediately after this frame.
+    ConnLimit,
 }
 
 /// One I/O submission inside a BATCH frame.
@@ -346,17 +349,21 @@ impl std::error::Error for WireError {}
 
 // ----- field cursors -----------------------------------------------------
 
-struct Reader<'a> {
+/// Field cursor shared by the owning decoders here and the zero-copy
+/// view decoder in [`crate::ring`]. Error layout (the exact `need`/`got`
+/// of a `Truncated`) is part of both decoders' contract: the view
+/// decoder must be byte-for-byte equivalent to [`decode_request`].
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let got = self.buf.len() - self.pos;
         if got < n {
             return Err(WireError::Truncated {
@@ -369,16 +376,16 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
@@ -391,7 +398,7 @@ impl<'a> Reader<'a> {
         s
     }
 
-    fn done(&self) -> Result<(), WireError> {
+    pub(crate) fn done(&self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -553,6 +560,26 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
 /// Serializes a response into a frame payload (no length prefix).
 pub fn encode_response(r: &Response) -> Vec<u8> {
     let mut b = Vec::with_capacity(17);
+    encode_response_payload_into(r, &mut b);
+    b
+}
+
+/// Appends one *length-prefixed* response frame to `out` without an
+/// intermediate payload allocation. The event loop's per-connection
+/// write queues encode straight into their coalesced chunks with this.
+pub fn encode_response_frame_into(r: &Response, out: &mut Vec<u8>) {
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    encode_response_payload_into(r, out);
+    let payload_len = out.len() - len_at - 4;
+    assert!(
+        payload_len <= MAX_FRAME_BYTES as usize,
+        "frame payload of {payload_len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+    );
+    out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+fn encode_response_payload_into(r: &Response, b: &mut Vec<u8>) {
     match r {
         Response::Done { tag, latency_ns } => {
             b.push(OP_DONE);
@@ -576,6 +603,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
                 ErrorCode::BadLength => 2,
                 ErrorCode::ShuttingDown => 3,
                 ErrorCode::Internal => 4,
+                ErrorCode::ConnLimit => 5,
             });
         }
         Response::Stats { tag, text } => {
@@ -597,7 +625,6 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             b.extend_from_slice(&version.to_le_bytes());
         }
     }
-    b
 }
 
 /// Parses a response payload.
@@ -631,6 +658,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 2 => ErrorCode::BadLength,
                 3 => ErrorCode::ShuttingDown,
                 4 => ErrorCode::Internal,
+                5 => ErrorCode::ConnLimit,
                 v => {
                     return Err(WireError::BadEnum {
                         field: "error_code",

@@ -1,0 +1,862 @@
+//! Zero-copy framing for the event-loop server core.
+//!
+//! Two halves, both allocation-free on the steady-state path:
+//!
+//! - [`RecvBuffer`] — a compacting receive ring. Socket reads land
+//!   directly in the ring; [`RecvBuffer::next_frame`] hands back each
+//!   complete frame payload as a *borrow* of the ring (no per-frame
+//!   `Vec`), valid until the next mutating call. Because the ring
+//!   compacts instead of wrapping, a frame payload is always one
+//!   contiguous slice.
+//! - [`WriteQueue`] — a per-connection response queue of coalesced
+//!   chunks flushed with vectored writes. Responses are encoded straight
+//!   into the tail chunk via
+//!   [`encode_response_frame_into`](crate::protocol::encode_response_frame_into).
+//!
+//! [`decode_request_view`] decodes READ/WRITE/BATCH headers directly out
+//! of a borrowed payload. It is contractually byte-for-byte equivalent
+//! to [`decode_request`](crate::protocol::decode_request): same `Ok`
+//! shapes, same error variants, same `Truncated { need, got }` offsets —
+//! a property test in `tests/proptest_frames.rs` holds the two decoders
+//! together on arbitrary valid and hostile inputs.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+
+use rif_workloads::IoOp;
+
+use crate::protocol::{
+    encode_response_frame_into, BatchEntry, Reader, Request, Response, WireError,
+    BATCH_ENTRY_BYTES, MAX_BATCH_ENTRIES, MAX_FRAME_BYTES, OP_BATCH, OP_FLUSH, OP_HELLO, OP_READ,
+    OP_SHUTDOWN, OP_STATS, OP_WRITE,
+};
+
+/// How much tail room [`RecvBuffer::read_from`] guarantees before each
+/// socket read. One read can pull many small frames at once.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Soft target size of one [`WriteQueue`] chunk: responses coalesce into
+/// the tail chunk until it crosses this, so a vectored flush pushes a
+/// few large buffers instead of one tiny buffer per frame.
+const COALESCE_BYTES: usize = 32 * 1024;
+
+/// Upper bound on iovecs per `write_vectored` call.
+const MAX_IOVECS: usize = 16;
+
+// ----- receive ring ------------------------------------------------------
+
+/// A compacting receive ring for one connection.
+///
+/// `[start, end)` marks unconsumed bytes in `buf`. Consumed prefix space
+/// is reclaimed by `copy_within` compaction only when a read needs the
+/// room, so in the common case (frames consumed as fast as they arrive)
+/// the ring resets to offset zero without any copying.
+#[derive(Debug, Default)]
+pub struct RecvBuffer {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    poisoned: Option<WireError>,
+}
+
+impl RecvBuffer {
+    /// An empty ring.
+    pub fn new() -> Self {
+        RecvBuffer::default()
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Makes room for at least `min` more bytes at the tail: resets the
+    /// window when empty, compacts when the consumed prefix is the only
+    /// free space, and grows the backing buffer as a last resort.
+    fn make_room(&mut self, min: usize) {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.buf.len() - self.end < min && self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() - self.end < min {
+            let want = (self.end + min).next_power_of_two();
+            self.buf.resize(want, 0);
+        }
+    }
+
+    /// Performs one `read` from `r` into the ring tail. Returns the byte
+    /// count (`0` means EOF). `WouldBlock` propagates as the error it is;
+    /// the event loop treats it as "drained for now".
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        self.make_room(READ_CHUNK);
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Appends raw stream bytes (test and in-process use).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.make_room(bytes.len().max(1));
+        self.buf[self.end..self.end + bytes.len()].copy_from_slice(bytes);
+        self.end += bytes.len();
+    }
+
+    /// Pops the next complete frame payload as a borrow of the ring,
+    /// valid until the next mutating call. An oversized length prefix
+    /// poisons the ring permanently (the frame boundary is
+    /// unrecoverable), exactly like
+    /// [`FrameBuffer`](crate::protocol::FrameBuffer).
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let h = &self.buf[self.start..self.start + 4];
+        let len = u32::from_le_bytes([h[0], h[1], h[2], h[3]]);
+        if len > MAX_FRAME_BYTES {
+            self.poisoned = Some(WireError::Oversized { len });
+            return Err(WireError::Oversized { len });
+        }
+        let total = 4 + len as usize;
+        if self.buffered() < total {
+            return Ok(None);
+        }
+        let at = self.start + 4;
+        self.start += total;
+        Ok(Some(&self.buf[at..at + len as usize]))
+    }
+}
+
+// ----- zero-copy request views -------------------------------------------
+
+/// A decoded request borrowing its payload where that avoids work: the
+/// scalar variants mirror [`Request`] field-for-field, and a batch stays
+/// a validated byte slice ([`BatchView`]) iterated lazily instead of
+/// being collected into a `Vec<BatchEntry>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestView<'a> {
+    /// Simulated read, as [`Request::Read`].
+    Read {
+        /// Tenant id for rate limiting.
+        tenant: u32,
+        /// Client correlation tag.
+        tag: u64,
+        /// Logical byte offset.
+        offset: u64,
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
+    /// Simulated write, as [`Request::Write`].
+    Write {
+        /// Tenant id for rate limiting.
+        tenant: u32,
+        /// Client correlation tag.
+        tag: u64,
+        /// Logical byte offset.
+        offset: u64,
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
+    /// Metrics snapshot request, as [`Request::Stats`].
+    Stats {
+        /// Client correlation tag.
+        tag: u64,
+    },
+    /// Drain barrier, as [`Request::Flush`].
+    Flush {
+        /// Client correlation tag.
+        tag: u64,
+    },
+    /// Server exit request, as [`Request::Shutdown`].
+    Shutdown {
+        /// Client correlation tag.
+        tag: u64,
+    },
+    /// Version negotiation, as [`Request::Hello`].
+    Hello {
+        /// Client correlation tag.
+        tag: u64,
+        /// Highest protocol version the client speaks.
+        version: u32,
+    },
+    /// A validated batch body, iterated without allocation.
+    Batch(BatchView<'a>),
+}
+
+impl RequestView<'_> {
+    /// The correlation tag, mirroring [`Request::tag`].
+    pub fn tag(&self) -> u64 {
+        match self {
+            RequestView::Read { tag, .. }
+            | RequestView::Write { tag, .. }
+            | RequestView::Stats { tag }
+            | RequestView::Flush { tag }
+            | RequestView::Shutdown { tag }
+            | RequestView::Hello { tag, .. } => *tag,
+            RequestView::Batch(b) => {
+                if b.count() == 0 {
+                    0
+                } else {
+                    b.entry(0).tag
+                }
+            }
+        }
+    }
+
+    /// Materializes the owning [`Request`] (allocates for batches).
+    /// Exists for the equivalence tests against `decode_request`.
+    pub fn to_request(&self) -> Request {
+        match *self {
+            RequestView::Read {
+                tenant,
+                tag,
+                offset,
+                bytes,
+            } => Request::Read {
+                tenant,
+                tag,
+                offset,
+                bytes,
+            },
+            RequestView::Write {
+                tenant,
+                tag,
+                offset,
+                bytes,
+            } => Request::Write {
+                tenant,
+                tag,
+                offset,
+                bytes,
+            },
+            RequestView::Stats { tag } => Request::Stats { tag },
+            RequestView::Flush { tag } => Request::Flush { tag },
+            RequestView::Shutdown { tag } => Request::Shutdown { tag },
+            RequestView::Hello { tag, version } => Request::Hello { tag, version },
+            RequestView::Batch(b) => Request::Batch(b.iter().collect()),
+        }
+    }
+}
+
+/// The entry bytes of a validated BATCH frame: `count × 33` bytes whose
+/// op bytes are known-good, so per-entry decoding is infallible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchView<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> BatchView<'a> {
+    /// Number of entries in the batch (1..=[`MAX_BATCH_ENTRIES`]).
+    pub fn count(&self) -> usize {
+        self.data.len() / BATCH_ENTRY_BYTES
+    }
+
+    /// Decodes entry `i`. Infallible: the frame was validated up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count()`.
+    pub fn entry(&self, i: usize) -> BatchEntry {
+        let e = &self.data[i * BATCH_ENTRY_BYTES..(i + 1) * BATCH_ENTRY_BYTES];
+        BatchEntry {
+            op: if e[0] == OP_READ {
+                IoOp::Read
+            } else {
+                IoOp::Write
+            },
+            tenant: u32::from_le_bytes(e[1..5].try_into().expect("fixed width")),
+            tag: u64::from_le_bytes(e[5..13].try_into().expect("fixed width")),
+            offset: u64::from_le_bytes(e[13..21].try_into().expect("fixed width")),
+            bytes: u32::from_le_bytes(e[21..25].try_into().expect("fixed width")),
+            retry_of: u64::from_le_bytes(e[25..33].try_into().expect("fixed width")),
+        }
+    }
+
+    /// Lazily decodes every entry in order.
+    pub fn iter(&self) -> impl Iterator<Item = BatchEntry> + 'a {
+        let v = *self;
+        (0..v.count()).map(move |i| v.entry(i))
+    }
+}
+
+/// Decodes a request payload without copying it. Byte-for-byte
+/// equivalent to [`decode_request`](crate::protocol::decode_request):
+/// identical accepted inputs, identical [`WireError`]s (including the
+/// exact `Truncated { need, got }` values) on rejected ones.
+pub fn decode_request_view(payload: &[u8]) -> Result<RequestView<'_>, WireError> {
+    let mut r = Reader::new(payload);
+    let op = r.u8().map_err(|_| WireError::Empty)?;
+    let req = match op {
+        OP_READ | OP_WRITE => {
+            let tenant = r.u32()?;
+            let tag = r.u64()?;
+            let offset = r.u64()?;
+            let bytes = r.u32()?;
+            if op == OP_READ {
+                RequestView::Read {
+                    tenant,
+                    tag,
+                    offset,
+                    bytes,
+                }
+            } else {
+                RequestView::Write {
+                    tenant,
+                    tag,
+                    offset,
+                    bytes,
+                }
+            }
+        }
+        OP_STATS => RequestView::Stats { tag: r.u64()? },
+        OP_FLUSH => RequestView::Flush { tag: r.u64()? },
+        OP_SHUTDOWN => RequestView::Shutdown { tag: r.u64()? },
+        OP_HELLO => RequestView::Hello {
+            tag: r.u64()?,
+            version: r.u32()?,
+        },
+        OP_BATCH => {
+            let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
+            if count == 0 {
+                return Err(WireError::EmptyBatch);
+            }
+            if count > MAX_BATCH_ENTRIES {
+                return Err(WireError::BatchTooLarge { count });
+            }
+            // Validate field-by-field with the same cursor the owning
+            // decoder uses, so a short entry reports the identical
+            // `Truncated { need, got }`.
+            for _ in 0..count {
+                match r.u8()? {
+                    OP_READ | OP_WRITE => {}
+                    v => {
+                        return Err(WireError::BadEnum {
+                            field: "batch_entry_op",
+                            value: v,
+                        })
+                    }
+                }
+                r.u32()?;
+                r.u64()?;
+                r.u64()?;
+                r.u32()?;
+                r.u64()?;
+            }
+            let body = &payload[3..3 + count as usize * BATCH_ENTRY_BYTES];
+            RequestView::Batch(BatchView { data: body })
+        }
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+// ----- vectored write queue ----------------------------------------------
+
+/// Per-connection outbound queue: responses encode into coalesced
+/// chunks, flushed with `write_vectored` until the socket pushes back.
+#[derive(Debug, Default)]
+pub struct WriteQueue {
+    chunks: VecDeque<Vec<u8>>,
+    /// Bytes of `chunks[0]` already written to the socket.
+    head: usize,
+    /// Unwritten bytes across all chunks.
+    total: usize,
+    /// One retired chunk kept for reuse, so a connection that drains and
+    /// refills does not reallocate per cycle.
+    spare: Vec<u8>,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        WriteQueue::default()
+    }
+
+    /// Unwritten bytes queued.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the queue is fully flushed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Encodes `resp` as a length-prefixed frame at the queue tail.
+    pub fn push_response(&mut self, resp: &Response) {
+        match self.chunks.back_mut() {
+            Some(tail) if tail.len() < COALESCE_BYTES => {
+                let before = tail.len();
+                encode_response_frame_into(resp, tail);
+                self.total += tail.len() - before;
+            }
+            _ => {
+                let mut c = std::mem::take(&mut self.spare);
+                c.clear();
+                encode_response_frame_into(resp, &mut c);
+                self.total += c.len();
+                self.chunks.push_back(c);
+            }
+        }
+    }
+
+    /// Writes queued bytes to `w` until drained (`Ok(true)`) or the
+    /// socket would block (`Ok(false)`). `Interrupted` retries; a
+    /// zero-byte write is reported as `WriteZero`.
+    pub fn flush<W: Write>(&mut self, w: &mut W) -> io::Result<bool> {
+        while self.total > 0 {
+            let mut iovs: Vec<IoSlice<'_>> = Vec::with_capacity(self.chunks.len().min(MAX_IOVECS));
+            for (i, c) in self.chunks.iter().take(MAX_IOVECS).enumerate() {
+                let s = if i == 0 { &c[self.head..] } else { &c[..] };
+                if !s.is_empty() {
+                    iovs.push(IoSlice::new(s));
+                }
+            }
+            let res = w.write_vectored(&iovs);
+            drop(iovs);
+            match res {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "connection made no write progress",
+                    ))
+                }
+                Ok(n) => self.advance(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Retires `n` written bytes from the queue front.
+    fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.total);
+        self.total -= n;
+        while n > 0 {
+            let avail = self.chunks[0].len() - self.head;
+            if n >= avail {
+                n -= avail;
+                self.head = 0;
+                let mut c = self.chunks.pop_front().expect("chunk present");
+                if c.capacity() > self.spare.capacity() {
+                    c.clear();
+                    self.spare = c;
+                }
+            } else {
+                self.head += n;
+                n = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{
+        decode_request, decode_response, encode_request, encode_response, write_frame, BusyReason,
+        ErrorCode, FrameBuffer,
+    };
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Read {
+                tenant: 3,
+                tag: 0xDEAD_BEEF,
+                offset: 1 << 33,
+                bytes: 65536,
+            },
+            Request::Write {
+                tenant: 0,
+                tag: u64::MAX,
+                offset: 0,
+                bytes: 1,
+            },
+            Request::Stats { tag: 7 },
+            Request::Flush { tag: 8 },
+            Request::Shutdown { tag: 9 },
+            Request::Hello {
+                tag: 10,
+                version: 2,
+            },
+            Request::Batch(vec![
+                BatchEntry {
+                    op: IoOp::Read,
+                    tenant: 1,
+                    tag: 11,
+                    offset: 4096,
+                    bytes: 65536,
+                    retry_of: 0,
+                },
+                BatchEntry {
+                    op: IoOp::Write,
+                    tenant: 2,
+                    tag: 12,
+                    offset: 1 << 40,
+                    bytes: 4096,
+                    retry_of: 11,
+                },
+                BatchEntry {
+                    op: IoOp::Read,
+                    tenant: 2,
+                    tag: 13,
+                    offset: 0,
+                    bytes: 512,
+                    retry_of: 0,
+                },
+            ]),
+        ]
+    }
+
+    #[test]
+    fn view_decoder_matches_owning_decoder_on_valid_payloads() {
+        for req in sample_requests() {
+            let enc = encode_request(&req);
+            let view = decode_request_view(&enc).expect("valid payload");
+            assert_eq!(view.to_request(), req);
+            assert_eq!(view.tag(), req.tag());
+        }
+    }
+
+    #[test]
+    fn view_decoder_matches_owning_decoder_on_every_truncation() {
+        for req in sample_requests() {
+            let enc = encode_request(&req);
+            for cut in 0..enc.len() {
+                let owned = decode_request(&enc[..cut]);
+                let viewed = decode_request_view(&enc[..cut]).map(|v| v.to_request());
+                assert_eq!(owned, viewed, "req {req:?} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_decoder_matches_owning_decoder_on_hostile_bytes() {
+        // Trailing garbage, bad opcodes, lying batch counts, bad entry
+        // ops: every rejection must be the identical WireError.
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0x7F],
+            vec![0x00],
+            encode_request(&Request::Stats { tag: 1 })
+                .into_iter()
+                .chain([0u8])
+                .collect(),
+        ];
+        let batch = encode_request(&Request::Batch(vec![
+            BatchEntry {
+                op: IoOp::Read,
+                tenant: 0,
+                tag: 1,
+                offset: 0,
+                bytes: 4096,
+                retry_of: 0,
+            };
+            2
+        ]));
+        for lie in [0u16, 1, 3, 512, 513, u16::MAX] {
+            let mut b = batch.clone();
+            b[1..3].copy_from_slice(&lie.to_le_bytes());
+            cases.push(b);
+        }
+        let mut bad_op = batch.clone();
+        bad_op[3] = 0x03;
+        cases.push(bad_op);
+        let mut bad_op2 = batch;
+        bad_op2[3 + BATCH_ENTRY_BYTES] = 0xFF;
+        cases.push(bad_op2);
+
+        for payload in cases {
+            let owned = decode_request(&payload);
+            let viewed = decode_request_view(&payload).map(|v| v.to_request());
+            assert_eq!(owned, viewed, "payload {payload:?}");
+        }
+    }
+
+    #[test]
+    fn batch_view_iterates_all_entries() {
+        let entries: Vec<BatchEntry> = (0..17)
+            .map(|i| BatchEntry {
+                op: if i % 2 == 0 { IoOp::Read } else { IoOp::Write },
+                tenant: i,
+                tag: u64::from(i) * 3,
+                offset: u64::from(i) << 20,
+                bytes: 4096 + i,
+                retry_of: u64::from(i % 3),
+            })
+            .collect();
+        let enc = encode_request(&Request::Batch(entries.clone()));
+        let view = decode_request_view(&enc).expect("valid batch");
+        match view {
+            RequestView::Batch(b) => {
+                assert_eq!(b.count(), entries.len());
+                assert_eq!(b.iter().collect::<Vec<_>>(), entries);
+                assert_eq!(b.entry(16), entries[16]);
+            }
+            other => panic!("not a batch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_ring_reassembles_byte_at_a_time_like_frame_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world!").unwrap();
+
+        let mut ring = RecvBuffer::new();
+        let mut fb = FrameBuffer::new();
+        let mut from_ring: Vec<Vec<u8>> = Vec::new();
+        let mut from_fb: Vec<Vec<u8>> = Vec::new();
+        for b in &wire {
+            ring.feed(std::slice::from_ref(b));
+            fb.feed(std::slice::from_ref(b));
+            while let Some(p) = ring.next_frame().unwrap() {
+                from_ring.push(p.to_vec());
+            }
+            while let Some(p) = fb.next_frame().unwrap() {
+                from_fb.push(p);
+            }
+            assert_eq!(ring.buffered(), fb.buffered());
+        }
+        assert_eq!(from_ring, from_fb);
+        assert_eq!(
+            from_ring,
+            vec![b"hello".to_vec(), Vec::new(), b"world!".to_vec()]
+        );
+        assert_eq!(ring.buffered(), 0);
+    }
+
+    #[test]
+    fn recv_ring_compacts_instead_of_growing_without_bound() {
+        let mut one = Vec::new();
+        write_frame(&mut one, &[0xAB; 1000]).unwrap();
+        let mut ring = RecvBuffer::new();
+        // Stream 10k frames through, always consuming: the ring must
+        // stay near its steady-state size, far below the 10 MB fed.
+        for _ in 0..10_000 {
+            ring.feed(&one);
+            let p = ring.next_frame().unwrap().expect("complete frame");
+            assert_eq!(p.len(), 1000);
+        }
+        assert_eq!(ring.buffered(), 0);
+        assert!(
+            ring.buf.len() <= 2 * READ_CHUNK.max(4 + one.len()),
+            "ring grew to {} bytes",
+            ring.buf.len()
+        );
+    }
+
+    #[test]
+    fn recv_ring_handles_split_frames_across_compaction() {
+        // Feed 1.5 frames, consume one, feed the other half: the
+        // partial frame must survive the compaction that the second
+        // feed may trigger.
+        let mut f1 = Vec::new();
+        write_frame(&mut f1, &[1u8; 300]).unwrap();
+        let mut f2 = Vec::new();
+        write_frame(&mut f2, &[2u8; 300]).unwrap();
+        let mut ring = RecvBuffer::new();
+        ring.feed(&f1);
+        ring.feed(&f2[..150]);
+        assert_eq!(ring.next_frame().unwrap().expect("f1"), &[1u8; 300][..]);
+        assert!(ring.next_frame().unwrap().is_none());
+        ring.feed(&f2[150..]);
+        assert_eq!(ring.next_frame().unwrap().expect("f2"), &[2u8; 300][..]);
+        assert!(ring.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_ring_oversized_prefix_poisons_permanently() {
+        let mut ring = RecvBuffer::new();
+        ring.feed(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert!(matches!(
+            ring.next_frame(),
+            Err(WireError::Oversized { .. })
+        ));
+        // Still poisoned on the next call, even after more bytes arrive.
+        ring.feed(&[0u8; 64]);
+        assert!(matches!(
+            ring.next_frame(),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn recv_ring_read_from_reads_socket_like_sources() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        write_frame(&mut wire, b"defgh").unwrap();
+        let mut cur = std::io::Cursor::new(wire);
+        let mut ring = RecvBuffer::new();
+        let mut got = Vec::new();
+        loop {
+            let n = ring.read_from(&mut cur).unwrap();
+            if n == 0 {
+                break;
+            }
+            while let Some(p) = ring.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+        }
+        assert_eq!(got, vec![b"abc".to_vec(), b"defgh".to_vec()]);
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, then reports
+    /// `WouldBlock` every other call — a socket with a tiny send buffer.
+    struct Throttled {
+        out: Vec<u8>,
+        cap: usize,
+        blocked: bool,
+        vectored_calls: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_vectored(&[IoSlice::new(buf)])
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            self.vectored_calls += 1;
+            if self.blocked {
+                self.blocked = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "try later"));
+            }
+            self.blocked = true;
+            let mut n = 0;
+            for b in bufs {
+                let take = b.len().min(self.cap - n);
+                self.out.extend_from_slice(&b[..take]);
+                n += take;
+                if n == self.cap {
+                    break;
+                }
+            }
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_survives_partial_writes_and_wouldblock() {
+        let resps: Vec<Response> = (0..200)
+            .map(|i| match i % 4 {
+                0 => Response::Done {
+                    tag: i,
+                    latency_ns: i * 1000,
+                },
+                1 => Response::Busy {
+                    tag: i,
+                    reason: BusyReason::Queue,
+                },
+                2 => Response::Error {
+                    tag: i,
+                    code: ErrorCode::ConnLimit,
+                },
+                _ => Response::Stats {
+                    tag: i,
+                    text: format!("line {i}\n").repeat(5),
+                },
+            })
+            .collect();
+        let mut wq = WriteQueue::new();
+        for r in &resps {
+            wq.push_response(r);
+        }
+        let queued = wq.len();
+        assert!(queued > 0);
+
+        let mut w = Throttled {
+            out: Vec::new(),
+            cap: 7,
+            blocked: false,
+            vectored_calls: 0,
+        };
+        // Drive like the event loop: flush until drained, treating
+        // Ok(false) as "wait for EPOLLOUT".
+        let mut rounds = 0;
+        while !wq.flush(&mut w).unwrap() {
+            rounds += 1;
+            assert!(rounds < 100_000, "flush never drains");
+        }
+        assert!(wq.is_empty());
+        assert_eq!(w.out.len(), queued);
+
+        // The byte stream must decode back to the exact responses.
+        let mut fb = FrameBuffer::new();
+        fb.feed(&w.out);
+        let mut got = Vec::new();
+        while let Some(p) = fb.next_frame().unwrap() {
+            got.push(decode_response(&p).unwrap());
+        }
+        assert_eq!(got, resps);
+    }
+
+    #[test]
+    fn write_queue_coalesces_small_responses_into_few_chunks() {
+        let mut wq = WriteQueue::new();
+        for i in 0..1000u64 {
+            wq.push_response(&Response::Done {
+                tag: i,
+                latency_ns: 1,
+            });
+        }
+        // 1000 × 21-byte frames ≈ 21 KB: they must coalesce into a
+        // handful of ~32 KB chunks, not one chunk per frame.
+        assert!(
+            wq.chunks.len() <= 4,
+            "{} chunks for 1000 tiny frames",
+            wq.chunks.len()
+        );
+        let mut sink = Vec::new();
+        assert!(wq.flush(&mut sink).unwrap());
+        assert!(wq.is_empty());
+        let enc = encode_response(&Response::Done {
+            tag: 0,
+            latency_ns: 1,
+        });
+        assert_eq!(sink.len(), 1000 * (4 + enc.len()));
+    }
+
+    #[test]
+    fn write_queue_matches_encode_response_bytes() {
+        let resps = [
+            Response::Done {
+                tag: 1,
+                latency_ns: 2,
+            },
+            Response::Busy {
+                tag: 3,
+                reason: BusyReason::RateLimit,
+            },
+            Response::HelloAck { tag: 4, version: 2 },
+            Response::Goodbye { tag: 5 },
+            Response::Flushed { tag: 6 },
+            Response::Stats {
+                tag: 7,
+                text: "counter x 1".into(),
+            },
+        ];
+        let mut wq = WriteQueue::new();
+        let mut expect = Vec::new();
+        for r in &resps {
+            wq.push_response(r);
+            write_frame(&mut expect, &encode_response(r)).unwrap();
+        }
+        let mut sink = Vec::new();
+        assert!(wq.flush(&mut sink).unwrap());
+        assert_eq!(sink, expect);
+    }
+}

@@ -17,7 +17,7 @@
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -29,16 +29,40 @@ use rif_workloads::IoOp;
 
 use crate::bucket::TenantBuckets;
 use crate::pacing::VirtualClock;
+use crate::poller::Waker;
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, BusyReason, ErrorCode, Request,
-    Response, PROTOCOL_VERSION,
+    decode_request, encode_response, read_frame, write_frame, BatchEntry, BusyReason, ErrorCode,
+    Request, Response, PROTOCOL_VERSION,
 };
 use crate::recorder::TraceRecorder;
-use crate::shard::{spawn_shard, ShardHandle, ShardMsg, ShardSpec, Submission};
+use crate::shard::{spawn_shard, ReplyTo, ShardHandle, ShardMsg, ShardSpec, Submission};
 
 /// Largest single transfer the service accepts: 1 MiB keeps one request
 /// from monopolizing a shard's event queue.
 pub const MAX_IO_BYTES: u32 = 1 << 20;
+
+/// Which front-door architecture serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// One readiness-driven thread owns every connection socket
+    /// (epoll/poll, zero-copy framing, vectored writes). The default.
+    EventLoop,
+    /// The legacy thread-per-connection core: one reader and one writer
+    /// thread per socket, blocking I/O. Kept as the benchmark baseline.
+    Threaded,
+}
+
+impl std::str::FromStr for CoreKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "epoll" | "event-loop" | "eventloop" => Ok(CoreKind::EventLoop),
+            "legacy" | "threaded" | "thread" => Ok(CoreKind::Threaded),
+            other => Err(format!("unknown core '{other}' (epoll|legacy)")),
+        }
+    }
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -66,6 +90,16 @@ pub struct ServerConfig {
     /// Journal every admitted request in the [`TraceRecorder`] for
     /// capture → replay.
     pub capture: bool,
+    /// Front-door architecture (event loop vs. legacy threads).
+    pub core: CoreKind,
+    /// Open-connection cap; over-limit accepts are answered with a clean
+    /// `ERROR(ConnLimit)` frame and closed instead of exhausting fds or
+    /// threads. `0` means unlimited.
+    pub max_connections: usize,
+    /// Per-connection write-queue bytes before new I/O admission sheds
+    /// to `BUSY(queue)`; at twice this the loop stops reading from the
+    /// connection until the queue drains. `0` means unbounded.
+    pub write_queue_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -82,19 +116,45 @@ impl Default for ServerConfig {
             queue_depth: 16,
             seed: 1,
             capture: false,
+            core: CoreKind::EventLoop,
+            max_connections: 16_384,
+            write_queue_limit: 256 << 10,
         }
     }
 }
 
-struct Shared {
-    cfg: ServerConfig,
-    clock: VirtualClock,
-    metrics: Arc<Mutex<MetricsRegistry>>,
-    buckets: Mutex<TenantBuckets>,
-    shards: Vec<ShardTarget>,
-    shutdown: AtomicBool,
-    started: Instant,
-    recorder: Arc<TraceRecorder>,
+/// Front-door saturation counters, shared by both cores and surfaced in
+/// STATS. Plain atomics (not the metrics registry) because the event
+/// loop bumps some of them on every wakeup.
+#[derive(Debug, Default)]
+pub(crate) struct FrontDoor {
+    /// Currently open connections (gauge).
+    pub(crate) connections_open: AtomicUsize,
+    /// Connections accepted since start (counter).
+    pub(crate) connections_accepted: AtomicU64,
+    /// Accepts refused by the connection limit (counter).
+    pub(crate) conn_limit_rejected: AtomicU64,
+    /// Times the event loop's poll wait returned (counter). Stays zero
+    /// on the threaded core.
+    pub(crate) epoll_wakeups: AtomicU64,
+    /// Total unflushed response bytes across all connections (gauge,
+    /// event-loop core).
+    pub(crate) write_queue_bytes: AtomicUsize,
+    /// Largest single connection's unflushed response bytes (gauge,
+    /// event-loop core).
+    pub(crate) write_queue_max_bytes: AtomicUsize,
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) clock: VirtualClock,
+    pub(crate) metrics: Arc<Mutex<MetricsRegistry>>,
+    pub(crate) buckets: Mutex<TenantBuckets>,
+    pub(crate) shards: Vec<ShardTarget>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) started: Instant,
+    pub(crate) recorder: Arc<TraceRecorder>,
+    pub(crate) front_door: FrontDoor,
 }
 
 impl Shared {
@@ -102,21 +162,21 @@ impl Shared {
     /// some other holder (e.g. an injected worker fault) must not wedge
     /// STATS or admission for everyone else. Counters are monotonic
     /// u64s, so a partially-applied update cannot corrupt the registry.
-    fn metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+    pub(crate) fn metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
         self.metrics.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Locks the tenant buckets with the same poisoned-lock recovery.
-    fn buckets(&self) -> std::sync::MutexGuard<'_, TenantBuckets> {
+    pub(crate) fn buckets(&self) -> std::sync::MutexGuard<'_, TenantBuckets> {
         self.buckets.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 /// The parts of a shard a connection needs: inbox + admission counter.
-struct ShardTarget {
-    spec: ShardSpec,
-    tx: Sender<ShardMsg>,
-    inflight: Arc<std::sync::atomic::AtomicUsize>,
+pub(crate) struct ShardTarget {
+    pub(crate) spec: ShardSpec,
+    pub(crate) tx: Sender<ShardMsg>,
+    pub(crate) inflight: Arc<AtomicUsize>,
 }
 
 /// A running service instance.
@@ -125,6 +185,9 @@ pub struct Server {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     shard_handles: Vec<ShardHandle>,
+    /// Wakes the event loop out of a blocking poll wait on shutdown
+    /// (`None` on the threaded core, which polls the flag instead).
+    loop_waker: Option<Waker>,
 }
 
 impl Server {
@@ -174,18 +237,35 @@ impl Server {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             recorder,
+            front_door: FrontDoor::default(),
         });
 
         let accept_shared = Arc::clone(&shared);
-        let acceptor = std::thread::Builder::new()
-            .name("rif-acceptor".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        let (acceptor, loop_waker) = match shared.cfg.core {
+            CoreKind::EventLoop => {
+                let (waker, waker_rx) = Waker::new()?;
+                let loop_waker = waker.clone();
+                let handle = std::thread::Builder::new()
+                    .name("rif-event-loop".into())
+                    .spawn(move || {
+                        crate::event_loop::run(listener, accept_shared, waker, waker_rx)
+                    })?;
+                (handle, Some(loop_waker))
+            }
+            CoreKind::Threaded => {
+                let handle = std::thread::Builder::new()
+                    .name("rif-acceptor".into())
+                    .spawn(move || accept_loop(listener, accept_shared))?;
+                (handle, None)
+            }
+        };
 
         Ok(Server {
             shared,
             addr,
             acceptor: Some(acceptor),
             shard_handles,
+            loop_waker,
         })
     }
 
@@ -203,6 +283,9 @@ impl Server {
     /// SHUTDOWN frame).
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(w) = &self.loop_waker {
+            w.wake();
+        }
     }
 
     /// Blocks until shutdown is requested, polling every few ms.
@@ -226,7 +309,9 @@ impl Server {
 
     /// A snapshot of the metrics registry (for in-process tests).
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
-        self.shared.metrics().clone()
+        let mut m = self.shared.metrics().clone();
+        fold_runtime_gauges(&self.shared, &mut m);
+        m
     }
 
     /// Fault-injection hook: kills shard `index`'s worker state mid-load.
@@ -254,17 +339,59 @@ impl Server {
     }
 }
 
+/// Answers an over-limit accept: a best-effort `ERROR(ConnLimit)` frame
+/// so the peer knows why, then a close. Shared by both cores.
+pub(crate) fn refuse_over_limit(mut stream: TcpStream, shared: &Shared) {
+    shared
+        .front_door
+        .conn_limit_rejected
+        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics().inc("server.conn_limit_rejected", 1);
+    stream
+        .set_write_timeout(Some(Duration::from_millis(50)))
+        .ok();
+    let _ = write_frame(
+        &mut stream,
+        &encode_response(&Response::Error {
+            tag: 0,
+            code: ErrorCode::ConnLimit,
+        }),
+    );
+}
+
+/// True when accepting one more connection would exceed the limit.
+pub(crate) fn at_conn_limit(shared: &Shared) -> bool {
+    let limit = shared.cfg.max_connections;
+    limit > 0 && shared.front_door.connections_open.load(Ordering::Acquire) >= limit
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if at_conn_limit(&shared) {
+                    refuse_over_limit(stream, &shared);
+                    continue;
+                }
+                shared
+                    .front_door
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .front_door
+                    .connections_open
+                    .fetch_add(1, Ordering::AcqRel);
                 let conn_shared = Arc::clone(&shared);
                 let spawned =
                     std::thread::Builder::new()
                         .name("rif-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, conn_shared);
+                            let _ = serve_connection(stream, &conn_shared);
+                            conn_shared
+                                .front_door
+                                .connections_open
+                                .fetch_sub(1, Ordering::AcqRel);
                         });
                 match spawned {
                     Ok(h) => conns.push(h),
@@ -273,6 +400,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                         // acceptor: drop this connection (the peer sees a
                         // clean close) and keep serving.
                         shared.metrics().inc("server.spawn_failures", 1);
+                        shared
+                            .front_door
+                            .connections_open
+                            .fetch_sub(1, Ordering::AcqRel);
                     }
                 }
             }
@@ -290,7 +421,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// Reader half of one connection. The writer half lives on its own
 /// thread and exits when every `Sender<Response>` clone is dropped —
 /// including those held by in-flight shard submissions.
-fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let write_stream = stream.try_clone()?;
     let (resp_tx, resp_rx) = mpsc::channel::<Response>();
@@ -307,6 +438,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
             }
         })?;
 
+    let reply = ReplyTo::Channel(resp_tx.clone());
     let mut r = BufReader::new(stream);
     let mut saw_goodbye = false;
     // Protocol version this connection speaks; starts at the v1 baseline
@@ -319,7 +451,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 shared.metrics().inc("server.protocol_errors", 1);
                 // The frame boundary survived (length-prefixed), so the
                 // stream stays usable; tag 0 because none decoded.
-                let _ = resp_tx.send(Response::Error {
+                reply.send(Response::Error {
                     tag: 0,
                     code: ErrorCode::BadRequest,
                 });
@@ -327,12 +459,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
             }
         };
         let is_shutdown = matches!(req, Request::Shutdown { .. });
-        handle_request(req, &shared, &resp_tx, &mut negotiated);
+        handle_request(req, shared, &reply, &mut negotiated);
         if is_shutdown {
             saw_goodbye = true;
             break;
         }
     }
+    drop(reply);
     drop(resp_tx);
     let _ = writer.join();
     if saw_goodbye {
@@ -341,53 +474,37 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     Ok(())
 }
 
-fn handle_request(req: Request, shared: &Shared, resp_tx: &Sender<Response>, negotiated: &mut u32) {
+fn handle_request(req: Request, shared: &Shared, reply: &ReplyTo, negotiated: &mut u32) {
     match req {
         Request::Read {
             tenant,
             tag,
             offset,
             bytes,
-        } => admit_io(shared, resp_tx, tenant, tag, offset, bytes, IoOp::Read, 0),
+        } => admit_io(shared, reply, tenant, tag, offset, bytes, IoOp::Read, 0),
         Request::Write {
             tenant,
             tag,
             offset,
             bytes,
-        } => admit_io(shared, resp_tx, tenant, tag, offset, bytes, IoOp::Write, 0),
+        } => admit_io(shared, reply, tenant, tag, offset, bytes, IoOp::Write, 0),
         Request::Hello { tag, version } => {
             *negotiated = version.min(PROTOCOL_VERSION).max(1);
-            let _ = resp_tx.send(Response::HelloAck {
+            reply.send(Response::HelloAck {
                 tag,
                 version: *negotiated,
             });
         }
         Request::Batch(entries) => {
             if *negotiated < 2 {
-                // BATCH before (or without) HELLO: a v2-only message on a
-                // v1 connection. Reject the whole frame by its first tag.
-                shared.metrics().inc("server.protocol_errors", 1);
-                let tag = entries.first().map_or(0, |e| e.tag);
-                let _ = resp_tx.send(Response::Error {
-                    tag,
-                    code: ErrorCode::BadRequest,
-                });
+                reject_unnegotiated_batch(shared, reply, entries.first().map_or(0, |e| e.tag));
                 return;
             }
-            shared.metrics().inc("server.batches", 1);
-            // Per-entry admission: the batch amortizes framing, not the
-            // token bucket — each entry spends its own tenant token and
-            // reserves its own in-flight slot, exactly as if it had
-            // arrived in its own frame.
-            for e in entries {
-                admit_io(
-                    shared, resp_tx, e.tenant, e.tag, e.offset, e.bytes, e.op, e.retry_of,
-                );
-            }
+            admit_batch(shared, reply, entries);
         }
         Request::Stats { tag } => {
             let text = render_stats(shared);
-            let _ = resp_tx.send(Response::Stats { tag, text });
+            reply.send(Response::Stats { tag, text });
         }
         Request::Flush { tag } => {
             let (done_tx, done_rx) = mpsc::channel();
@@ -398,18 +515,28 @@ fn handle_request(req: Request, shared: &Shared, resp_tx: &Sender<Response>, neg
             // Workers ack after force-draining; a crashed worker shows up
             // as a disconnect, which also ends the wait.
             while done_rx.recv().is_ok() {}
-            let _ = resp_tx.send(Response::Flushed { tag });
+            reply.send(Response::Flushed { tag });
         }
         Request::Shutdown { tag } => {
-            let _ = resp_tx.send(Response::Goodbye { tag });
+            reply.send(Response::Goodbye { tag });
         }
     }
 }
 
+/// Rejects a BATCH sent before (or without) HELLO: a v2-only message on
+/// a v1 connection, refused whole by its first tag.
+pub(crate) fn reject_unnegotiated_batch(shared: &Shared, reply: &ReplyTo, tag: u64) {
+    shared.metrics().inc("server.protocol_errors", 1);
+    reply.send(Response::Error {
+        tag,
+        code: ErrorCode::BadRequest,
+    });
+}
+
 #[allow(clippy::too_many_arguments)]
-fn admit_io(
+pub(crate) fn admit_io(
     shared: &Shared,
-    resp_tx: &Sender<Response>,
+    reply: &ReplyTo,
     tenant: u32,
     tag: u64,
     offset: u64,
@@ -418,7 +545,7 @@ fn admit_io(
     retry_of: u64,
 ) {
     if shared.shutdown.load(Ordering::Acquire) {
-        let _ = resp_tx.send(Response::Error {
+        reply.send(Response::Error {
             tag,
             code: ErrorCode::ShuttingDown,
         });
@@ -426,7 +553,7 @@ fn admit_io(
     }
     if bytes == 0 || bytes > MAX_IO_BYTES {
         shared.metrics().inc("server.protocol_errors", 1);
-        let _ = resp_tx.send(Response::Error {
+        reply.send(Response::Error {
             tag,
             code: ErrorCode::BadLength,
         });
@@ -450,7 +577,7 @@ fn admit_io(
     let admitted = shared.buckets().admit(tenant, wall_secs);
     if !admitted {
         shared.metrics().inc("server.busy.ratelimit", 1);
-        let _ = resp_tx.send(Response::Busy {
+        reply.send(Response::Busy {
             tag,
             reason: BusyReason::RateLimit,
         });
@@ -472,7 +599,7 @@ fn admit_io(
         });
     if reserved.is_err() {
         shared.metrics().inc("server.busy.queue", 1);
-        let _ = resp_tx.send(Response::Busy {
+        reply.send(Response::Busy {
             tag,
             reason: BusyReason::Queue,
         });
@@ -492,7 +619,7 @@ fn admit_io(
         op,
         offset: local,
         bytes,
-        reply: resp_tx.clone(),
+        reply: reply.clone(),
     }));
     if sent.is_err() {
         // The worker never saw it: retract the admission.
@@ -502,13 +629,13 @@ fn admit_io(
         // died, which is retryable — the request was never admitted.
         target.inflight.fetch_sub(1, Ordering::AcqRel);
         if shared.shutdown.load(Ordering::Acquire) {
-            let _ = resp_tx.send(Response::Error {
+            reply.send(Response::Error {
                 tag,
                 code: ErrorCode::ShuttingDown,
             });
         } else {
             shared.metrics().inc("server.busy.unavailable", 1);
-            let _ = resp_tx.send(Response::Busy {
+            reply.send(Response::Busy {
                 tag,
                 reason: BusyReason::Unavailable,
             });
@@ -516,15 +643,257 @@ fn admit_io(
     }
 }
 
-fn render_stats(shared: &Shared) -> String {
-    let mut m = shared.metrics().clone();
+/// Admits a negotiated BATCH as **one unit**. The contract (shared by
+/// both cores) is all-or-nothing for every admission check:
+///
+/// - each tenant's token bucket is charged once for all of its entries
+///   (`admit_n`); if any tenant comes up short, tenants already charged
+///   are refunded and every entry answers `BUSY(rate_limit)`;
+/// - the in-flight cap is reserved per shard for the whole group; if any
+///   shard cannot take its share, reservations made so far are rolled
+///   back and every entry answers `BUSY(queue)` (rate-limit tokens stay
+///   spent, exactly as a refused single request's token does);
+/// - admitted entries go to each shard as one [`ShardMsg::SubmitMany`].
+///
+/// Malformed entries (zero/oversized length) are answered individually
+/// with `ERROR(BadLength)` and do not count against the batch — they
+/// could never be admitted, so they cannot hold the rest hostage.
+pub(crate) fn admit_batch<I>(shared: &Shared, reply: &ReplyTo, entries: I)
+where
+    I: IntoIterator<Item = BatchEntry>,
+{
+    shared.metrics().inc("server.batches", 1);
+    if shared.shutdown.load(Ordering::Acquire) {
+        for e in entries {
+            reply.send(Response::Error {
+                tag: e.tag,
+                code: ErrorCode::ShuttingDown,
+            });
+        }
+        return;
+    }
+
+    // Pass 1: validate and route. `valid` keeps (entry, shard, local
+    // offset) for everything admissible.
+    let mut valid: Vec<(BatchEntry, usize, u64)> = Vec::new();
+    let (mut reads, mut writes, mut bad) = (0u64, 0u64, 0u64);
+    for e in entries {
+        if e.bytes == 0 || e.bytes > MAX_IO_BYTES {
+            bad += 1;
+            reply.send(Response::Error {
+                tag: e.tag,
+                code: ErrorCode::BadLength,
+            });
+            continue;
+        }
+        if e.op == IoOp::Read {
+            reads += 1;
+        } else {
+            writes += 1;
+        }
+        let wrapped = e.offset % shared.cfg.capacity_bytes;
+        let idx = ShardSpec::route(shared.cfg.capacity_bytes, shared.cfg.shards, wrapped);
+        let local = wrapped - shared.shards[idx].spec.base_offset;
+        valid.push((e, idx, local));
+    }
+    {
+        let mut m = shared.metrics();
+        if bad > 0 {
+            m.inc("server.protocol_errors", bad);
+        }
+        if reads > 0 {
+            m.inc("server.requests.read", reads);
+        }
+        if writes > 0 {
+            m.inc("server.requests.write", writes);
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    // Per-tenant entry counts (a batch rarely spans many tenants, so a
+    // small vec beats a map).
+    let mut tenants: Vec<(u32, u32)> = Vec::new();
+    for (e, _, _) in &valid {
+        match tenants.iter_mut().find(|(t, _)| *t == e.tenant) {
+            Some((_, n)) => *n += 1,
+            None => tenants.push((e.tenant, 1)),
+        }
+    }
+
+    // Rate limit: charge every tenant for its whole share or nobody.
+    let wall_secs = shared.started.elapsed().as_secs_f64();
+    {
+        let mut buckets = shared.buckets();
+        if !buckets.unlimited() {
+            let mut short = None;
+            for (i, (t, n)) in tenants.iter().enumerate() {
+                if !buckets.admit_n(*t, wall_secs, *n) {
+                    short = Some(i);
+                    break;
+                }
+            }
+            if let Some(charged) = short {
+                // Same `wall_secs`, so the rollback is exact.
+                for (t, n) in &tenants[..charged] {
+                    buckets.refund(*t, *n);
+                }
+                drop(buckets);
+                shared
+                    .metrics()
+                    .inc("server.busy.ratelimit", valid.len() as u64);
+                for (e, _, _) in &valid {
+                    reply.send(Response::Busy {
+                        tag: e.tag,
+                        reason: BusyReason::RateLimit,
+                    });
+                }
+                return;
+            }
+        }
+    }
+
+    // In-flight cap: reserve each shard's share of slots as one atomic
+    // update; on any refusal, roll back every reservation made so far.
+    let mut per_shard: Vec<(usize, usize)> = Vec::new();
+    for (_, idx, _) in &valid {
+        match per_shard.iter_mut().find(|(i, _)| i == idx) {
+            Some((_, k)) => *k += 1,
+            None => per_shard.push((*idx, 1)),
+        }
+    }
+    let mut reserved = 0;
+    let all_reserved = per_shard.iter().all(|&(idx, k)| {
+        let ok = shared.shards[idx]
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n + k <= shared.cfg.inflight_limit).then_some(n + k)
+            })
+            .is_ok();
+        if ok {
+            reserved += 1;
+        }
+        ok
+    });
+    if !all_reserved {
+        for &(idx, k) in &per_shard[..reserved] {
+            shared.shards[idx].inflight.fetch_sub(k, Ordering::AcqRel);
+        }
+        shared
+            .metrics()
+            .inc("server.busy.queue", valid.len() as u64);
+        for (e, _, _) in &valid {
+            reply.send(Response::Busy {
+                tag: e.tag,
+                reason: BusyReason::Queue,
+            });
+        }
+        return;
+    }
+
+    // Admitted. Journal every entry (admit strictly before the worker
+    // can see it), then hand each shard its whole share in one message.
+    let mut groups: Vec<(usize, Vec<Submission>)> = per_shard
+        .iter()
+        .map(|&(idx, k)| (idx, Vec::with_capacity(k)))
+        .collect();
+    for (e, idx, local) in &valid {
+        let wrapped = e.offset % shared.cfg.capacity_bytes;
+        shared.recorder.admit(
+            e.tag,
+            e.retry_of,
+            e.op,
+            wrapped,
+            e.bytes,
+            e.tenant,
+            *idx as u32,
+        );
+        let g = groups
+            .iter_mut()
+            .find(|(i, _)| i == idx)
+            .expect("group exists for every routed shard");
+        g.1.push(Submission {
+            tag: e.tag,
+            op: e.op,
+            offset: *local,
+            bytes: e.bytes,
+            reply: reply.clone(),
+        });
+    }
+    for (idx, batch) in groups {
+        let k = batch.len();
+        match shared.shards[idx].tx.send(ShardMsg::SubmitMany(batch)) {
+            Ok(()) => {}
+            Err(mpsc::SendError(msg)) => {
+                // The worker never saw the group: retract the admissions,
+                // release the slots, and answer every entry.
+                let batch = match msg {
+                    ShardMsg::SubmitMany(b) => b,
+                    _ => unreachable!("send returns the message it took"),
+                };
+                shared.shards[idx].inflight.fetch_sub(k, Ordering::AcqRel);
+                let shutting = shared.shutdown.load(Ordering::Acquire);
+                if !shutting {
+                    shared.metrics().inc("server.busy.unavailable", k as u64);
+                }
+                for s in batch {
+                    shared.recorder.reject(s.tag);
+                    if shutting {
+                        s.reply.send(Response::Error {
+                            tag: s.tag,
+                            code: ErrorCode::ShuttingDown,
+                        });
+                    } else {
+                        s.reply.send(Response::Busy {
+                            tag: s.tag,
+                            reason: BusyReason::Unavailable,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds live runtime state (shard windows, front-door saturation,
+/// clocks) into a registry snapshot. Shared by the STATS renderer and
+/// [`Server::metrics_snapshot`] so in-process tests see the same view a
+/// wire client does.
+pub(crate) fn fold_runtime_gauges(shared: &Shared, m: &mut MetricsRegistry) {
     for s in &shared.shards {
         m.set_gauge(
             &format!("server.inflight.shard{}", s.spec.index),
             s.inflight.load(Ordering::Acquire) as f64,
         );
     }
+    let fd = &shared.front_door;
+    m.set_gauge(
+        "server.connections_open",
+        fd.connections_open.load(Ordering::Acquire) as f64,
+    );
+    m.inc(
+        "server.connections_accepted",
+        fd.connections_accepted.load(Ordering::Relaxed),
+    );
+    m.inc(
+        "server.epoll_wakeups",
+        fd.epoll_wakeups.load(Ordering::Relaxed),
+    );
+    m.set_gauge(
+        "server.write_queue.total_bytes",
+        fd.write_queue_bytes.load(Ordering::Acquire) as f64,
+    );
+    m.set_gauge(
+        "server.write_queue.max_bytes",
+        fd.write_queue_max_bytes.load(Ordering::Acquire) as f64,
+    );
     m.set_gauge("server.uptime_secs", shared.started.elapsed().as_secs_f64());
     m.set_gauge("server.virtual_now_us", shared.clock.now().as_us());
+}
+
+pub(crate) fn render_stats(shared: &Shared) -> String {
+    let mut m = shared.metrics().clone();
+    fold_runtime_gauges(shared, &mut m);
     m.lines().join("\n")
 }

@@ -43,8 +43,47 @@ use rif_ssd::{Simulator, SsdConfig};
 use rif_workloads::{IoOp, IoRequest};
 
 use crate::pacing::VirtualClock;
+use crate::poller::Waker;
 use crate::protocol::{BusyReason, ErrorCode, Response};
 use crate::recorder::TraceRecorder;
+
+/// Where a completion goes. The threaded core hands each connection's
+/// writer channel to the shard; the event-loop core funnels every
+/// completion through one queue and pulls the loop out of its poll wait.
+#[derive(Clone)]
+pub enum ReplyTo {
+    /// A connection writer thread's private channel (threaded core).
+    Channel(Sender<Response>),
+    /// The event loop's shared completion queue (event-loop core).
+    Event {
+        /// The loop's single completion queue.
+        tx: Sender<(u64, Response)>,
+        /// Generation-tagged connection key the loop routes by; a late
+        /// completion for a recycled slot is dropped by the generation
+        /// check, exactly like a send to a dead connection's channel.
+        key: u64,
+        /// Wakes the loop out of a blocking poll wait.
+        waker: Waker,
+    },
+}
+
+impl ReplyTo {
+    /// Delivers `resp`. A closed receiver means the connection (or the
+    /// whole loop) is gone; the response is dropped, as with a dead
+    /// connection's channel in the threaded core.
+    pub fn send(&self, resp: Response) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(resp);
+            }
+            ReplyTo::Event { tx, key, waker } => {
+                if tx.send((*key, resp)).is_ok() {
+                    waker.wake();
+                }
+            }
+        }
+    }
+}
 
 /// The LBA range a shard owns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,13 +134,17 @@ pub struct Submission {
     /// Transfer size.
     pub bytes: u32,
     /// Where the completion goes (the originating connection's writer).
-    pub reply: Sender<Response>,
+    pub reply: ReplyTo,
 }
 
 /// Messages a shard worker consumes.
 pub enum ShardMsg {
     /// Simulate one I/O.
     Submit(Submission),
+    /// Simulate a group of I/Os admitted as one unit (one BATCH × this
+    /// shard): all entries enter the simulator at the same virtual time,
+    /// one channel send instead of one per entry.
+    SubmitMany(Vec<Submission>),
     /// Fast-forward the simulator until nothing is in flight, then ack.
     Flush(Sender<()>),
     /// Kill the worker's simulator state: fail everything in flight with
@@ -168,8 +211,8 @@ struct Worker {
     metrics: Arc<Mutex<MetricsRegistry>>,
     recorder: Arc<TraceRecorder>,
     sim: Simulator,
-    /// sim request id -> (client tag, reply channel)
-    pending: HashMap<u64, (u64, Sender<Response>)>,
+    /// sim request id -> (client tag, reply destination)
+    pending: HashMap<u64, (u64, ReplyTo)>,
     flush_waiters: Vec<Sender<()>>,
     stopping: bool,
     /// `Some(t)` while the shard is dead; it restarts once `Instant::now() >= t`.
@@ -193,29 +236,36 @@ impl Worker {
         self.metrics.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn submit_one(&mut self, s: Submission) {
+        if self.dead_until.is_some() {
+            // Dead shard: never admit, never hang. The slot the
+            // server reserved is released here, and the recorder
+            // retracts the admission — this I/O never ran.
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.recorder.reject(s.tag);
+            self.metrics().inc("server.busy.unavailable", 1);
+            s.reply.send(Response::Busy {
+                tag: s.tag,
+                reason: BusyReason::Unavailable,
+            });
+            return;
+        }
+        let id = self.sim.submit(IoRequest {
+            arrival: self.clock.now(),
+            op: s.op,
+            offset: s.offset,
+            bytes: s.bytes,
+        });
+        self.pending.insert(id, (s.tag, s.reply));
+    }
+
     fn handle(&mut self, msg: ShardMsg) {
         match msg {
-            ShardMsg::Submit(s) => {
-                if self.dead_until.is_some() {
-                    // Dead shard: never admit, never hang. The slot the
-                    // server reserved is released here, and the recorder
-                    // retracts the admission — this I/O never ran.
-                    self.inflight.fetch_sub(1, Ordering::AcqRel);
-                    self.recorder.reject(s.tag);
-                    self.metrics().inc("server.busy.unavailable", 1);
-                    let _ = s.reply.send(Response::Busy {
-                        tag: s.tag,
-                        reason: BusyReason::Unavailable,
-                    });
-                    return;
+            ShardMsg::Submit(s) => self.submit_one(s),
+            ShardMsg::SubmitMany(batch) => {
+                for s in batch {
+                    self.submit_one(s);
                 }
-                let id = self.sim.submit(IoRequest {
-                    arrival: self.clock.now(),
-                    op: s.op,
-                    offset: s.offset,
-                    bytes: s.bytes,
-                });
-                self.pending.insert(id, (s.tag, s.reply));
             }
             ShardMsg::Flush(done) => self.flush_waiters.push(done),
             ShardMsg::Crash { restart_after } => self.crash(restart_after),
@@ -234,7 +284,7 @@ impl Worker {
         for (_, (tag, reply)) in self.pending.drain() {
             self.inflight.fetch_sub(1, Ordering::AcqRel);
             self.recorder.complete(tag, false);
-            let _ = reply.send(Response::Error {
+            reply.send(Response::Error {
                 tag,
                 code: ErrorCode::Internal,
             });
@@ -288,7 +338,7 @@ impl Worker {
             if let Some((tag, reply)) = self.pending.remove(&c.id) {
                 self.recorder.complete(tag, true);
                 // A dead connection just drops its completions.
-                let _ = reply.send(Response::Done {
+                reply.send(Response::Done {
                     tag,
                     latency_ns: c.latency().as_ns(),
                 });
@@ -439,7 +489,7 @@ mod tests {
             op: IoOp::Read,
             offset: 0,
             bytes: 4096,
-            reply: reply_tx.clone(),
+            reply: ReplyTo::Channel(reply_tx.clone()),
         }))
         .unwrap();
         tx.send(ShardMsg::Crash {
@@ -473,7 +523,7 @@ mod tests {
             op: IoOp::Read,
             offset: 0,
             bytes: 4096,
-            reply: reply_tx.clone(),
+            reply: ReplyTo::Channel(reply_tx.clone()),
         }))
         .unwrap();
         let bounced = reply_rx
@@ -496,7 +546,7 @@ mod tests {
             op: IoOp::Write,
             offset: 4096,
             bytes: 4096,
-            reply: reply_tx,
+            reply: ReplyTo::Channel(reply_tx),
         }))
         .unwrap();
         let served = reply_rx

@@ -359,3 +359,160 @@ proptest! {
         }
     }
 }
+
+// ----- zero-copy path equivalence ----------------------------------------
+//
+// The event-loop core decodes frames in place (`decode_request_view`,
+// `RecvBuffer`) instead of copying (`decode_request`, `FrameBuffer`).
+// These properties pin the two paths byte-for-byte equal on valid,
+// vandalized, and arbitrary inputs, at every possible read boundary.
+
+/// Any request the encoders can produce: singles, batches, or HELLO.
+fn any_request_strategy() -> impl Strategy<Value = Request> {
+    (
+        0u8..3,
+        request_strategy(),
+        batch_strategy(),
+        hello_strategy(),
+    )
+        .prop_map(|(kind, single, batch, hello)| match kind {
+            0 => single,
+            1 => batch,
+            _ => hello,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn view_decoder_matches_decode_request_on_vandalized_encodings(
+        req in any_request_strategy(),
+        vandalize in any::<bool>(),
+        kind in 0u8..3,
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        use rif_server::ring::decode_request_view;
+        let mut enc = encode_request(&req);
+        if vandalize {
+            mutate(&mut enc, kind, pos_seed, byte);
+        }
+        match (decode_request(&enc), decode_request_view(&enc)) {
+            (Ok(owned), Ok(view)) => prop_assert_eq!(owned, view.to_request()),
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            (owned, view) => prop_assert!(
+                false,
+                "decoders disagree: owned={owned:?} view={view:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn view_decoder_matches_decode_request_on_arbitrary_bytes(
+        payload in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        use rif_server::ring::decode_request_view;
+        match (decode_request(&payload), decode_request_view(&payload)) {
+            (Ok(owned), Ok(view)) => prop_assert_eq!(owned, view.to_request()),
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            (owned, view) => prop_assert!(
+                false,
+                "decoders disagree: owned={owned:?} view={view:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn recv_buffer_matches_frame_buffer_at_every_read_boundary(
+        reqs in prop::collection::vec(any_request_strategy(), 0..6),
+        tail_kind in 0u8..3,
+        tail_seed in any::<u64>(),
+        chunk_seeds in prop::collection::vec(any::<u16>(), 1..12),
+    ) {
+        use rif_server::protocol::FrameBuffer;
+        use rif_server::ring::RecvBuffer;
+
+        // Build one contiguous stream of length-prefixed frames...
+        let mut stream = Vec::new();
+        for r in &reqs {
+            let payload = encode_request(r);
+            stream.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            stream.extend_from_slice(&payload);
+        }
+        // ...optionally ending in hostility: an oversized header that
+        // must poison both buffers identically, or a truncated frame
+        // that must leave both waiting forever.
+        match tail_kind {
+            1 => {
+                let len = MAX_FRAME_BYTES + 1 + (tail_seed as u32 % 1024);
+                stream.extend_from_slice(&len.to_le_bytes());
+                stream.extend_from_slice(&[0xAB; 7]);
+            }
+            2 => {
+                let payload = encode_request(&Request::Stats { tag: tail_seed });
+                stream.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                let keep = (tail_seed as usize) % (payload.len().max(1));
+                stream.extend_from_slice(&payload[..keep]);
+            }
+            _ => {}
+        }
+
+        // Feed both buffers the same chunks, popping everything after
+        // every chunk: equivalence must hold at every read boundary,
+        // not just at end of stream.
+        let mut fb = FrameBuffer::new();
+        let mut rb = RecvBuffer::new();
+        let mut off = 0usize;
+        let mut fb_err: Option<WireError> = None;
+        for seed in chunk_seeds.iter().chain(std::iter::once(&u16::MAX)) {
+            let remaining = stream.len() - off;
+            if remaining == 0 {
+                break;
+            }
+            let n = if *seed == u16::MAX {
+                remaining // final chunk: flush the rest
+            } else {
+                1 + (*seed as usize) % remaining
+            };
+            fb.feed(&stream[off..off + n]);
+            rb.feed(&stream[off..off + n]);
+            off += n;
+            loop {
+                // FrameBuffer's Err is sticky by construction (the bad
+                // header is never consumed); RecvBuffer poisons
+                // explicitly. Model both as terminal.
+                let want = match &fb_err {
+                    Some(e) => Err(e.clone()),
+                    None => fb.next_frame(),
+                };
+                if let Err(e) = &want {
+                    fb_err = Some(e.clone());
+                }
+                let got = rb.next_frame();
+                match (want, got) {
+                    (Ok(Some(a)), Ok(Some(b))) => prop_assert_eq!(a, b.to_vec()),
+                    (Ok(None), Ok(None)) => break,
+                    (Err(e1), Err(e2)) => {
+                        prop_assert_eq!(e1, e2);
+                        break;
+                    }
+                    (want, got) => prop_assert!(
+                        false,
+                        "buffers disagree: frame={want:?} ring={got:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_frame_encoder_matches_write_frame(resp in response_strategy()) {
+        use rif_server::protocol::encode_response_frame_into;
+        let mut got = Vec::new();
+        encode_response_frame_into(&resp, &mut got);
+        let mut want = Vec::new();
+        write_frame(&mut want, &encode_response(&resp)).expect("vec write");
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,173 @@
+#!/usr/bin/env sh
+# Server-core benchmark: epoll event loop vs thread-per-connection.
+#
+#   scripts/bench_server.sh [--smoke] [--out FILE]
+#
+# Drives the same multiplexed closed loop (`rif-client --mux`) against
+# both front-door cores and writes one JSON document (default
+# BENCH_server.json):
+#
+# - head_to_head: both cores at 1k connections (a count the legacy
+#   core can still serve) — throughput and p99.9 ratios come from here;
+# - scale (full mode only): both cores at 10k connections, where the
+#   thread-per-connection core is expected to degrade or fail outright
+#   — a failure is recorded as {"error": ...}, not papered over.
+#
+# `--smoke` is the CI-sized variant (head-to-head only, fewer
+# requests) that finishes in a couple minutes.
+#
+# The simulator clock is run hot (--time-scale 2000) so simulated flash
+# latency is negligible against wall time: the measured difference is
+# the networking core, which is what this benchmark isolates. A core
+# that fails or times out is recorded as {"error": ...} rather than
+# aborting the run — the comparison is the product.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=full
+OUT=BENCH_server.json
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --smoke) MODE=smoke ;;
+        --out)
+            shift
+            OUT="$1"
+            ;;
+        *)
+            echo "usage: scripts/bench_server.sh [--smoke] [--out FILE]" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+# DEADLINE_MS is per-request: with every connection's request
+# outstanding at once on a small host, seconds of honest queueing delay
+# is the expected regime — a tight deadline would misreport queueing as
+# failure.
+H2H_CONNS=1000
+SCALE_CONNS=10000
+if [ "$MODE" = smoke ]; then
+    REQUESTS=20000
+    THREADS=2
+    LIMIT=180
+    DEADLINE_MS=60000
+else
+    REQUESTS=100000
+    THREADS=4
+    LIMIT=600
+    DEADLINE_MS=240000
+fi
+
+# Each connection is one fd on both sides, plus listener/waker/pipes.
+ulimit -n 20000 2>/dev/null || echo "bench: warning: cannot raise fd limit" >&2
+
+cargo build -q --release -p rif-server
+SRV=./target/release/rif-server
+CLI=./target/release/rif-client
+
+tmpdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+wait_addr() {
+    _log="$1"
+    _i=0
+    while [ "$_i" -lt 100 ]; do
+        _addr="$(sed -n 's/^rif-server listening on //p' "$_log")"
+        if [ -n "$_addr" ]; then
+            printf '%s\n' "$_addr"
+            return 0
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    echo "rif-server never came up; log:" >&2
+    cat "$_log" >&2
+    return 1
+}
+
+# run_core NAME CORE CONNS OUTFILE — one server + one mux load.
+run_core() {
+    _name="$1"
+    _core="$2"
+    _conns="$3"
+    _json="$4"
+    echo "==> $_name core: $_conns connections, $REQUESTS requests" >&2
+    "$SRV" --port 0 --shards 2 --time-scale 2000 --inflight-limit 65536 \
+        --max-connections 0 --core "$_core" --seed 42 > "$tmpdir/$_name.log" &
+    server_pid=$!
+    _addr="$(wait_addr "$tmpdir/$_name.log")"
+    if timeout "$LIMIT" "$CLI" --addr "$_addr" --mux --threads "$THREADS" \
+        --connections "$_conns" --depth 1 --requests "$REQUESTS" \
+        --max-busy-retries 1000000 --deadline-ms "$DEADLINE_MS" \
+        --seed 7 > "$_json"; then
+        cat "$_json" >&2
+    else
+        echo "bench: $_name core failed or exceeded ${LIMIT}s" >&2
+        printf '{"error":"%s core failed or exceeded %ss at %s connections"}\n' \
+            "$_name" "$LIMIT" "$_conns" > "$_json"
+    fi
+    timeout 30 "$CLI" --addr "$_addr" --shutdown > /dev/null 2>&1 \
+        || kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+}
+
+run_core event_loop epoll "$H2H_CONNS" "$tmpdir/evt.json"
+run_core threaded legacy "$H2H_CONNS" "$tmpdir/thr.json"
+if [ "$MODE" = full ]; then
+    run_core event_loop_10k epoll "$SCALE_CONNS" "$tmpdir/evt10k.json"
+    run_core threaded_10k legacy "$SCALE_CONNS" "$tmpdir/thr10k.json"
+fi
+
+# field FILE KEY — pull one numeric field out of a flat report.
+field() {
+    sed -n "s/.*\"$2\":\([0-9.][0-9.]*\).*/\1/p" "$1"
+}
+
+evt_rps="$(field "$tmpdir/evt.json" throughput_rps)"
+thr_rps="$(field "$tmpdir/thr.json" throughput_rps)"
+evt_p999="$(field "$tmpdir/evt.json" p999)"
+thr_p999="$(field "$tmpdir/thr.json" p999)"
+
+if [ -n "$evt_rps" ] && [ -n "$thr_rps" ]; then
+    speedup="$(awk "BEGIN { printf \"%.3f\", $evt_rps / $thr_rps }")"
+    p999_ratio="$(awk "BEGIN { printf \"%.3f\", $thr_p999 / $evt_p999 }")"
+else
+    speedup=null
+    p999_ratio=null
+fi
+
+{
+    printf '{\n'
+    printf '  "bench": "server_core_event_loop_vs_threaded",\n'
+    printf '  "mode": "%s",\n' "$MODE"
+    printf '  "requests": %s,\n' "$REQUESTS"
+    printf '  "client_threads": %s,\n' "$THREADS"
+    printf '  "head_to_head": {\n'
+    printf '    "connections": %s,\n' "$H2H_CONNS"
+    printf '    "event_loop": %s,\n' "$(cat "$tmpdir/evt.json")"
+    printf '    "threaded": %s\n' "$(cat "$tmpdir/thr.json")"
+    printf '  },\n'
+    printf '  "throughput_speedup": %s,\n' "$speedup"
+    printf '  "p999_improvement": %s' "$p999_ratio"
+    if [ "$MODE" = full ]; then
+        printf ',\n  "scale": {\n'
+        printf '    "connections": %s,\n' "$SCALE_CONNS"
+        printf '    "event_loop": %s,\n' "$(cat "$tmpdir/evt10k.json")"
+        printf '    "threaded": %s\n' "$(cat "$tmpdir/thr10k.json")"
+        printf '  }\n'
+    else
+        printf '\n'
+    fi
+    printf '}\n'
+} > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

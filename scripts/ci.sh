@@ -7,7 +7,10 @@
 # gated proptest suites), the decode-kernel perf smoke, a determinism
 # check that --threads does not change a single CSV byte, a trace
 # gate that replays a quick figure run through the invariant checker,
-# and a loopback serving smoke (rif-server + rif-client over TCP).
+# a loopback serving smoke (rif-server + rif-client over TCP), the
+# event-loop high-concurrency gate (1k multiplexed connections), a
+# two-core bench smoke, and the chaos gate (which runs on the default
+# event-loop core).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,11 +20,13 @@ server_pid=""
 rl_pid=""
 cap_pid=""
 rp_pid=""
+mux_pid=""
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
     [ -n "$rl_pid" ] && kill "$rl_pid" 2>/dev/null || true
     [ -n "$cap_pid" ] && kill "$cap_pid" 2>/dev/null || true
     [ -n "$rp_pid" ] && kill "$rp_pid" 2>/dev/null || true
+    [ -n "$mux_pid" ] && kill "$mux_pid" 2>/dev/null || true
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -164,6 +169,38 @@ grep -q '"pass":true' "$tmpdir/livereplay.json"
 timeout 30 "$CLI" --addr "$addr_rp" --shutdown
 wait "$rp_pid" || { echo "replay server exited non-zero"; exit 1; }
 rp_pid=""
+
+# Event-loop high-concurrency gate: 10k requests over 1k multiplexed
+# connections against the default (epoll) core — every request must
+# complete with zero connection, protocol, or terminal errors, and the
+# server must have actually run the readiness loop.
+echo "==> event-loop gate (mux client, 1000 connections, 10k requests)"
+ulimit -n 8192 2>/dev/null || true
+"$SRV" --port 0 --shards 2 --time-scale 500 --inflight-limit 8192 \
+    --seed 46 > "$tmpdir/server_mux.log" &
+mux_pid=$!
+addr_mux="$(wait_addr "$tmpdir/server_mux.log")"
+timeout 180 "$CLI" --addr "$addr_mux" --mux --threads 2 --connections 1000 \
+    --depth 1 --requests 10000 --max-busy-retries 1000000 --seed 5 \
+    > "$tmpdir/mux.json"
+cat "$tmpdir/mux.json"
+grep -q '"completed":10000' "$tmpdir/mux.json"
+grep -q '"conn_errors":0' "$tmpdir/mux.json"
+grep -q '"protocol_errors":0' "$tmpdir/mux.json"
+grep -q '"failed":0' "$tmpdir/mux.json"
+timeout 30 "$CLI" --addr "$addr_mux" --stats > "$tmpdir/mux_stats.txt"
+grep -q '^gauge server\.poller_is_epoll ' "$tmpdir/mux_stats.txt"
+grep -q '^counter server\.epoll_wakeups ' "$tmpdir/mux_stats.txt"
+timeout 30 "$CLI" --addr "$addr_mux" --shutdown
+wait "$mux_pid" || { echo "mux server exited non-zero"; exit 1; }
+mux_pid=""
+
+# Bench smoke: both cores, CI-sized, leaves the comparison artifact in
+# the temp dir (the checked-in BENCH_server.json is the full 10k run).
+echo "==> bench smoke (scripts/bench_server.sh --smoke)"
+sh scripts/bench_server.sh --smoke --out "$tmpdir/BENCH_server.json" > /dev/null
+grep -q '"event_loop": {"completed":20000' "$tmpdir/BENCH_server.json"
+grep -q '"threaded": {"completed":20000' "$tmpdir/BENCH_server.json"
 
 # Chaos gate: 10k requests through the fault-injecting proxy — 10% drop,
 # 5% delay, 2% duplicate, one mid-run worker kill — must finish under the
