@@ -19,6 +19,9 @@
 //!   numerically optimal V_REF via distribution-intersection search;
 //! * [`swift_read`] — the ones-count V_REF estimation of Swift-Read
 //!   (ISSCC'22), which the RVS module of a RiF die reuses (§IV-C);
+//! * [`learn`] — online per-block threshold learning from decode feedback
+//!   (pass/fail, retry counts, syndrome weight, re-calibration
+//!   observations) and the lifetime drift clock for long serving runs;
 //! * [`randomizer`] — the LFSR data scrambler that justifies the uniform
 //!   intra-page error distribution (Fig. 12);
 //! * [`chip`] — flash command timing (tR / tPROG / tBERS / page-buffer
@@ -30,6 +33,7 @@
 pub mod characterize;
 pub mod chip;
 pub mod geometry;
+pub mod learn;
 pub mod mlc;
 pub mod randomizer;
 pub mod rber;
@@ -41,6 +45,7 @@ pub mod vth;
 
 pub use chip::FlashTiming;
 pub use geometry::{FlashGeometry, PageAddress, PageKind};
+pub use learn::{DriftClock, LearnerConfig, ReadOutcome, ThresholdLearner};
 pub use rber::{BlockProfile, ErrorModel};
 pub use vref::ReadVoltages;
 pub use vth::OperatingPoint;

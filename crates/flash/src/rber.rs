@@ -110,6 +110,21 @@ impl ErrorModel {
         self.tlc.rber_avg(op, block.factor, &self.default_refs)
     }
 
+    /// The uniform V_REF offset that near-optimal references apply on
+    /// average at this operating point: the mean over R1–R7 of
+    /// (optimal − default). This is the scalar ground truth the online
+    /// [`crate::learn::ThresholdLearner`] is judged against.
+    pub fn optimal_offset(&self, block: BlockProfile, op: OperatingPoint) -> f64 {
+        let params = self.tlc.state_params(op, block.factor);
+        let optimal = self.tlc.optimal_refs(params);
+        optimal
+            .iter()
+            .zip(&self.default_refs)
+            .map(|(o, d)| o - d)
+            .sum::<f64>()
+            / 7.0
+    }
+
     /// First retention day at which this block's kind-averaged RBER at the
     /// default references exceeds `cap`, searched up to `max_days`.
     /// Returns `None` if the block survives the whole horizon.
@@ -327,5 +342,91 @@ mod tests {
         let model = ErrorModel::calibrated();
         let d = model.days_to_exceed(BlockProfile { factor: 0.55 }, 0, 0.5, 10.0);
         assert_eq!(d, None);
+    }
+
+    #[test]
+    fn days_to_exceed_zero_retention_when_already_over_cap() {
+        // A cap below the fresh-data RBER is exceeded at day zero exactly
+        // (the early-out path, not a bisection result near zero).
+        let model = ErrorModel::calibrated();
+        let m = BlockProfile::median();
+        let fresh = model.rber_avg_default(m, OperatingPoint::new(2000, 0.0));
+        let d = model.days_to_exceed(m, 2000, fresh * 0.5, 60.0);
+        assert_eq!(d, Some(0.0));
+    }
+
+    #[test]
+    fn days_to_exceed_survives_max_pe_cycles() {
+        // u32::MAX wear must not overflow or hang the bisection: the
+        // block is hopeless immediately.
+        let model = ErrorModel::calibrated();
+        let d = model.days_to_exceed(BlockProfile::median(), u32::MAX, 0.0085, 60.0);
+        assert_eq!(d, Some(0.0));
+        // And the RBER itself stays a valid probability.
+        let r = model.rber_avg_default(BlockProfile::median(), OperatingPoint::new(u32::MAX, 0.0));
+        assert!((0.0..=0.5).contains(&r), "rber {r}");
+    }
+
+    #[test]
+    fn rber_at_zero_retention_matches_default_refs() {
+        let model = ErrorModel::calibrated();
+        let m = BlockProfile::median();
+        let op = OperatingPoint::new(1000, 0.0);
+        for kind in PageKind::ALL {
+            let via_at = model.rber_at(m, op, model.default_refs(), kind);
+            let direct = model.rber_default(m, op, kind);
+            assert_eq!(via_at, direct, "{kind}: rber_at diverged at defaults");
+        }
+    }
+
+    #[test]
+    fn rber_at_extreme_offsets_stays_a_probability() {
+        // References anywhere inside the learner's valid window
+        // [min_offset, max_offset] = [-0.6, 0.1] must yield finite RBER
+        // in [0, 0.5] even on a weak, worn, month-old block — the model
+        // guarantee the learner's clamp relies on.
+        let model = ErrorModel::calibrated();
+        let m = BlockProfile { factor: 2.2 };
+        let op = OperatingPoint::new(2000, 30.0);
+        for off in [-0.6, -0.3, 0.0, 0.1] {
+            let refs = model.default_refs().offset_all(off);
+            for kind in PageKind::ALL {
+                let r = model.rber_at(m, op, refs, kind);
+                assert!(
+                    r.is_finite() && (0.0..=0.5).contains(&r),
+                    "offset {off} {kind}: rber {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_voltages_reject_out_of_range_level_index() {
+        // Level indices are 1-based R1..R7; 0 (like 8) is a caller bug.
+        let model = ErrorModel::calibrated();
+        let _ = model.default_refs().get(0);
+    }
+
+    #[test]
+    fn block_table_handles_max_pe_and_day_edges() {
+        // 3000 P/E is the deepest wear stage any sweep drives; the table
+        // must build there (optimal-ref Gaussian intersections included)
+        // and clamp day lookups at both ends of the horizon.
+        let model = ErrorModel::calibrated();
+        let table = BlockErrorTable::build(&model, BlockProfile::median(), 3000, 30.0, 1.0);
+        assert_eq!(table.pe_cycles(), 3000);
+        for kind in PageKind::ALL {
+            let r0 = table.rber_default(kind, 0.0);
+            let r_neg = table.rber_default(kind, -1.0);
+            let r_over = table.rber_default(kind, 1e9);
+            assert_eq!(r0, r_neg, "{kind}: negative days must clamp to day 0");
+            assert_eq!(
+                r_over,
+                table.rber_default(kind, 30.0),
+                "{kind}: beyond-horizon days must clamp to max_days"
+            );
+            assert!(r0.is_finite() && (0.0..=0.5).contains(&r0));
+        }
     }
 }

@@ -252,6 +252,20 @@ impl RpBehavior {
     pub fn sample_retry(&self, rber: f64, rng: &mut SimRng) -> bool {
         rng.chance(self.retry_probability(rber))
     }
+
+    /// Expected pruned-syndrome weight at `rber`, as a fraction of the
+    /// retry threshold ρs: <1 means the page decodes with margin, ≈1
+    /// sits at the capability, >1 is expected to need a retry.
+    ///
+    /// This is the controller-visible "how close to failing" signal
+    /// that online threshold learning consumes — the weight is measured
+    /// by the very syndrome hardware ODEAR's ρs was calibrated on, so a
+    /// learner fed this fraction inherits that calibration instead of
+    /// reading the oracle RBER tables.
+    pub fn expected_weight_fraction(&self, rber: f64) -> f64 {
+        let q = QcLdpcCode::syndrome_probability(self.row_weight, rber.clamp(0.0, 0.5));
+        self.t as f64 * q / self.rho_s.max(1) as f64
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +395,38 @@ mod tests {
             / trials as f64;
         let expect = rp.retry_probability(0.0085);
         assert!((rate - expect).abs() < 0.02, "rate {rate} expect {expect}");
+    }
+
+    #[test]
+    fn expected_weight_fraction_tracks_rho_s() {
+        let rp = RpBehavior::paper_default();
+        // Monotone in RBER, ≈1 where the retry decision flips (the
+        // fraction and retry_probability cross 1 / 0.5 together), and
+        // well-behaved at the extremes.
+        let mut last = 0.0;
+        for i in 0..=50 {
+            let w = rp.expected_weight_fraction(i as f64 * 0.0005);
+            assert!(w.is_finite() && w >= 0.0);
+            assert!(w >= last - 1e-12, "not monotone at step {i}");
+            last = w;
+        }
+        assert_eq!(rp.expected_weight_fraction(0.0), 0.0);
+        // Where the expected weight sits right at ρs, the normal-tail
+        // retry probability must be ≈50 %.
+        let mut lo = 0.0;
+        let mut hi = 0.05;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if rp.expected_weight_fraction(mid) < 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let p = rp.retry_probability(0.5 * (lo + hi));
+        assert!((p - 0.5).abs() < 0.05, "P(retry) at weight==rho_s: {p}");
+        // Clamped far above capability: stays finite.
+        assert!(rp.expected_weight_fraction(0.9).is_finite());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!            [--time-scale X] [--capacity-gib N] [--queue-depth N]
 //!            [--seed N] [--capture FILE] [--core epoll|legacy]
 //!            [--max-connections N] [--write-queue-kib N]
+//!            [--learn] [--drift-days-per-sec X]
 //! ```
 //!
 //! `--core epoll` (default) serves every connection from one
@@ -24,6 +25,10 @@
 //! time. With `--capture FILE` every admitted request is journaled and
 //! written as a captured-trace CSV on shutdown, replayable offline
 //! (`rif-client --replay-offline FILE`) or live (`--replay FILE`).
+//! `--learn` switches the shard simulators from the oracle threshold
+//! tables to online per-block threshold learning (progress appears under
+//! `server.learner.*` in STATS); `--drift-days-per-sec` ages the flash
+//! while serving.
 
 use rif_server::server::{CoreKind, Server, ServerConfig};
 use rif_ssd::RetryKind;
@@ -34,6 +39,7 @@ fn usage() -> ! {
          \x20                 [--inflight-limit N] [--rate N] [--burst N] [--time-scale X]\n\
          \x20                 [--capacity-gib N] [--queue-depth N] [--seed N] [--capture FILE]\n\
          \x20                 [--core epoll|legacy] [--max-connections N] [--write-queue-kib N]\n\
+         \x20                 [--learn] [--drift-days-per-sec X]\n\
          schemes: SENC SWR SWR+ RPSSD RiFSSD SSDone SSDzero"
     );
     std::process::exit(2);
@@ -89,6 +95,12 @@ fn main() {
             "--write-queue-kib" => {
                 let kib: usize = val("--write-queue-kib").parse().unwrap_or_else(|_| usage());
                 cfg.write_queue_limit = kib * 1024;
+            }
+            "--learn" => cfg.learn = true,
+            "--drift-days-per-sec" => {
+                cfg.drift_days_per_sec = val("--drift-days-per-sec")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             _ => usage(),
         }

@@ -100,6 +100,13 @@ pub struct ServerConfig {
     /// to `BUSY(queue)`; at twice this the loop stops reading from the
     /// connection until the queue drains. `0` means unbounded.
     pub write_queue_limit: usize,
+    /// Run the shard simulators with online threshold learning instead
+    /// of the oracle characterization tables; per-shard learner state is
+    /// exported under `server.learner.*` in STATS.
+    pub learn: bool,
+    /// Lifetime drift rate for the shard simulators, in extra retention
+    /// days per simulated second. `0` (default) disables drift.
+    pub drift_days_per_sec: f64,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +126,8 @@ impl Default for ServerConfig {
             core: CoreKind::EventLoop,
             max_connections: 16_384,
             write_queue_limit: 256 << 10,
+            learn: false,
+            drift_days_per_sec: 0.0,
         }
     }
 }
@@ -210,6 +219,16 @@ impl Server {
             let mut sim_cfg = SsdConfig::small(cfg.retry, cfg.pe_cycles);
             sim_cfg.queue_depth = cfg.queue_depth;
             sim_cfg.seed = cfg.seed + spec.index as u64;
+            if cfg.learn {
+                sim_cfg.learning =
+                    rif_ssd::LearningMode::Learned(rif_ssd::LearnerConfig::default_paper());
+            }
+            if cfg.drift_days_per_sec > 0.0 {
+                sim_cfg.drift = rif_ssd::DriftClock {
+                    days_per_sec: cfg.drift_days_per_sec,
+                    pe_per_sec: 0.0,
+                };
+            }
             let (tx, rx) = mpsc::channel();
             let handle = spawn_shard(
                 spec,

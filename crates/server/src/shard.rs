@@ -326,11 +326,30 @@ impl Worker {
 
         let done = self.sim.drain_completions();
         if !done.is_empty() {
+            let learner = self.sim.learner_summary();
             let mut m = self.metrics();
             for c in &done {
                 m.inc("server.completed", 1);
                 m.inc(&format!("server.completed.{}", self.shard_label), 1);
                 m.observe("server.latency.virtual", c.latency());
+            }
+            // Learned mode: export the shard's live learner state so STATS
+            // shows threshold-learning progress while the server runs.
+            if let Some(l) = learner {
+                let tag = &self.shard_label;
+                m.set_gauge(&format!("server.learner.{tag}.updates"), l.updates as f64);
+                m.set_gauge(
+                    &format!("server.learner.{tag}.recalibrations"),
+                    l.recalibrations as f64,
+                );
+                m.set_gauge(
+                    &format!("server.learner.{tag}.blocks_tracked"),
+                    l.blocks_tracked as f64,
+                );
+                m.set_gauge(
+                    &format!("server.learner.{tag}.mean_abs_error"),
+                    l.mean_abs_error,
+                );
             }
         }
         for c in done {
@@ -559,6 +578,63 @@ mod tests {
 
         let m = metrics.lock().unwrap().clone();
         assert_eq!(m.counter("server.shard_crashes"), 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn learned_shard_exports_learner_gauges() {
+        use rif_ssd::{LearnerConfig, LearningMode, RetryKind};
+        use std::sync::mpsc;
+
+        let clock = VirtualClock::start(10_000.0);
+        let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let (tx, rx) = mpsc::channel();
+        let spec = ShardSpec {
+            index: 0,
+            base_offset: 0,
+            span_bytes: 1 << 30,
+        };
+        let mut cfg = SsdConfig::small(RetryKind::Rif, 2000);
+        cfg.learning = LearningMode::Learned(LearnerConfig::default_paper());
+        let recorder = Arc::new(TraceRecorder::new(false));
+        let handle = spawn_shard(
+            spec,
+            cfg,
+            clock,
+            Arc::clone(&metrics),
+            recorder,
+            rx,
+            tx.clone(),
+        )
+        .expect("spawn shard");
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for i in 0..8u64 {
+            handle.inflight.fetch_add(1, Ordering::AcqRel);
+            tx.send(ShardMsg::Submit(Submission {
+                tag: i,
+                op: IoOp::Read,
+                offset: i * 65536,
+                bytes: 65536,
+                reply: ReplyTo::Channel(reply_tx.clone()),
+            }))
+            .unwrap();
+        }
+        for _ in 0..8 {
+            let r = reply_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("learned shard must serve");
+            assert!(matches!(r, Response::Done { .. }), "unexpected: {r:?}");
+        }
+        let m = metrics.lock().unwrap().clone();
+        assert!(
+            m.gauge("server.learner.shard0.updates").unwrap_or(0.0) > 0.0,
+            "learner update gauge missing from STATS metrics"
+        );
+        let err = m
+            .gauge("server.learner.shard0.mean_abs_error")
+            .expect("error gauge present");
+        assert!(err.is_finite() && err >= 0.0);
         handle.stop();
     }
 }

@@ -3,11 +3,42 @@
 use rif_events::SimDuration;
 use rif_flash::chip::FlashTiming;
 use rif_flash::geometry::FlashGeometry;
+use rif_flash::learn::{DriftClock, LearnerConfig};
 use rif_flash::rber::ErrorModel;
 use rif_ldpc::EccModel;
 use rif_odear::RpBehavior;
 
 use crate::retry::RetryKind;
+
+/// How the simulated controller obtains per-block read thresholds.
+#[derive(Debug, Clone)]
+pub enum LearningMode {
+    /// Device-characterization tables (§VI-A): every read starts from the
+    /// exact per-block RBER the extended MQSim-E would look up. This is
+    /// the pre-learning behaviour and stays byte-identical to it.
+    Oracle,
+    /// Online per-block threshold learning: initial reads use the
+    /// [`rif_flash::ThresholdLearner`]'s V_REF estimates and every decode
+    /// outcome (plus ones-count re-calibrations on retries) feeds back
+    /// into them. The oracle tables remain available for A/B comparison
+    /// as the ground truth the learner is scored against.
+    Learned(LearnerConfig),
+}
+
+impl LearningMode {
+    /// Whether the learned path is active.
+    pub fn is_learned(&self) -> bool {
+        matches!(self, LearningMode::Learned(_))
+    }
+
+    /// The learner configuration, when learning is enabled.
+    pub fn learner_config(&self) -> Option<&LearnerConfig> {
+        match self {
+            LearningMode::Oracle => None,
+            LearningMode::Learned(cfg) => Some(cfg),
+        }
+    }
+}
 
 /// Full configuration of a simulated SSD run.
 ///
@@ -50,6 +81,13 @@ pub struct SsdConfig {
     pub refresh_days: f64,
     /// RNG seed for all stochastic draws of the run.
     pub seed: u64,
+    /// Threshold source: oracle characterization tables (default, the
+    /// paper's configuration) or online per-block learning.
+    pub learning: LearningMode,
+    /// Lifetime drift clock: advances retention age and P/E wear with
+    /// simulated time during long runs. Disabled by default, in which
+    /// case it contributes exactly nothing to any operating point.
+    pub drift: DriftClock,
     /// Program/erase suspend-resume: when enabled, an arriving read
     /// preempts an in-flight program or erase on its die (the remainder
     /// resumes afterwards plus [`SsdConfig::suspend_overhead`]). An
@@ -80,6 +118,8 @@ impl SsdConfig {
             queue_depth: 64,
             refresh_days: 30.0,
             seed: 0x5EED,
+            learning: LearningMode::Oracle,
+            drift: DriftClock::disabled(),
             read_suspend: false,
             suspend_overhead: SimDuration::from_us(20),
             forced_failure_slots: None,
@@ -123,6 +163,10 @@ impl SsdConfig {
             self.host_bw_bytes_per_sec > 0,
             "host bandwidth must be positive"
         );
+        self.drift.validate();
+        if let Some(learn) = self.learning.learner_config() {
+            learn.validate();
+        }
     }
 }
 
@@ -156,6 +200,38 @@ mod tests {
     fn validate_rejects_zero_qd() {
         let mut c = SsdConfig::small(RetryKind::Zero, 0);
         c.queue_depth = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn default_learning_is_oracle_with_drift_off() {
+        let c = SsdConfig::paper(RetryKind::Rif, 1000);
+        assert!(!c.learning.is_learned());
+        assert!(c.learning.learner_config().is_none());
+        assert!(!c.drift.enabled());
+        c.validate();
+    }
+
+    #[test]
+    fn learned_mode_validates_its_config() {
+        let mut c = SsdConfig::small(RetryKind::Rif, 2000);
+        c.learning = LearningMode::Learned(LearnerConfig::default_paper());
+        c.drift = DriftClock {
+            days_per_sec: 100.0,
+            pe_per_sec: 5.0,
+        };
+        assert!(c.learning.is_learned());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_negative_drift() {
+        let mut c = SsdConfig::small(RetryKind::Zero, 0);
+        c.drift = DriftClock {
+            days_per_sec: -1.0,
+            pe_per_sec: 0.0,
+        };
         c.validate();
     }
 }

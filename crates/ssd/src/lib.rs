@@ -35,8 +35,9 @@ pub mod simulator;
 pub mod timeline;
 pub mod tracecheck;
 
-pub use config::SsdConfig;
-pub use report::{ChannelUsage, SimReport};
+pub use config::{LearningMode, SsdConfig};
+pub use report::{ChannelUsage, LearnerSummary, SimReport};
 pub use retry::RetryKind;
+pub use rif_flash::learn::{DriftClock, LearnerConfig};
 pub use simulator::{Completion, Simulator};
 pub use tracecheck::{TraceChecker, Violation};

@@ -67,12 +67,33 @@ impl ChannelUsage {
     }
 }
 
+/// Aggregate state of the online threshold learner at the end of a
+/// learned-mode run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnerSummary {
+    /// Read outcomes folded into the estimates.
+    pub updates: u64,
+    /// Updates that consumed a ones-count re-calibration observation.
+    pub recalibrations: u64,
+    /// Updates cut short by the valid V_REF offset window.
+    pub clamps: u64,
+    /// Blocks with a learned estimate.
+    pub blocks_tracked: u64,
+    /// Mean absolute estimate error against the oracle's optimal offset,
+    /// averaged over every update of the run (volts).
+    pub mean_abs_error: f64,
+}
+
 /// The results of one simulated run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
     /// The populated metrics registry, when the run was started with
     /// [`crate::Simulator::with_metrics`]; `None` otherwise.
     pub metrics: Option<MetricsRegistry>,
+    /// Threshold-learner summary; `None` when the run used the oracle
+    /// tables (which also keeps oracle-mode JSON byte-identical to
+    /// pre-learning reports).
+    pub learner: Option<LearnerSummary>,
     /// The scheme that produced this report.
     pub scheme: RetryKind,
     /// The wear stage of the run.
@@ -183,6 +204,12 @@ impl SimReport {
         ));
         s.push_str(&format!("  \"page_senses\": {},\n", self.page_senses));
         s.push_str(&format!("  \"gc_relocations\": {},\n", self.gc_relocations));
+        if let Some(l) = &self.learner {
+            s.push_str(&format!(
+                "  \"learner\": {{\"updates\": {}, \"recalibrations\": {}, \"clamps\": {}, \"blocks_tracked\": {}, \"mean_abs_error\": {}}},\n",
+                l.updates, l.recalibrations, l.clamps, l.blocks_tracked, f(l.mean_abs_error),
+            ));
+        }
         s.push_str("  \"metrics\": [");
         if let Some(m) = &self.metrics {
             for (i, line) in m.lines().iter().enumerate() {
@@ -263,6 +290,7 @@ mod tests {
     fn sample_report() -> SimReport {
         SimReport {
             metrics: None,
+            learner: None,
             scheme: RetryKind::Zero,
             pe_cycles: 0,
             completed_requests: 1,
@@ -294,6 +322,7 @@ mod tests {
     fn bandwidth_computation() {
         let r = SimReport {
             metrics: None,
+            learner: None,
             scheme: RetryKind::Zero,
             pe_cycles: 0,
             completed_requests: 1,
@@ -315,5 +344,25 @@ mod tests {
     #[should_panic(expected = "4 channel states")]
     fn from_fractions_validates() {
         let _ = ChannelUsage::from_fractions(&[0.5, 0.5]);
+    }
+
+    #[test]
+    fn learner_summary_appears_only_in_learned_reports() {
+        let oracle = sample_report();
+        assert!(!oracle.to_json().contains("\"learner\""));
+        let mut learned = sample_report();
+        learned.learner = Some(LearnerSummary {
+            updates: 10,
+            recalibrations: 3,
+            clamps: 1,
+            blocks_tracked: 4,
+            mean_abs_error: 0.0123456789,
+        });
+        let j = learned.to_json();
+        assert!(j.contains(
+            "\"learner\": {\"updates\": 10, \"recalibrations\": 3, \
+             \"clamps\": 1, \"blocks_tracked\": 4, \"mean_abs_error\": 0.012346}"
+        ));
+        assert_eq!(j.to_string(), learned.to_json(), "canonical across calls");
     }
 }

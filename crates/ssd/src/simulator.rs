@@ -22,13 +22,15 @@ use std::collections::VecDeque;
 use rif_events::trace::{labeled, MetricsRegistry, TraceSink, Tracer};
 use rif_events::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, UtilizationTracker};
 use rif_flash::geometry::PageKind;
+use rif_flash::learn::{ReadOutcome, ThresholdLearner};
 use rif_flash::rber::BlockProfile;
+use rif_flash::swift_read::SwiftRead;
 use rif_flash::vth::OperatingPoint;
 use rif_workloads::{IoOp, IoRequest, Trace};
 
 use crate::config::SsdConfig;
 use crate::ftl::{Ftl, SlotLocation};
-use crate::report::{ChannelUsage, SimReport};
+use crate::report::{ChannelUsage, LearnerSummary, SimReport};
 use crate::retention::RetentionTracker;
 use crate::retry::RetryKind;
 
@@ -66,9 +68,22 @@ struct ReadGroup {
     loc: SlotLocation,
     n_pages: usize,
     kind: PageKind,
+    /// Operating point the group is read at (drift-adjusted when the
+    /// drift clock runs).
+    op: OperatingPoint,
+    /// Process-variation profile of the block holding the slot.
+    block: BlockProfile,
+    /// Global block id — the learner's key.
+    block_id: u64,
     rber_optimal: f64,
     /// RBER of the currently sensed data.
     cur_rber: f64,
+    /// RBER the first decode attempt saw (the syndrome-weight signal the
+    /// learned controller observes).
+    first_rber: f64,
+    /// Uniform V_REF offset the latest ones-count re-calibration settled
+    /// on (learned mode only).
+    recal_offset: Option<f64>,
     /// Whether every page of the current phase fails its decode.
     decode_fails: bool,
     /// Per-page latency the ECC engine spends in the current phase.
@@ -244,6 +259,11 @@ pub struct Simulator {
     backlog: VecDeque<usize>,
     outstanding: usize,
     completions: Vec<Completion>,
+    // Online threshold learning (oracle mode leaves all three inert).
+    learner: Option<ThresholdLearner>,
+    swift: Option<SwiftRead>,
+    learn_err_sum: f64,
+    learn_err_samples: u64,
     // Observability (both off by default and free when off).
     tracer: Tracer,
     metrics: Option<MetricsRegistry>,
@@ -280,9 +300,20 @@ impl Simulator {
                 current_span: 0,
             })
             .collect();
+        let learner = cfg
+            .learning
+            .learner_config()
+            .map(|c| ThresholdLearner::new(*c));
+        let swift = learner
+            .as_ref()
+            .map(|_| SwiftRead::new(cfg.error_model.tlc().clone()));
         Simulator {
             rng: SimRng::seed_from(cfg.seed),
             ftl: Ftl::new(cfg.geometry),
+            learner,
+            swift,
+            learn_err_sum: 0.0,
+            learn_err_samples: 0,
             retention: RetentionTracker::new(cfg.refresh_days, cfg.seed ^ 0xA5E),
             dies: (0..n_dies).map(|_| Die::default()).collect(),
             channels,
@@ -462,10 +493,31 @@ impl Simulator {
         self.requests.len() - self.completed_requests as usize
     }
 
+    /// Snapshot of the threshold learner's state (`None` in oracle mode).
+    /// Live during a stepper-driven run, so a serving layer can export
+    /// the learner's progress while requests are still in flight.
+    pub fn learner_summary(&self) -> Option<LearnerSummary> {
+        self.learner.as_ref().map(|l| {
+            let s = l.stats();
+            LearnerSummary {
+                updates: s.updates,
+                recalibrations: s.recalibrations,
+                clamps: s.clamps,
+                blocks_tracked: l.blocks_tracked() as u64,
+                mean_abs_error: if self.learn_err_samples == 0 {
+                    0.0
+                } else {
+                    self.learn_err_sum / self.learn_err_samples as f64
+                },
+            }
+        })
+    }
+
     /// Consumes the simulator and produces the aggregate report for
     /// everything simulated so far.
     pub fn finish(mut self) -> SimReport {
         let end = self.last_completion;
+        let learner_summary = self.learner_summary();
         self.tracer.flush();
         let per_channel_usage: Vec<ChannelUsage> = std::mem::take(&mut self.channels)
             .into_iter()
@@ -494,11 +546,16 @@ impl Simulator {
             }
             m.inc(&labeled("retries.in_die", scheme), self.in_die_retries);
             m.inc(&labeled("decode.failures", scheme), self.decode_failures);
+            if let Some(ls) = &learner_summary {
+                m.set_gauge("learner.blocks_tracked", ls.blocks_tracked as f64);
+                m.set_gauge("learner.mean_abs_error", ls.mean_abs_error);
+            }
             m.set_gauge("makespan_us", end.as_us());
             m
         });
         SimReport {
             metrics,
+            learner: learner_summary,
             scheme: self.cfg.retry,
             pe_cycles: self.cfg.pe_cycles,
             completed_requests: self.completed_requests,
@@ -597,16 +654,32 @@ impl Simulator {
         let loc = self.ftl.locate_read(slot);
         let reads = self.ftl.note_read(loc);
         let age = self.retention.age_days(slot, now);
-        let op = OperatingPoint {
+        let mut op = OperatingPoint {
             pe_cycles: self.cfg.pe_cycles,
             retention_days: age,
             reads,
         };
+        if self.cfg.drift.enabled() {
+            // Long serving runs age while serving: the drift clock turns
+            // elapsed simulated time into extra retention and wear.
+            let secs = now.since(SimTime::ZERO).as_ns() as f64 / 1e9;
+            op.retention_days += self.cfg.drift.extra_days(secs);
+            op.pe_cycles = op.pe_cycles.saturating_add(self.cfg.drift.extra_pe(secs));
+        }
         let block = self.block_profile(loc);
+        let block_id = loc.global_block(&self.cfg.geometry);
         let kind = loc.kind();
         let rber_default = self.cfg.error_model.rber_default(block, op, kind);
         let rber_optimal = self.cfg.error_model.rber_optimal(block, op, kind);
-        let initial = self.cfg.retry.initial_rber(rber_default, rber_optimal);
+        let initial = match &self.learner {
+            // Learned mode: every scheme starts from the controller's
+            // current per-block V_REF estimate, not the oracle tables.
+            Some(l) => {
+                let refs = l.refs_for(block_id, self.cfg.error_model.default_refs());
+                self.cfg.error_model.rber_at(block, op, refs, kind)
+            }
+            None => self.cfg.retry.initial_rber(rber_default, rber_optimal),
+        };
         let gid = self.groups.len();
         self.groups.push(ReadGroup {
             req,
@@ -614,8 +687,13 @@ impl Simulator {
             loc,
             n_pages,
             kind,
+            op,
+            block,
+            block_id,
             rber_optimal,
             cur_rber: initial,
+            first_rber: initial,
+            recal_offset: None,
             decode_fails: false,
             decode_duration: SimDuration::ZERO,
             pages_remaining: 0,
@@ -632,6 +710,9 @@ impl Simulator {
                     .span_begin(now, "group", Some(parent), None, Some(req as u64), None);
             if self.groups[gid].rif_retried_in_die {
                 self.count(now, "retries.in_die", 1);
+                if self.groups[gid].recal_offset.is_some() {
+                    self.emit_recal_marker(now, gid);
+                }
             }
         }
         gid
@@ -658,21 +739,29 @@ impl Simulator {
         let initial = self.groups[gid].cur_rber;
         let optimal = self.groups[gid].rber_optimal;
         let forced = self.forced_fail(self.groups[gid].slot);
-        let (cur, fails, in_die_retry) = match self.cfg.retry {
-            RetryKind::Zero => (initial, false, false),
+        let (cur, fails, in_die_retry, recal) = match self.cfg.retry {
+            RetryKind::Zero => (initial, false, false, None),
             RetryKind::Rif => {
                 let rp_retry = match forced {
                     Some(f) => f,
                     None => self.cfg.rp.sample_retry(initial, &mut self.rng),
                 };
                 if rp_retry {
-                    // In-die retry: data re-sensed at near-optimal refs
-                    // before any transfer.
+                    // In-die retry: data re-sensed before any transfer.
+                    // The oracle re-senses at near-optimal refs; the
+                    // learned RVS runs its ones-count calibration and
+                    // surfaces the offset it settled on.
+                    let (rber, recal) = if self.learner.is_some() {
+                        let (r, o) = self.recalibrate_rber(gid);
+                        (r, Some(o))
+                    } else {
+                        (optimal, None)
+                    };
                     let fails = match forced {
                         Some(_) => false,
-                        None => self.cfg.ecc.sample_failure(optimal, &mut self.rng),
+                        None => self.cfg.ecc.sample_failure(rber, &mut self.rng),
                     };
-                    (optimal, fails, true)
+                    (rber, fails, true, recal)
                 } else {
                     // Transferred as-is; a missed prediction still fails
                     // at the off-chip decoder.
@@ -680,7 +769,7 @@ impl Simulator {
                         Some(f) => f,
                         None => self.cfg.ecc.sample_failure(initial, &mut self.rng),
                     };
-                    (initial, fails, false)
+                    (initial, fails, false, None)
                 }
             }
             _ => {
@@ -688,7 +777,7 @@ impl Simulator {
                     Some(f) => f,
                     None => self.cfg.ecc.sample_failure(initial, &mut self.rng),
                 };
-                (initial, fails, false)
+                (initial, fails, false, None)
             }
         };
         if in_die_retry {
@@ -697,10 +786,59 @@ impl Simulator {
         let (dur, fail_out) = self.decode_profile(cur, fails, forced.is_some());
         let g = &mut self.groups[gid];
         g.cur_rber = cur;
+        g.first_rber = cur;
+        g.recal_offset = recal;
         g.decode_fails = fail_out;
         g.decode_duration = dur;
         g.attempt = 1;
         g.rif_retried_in_die = in_die_retry;
+    }
+
+    /// Runs the ones-count re-calibration (the Swift-Read / RVS flow) for
+    /// a group's block and returns the RBER at the selected references
+    /// plus the uniform offset they apply relative to the defaults — the
+    /// noisy drift observation the learner consumes.
+    fn recalibrate_rber(&mut self, gid: usize) -> (f64, f64) {
+        let (op, block, kind) = {
+            let g = &self.groups[gid];
+            (g.op, g.block, g.kind)
+        };
+        let n_cells = self.cfg.geometry.page_bytes * 8;
+        let sw = self.swift.as_ref().expect("learned mode has an estimator");
+        let observed = sw.observe_ones(op, block.factor, kind, n_cells, &mut self.rng);
+        let refs = sw.refs_from_observation(op.pe_cycles, kind, observed);
+        let defaults = self.cfg.error_model.default_refs();
+        let offset = refs
+            .as_array()
+            .iter()
+            .zip(defaults.as_array())
+            .map(|(r, d)| r - d)
+            .sum::<f64>()
+            / 7.0;
+        let rber = self.cfg.error_model.rber_at(block, op, refs, kind);
+        (rber, offset)
+    }
+
+    /// Marks a learned re-calibration in the trace: a zero-length `retry`
+    /// span with a nested zero-length `recal` child under the group span
+    /// (the invariant the trace checker's learner rule pins).
+    fn emit_recal_marker(&mut self, now: SimTime, gid: usize) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let parent = self.groups[gid].span;
+        if parent == 0 {
+            return;
+        }
+        let req = Some(self.groups[gid].req as u64);
+        let retry = self
+            .tracer
+            .span_begin(now, "retry", Some(parent), None, req, None);
+        let recal = self
+            .tracer
+            .span_begin(now, "recal", Some(retry), None, req, None);
+        self.tracer.span_end(now, recal);
+        self.tracer.span_end(now, retry);
     }
 
     /// Per-page ECC-engine occupancy and final outcome for a page of the
@@ -1116,23 +1254,35 @@ impl Simulator {
         let slot = self.groups[gid].slot;
         let attempt = self.groups[gid].attempt + 1;
         let rber_optimal = self.groups[gid].rber_optimal;
-        // The corrective read senses at near-optimal references; after four
-        // attempts assume the vendor sequence exhausted and force success
-        // (never observed — optimal RBER sits far below the capability).
+        // The corrective read senses at near-optimal references (oracle)
+        // or at the references the ones-count re-calibration picks
+        // (learned); after four attempts assume the vendor sequence
+        // exhausted and force success (never observed — retry RBER sits
+        // far below the capability).
+        let (retry_rber, recal) = if self.learner.is_some() {
+            let (r, o) = self.recalibrate_rber(gid);
+            self.emit_recal_marker(now, gid);
+            (r, Some(o))
+        } else {
+            (rber_optimal, None)
+        };
         let fails = if self.forced_fail(slot).is_some() || attempt > 4 {
             false
         } else {
-            self.cfg.ecc.sample_failure(rber_optimal, &mut self.rng)
+            self.cfg.ecc.sample_failure(retry_rber, &mut self.rng)
         };
         let (dur, fail_out) = if fails {
             (self.cfg.ecc.t_ecc_failure(), true)
         } else {
-            (self.cfg.ecc.t_ecc(rber_optimal), false)
+            (self.cfg.ecc.t_ecc(retry_rber), false)
         };
         let g = &mut self.groups[gid];
         g.phase = GroupPhase::Retry;
         g.attempt = attempt;
-        g.cur_rber = rber_optimal;
+        g.cur_rber = retry_rber;
+        if recal.is_some() {
+            g.recal_offset = recal;
+        }
         g.decode_fails = fail_out;
         g.decode_duration = dur;
         let die = g.loc.die_linear;
@@ -1147,6 +1297,9 @@ impl Simulator {
     }
 
     fn group_done(&mut self, now: SimTime, gid: usize) {
+        if self.learner.is_some() {
+            self.learner_update(now, gid);
+        }
         let req = self.groups[gid].req;
         if self.groups[gid].span != 0 {
             self.tracer.span_end(now, self.groups[gid].span);
@@ -1155,6 +1308,45 @@ impl Simulator {
         self.requests[req].remaining -= 1;
         if self.requests[req].remaining == 0 {
             self.host_enqueue(now, HostJob::ReadCompletion { req });
+        }
+    }
+
+    /// Folds a finished group's outcome into the threshold learner and
+    /// scores the updated estimate against the oracle's optimal offset.
+    fn learner_update(&mut self, now: SimTime, gid: usize) {
+        let (block_id, op, block, outcome) = {
+            let g = &self.groups[gid];
+            let failed = g.attempt > 1 || g.rif_retried_in_die;
+            let retries = g.attempt.saturating_sub(1) + u32::from(g.rif_retried_in_die);
+            // Only schemes with syndrome-weight visibility (a predictor,
+            // or SWR+'s tracking hardware) feed the weight signal.
+            let syndrome_frac =
+                if self.cfg.retry.has_predictor() || self.cfg.retry == RetryKind::SwiftReadPlus {
+                    self.cfg.rp.expected_weight_fraction(g.first_rber)
+                } else {
+                    0.0
+                };
+            let outcome = ReadOutcome {
+                failed,
+                retries,
+                syndrome_frac,
+                recalibrated_offset: g.recal_offset,
+            };
+            (g.block_id, g.op, g.block, outcome)
+        };
+        let learner = self.learner.as_mut().expect("learner checked by caller");
+        learner.observe(block_id, &outcome);
+        let est = learner.offset(block_id);
+        let truth = self.cfg.error_model.optimal_offset(block, op);
+        let err = (est - truth).abs();
+        self.learn_err_sum += err;
+        self.learn_err_samples += 1;
+        if self.observing() {
+            self.count(now, "learner.updates", 1);
+            if outcome.recalibrated_offset.is_some() {
+                self.count(now, "learner.recalibrations", 1);
+            }
+            self.tracer.gauge(now, "learner.estimate_error", err);
         }
     }
 
@@ -1702,5 +1894,93 @@ mod tests {
         assert_eq!(a.completed_bytes, b.completed_bytes);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.decode_failures, b.decode_failures);
+    }
+
+    fn learned_cfg(retry: RetryKind, pe: u32) -> SsdConfig {
+        let mut cfg = SsdConfig::small(retry, pe);
+        cfg.learning =
+            crate::config::LearningMode::Learned(rif_flash::learn::LearnerConfig::default_paper());
+        cfg
+    }
+
+    fn aged_trace(n: usize, seed: u64) -> Trace {
+        SynthConfig {
+            read_ratio: 0.9,
+            cold_read_ratio: 0.7,
+            ..SynthConfig::default()
+        }
+        .generate(n, seed)
+    }
+
+    #[test]
+    fn learned_mode_populates_summary_oracle_does_not() {
+        let trace = aged_trace(150, 9);
+        let oracle = Simulator::new(SsdConfig::small(RetryKind::Rif, 2000)).run(&trace);
+        assert!(oracle.learner.is_none());
+        assert!(!oracle.to_json().contains("\"learner\""));
+        let learned = Simulator::new(learned_cfg(RetryKind::Rif, 2000)).run(&trace);
+        let l = learned.learner.expect("learned run must summarize");
+        assert!(l.updates > 0, "no learner updates");
+        assert!(l.blocks_tracked > 0);
+        assert!(l.mean_abs_error.is_finite() && l.mean_abs_error >= 0.0);
+        assert!(learned.to_json().contains("\"learner\""));
+    }
+
+    #[test]
+    fn learned_runs_are_deterministic() {
+        let trace = aged_trace(120, 11);
+        let run = || {
+            Simulator::new(learned_cfg(RetryKind::SwiftReadPlus, 2000))
+                .with_metrics()
+                .run(&trace)
+                .to_json()
+        };
+        assert_eq!(run(), run(), "learned mode must stay reproducible");
+    }
+
+    #[test]
+    fn rif_learned_recalibrations_feed_the_learner() {
+        // At heavy wear the RP fires often, so the RVS re-calibration
+        // path must dominate the learner's observations.
+        let trace = aged_trace(200, 13);
+        let report = Simulator::new(learned_cfg(RetryKind::Rif, 2000)).run(&trace);
+        let l = report.learner.unwrap();
+        assert!(
+            l.recalibrations > 0,
+            "in-die retries produced no re-calibration observations"
+        );
+        assert!(l.recalibrations <= l.updates);
+    }
+
+    #[test]
+    fn drift_clock_ages_groups_mid_run() {
+        // An extreme drift rate must change learned-mode behaviour versus
+        // the same run without drift; with the clock disabled the two
+        // configurations are identical.
+        let trace = aged_trace(150, 17);
+        let still = Simulator::new(learned_cfg(RetryKind::SwiftRead, 1000)).run(&trace);
+        let mut cfg = learned_cfg(RetryKind::SwiftRead, 1000);
+        cfg.drift = rif_flash::learn::DriftClock {
+            days_per_sec: 2000.0,
+            pe_per_sec: 100_000.0,
+        };
+        let drifted = Simulator::new(cfg).run(&trace);
+        assert_ne!(
+            still.to_json(),
+            drifted.to_json(),
+            "drift clock had no observable effect"
+        );
+    }
+
+    #[test]
+    fn oracle_mode_draws_no_learner_randomness() {
+        // The learned path must not perturb the oracle path's RNG stream:
+        // an oracle run constructed after the learned types existed still
+        // matches a fresh oracle run bit-for-bit (the full cross-version
+        // pin lives in tests/golden/oracle_seed_reports.json).
+        let trace = aged_trace(100, 19);
+        let a = Simulator::new(SsdConfig::small(RetryKind::Rif, 2000)).run(&trace);
+        let b = Simulator::new(SsdConfig::small(RetryKind::Rif, 2000)).run(&trace);
+        assert_eq!(a.to_json(), b.to_json());
     }
 }

@@ -18,6 +18,9 @@
 //! 6. **ECCWAIT ⊆ decoder busy** — a channel may sit in ECCWAIT only
 //!    while its ECC engine is decoding (a full buffer with an idle
 //!    decoder would be a scheduling bug).
+//! 7. **Learner telemetry** — every `recal` span nests directly inside a
+//!    `retry` span (threshold re-calibration happens only as part of a
+//!    retry), and every `learner.*` gauge observation is finite.
 
 use std::collections::BTreeMap;
 
@@ -28,7 +31,8 @@ use rif_events::SimTime;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Short rule name (`span-form`, `nesting`, `exclusivity`,
-    /// `request-conservation`, `byte-conservation`, `eccwait`, `order`).
+    /// `request-conservation`, `byte-conservation`, `eccwait`, `order`,
+    /// `learner`).
     pub rule: &'static str,
     /// Human-readable description of the failure.
     pub detail: String,
@@ -90,6 +94,7 @@ impl TraceChecker {
         c.check_requests(records, &spans);
         c.check_bytes(records, &spans);
         c.check_eccwait(records, &spans);
+        c.check_learner(records, &spans);
         c.violations
     }
 
@@ -377,6 +382,39 @@ impl TraceChecker {
         }
     }
 
+    /// Learner telemetry: `recal` spans only ever appear as children of
+    /// `retry` spans, and `learner.*` gauges carry finite values.
+    fn check_learner(&mut self, records: &[TraceRecord], spans: &BTreeMap<u64, SpanInfo>) {
+        for (id, s) in spans {
+            if s.name != "recal" {
+                continue;
+            }
+            let parent_is_retry = s
+                .parent
+                .and_then(|pid| spans.get(&pid))
+                .is_some_and(|p| p.name == "retry");
+            if !parent_is_retry {
+                self.fail(
+                    "learner",
+                    format!(
+                        "recal span {id} at {} ns is not nested in a retry span",
+                        s.begin.as_ns()
+                    ),
+                );
+            }
+        }
+        for r in records {
+            if let TraceRecord::Gauge { t, key, value } = r {
+                if key.starts_with("learner.") && !value.is_finite() {
+                    self.fail(
+                        "learner",
+                        format!("gauge {key} non-finite ({value}) at {} ns", t.as_ns()),
+                    );
+                }
+            }
+        }
+    }
+
     fn check_wait_covered(
         &mut self,
         chan: &str,
@@ -543,6 +581,55 @@ mod tests {
             tr.span_end(t(40), b);
         });
         assert!(TraceChecker::check(&recs).is_empty());
+    }
+
+    #[test]
+    fn recal_outside_retry_flagged() {
+        let recs = emit(|tr| {
+            let g = tr.span_begin(t(0), "group", None, None, None, None);
+            // A recal hung straight off the group span, skipping the
+            // retry marker, is a learner-wiring bug.
+            let r = tr.span_begin(t(5), "recal", Some(g), None, None, None);
+            tr.span_end(t(5), r);
+            tr.span_end(t(10), g);
+        });
+        assert!(rules(&TraceChecker::check(&recs)).contains(&"learner"));
+    }
+
+    #[test]
+    fn recal_nested_in_retry_passes() {
+        let recs = emit(|tr| {
+            let g = tr.span_begin(t(0), "group", None, None, None, None);
+            let retry = tr.span_begin(t(5), "retry", Some(g), None, None, None);
+            let r = tr.span_begin(t(5), "recal", Some(retry), None, None, None);
+            tr.span_end(t(5), r);
+            tr.span_end(t(5), retry);
+            tr.gauge(t(5), "learner.estimate_error", 0.02);
+            tr.span_end(t(10), g);
+        });
+        assert!(TraceChecker::check(&recs).is_empty());
+    }
+
+    #[test]
+    fn non_finite_learner_gauge_flagged() {
+        // Built directly rather than via the JSONL round-trip: NaN is
+        // not representable in JSON, which is exactly why the checker
+        // must catch it before a sink chokes on it.
+        let recs = vec![
+            TraceRecord::Gauge {
+                t: t(0),
+                key: "learner.estimate_error".to_string(),
+                value: f64::NAN,
+            },
+            // Non-learner gauges are outside this rule's scope.
+            TraceRecord::Gauge {
+                t: t(1),
+                key: "queue.headroom".to_string(),
+                value: f64::INFINITY,
+            },
+        ];
+        let v = TraceChecker::check(&recs);
+        assert_eq!(rules(&v), ["learner"]);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Regenerates the pinned oracle-mode golden reports used by
+//! `tests/sim_determinism_golden.rs::oracle_reports_match_pinned_golden`.
+//!
+//! The dump must only be refreshed when an intentional behaviour change
+//! to the oracle path lands (and the diff reviewed); the test exists to
+//! catch *unintentional* byte drift from refactors:
+//!
+//! ```sh
+//! cargo run --release --example dump_oracle_golden > tests/golden/oracle_seed_reports.json
+//! ```
+//!
+//! The configuration mirrors `golden_run` in the determinism suite: the
+//! small geometry at 2000 P/E, queue depth 16, one (scheme, seed) pair
+//! per retry engine, tracing and metrics enabled.
+
+use rif_events::trace::{JsonlSink, SharedBuf};
+use rif_ssd::{RetryKind, Simulator, SsdConfig};
+use rif_workloads::SynthConfig;
+
+fn main() {
+    for (i, retry) in RetryKind::ALL.into_iter().enumerate() {
+        let seed = 100 + i as u64;
+        let trace = SynthConfig {
+            read_ratio: 0.8,
+            cold_read_ratio: 0.5,
+            ..SynthConfig::default()
+        }
+        .generate(120, seed);
+        let mut cfg = SsdConfig::small(retry, 2000);
+        cfg.queue_depth = 16;
+        cfg.seed = seed;
+        let buf = SharedBuf::new();
+        let report = Simulator::new(cfg)
+            .with_tracer(Box::new(JsonlSink::new(buf.clone())))
+            .with_metrics()
+            .run(&trace);
+        println!("=== {} seed {seed} ===", retry.label());
+        print!("{}", report.to_json());
+    }
+}

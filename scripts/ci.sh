@@ -7,6 +7,8 @@
 # gated proptest suites), the decode-kernel perf smoke, a determinism
 # check that --threads does not change a single CSV byte, a trace
 # gate that replays a quick figure run through the invariant checker,
+# the lifetime-sweep smoke (learned-threshold retry activity against its
+# checked-in envelope),
 # a loopback serving smoke (rif-server + rif-client over TCP), the
 # event-loop high-concurrency gate (1k multiplexed connections), a
 # two-core bench smoke, and the chaos gate (which runs on the default
@@ -45,7 +47,7 @@ cargo test -q --workspace
 
 echo "==> cargo test -q --features proptest (vendored shim)"
 cargo test -q --features proptest --test proptest_invariants --test proptest_parser \
-    --test proptest_capture
+    --test proptest_capture --test learner_convergence
 cargo test -q -p rif-server --features proptest --test proptest_frames
 
 echo "==> perf_smoke --quick"
@@ -62,6 +64,14 @@ echo "==> trace-invariant gate (fig19 --trace-out, then trace_check)"
 cargo run -q --release -p rif-bench --bin fig19_latency_cdf -- \
     --quick --seed 42 --trace-out "$tmpdir/trace" > /dev/null
 cargo run -q --release -p rif-bench --bin trace_check -- "$tmpdir"/trace-*.jsonl
+
+echo "==> lifetime-sweep smoke (learned thresholds inside the envelope)"
+# Oracle-vs-learned sweep over the CI scheme subset; learned-mode retry
+# activity must stay inside the checked-in behavioural envelope
+# (regenerate with --write-envelope and review the diff when the learner
+# constants change intentionally).
+cargo run -q --release -p rif-bench --bin lifetime_sweep -- \
+    --quick --schemes ci --seed 42 --check-envelope results/lifetime_envelope.csv
 
 echo "==> loopback serving smoke (rif-server + rif-client)"
 # Every client step runs under a hard timeout so a wedged server cannot

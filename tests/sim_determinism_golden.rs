@@ -7,7 +7,7 @@
 use rif_events::parallel_trials;
 use rif_events::trace::{JsonlSink, SharedBuf};
 use rif_events::{SimDuration, SimTime};
-use rif_ssd::{RetryKind, Simulator, SsdConfig};
+use rif_ssd::{DriftClock, LearnerConfig, LearningMode, RetryKind, Simulator, SsdConfig};
 use rif_workloads::{SynthConfig, Trace};
 
 /// One fully-observed run: returns the canonical report JSON and the
@@ -131,6 +131,102 @@ fn stepper_completions_account_for_every_request() {
     }
     assert!(seen.iter().all(|&s| s), "some requests never completed");
     assert_eq!(sim.unfinished_requests(), 0);
+}
+
+/// Oracle-mode reports are pinned to a checked-in golden file: any byte
+/// drift in the seven schemes' canonical reports — from refactors of the
+/// simulator, the retry engines, or the serializer — fails here until the
+/// dump is intentionally regenerated and the diff reviewed:
+///
+/// ```sh
+/// cargo run --release --example dump_oracle_golden > tests/golden/oracle_seed_reports.json
+/// ```
+#[test]
+fn oracle_reports_match_pinned_golden() {
+    let mut dump = String::new();
+    for (i, retry) in RetryKind::ALL.into_iter().enumerate() {
+        let seed = 100 + i as u64;
+        let (json, trace) = golden_run(retry, seed);
+        assert!(!trace.is_empty(), "{retry}: traced run produced no log");
+        dump.push_str(&format!("=== {} seed {seed} ===\n", retry.label()));
+        dump.push_str(&json);
+    }
+    let pinned = include_str!("golden/oracle_seed_reports.json");
+    assert!(
+        dump == pinned,
+        "oracle reports drifted from tests/golden/oracle_seed_reports.json; \
+         if the change is intentional, regenerate the dump and review the diff"
+    );
+}
+
+/// One fully-observed *learned-mode* run: online threshold learning on,
+/// the drift clock ageing data mid-run at `days_per_sec`.
+fn learned_run(retry: RetryKind, days_per_sec: f64, seed: u64) -> (String, String) {
+    let trace = SynthConfig {
+        read_ratio: 0.9,
+        cold_read_ratio: 0.6,
+        ..SynthConfig::default()
+    }
+    .generate(120, seed);
+    let mut cfg = SsdConfig::small(retry, 2000);
+    cfg.queue_depth = 16;
+    cfg.seed = seed;
+    cfg.learning = LearningMode::Learned(LearnerConfig::default_paper());
+    cfg.drift = DriftClock {
+        days_per_sec,
+        pe_per_sec: 0.0,
+    };
+    let buf = SharedBuf::new();
+    let report = Simulator::new(cfg)
+        .with_tracer(Box::new(JsonlSink::new(buf.clone())))
+        .with_metrics()
+        .run(&trace);
+    (report.to_json(), buf.contents())
+}
+
+/// The learned-mode grid: three schemes spanning the learner's code
+/// paths (in-die recal, predictor feedback, plain retries) × two drift
+/// schedules (static and fast-ageing).
+const LEARNED_GRID: [(RetryKind, f64); 6] = [
+    (RetryKind::Rif, 0.0),
+    (RetryKind::Rif, 400.0),
+    (RetryKind::SwiftReadPlus, 0.0),
+    (RetryKind::SwiftReadPlus, 400.0),
+    (RetryKind::IdealOne, 0.0),
+    (RetryKind::IdealOne, 400.0),
+];
+
+fn learned_trial(i: usize) -> (String, String) {
+    let (retry, dps) = LEARNED_GRID[i % LEARNED_GRID.len()];
+    learned_run(retry, dps, 300 + i as u64)
+}
+
+#[test]
+fn learned_reports_identical_across_thread_counts_and_reruns() {
+    let n = LEARNED_GRID.len();
+    let serial = parallel_trials(1, n, learned_trial);
+    let threaded = parallel_trials(8, n, learned_trial);
+    let again = parallel_trials(8, n, learned_trial);
+    for (i, (s, t)) in serial.iter().zip(threaded.iter()).enumerate() {
+        let (retry, dps) = LEARNED_GRID[i];
+        assert!(
+            s.0.contains("\"learner\""),
+            "{retry}/d{dps}: learned report missing learner summary"
+        );
+        assert!(!s.1.is_empty(), "{retry}/d{dps}: no trace log");
+        assert_eq!(s.0, t.0, "{retry}/d{dps}: report JSON diverged");
+        assert_eq!(s.1, t.1, "{retry}/d{dps}: trace log diverged");
+    }
+    assert_eq!(threaded, again, "back-to-back learned runs must agree");
+}
+
+#[test]
+fn drift_schedule_actually_changes_learned_runs() {
+    // Guard against the drift clock silently becoming a no-op, which
+    // would let the grid above pass while testing half its intent.
+    let (static_json, _) = learned_run(RetryKind::Rif, 0.0, 300);
+    let (drifted_json, _) = learned_run(RetryKind::Rif, 400.0, 300);
+    assert_ne!(static_json, drifted_json);
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use rif_events::trace::{JsonlSink, SharedBuf, TraceRecord};
 use rif_ssd::tracecheck::TraceChecker;
-use rif_ssd::{RetryKind, Simulator, SsdConfig};
+use rif_ssd::{DriftClock, LearnerConfig, LearningMode, RetryKind, Simulator, SsdConfig};
 use rif_workloads::{SynthConfig, Trace};
 
 /// Runs one traced simulation and returns (parsed records, completed
@@ -121,6 +121,66 @@ fn forced_retry_paths_stay_clean() {
             violations.is_empty(),
             "forced-retry/{retry} violated invariants: {violations:?}"
         );
+    }
+}
+
+#[test]
+fn learned_mode_traces_clean_with_recal_markers() {
+    // Learned-mode runs add retry/recal marker spans and learner gauges
+    // to the trace; all seven invariants — including the learner rule,
+    // which pins recal-inside-retry nesting and finite estimate-error
+    // gauges — must hold, and the markers must actually appear for a
+    // scheme that recalibrates (otherwise the learner rule passes
+    // vacuously).
+    let trace = SynthConfig {
+        read_ratio: 0.9,
+        cold_read_ratio: 0.7,
+        ..SynthConfig::default()
+    }
+    .generate(200, 17);
+    for retry in [
+        RetryKind::Rif,
+        RetryKind::SwiftReadPlus,
+        RetryKind::IdealOne,
+    ] {
+        let mut cfg = SsdConfig::small(retry, 2000);
+        cfg.queue_depth = 16;
+        cfg.learning = LearningMode::Learned(LearnerConfig::default_paper());
+        cfg.drift = DriftClock {
+            days_per_sec: 400.0,
+            pe_per_sec: 0.0,
+        };
+        let buf = SharedBuf::new();
+        Simulator::new(cfg)
+            .with_tracer(Box::new(JsonlSink::new(buf.clone())))
+            .with_metrics()
+            .run(&trace);
+        let records = TraceRecord::parse_jsonl(&buf.contents()).expect("emitted trace parses");
+        let violations = TraceChecker::check(&records);
+        assert!(
+            violations.is_empty(),
+            "learned/{retry} violated invariants:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let recals = records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::SpanBegin { name, .. } if name == "recal"))
+            .count();
+        let gauges = records
+            .iter()
+            .filter(
+                |r| matches!(r, TraceRecord::Gauge { key, .. } if key == "learner.estimate_error"),
+            )
+            .count();
+        assert!(
+            recals > 0,
+            "learned/{retry}: no recal markers in an ageing run"
+        );
+        assert!(gauges > 0, "learned/{retry}: no estimate-error gauges");
     }
 }
 
