@@ -8,6 +8,8 @@
 //!               [--read-ratio X] [--workload-seed N]
 //! rif-chaos proxy --upstream ADDR [--port N] [--seed N] [--plan SPEC]
 //! rif-chaos schedule [--seed N] [--plan SPEC] [--conns N] [--frames N]
+//! rif-chaos cluster [--requests N] [--depth N] [--ranges N] [--seed N]
+//!                   [--read-ratio X] [--kill-after-ms N] [--rebalance-after-ms N]
 //! ```
 //!
 //! `run` executes a full in-process scenario (server + fault proxy +
@@ -21,6 +23,11 @@
 //!
 //! `schedule` prints the deterministic fault schedule for a plan — the
 //! reproducibility artifact: same seed, same bytes.
+//!
+//! `cluster` runs the kill-and-rebalance scenario: two cluster nodes
+//! behind a shard directory, routed load, one node hard-killed mid-run
+//! and its ranges rebalanced onto the survivor. Prints `report`,
+//! `cluster`, and `verdict` JSON lines; exits 0 only on PASS.
 //!
 //! A `--seed` flag overrides any `seed=` inside `--plan`.
 
@@ -37,6 +44,8 @@ fn usage() -> ! {
          \x20                    [--read-ratio X] [--workload-seed N]\n\
          \x20      rif-chaos proxy --upstream ADDR [--port N] [--seed N] [--plan SPEC]\n\
          \x20      rif-chaos schedule [--seed N] [--plan SPEC] [--conns N] [--frames N]\n\
+         \x20      rif-chaos cluster [--requests N] [--depth N] [--ranges N] [--seed N]\n\
+         \x20                        [--read-ratio X] [--kill-after-ms N] [--rebalance-after-ms N]\n\
          plan spec: key=value[,key=value...] with keys seed, up.drop, up.delay,\n\
          up.delay_us, up.dup, up.corrupt, up.trunc, up.reset (same for down.*),\n\
          and kill=<shard>@<frames>+<restart_ms> (repeatable)"
@@ -63,6 +72,7 @@ fn main() {
         "run" => run_cmd(&rest),
         "proxy" => proxy_cmd(&rest),
         "schedule" => schedule_cmd(&rest),
+        "cluster" => cluster_cmd(&rest),
         _ => usage(),
     }
 }
@@ -174,6 +184,53 @@ fn proxy_cmd(rest: &[String]) {
     // Standalone mode runs until killed.
     loop {
         std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn cluster_cmd(rest: &[String]) {
+    use rif_chaos::cluster::{run_cluster_scenario, ClusterScenarioConfig};
+    let flags = flag_map(rest);
+    let mut cfg = ClusterScenarioConfig::default();
+    if let Some(v) = get(&flags, "--requests") {
+        cfg.requests = parse_or_usage(v, "--requests");
+    }
+    if let Some(v) = get(&flags, "--depth") {
+        cfg.depth = parse_or_usage(v, "--depth");
+    }
+    if let Some(v) = get(&flags, "--ranges") {
+        cfg.ranges = parse_or_usage(v, "--ranges");
+    }
+    if let Some(v) = get(&flags, "--seed") {
+        cfg.seed = parse_or_usage(v, "--seed");
+    }
+    if let Some(v) = get(&flags, "--read-ratio") {
+        cfg.read_ratio = parse_or_usage(v, "--read-ratio");
+    }
+    if let Some(v) = get(&flags, "--kill-after-ms") {
+        cfg.kill_after = Duration::from_millis(parse_or_usage(v, "--kill-after-ms"));
+    }
+    if let Some(v) = get(&flags, "--rebalance-after-ms") {
+        cfg.rebalance_after = Duration::from_millis(parse_or_usage(v, "--rebalance-after-ms"));
+    }
+
+    match run_cluster_scenario(&cfg) {
+        Ok(outcome) => {
+            println!("{{\"report\":{}}}", outcome.report.to_json());
+            println!(
+                "{{\"cluster\":{{\"killed\":\"{}\",\"final_epoch\":{},\"ranges_moved\":{},\
+                 \"conn_losses\":{}}}}}",
+                outcome.killed,
+                outcome.final_epoch,
+                outcome.ranges_moved,
+                outcome.journal.conn_losses
+            );
+            println!("{}", outcome.verdict.to_json());
+            std::process::exit(if outcome.verdict.pass { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("rif-chaos: cluster scenario failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -1,0 +1,169 @@
+//! The cluster chaos scenario: kill-and-rebalance under load.
+//!
+//! Two cluster nodes serve a shared LBA space behind a shard directory.
+//! A routed closed-loop client drives mixed READ/WRITE traffic; mid-load
+//! a watcher hard-kills one node ([`Server::kill`]), waits an outage
+//! window, and asks the directory to [`rebalance_away`] the dead node —
+//! rendezvous re-placement moves only the dead node's ranges onto the
+//! survivor, and a cluster-wide `MAP_PUSH` bumps the epoch.
+//!
+//! The run ends with the same [`ContractChecker`] audit the single-node
+//! chaos gate uses, applied to the *whole cluster journal*: every tag
+//! the router ever put on the wire resolves exactly once, and
+//! `completed + failed + busy_dropped` accounts for every planned
+//! request. A killed node may cost operations (conn errors, drops) but
+//! can never lose or double-execute one.
+//!
+//! [`rebalance_away`]: rif_cluster::Directory::rebalance_away
+
+use std::io;
+use std::thread;
+use std::time::Duration;
+
+use rif_cluster::{Directory, NodeInfo, RouterConfig, ShardMap};
+use rif_server::client::{Journal, LoadReport};
+use rif_server::server::{Server, ServerConfig};
+
+use crate::contract::{ContractChecker, ContractVerdict};
+
+/// Knobs for one kill-and-rebalance run.
+#[derive(Debug, Clone)]
+pub struct ClusterScenarioConfig {
+    /// Total requests through the router.
+    pub requests: u64,
+    /// Router's global in-flight window.
+    pub depth: usize,
+    /// LBA ranges in the map (each node runs this many shard workers).
+    pub ranges: u32,
+    /// Fraction of reads in the workload.
+    pub read_ratio: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Virtual-time acceleration of the simulated devices.
+    pub time_scale: f64,
+    /// Load runtime before the kill fires.
+    pub kill_after: Duration,
+    /// Outage window between the kill and the directory rebalance.
+    pub rebalance_after: Duration,
+}
+
+impl Default for ClusterScenarioConfig {
+    fn default() -> Self {
+        // Sized so the load comfortably outlasts kill + rebalance at the
+        // router's measured ~30k rps: the outage must land mid-run, not
+        // after the last request settled.
+        ClusterScenarioConfig {
+            requests: 20_000,
+            depth: 32,
+            ranges: 4,
+            read_ratio: 0.9,
+            seed: 1,
+            time_scale: 200.0,
+            kill_after: Duration::from_millis(150),
+            rebalance_after: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The artifacts of one kill-and-rebalance run.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// The router's aggregate report.
+    pub report: LoadReport,
+    /// The full cluster-wide request journal.
+    pub journal: Journal,
+    /// The contract audit over that journal.
+    pub verdict: ContractVerdict,
+    /// Node id the scenario killed.
+    pub killed: String,
+    /// Map epoch after the rebalance (initial map is epoch 1).
+    pub final_epoch: u64,
+    /// Ranges the rebalance moved off the dead node.
+    pub ranges_moved: usize,
+}
+
+/// Runs the kill-and-rebalance scenario and audits the journal.
+pub fn run_cluster_scenario(cfg: &ClusterScenarioConfig) -> io::Result<ClusterOutcome> {
+    let capacity: u64 = 8 << 30;
+    let node_cfg = |seed: u64| ServerConfig {
+        shards: cfg.ranges as usize,
+        capacity_bytes: capacity,
+        cluster: true,
+        time_scale: cfg.time_scale,
+        seed,
+        ..ServerConfig::default()
+    };
+    let node_a = Server::start(node_cfg(cfg.seed), 0)?;
+    let node_b = Server::start(node_cfg(cfg.seed + 1), 0)?;
+    let map = ShardMap::rebalanced(
+        1,
+        capacity,
+        cfg.ranges,
+        vec![
+            NodeInfo {
+                id: "a".into(),
+                addr: node_a.local_addr().to_string(),
+            },
+            NodeInfo {
+                id: "b".into(),
+                addr: node_b.local_addr().to_string(),
+            },
+        ],
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+
+    // Kill the node owning the most ranges: the hardest rebalance the
+    // two-node map offers (ties break toward node a).
+    let (killed, survivor_owned) = if map.owned_ranges("a").len() >= map.owned_ranges("b").len() {
+        ("a", map.owned_ranges("b").len())
+    } else {
+        ("b", map.owned_ranges("a").len())
+    };
+    let ranges_moved = cfg.ranges as usize - survivor_owned;
+
+    let dir = Directory::start(map, 0)?;
+    let router_cfg = RouterConfig {
+        directory: dir.addr().to_string(),
+        requests: cfg.requests,
+        depth: cfg.depth,
+        read_ratio: cfg.read_ratio,
+        seed: cfg.seed,
+        request_bytes: 16 * 1024,
+        // Budget rides out the whole outage window: the dead node's
+        // ranges bounce on connect failures until the rebalance lands.
+        max_busy_retries: 500,
+        busy_backoff: Duration::from_millis(1),
+        ..RouterConfig::default()
+    };
+
+    let (doomed, survivor) = if killed == "a" {
+        (node_a, node_b)
+    } else {
+        (node_b, node_a)
+    };
+    let mut doomed = Some(doomed);
+    let loaded = thread::scope(|s| {
+        let loader = s.spawn(|| rif_cluster::run_routed(&router_cfg));
+        thread::sleep(cfg.kill_after);
+        if let Some(node) = doomed.take() {
+            node.kill();
+        }
+        thread::sleep(cfg.rebalance_after);
+        dir.rebalance_away(killed).ok();
+        loader.join().expect("router thread")
+    });
+    let final_epoch = dir.map().epoch;
+    dir.stop();
+    survivor.stop();
+
+    let (report, journal) = loaded?;
+    let verdict = ContractChecker::strict().check(&journal, &report, cfg.requests);
+    Ok(ClusterOutcome {
+        report,
+        journal,
+        verdict,
+        killed: killed.to_string(),
+        final_epoch,
+        ranges_moved,
+    })
+}

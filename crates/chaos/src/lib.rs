@@ -17,7 +17,10 @@
 //!   DONE/BUSY/ERROR or a clean connection error — never silence, never
 //!   duplicate completions;
 //! - [`scenario`] — one-call harness (server + proxy + journaled client
-//!   + worker-kill watcher + audit) used by the ci chaos gate.
+//!   + worker-kill watcher + audit) used by the ci chaos gate;
+//! - [`cluster`] — the multi-node harness: two cluster nodes behind a
+//!   shard directory, a routed client, one node hard-killed mid-load and
+//!   its ranges rebalanced away, audited with the same checker.
 //!
 //! Like `rif-server`, everything is plain `std`.
 //!
@@ -39,11 +42,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod contract;
 pub mod plan;
 pub mod proxy;
 pub mod scenario;
 
+pub use cluster::{run_cluster_scenario, ClusterOutcome, ClusterScenarioConfig};
 pub use contract::{ContractChecker, ContractVerdict};
 pub use plan::{Decision, DecisionStream, DirRates, Direction, FaultPlan, KillSpec};
 pub use proxy::{ChaosProxy, FaultStats, FaultStatsSnapshot};

@@ -1,0 +1,96 @@
+//! Cluster-level chaos acceptance tests.
+//!
+//! The headline gate: two cluster nodes behind a shard directory, routed
+//! load, one node hard-killed mid-run, its ranges rebalanced onto the
+//! survivor — and the strict ContractChecker still passes over the whole
+//! cluster journal. Plus the reconnect-backoff regression: a seeded
+//! flapping proxy (frequent connection resets with successes in between)
+//! must not snowball the client's backoff, because one success resets
+//! the per-endpoint strike decay.
+
+use std::time::Duration;
+
+use rif_chaos::cluster::{run_cluster_scenario, ClusterScenarioConfig};
+use rif_chaos::plan::FaultPlan;
+use rif_chaos::scenario::{run_scenario, ScenarioConfig};
+
+#[test]
+fn kill_and_rebalance_passes_the_contract() {
+    let outcome = run_cluster_scenario(&ClusterScenarioConfig {
+        requests: 20_000,
+        seed: 3,
+        ..ClusterScenarioConfig::default()
+    })
+    .expect("cluster scenario runs");
+    assert!(outcome.verdict.pass, "{}", outcome.verdict.to_json());
+    // The kill really happened and the directory really rebalanced.
+    assert!(outcome.ranges_moved > 0, "kill target owned no ranges");
+    assert!(
+        outcome.final_epoch >= 2,
+        "rebalance must bump the epoch: {}",
+        outcome.final_epoch
+    );
+    // The kill landed *mid-run*: the router lost its connection to the
+    // dead node. (The rest of the outage can be report-silent by
+    // design — refused connects to the dead endpoint are pre-admission
+    // refusals — but the severed connection always shows up as a
+    // journal-level connection loss.) Zero losses means the load
+    // finished before the kill and the scenario proved nothing.
+    assert!(
+        outcome.journal.conn_losses > 0,
+        "kill was not client-visible — load likely finished first: {:?}",
+        outcome.report
+    );
+    // The outage is visible but bounded: the survivor serves a majority
+    // of the load after the handover.
+    assert!(
+        outcome.report.completed > outcome.report.busy_dropped,
+        "survivor should complete more than the outage dropped: {:?}",
+        outcome.report
+    );
+    assert_eq!(
+        outcome.report.completed + outcome.report.failed + outcome.report.busy_dropped,
+        20_000,
+        "ledger gap: {:?}",
+        outcome.report
+    );
+}
+
+#[test]
+fn flapping_proxy_does_not_snowball_reconnect_backoff() {
+    // A flapping link: both directions reset often enough that every
+    // connection dies multiple times, with working stretches in between.
+    // Before backoff state was persisted per endpoint *with decay on
+    // success*, each flap doubled the reconnect delay for the rest of
+    // the run; the symptom was a tail of timed-out operations once
+    // delays hit the cap. With the fix the run stays mostly completed.
+    let plan = FaultPlan::parse("seed=77,up.reset=0.004,down.reset=0.004").unwrap();
+    let outcome = run_scenario(&ScenarioConfig {
+        plan,
+        requests: 3_000,
+        connections: 2,
+        depth: 8,
+        shards: 2,
+        time_scale: 200.0,
+        workload_seed: 7,
+        read_ratio: 0.9,
+        request_deadline: Duration::from_millis(250),
+    })
+    .expect("scenario runs");
+    assert!(outcome.verdict.pass, "{}", outcome.verdict.to_json());
+    assert!(
+        outcome.faults.resets >= 5,
+        "plan was supposed to flap: {:?}",
+        outcome.faults
+    );
+    assert!(
+        outcome.report.reconnects >= 5,
+        "client must keep reconnecting through flaps: {:?}",
+        outcome.report
+    );
+    assert!(
+        outcome.report.completed > 3_000 / 2,
+        "a flapping link with fresh backoff still completes a majority: {:?}",
+        outcome.report
+    );
+}

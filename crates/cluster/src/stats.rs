@@ -1,0 +1,258 @@
+//! Cluster-wide STATS aggregation.
+//!
+//! Every node answers `STATS` with the deterministic text rendering of
+//! its [`rif_events::trace::MetricsRegistry`] — one `kind key value`
+//! line per metric. This module parses those texts back into structured
+//! form and folds any number of them into one cluster report using the
+//! same reduction rules as `MetricsRegistry::merge`: counters add,
+//! gauges take the maximum (they are saturation-style gauges), and
+//! histograms combine count-sum / count-weighted mean / max-max.
+//!
+//! The aggregated report keeps both views, deterministically ordered:
+//!
+//! ```text
+//! # rif-cluster-stats v1 nodes=2
+//! cluster counter server.accepted 200
+//! cluster gauge server.write_queue.saturation 0.250000
+//! cluster histogram server.latency count=200 mean_us=81.250 max_us=412.000
+//! node a counter server.accepted 120
+//! node b counter server.accepted 80
+//! ```
+
+use std::collections::BTreeMap;
+
+/// One parsed `histogram` line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStat {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Maximum latency in microseconds.
+    pub max_us: f64,
+}
+
+/// The structured form of one node's STATS text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeStats {
+    /// Monotonic counters by key.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges by key.
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency summaries by key.
+    pub histograms: BTreeMap<String, HistStat>,
+}
+
+/// A STATS line that does not match the `MetricsRegistry::lines` shape
+/// (1-based line number).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsParseError(pub usize);
+
+impl std::fmt::Display for StatsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stats line {}: malformed metric line", self.0)
+    }
+}
+
+impl std::error::Error for StatsParseError {}
+
+impl NodeStats {
+    /// Parses the text a node returns for `STATS`. Empty text is a
+    /// valid, empty registry.
+    pub fn parse_text(text: &str) -> Result<NodeStats, StatsParseError> {
+        let mut out = NodeStats::default();
+        for (i, line) in text.lines().enumerate() {
+            let err = || StatsParseError(i + 1);
+            let mut parts = line.split(' ');
+            match (parts.next(), parts.next()) {
+                (Some("counter"), Some(k)) => {
+                    let v = parts.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+                    if parts.next().is_some() {
+                        return Err(err());
+                    }
+                    out.counters.insert(k.to_string(), v);
+                }
+                (Some("gauge"), Some(k)) => {
+                    let v: f64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+                    if parts.next().is_some() || !v.is_finite() {
+                        return Err(err());
+                    }
+                    out.gauges.insert(k.to_string(), v);
+                }
+                (Some("histogram"), Some(k)) => {
+                    let mut field = |name: &str| -> Result<f64, StatsParseError> {
+                        parts
+                            .next()
+                            .and_then(|kv| kv.strip_prefix(name))
+                            .and_then(|kv| kv.strip_prefix('='))
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(err)
+                    };
+                    let count = field("count")?;
+                    let mean_us = field("mean_us")?;
+                    let max_us = field("max_us")?;
+                    if parts.next().is_some() || count < 0.0 || count.fract() != 0.0 {
+                        return Err(err());
+                    }
+                    out.histograms.insert(
+                        k.to_string(),
+                        HistStat {
+                            count: count as u64,
+                            mean_us,
+                            max_us,
+                        },
+                    );
+                }
+                _ => return Err(err()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Folds `other` into `self` with the cluster reduction rules:
+    /// counters add, gauges max, histograms count-sum with
+    /// count-weighted mean and max-max.
+    pub fn merge(&mut self, other: &NodeStats) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(v);
+            *slot = slot.max(v);
+        }
+        for (k, &h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => {
+                    let total = mine.count + h.count;
+                    if total > 0 {
+                        mine.mean_us = (mine.mean_us * mine.count as f64
+                            + h.mean_us * h.count as f64)
+                            / total as f64;
+                    }
+                    mine.count = total;
+                    mine.max_us = mine.max_us.max(h.max_us);
+                }
+                None => {
+                    self.histograms.insert(k.clone(), h);
+                }
+            }
+        }
+    }
+
+    fn lines_with_prefix(&self, prefix: &str, out: &mut String) {
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{prefix} counter {k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{prefix} gauge {k} {v:.6}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{prefix} histogram {k} count={} mean_us={:.3} max_us={:.3}\n",
+                h.count, h.mean_us, h.max_us
+            ));
+        }
+    }
+}
+
+/// Renders the cluster report: one `cluster`-prefixed aggregate section
+/// followed by each node's own metrics under `node <id>`. Nodes are
+/// emitted in the order given (the caller passes them map-sorted), and
+/// every section sorts by key, so the report is deterministic.
+pub fn cluster_report(per_node: &[(String, NodeStats)]) -> String {
+    let mut total = NodeStats::default();
+    for (_, s) in per_node {
+        total.merge(s);
+    }
+    let mut out = format!("# rif-cluster-stats v1 nodes={}\n", per_node.len());
+    total.lines_with_prefix("cluster", &mut out);
+    for (id, s) in per_node {
+        s.lines_with_prefix(&format!("node {id}"), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_registry_rendering_exactly() {
+        use rif_events::trace::MetricsRegistry;
+        use rif_events::SimDuration;
+        let mut m = MetricsRegistry::new();
+        m.inc("server.accepted", 3);
+        m.set_gauge("server.depth", 0.5);
+        m.observe("server.latency", SimDuration::from_us(10));
+        m.observe("server.latency", SimDuration::from_us(30));
+        let parsed = NodeStats::parse_text(&m.lines().join("\n")).unwrap();
+        assert_eq!(parsed.counters["server.accepted"], 3);
+        assert_eq!(parsed.gauges["server.depth"], 0.5);
+        let h = parsed.histograms["server.latency"];
+        assert_eq!(h.count, 2);
+        assert!((h.mean_us - 20.0).abs() < 1e-3);
+        assert!((h.max_us - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn malformed_stats_lines_are_rejected() {
+        for text in [
+            "counter a",
+            "counter a x",
+            "counter a 1 2",
+            "gauge g nan",
+            "gauge g",
+            "histogram h count=1 mean_us=2",
+            "histogram h count=-1 mean_us=2.0 max_us=3.0",
+            "frob a 1",
+        ] {
+            assert_eq!(
+                NodeStats::parse_text(text),
+                Err(StatsParseError(1)),
+                "text {text:?}"
+            );
+        }
+        assert_eq!(
+            NodeStats::parse_text("counter a 1\nbad"),
+            Err(StatsParseError(2))
+        );
+        assert!(NodeStats::parse_text("").unwrap().counters.is_empty());
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_weights_histograms() {
+        let a = NodeStats::parse_text(
+            "counter c 10\ngauge g 0.200000\nhistogram h count=2 mean_us=10.000 max_us=20.000",
+        )
+        .unwrap();
+        let b = NodeStats::parse_text(
+            "counter c 5\ncounter only_b 1\ngauge g 0.700000\nhistogram h count=6 mean_us=30.000 max_us=90.000",
+        )
+        .unwrap();
+        let mut total = a.clone();
+        total.merge(&b);
+        assert_eq!(total.counters["c"], 15);
+        assert_eq!(total.counters["only_b"], 1);
+        assert_eq!(total.gauges["g"], 0.7);
+        let h = total.histograms["h"];
+        assert_eq!(h.count, 8);
+        assert!(
+            (h.mean_us - 25.0).abs() < 1e-9,
+            "weighted mean, got {}",
+            h.mean_us
+        );
+        assert_eq!(h.max_us, 90.0);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_sectioned() {
+        let a = NodeStats::parse_text("counter c 1").unwrap();
+        let b = NodeStats::parse_text("counter c 2").unwrap();
+        let report = cluster_report(&[("a".into(), a), ("b".into(), b)]);
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines[0], "# rif-cluster-stats v1 nodes=2");
+        assert_eq!(lines[1], "cluster counter c 3");
+        assert_eq!(lines[2], "node a counter c 1");
+        assert_eq!(lines[3], "node b counter c 2");
+    }
+}

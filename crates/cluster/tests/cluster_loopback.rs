@@ -1,0 +1,247 @@
+//! Loopback cluster integration: a directory and two in-process cluster
+//! nodes on ephemeral ports, with one **live shard migration** under a
+//! 20k-request mixed READ/WRITE load through the router.
+//!
+//! Asserted end-to-end:
+//!
+//! * exactly-one-outcome — every journal record resolves exactly once,
+//!   no conflicting receipts, no unknown tags, and the report ledger
+//!   accounts for every planned request (the ContractChecker clauses,
+//!   checked directly to keep the dependency arrow chaos → cluster);
+//! * learner continuity — the migrated range's ThresholdLearner arrives
+//!   on the target with its update counter intact (the target's
+//!   `server.learner.shard<r>.updates` gauge resumes from at least the
+//!   source's pre-migration value instead of restarting at zero);
+//! * the cluster STATS plane sees both nodes and sums their counters.
+
+use std::time::{Duration, Instant};
+
+use rif_cluster::stats::NodeStats;
+use rif_cluster::{Directory, NodeInfo, RouterConfig, ShardMap};
+use rif_server::client::Conn;
+use rif_server::protocol::{Request, Response};
+use rif_server::server::{Server, ServerConfig};
+
+const RANGES: u32 = 4;
+const CAPACITY: u64 = 8 << 30;
+
+fn start_node(seed: u64) -> Server {
+    Server::start(
+        ServerConfig {
+            shards: RANGES as usize,
+            capacity_bytes: CAPACITY,
+            cluster: true,
+            learn: true,
+            time_scale: 200.0,
+            seed,
+            ..ServerConfig::default()
+        },
+        0,
+    )
+    .expect("node starts")
+}
+
+/// One STATS round-trip against a node.
+fn node_stats(addr: &str) -> NodeStats {
+    let mut conn = Conn::connect(addr).expect("connect for stats");
+    conn.send(&Request::Stats { tag: 42 }).expect("send STATS");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if let Ok(Some(payload)) = conn.next_frame() {
+            match rif_server::protocol::decode_response(&payload) {
+                Ok(Response::Stats { text, .. }) => {
+                    return NodeStats::parse_text(&text).expect("stats text parses")
+                }
+                Ok(other) => panic!("unexpected STATS reply: {other:?}"),
+                Err(e) => panic!("undecodable STATS reply: {e}"),
+            }
+        }
+        conn.pump().expect("stats conn alive");
+    }
+    panic!("STATS timed out");
+}
+
+fn learner_updates(stats: &NodeStats, range: u32) -> f64 {
+    stats
+        .gauges
+        .get(&format!("server.learner.shard{range}.updates"))
+        .copied()
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn live_migration_under_load_is_exactly_once_with_learner_continuity() {
+    let node_a = start_node(11);
+    let node_b = start_node(22);
+    let map = ShardMap::rebalanced(
+        1,
+        CAPACITY,
+        RANGES,
+        vec![
+            NodeInfo {
+                id: "a".into(),
+                addr: node_a.local_addr().to_string(),
+            },
+            NodeInfo {
+                id: "b".into(),
+                addr: node_b.local_addr().to_string(),
+            },
+        ],
+    )
+    .expect("valid map");
+    let dir = Directory::start(map.clone(), 0).expect("directory starts");
+
+    // Migrate the hottest range (the one holding offset 0 — the zipf
+    // head) so both sides of the handoff definitely see traffic.
+    let (hot_range, source) = map.route(0);
+    let source_id = source.id.clone();
+    let source_addr = source.addr.clone();
+    let (target_id, target_addr) = if source_id == "a" {
+        ("b", node_b.local_addr().to_string())
+    } else {
+        ("a", node_a.local_addr().to_string())
+    };
+
+    // Sized so the load comfortably outlasts the 300ms pre-migration
+    // learning window at the router's measured throughput — the
+    // migration must land mid-load for the WRONG_SHARD/BUSY(moving)
+    // assertions below to mean anything.
+    let requests: u64 = 20_000;
+    let cfg = RouterConfig {
+        directory: dir.addr().to_string(),
+        requests,
+        depth: 32,
+        read_ratio: 0.7,
+        request_bytes: 16 * 1024,
+        seed: 7,
+        ..RouterConfig::default()
+    };
+    let loader = std::thread::spawn(move || rif_cluster::run_routed(&cfg).expect("routed load"));
+
+    // Let the source learn on live traffic, snapshot its progress, then
+    // migrate mid-load.
+    std::thread::sleep(Duration::from_millis(300));
+    let before = learner_updates(&node_stats(&source_addr), hot_range);
+    assert!(
+        before > 0.0,
+        "source learner never updated before the migration (gauge missing?)"
+    );
+    let epoch = dir
+        .migrate(hot_range, target_id)
+        .expect("migration succeeds");
+    assert_eq!(epoch, 2, "one migration bumps epoch 1 -> 2");
+
+    let (report, journal) = loader.join().expect("router thread");
+
+    // --- exactly-one-outcome, straight from the journal -----------------
+    let unresolved = journal
+        .records
+        .iter()
+        .filter(|r| r.outcome.is_none())
+        .count();
+    assert_eq!(unresolved, 0, "silent tags: {unresolved}");
+    let conflicting: u32 = journal.records.iter().map(|r| r.conflicting_receipts).sum();
+    assert_eq!(conflicting, 0, "conflicting receipts");
+    assert_eq!(journal.unknown_receipts, 0, "unknown-tag receipts");
+    assert_eq!(
+        report.completed + report.failed + report.busy_dropped,
+        requests,
+        "ledger gap: {report:?}"
+    );
+    assert!(
+        report.completed > requests / 2,
+        "most requests should complete through the migration: {report:?}"
+    );
+
+    // The handoff was observable from the client side: the stale map
+    // produced WRONG_SHARD or BUSY(moving) refusals that were retried.
+    assert!(
+        report.wrong_shard + report.busy_unavailable > 0,
+        "migration left no client-visible trace: {report:?}"
+    );
+
+    // --- learner continuity across the handoff --------------------------
+    let after = learner_updates(&node_stats(&target_addr), hot_range);
+    assert!(
+        after >= before,
+        "target learner restarted: {after} updates on the target vs {before} \
+         on the source before handoff"
+    );
+
+    // --- cluster STATS plane --------------------------------------------
+    let report_text =
+        rif_cluster::directory::fetch_cluster_stats(&dir.addr().to_string()).expect("fanout");
+    assert!(report_text.starts_with("# rif-cluster-stats v1 nodes=2\n"));
+    assert!(report_text.contains("\nnode a counter server.requests.read "));
+    assert!(report_text.contains("\nnode b counter server.requests.read "));
+    let a_accepted = node_stats(&node_a.local_addr().to_string())
+        .counters
+        .get("server.requests.read")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        report_text.contains("cluster counter server.requests.read"),
+        "aggregate line missing"
+    );
+    assert!(a_accepted > 0, "node a served nothing");
+
+    dir.stop();
+    node_a.stop();
+    node_b.stop();
+}
+
+#[test]
+fn map_push_flips_a_cold_node_from_bouncing_to_serving() {
+    // A cluster node owns nothing at boot: every request bounces. After
+    // the directory's first push it serves exactly its owned ranges.
+    let node = start_node(5);
+    let addr = node.local_addr().to_string();
+
+    let mut conn = Conn::connect(&addr).expect("connect");
+    assert!(conn.version() >= 3, "cluster nodes speak v3");
+    let probe = Request::Read {
+        tenant: 0,
+        tag: 1,
+        offset: 0,
+        bytes: 16 * 1024,
+    };
+    conn.send(&probe).expect("send probe");
+    let resp = wait_response(&mut conn);
+    assert!(
+        matches!(resp, Response::WrongShard { epoch: 0, .. }),
+        "cold node must refuse with WRONG_SHARD(0), got {resp:?}"
+    );
+
+    let map = ShardMap::rebalanced(
+        1,
+        CAPACITY,
+        RANGES,
+        vec![NodeInfo {
+            id: "solo".into(),
+            addr: addr.clone(),
+        }],
+    )
+    .expect("valid map");
+    let dir = Directory::start(map, 0).expect("directory starts");
+
+    conn.send(&probe).expect("send probe again");
+    let resp = wait_response(&mut conn);
+    assert!(
+        matches!(resp, Response::Done { .. }),
+        "owned range must serve after MAP_PUSH, got {resp:?}"
+    );
+
+    dir.stop();
+    node.stop();
+}
+
+fn wait_response(conn: &mut Conn) -> Response {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if let Ok(Some(payload)) = conn.next_frame() {
+            return rif_server::protocol::decode_response(&payload).expect("decodable");
+        }
+        conn.pump().expect("conn alive");
+    }
+    panic!("no response before deadline");
+}

@@ -295,6 +295,172 @@ impl ThresholdLearner {
         let sum: f64 = self.est.iter().map(|(&b, &o)| (o - oracle(b)).abs()).sum();
         sum / self.est.len() as f64
     }
+
+    /// Snapshots the learner's estimates and counters for transfer (the
+    /// cluster layer ships this across nodes during shard handoff).
+    pub fn export_state(&self) -> LearnerState {
+        LearnerState {
+            estimates: self.est.iter().map(|(&b, &o)| (b, o)).collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a learner from a snapshot. Offsets are clamped into the
+    /// configuration's valid window (the source may have run a different
+    /// window), and the counters resume where the source left off — the
+    /// continuity the cluster handoff test pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid.
+    pub fn restore(cfg: LearnerConfig, state: &LearnerState) -> Self {
+        cfg.validate();
+        ThresholdLearner {
+            est: state
+                .estimates
+                .iter()
+                .map(|&(b, o)| (b, o.clamp(cfg.min_offset, cfg.max_offset)))
+                .collect(),
+            stats: state.stats,
+            cfg,
+        }
+    }
+}
+
+/// Why a learner-state text failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnerStateError {
+    /// The first line is not the expected `# rif-learner v1 ...` header.
+    BadHeader,
+    /// A line is not `block <id> <offset>` (1-based line number).
+    BadLine(usize),
+    /// A block offset is not a finite number (1-based line number).
+    BadOffset(usize),
+    /// A block id repeats (1-based line number of the repeat).
+    DuplicateBlock(usize),
+}
+
+impl std::fmt::Display for LearnerStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LearnerStateError::BadHeader => write!(f, "missing or malformed rif-learner header"),
+            LearnerStateError::BadLine(n) => write!(f, "line {n}: expected `block <id> <offset>`"),
+            LearnerStateError::BadOffset(n) => write!(f, "line {n}: offset is not a finite number"),
+            LearnerStateError::DuplicateBlock(n) => write!(f, "line {n}: duplicate block id"),
+        }
+    }
+}
+
+impl std::error::Error for LearnerStateError {}
+
+/// A portable snapshot of a [`ThresholdLearner`]: per-block estimates
+/// plus the activity counters, with a strict line-oriented text codec
+/// for the wire.
+///
+/// # Example
+///
+/// ```
+/// use rif_flash::learn::{LearnerConfig, LearnerState, ReadOutcome, ThresholdLearner};
+///
+/// let mut l = ThresholdLearner::new(LearnerConfig::default_paper());
+/// l.observe(7, &ReadOutcome { failed: true, retries: 1, syndrome_frac: 0.0, recalibrated_offset: None });
+/// let text = l.export_state().to_text();
+/// let restored = ThresholdLearner::restore(
+///     LearnerConfig::default_paper(),
+///     &LearnerState::parse_text(&text).unwrap(),
+/// );
+/// assert_eq!(restored.offset(7), l.offset(7));
+/// assert_eq!(restored.stats(), l.stats());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LearnerState {
+    /// `(block, offset)` estimates in strictly increasing block order.
+    pub estimates: Vec<(u64, f64)>,
+    /// Activity counters carried across the handoff.
+    pub stats: LearnerStats,
+}
+
+impl LearnerState {
+    /// Canonical text serialization: one header line with the counters,
+    /// then one `block <id> <offset>` line per estimate in block order.
+    /// Offsets print in shortest-roundtrip form, so
+    /// `parse_text(to_text())` is exact.
+    pub fn to_text(&self) -> String {
+        self.to_text_capped(usize::MAX)
+    }
+
+    /// As [`to_text`](Self::to_text), but stops adding block lines once
+    /// the next line would push the text past `max_bytes`. The learner
+    /// state is a performance hint, so a transfer bounded by the wire's
+    /// frame cap simply carries the lowest-numbered blocks that fit.
+    pub fn to_text_capped(&self, max_bytes: usize) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "# rif-learner v1 updates={} recalibrations={} clamps={}\n",
+            s.updates, s.recalibrations, s.clamps
+        );
+        for &(b, o) in &self.estimates {
+            let line = format!("block {b} {o:?}\n");
+            if out.len() + line.len() > max_bytes {
+                break;
+            }
+            out.push_str(&line);
+        }
+        out
+    }
+
+    /// Strict parse of the text form. Blank lines are rejected — the
+    /// codec is canonical, not forgiving.
+    pub fn parse_text(text: &str) -> Result<LearnerState, LearnerStateError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(LearnerStateError::BadHeader)?;
+        let rest = header
+            .strip_prefix("# rif-learner v1 ")
+            .ok_or(LearnerStateError::BadHeader)?;
+        let mut stats = LearnerStats::default();
+        let mut fields = rest.split(' ');
+        for (name, slot) in [
+            ("updates", &mut stats.updates as &mut u64),
+            ("recalibrations", &mut stats.recalibrations),
+            ("clamps", &mut stats.clamps),
+        ] {
+            let kv = fields.next().ok_or(LearnerStateError::BadHeader)?;
+            let v = kv
+                .strip_prefix(name)
+                .and_then(|s| s.strip_prefix('='))
+                .ok_or(LearnerStateError::BadHeader)?;
+            *slot = v.parse().map_err(|_| LearnerStateError::BadHeader)?;
+        }
+        if fields.next().is_some() {
+            return Err(LearnerStateError::BadHeader);
+        }
+
+        let mut estimates: Vec<(u64, f64)> = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let lineno = i + 2;
+            let mut parts = line.split(' ');
+            if parts.next() != Some("block") {
+                return Err(LearnerStateError::BadLine(lineno));
+            }
+            let (Some(id), Some(off), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(LearnerStateError::BadLine(lineno));
+            };
+            let id: u64 = id.parse().map_err(|_| LearnerStateError::BadLine(lineno))?;
+            let off: f64 = off
+                .parse()
+                .map_err(|_| LearnerStateError::BadOffset(lineno))?;
+            if !off.is_finite() {
+                return Err(LearnerStateError::BadOffset(lineno));
+            }
+            if let Some(&(last, _)) = estimates.last() {
+                if id <= last {
+                    return Err(LearnerStateError::DuplicateBlock(lineno));
+                }
+            }
+            estimates.push((id, off));
+        }
+        Ok(LearnerState { estimates, stats })
+    }
 }
 
 /// Advances retention age and P/E wear during long runs.
@@ -546,6 +712,105 @@ mod tests {
         assert_eq!(d.extra_days(-1.0), 0.0);
         assert!(!DriftClock::disabled().enabled());
         DriftClock::disabled().validate();
+    }
+
+    #[test]
+    fn state_roundtrips_through_text_exactly() {
+        let mut l = learner();
+        for i in 0..40u64 {
+            l.observe(
+                i * 7,
+                &ReadOutcome {
+                    failed: i % 3 == 0,
+                    retries: (i % 4) as u32,
+                    syndrome_frac: 0.9,
+                    recalibrated_offset: if i % 5 == 0 { Some(-0.31) } else { None },
+                },
+            );
+        }
+        let state = l.export_state();
+        let parsed = LearnerState::parse_text(&state.to_text()).unwrap();
+        assert_eq!(parsed, state);
+        let restored = ThresholdLearner::restore(LearnerConfig::default_paper(), &parsed);
+        assert_eq!(restored.stats(), l.stats());
+        for i in 0..40u64 {
+            assert_eq!(restored.offset(i * 7), l.offset(i * 7));
+        }
+    }
+
+    #[test]
+    fn state_parse_rejects_malformed_text() {
+        use LearnerStateError as E;
+        let cases = [
+            ("", E::BadHeader),
+            (
+                "# rif-learner v2 updates=0 recalibrations=0 clamps=0\n",
+                E::BadHeader,
+            ),
+            (
+                "# rif-learner v1 updates=x recalibrations=0 clamps=0\n",
+                E::BadHeader,
+            ),
+            ("# rif-learner v1 updates=0 recalibrations=0\n", E::BadHeader),
+            (
+                "# rif-learner v1 updates=0 recalibrations=0 clamps=0 extra=1\n",
+                E::BadHeader,
+            ),
+            (
+                "# rif-learner v1 updates=0 recalibrations=0 clamps=0\nblk 1 0.0\n",
+                E::BadLine(2),
+            ),
+            (
+                "# rif-learner v1 updates=0 recalibrations=0 clamps=0\nblock 1\n",
+                E::BadLine(2),
+            ),
+            (
+                "# rif-learner v1 updates=0 recalibrations=0 clamps=0\nblock 1 0.0 9\n",
+                E::BadLine(2),
+            ),
+            (
+                "# rif-learner v1 updates=0 recalibrations=0 clamps=0\nblock 1 NaN\n",
+                E::BadOffset(2),
+            ),
+            (
+                "# rif-learner v1 updates=0 recalibrations=0 clamps=0\nblock 2 0.0\nblock 1 0.0\n",
+                E::DuplicateBlock(3),
+            ),
+            (
+                "# rif-learner v1 updates=0 recalibrations=0 clamps=0\nblock 1 0.0\n\nblock 2 0.0\n",
+                E::BadLine(3),
+            ),
+        ];
+        for (text, want) in cases {
+            assert_eq!(LearnerState::parse_text(text), Err(want), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn restore_clamps_into_the_new_window() {
+        let state = LearnerState {
+            estimates: vec![(1, -5.0), (2, 5.0)],
+            stats: LearnerStats::default(),
+        };
+        let cfg = LearnerConfig::default_paper();
+        let l = ThresholdLearner::restore(cfg, &state);
+        assert_eq!(l.offset(1), cfg.min_offset);
+        assert_eq!(l.offset(2), cfg.max_offset);
+    }
+
+    #[test]
+    fn capped_export_keeps_header_and_prefix() {
+        let state = LearnerState {
+            estimates: (0..100).map(|i| (i, -0.01)).collect(),
+            stats: LearnerStats::default(),
+        };
+        let full = state.to_text();
+        let capped = state.to_text_capped(120);
+        assert!(capped.len() <= 120);
+        assert!(full.starts_with(&capped));
+        let parsed = LearnerState::parse_text(&capped).unwrap();
+        assert!(parsed.estimates.len() < 100);
+        assert!(!parsed.estimates.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!            [--time-scale X] [--capacity-gib N] [--queue-depth N]
 //!            [--seed N] [--capture FILE] [--core epoll|legacy]
 //!            [--max-connections N] [--write-queue-kib N]
-//!            [--learn] [--drift-days-per-sec X]
+//!            [--learn] [--drift-days-per-sec X] [--cluster]
 //! ```
 //!
 //! `--core epoll` (default) serves every connection from one
@@ -28,7 +28,10 @@
 //! `--learn` switches the shard simulators from the oracle threshold
 //! tables to online per-block threshold learning (progress appears under
 //! `server.learner.*` in STATS); `--drift-days-per-sec` ages the flash
-//! while serving.
+//! while serving. `--cluster` runs the server as one node of a
+//! multi-node cluster: it starts owning no LBA ranges (everything
+//! bounces with `WRONG_SHARD` until the `rif-cluster` directory's first
+//! MAP_PUSH) and `--shards` becomes the cluster's total range count.
 
 use rif_server::server::{CoreKind, Server, ServerConfig};
 use rif_ssd::RetryKind;
@@ -39,7 +42,7 @@ fn usage() -> ! {
          \x20                 [--inflight-limit N] [--rate N] [--burst N] [--time-scale X]\n\
          \x20                 [--capacity-gib N] [--queue-depth N] [--seed N] [--capture FILE]\n\
          \x20                 [--core epoll|legacy] [--max-connections N] [--write-queue-kib N]\n\
-         \x20                 [--learn] [--drift-days-per-sec X]\n\
+         \x20                 [--learn] [--drift-days-per-sec X] [--cluster]\n\
          schemes: SENC SWR SWR+ RPSSD RiFSSD SSDone SSDzero"
     );
     std::process::exit(2);
@@ -97,6 +100,7 @@ fn main() {
                 cfg.write_queue_limit = kib * 1024;
             }
             "--learn" => cfg.learn = true,
+            "--cluster" => cfg.cluster = true,
             "--drift-days-per-sec" => {
                 cfg.drift_days_per_sec = val("--drift-days-per-sec")
                     .parse()

@@ -225,6 +225,11 @@ pub struct LoadReport {
     pub dup_receipts: u64,
     /// Decodable responses for tags never submitted.
     pub unknown_receipts: u64,
+    /// `WRONG_SHARD` refusals observed (cluster mode: the request hit a
+    /// node that does not own its LBA range). Never admitted, so each
+    /// one is retried like a BUSY — a cluster router refreshes its map
+    /// before the re-issue.
+    pub wrong_shard: u64,
     /// Wall-clock seconds from first send to last response.
     pub wall_secs: f64,
     /// Wall-latency percentiles, microseconds.
@@ -248,7 +253,7 @@ impl LoadReport {
                 "\"busy_unavailable\":{},\"busy_dropped\":{},\"protocol_errors\":{},",
                 "\"internal_errors\":{},\"timed_out\":{},\"conn_errors\":{},",
                 "\"reconnects\":{},\"batches_sent\":{},\"failed\":{},\"dup_receipts\":{},",
-                "\"unknown_receipts\":{},\"wall_secs\":{:.6},",
+                "\"unknown_receipts\":{},\"wrong_shard\":{},\"wall_secs\":{:.6},",
                 "\"throughput_rps\":{:.1},\"latency_us\":{{\"mean\":{:.1},",
                 "\"p50\":{:.1},\"p99\":{:.1},\"p999\":{:.1}}}}}"
             ),
@@ -266,6 +271,7 @@ impl LoadReport {
             self.failed,
             self.dup_receipts,
             self.unknown_receipts,
+            self.wrong_shard,
             self.wall_secs,
             self.throughput_rps,
             self.mean_us,
@@ -419,12 +425,16 @@ fn fingerprint(payload: &[u8]) -> u64 {
     h
 }
 
-struct Conn {
+/// One negotiated client connection: a nodelay TCP stream, its buffered
+/// writer, and an incremental frame decoder. Public so higher layers
+/// (the cluster router) can drive the wire protocol per endpoint while
+/// reusing the load loop's transport discipline.
+pub struct Conn {
     stream: TcpStream,
     writer: BufWriter<TcpStream>,
     frames: FrameBuffer,
-    /// True once HELLO negotiated protocol v2 on this connection.
-    v2: bool,
+    /// Protocol version the server acked; 1 until HELLO succeeds.
+    version: u32,
 }
 
 impl Conn {
@@ -437,14 +447,50 @@ impl Conn {
             stream,
             writer,
             frames: FrameBuffer::new(),
-            v2: false,
+            version: 1,
         })
+    }
+
+    /// Connects to `addr` and runs the HELLO handshake, falling back to
+    /// the v1 baseline when the peer never acks.
+    pub fn connect(addr: &str) -> io::Result<Conn> {
+        let mut c = Conn::open(addr)?;
+        c.version = negotiate(&mut c);
+        Ok(c)
+    }
+
+    /// The protocol version negotiated with HELLO (1 = baseline).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Switches the socket to non-blocking mode: [`pump`](Conn::pump)
+    /// returns `Ok(false)` immediately instead of blocking one poll
+    /// tick when no bytes are queued. Drivers that sweep several
+    /// connections serially (the cluster router) need this — kernel
+    /// `SO_RCVTIMEO` granularity is one scheduler tick (several
+    /// milliseconds), so even a sub-millisecond read timeout stalls a
+    /// sweep by a full tick per idle endpoint. Callers take over idle
+    /// pacing themselves (e.g. one `thread::sleep` per empty sweep).
+    pub fn set_nonblocking(&mut self) -> io::Result<()> {
+        self.stream.set_nonblocking(true)
+    }
+
+    /// Writes one request frame and flushes it to the socket.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.writer, &encode_request(req))
+    }
+
+    /// The next complete response payload already buffered, if any.
+    /// An `Err` means frame sync is unrecoverable (oversized prefix).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, crate::protocol::WireError> {
+        self.frames.next_frame()
     }
 
     /// Pulls whatever bytes are available (bounded by the read timeout)
     /// into the frame buffer. `Ok(true)` if bytes arrived, `Ok(false)`
     /// on a timeout tick, `Err` on EOF or a transport error.
-    fn pump(&mut self) -> io::Result<bool> {
+    pub fn pump(&mut self) -> io::Result<bool> {
         let mut buf = [0u8; 16 * 1024];
         match self.stream.read(&mut buf) {
             Ok(0) => Err(io::ErrorKind::UnexpectedEof.into()),
@@ -471,45 +517,43 @@ const HELLO_TAG: u64 = u64::MAX;
 /// (or a transport that ate the ack) and falling back to single frames.
 const HELLO_TIMEOUT: Duration = Duration::from_millis(250);
 
-/// Opens a connection, negotiating protocol v2 when batching is wanted.
+/// Opens a connection to the configured address. Negotiation always
+/// runs, even when not batching: a v2+ link lets re-issues ride in
+/// single-entry BATCH frames whose `retry_of` tells the server-side
+/// recorder they are the same logical request, not new load.
 fn open_link(cfg: &LoadConfig) -> io::Result<Conn> {
-    let mut c = Conn::open(&cfg.addr)?;
-    // Negotiate even when not batching: a v2 link lets re-issues ride in
-    // single-entry BATCH frames whose `retry_of` tells the server-side
-    // recorder they are the same logical request, not new load.
-    c.v2 = negotiate(&mut c);
-    Ok(c)
+    Conn::connect(&cfg.addr)
 }
 
-/// Blocking HELLO handshake. `true` only when the server acked v2+. A
-/// v1 server answers the unknown opcode with `ERROR(tag=0)`; a lossy
-/// path may answer with nothing — both fall back to v1 framing, which
-/// every server speaks.
-fn negotiate(c: &mut Conn) -> bool {
+/// Blocking HELLO handshake, returning the version the server acked
+/// (clamped to what this client speaks). A v1 server answers the
+/// unknown opcode with `ERROR(tag=0)`; a lossy path may answer with
+/// nothing — both fall back to v1 framing, which every server speaks.
+fn negotiate(c: &mut Conn) -> u32 {
     let hello = Request::Hello {
         tag: HELLO_TAG,
         version: PROTOCOL_VERSION,
     };
     if write_frame(&mut c.writer, &encode_request(&hello)).is_err() {
-        return false;
+        return 1;
     }
     let deadline = Instant::now() + HELLO_TIMEOUT;
     while Instant::now() < deadline {
         if c.pump().is_err() {
-            return false;
+            return 1;
         }
         match c.frames.next_frame() {
             Ok(Some(payload)) => {
-                return matches!(
-                    decode_response(&payload),
-                    Ok(Response::HelloAck { version, .. }) if version >= 2
-                );
+                return match decode_response(&payload) {
+                    Ok(Response::HelloAck { version, .. }) => version.min(PROTOCOL_VERSION).max(1),
+                    _ => 1,
+                };
             }
             Ok(None) => {}
-            Err(_) => return false,
+            Err(_) => return 1,
         }
     }
-    false
+    1
 }
 
 /// Everything `run_connection` tracks for one connection.
@@ -600,6 +644,7 @@ fn run_connection(
     let mut jitter = SimRng::stream(cfg.seed ^ JITTER_SALT, conn as u64);
     let mut link = Some(open_link(cfg)?);
     let mut reconnects_used: u32 = 0;
+    let mut backoff = ReconnectBackoff::new();
     let started = Instant::now();
 
     while !st.queue.is_empty() || !st.inflight.is_empty() {
@@ -614,7 +659,7 @@ fn run_connection(
 
         // Fill the window.
         let mut send_failed = false;
-        let batching = conn_ref.v2 && cfg.batch > 1;
+        let batching = conn_ref.version >= 2 && cfg.batch > 1;
         while st.inflight.len() < cfg.depth {
             // Replay pacing: hold the next request until its recorded
             // due time. The queue keeps plan order, so the head gates
@@ -656,7 +701,7 @@ fn run_connection(
                 // the only frame kind that carries `retry_of`, so the
                 // server's recorder can alias them onto the original
                 // instead of journaling a second logical request.
-                let req = if conn_ref.v2 && retry_of != 0 {
+                let req = if conn_ref.version >= 2 && retry_of != 0 {
                     Request::Batch(vec![BatchEntry {
                         op: io.op,
                         tenant: io.tenant,
@@ -735,7 +780,13 @@ fn run_connection(
                     requeue_or_fail_cfg(cfg, &mut st, op, tag, true);
                 }
             }
-            link = reconnect(cfg, &mut st, &mut jitter, &mut reconnects_used);
+            link = reconnect(
+                cfg,
+                &mut st,
+                &mut jitter,
+                &mut reconnects_used,
+                &mut backoff,
+            );
             continue;
         }
 
@@ -764,24 +815,61 @@ fn flush_batch(conn: &mut Conn, st: &mut ConnState) -> io::Result<()> {
     write_frame(&mut conn.writer, &encode_request(&Request::Batch(entries)))
 }
 
+/// Exponential reconnect backoff whose memory outlives any single
+/// reconnect bout. A success *decays* the strike count by one instead
+/// of resetting it, so a flapping endpoint — connect, serve one
+/// request, die, repeat — keeps paying near-full backoff rather than
+/// restarting from the base delay and hammering the node. Held per
+/// connection by the load loop and per endpoint by the cluster router.
+#[derive(Debug, Clone, Default)]
+pub struct ReconnectBackoff {
+    strikes: u32,
+}
+
+impl ReconnectBackoff {
+    /// A fresh history: the first failed connect waits the base delay.
+    pub fn new() -> ReconnectBackoff {
+        ReconnectBackoff::default()
+    }
+
+    /// The delay to sleep before the next connect attempt: `base * 2^s`
+    /// capped at [`MAX_BACKOFF`], plus seeded jitter in `[0, base]`.
+    /// Counts the attempt (call once per attempt, before sleeping).
+    pub fn next_delay(&mut self, base: Duration, jitter: &mut SimRng) -> Duration {
+        let base_ns = base.as_nanos().max(1) as u64;
+        let exp = base_ns.saturating_mul(1u64 << self.strikes.min(20));
+        self.strikes = self.strikes.saturating_add(1);
+        Duration::from_nanos(exp).min(MAX_BACKOFF)
+            + Duration::from_nanos(jitter.int_range(0, base_ns + 1))
+    }
+
+    /// Records a successful (re)connect: one strike is forgiven. Only a
+    /// run of successes walks the delay back down to the base.
+    pub fn note_success(&mut self) {
+        self.strikes = self.strikes.saturating_sub(1);
+    }
+
+    /// Current strike count (attempts not yet forgiven by successes).
+    pub fn strikes(&self) -> u32 {
+        self.strikes
+    }
+}
+
 /// Re-establishes the connection with exponential backoff and seeded
-/// jitter, bounded by `cfg.max_reconnects` per connection.
+/// jitter, bounded by `cfg.max_reconnects` per connection. `backoff`
+/// persists across calls — see [`ReconnectBackoff`].
 fn reconnect(
     cfg: &LoadConfig,
     st: &mut ConnState,
     jitter: &mut SimRng,
     used: &mut u32,
+    backoff: &mut ReconnectBackoff,
 ) -> Option<Conn> {
-    let base_ns = cfg.reconnect_backoff.as_nanos().max(1) as u64;
-    let mut attempt: u32 = 0;
     while *used < cfg.max_reconnects {
         *used += 1;
-        let exp = base_ns.saturating_mul(1u64 << attempt.min(20));
-        let backoff = Duration::from_nanos(exp).min(MAX_BACKOFF)
-            + Duration::from_nanos(jitter.int_range(0, base_ns + 1));
-        std::thread::sleep(backoff);
-        attempt += 1;
+        std::thread::sleep(backoff.next_delay(cfg.reconnect_backoff, jitter));
         if let Ok(c) = open_link(cfg) {
+            backoff.note_success();
             st.journal.reconnects += 1;
             return Some(c);
         }
@@ -877,7 +965,10 @@ fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
             match reason {
                 BusyReason::Queue => st.report.busy_queue += 1,
                 BusyReason::RateLimit => st.report.busy_ratelimit += 1,
-                BusyReason::Unavailable => st.report.busy_unavailable += 1,
+                // A migrating range is momentarily unavailable here; the
+                // refusal semantics (never admitted, safe to retry) are
+                // identical.
+                BusyReason::Unavailable | BusyReason::Moving => st.report.busy_unavailable += 1,
             }
             if let Some(mut op) = st.resolve(tag, Outcome::Busy, fp) {
                 if op.busy_retries < cfg.max_busy_retries {
@@ -909,9 +1000,29 @@ fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
                 }
             }
         }
+        Response::WrongShard { .. } => {
+            // Cluster refusal: this node does not own the range, and the
+            // request was provably never admitted — retry on the BUSY
+            // budget. The plain client has no shard map to refetch (the
+            // cluster router layers that on top); against a single
+            // server this arm never fires.
+            st.report.wrong_shard += 1;
+            if let Some(mut op) = st.resolve(tag, Outcome::Busy, fp) {
+                if op.busy_retries < cfg.max_busy_retries {
+                    op.busy_retries += 1;
+                    op.prior_tag = Some(tag);
+                    st.queue.push_back(op);
+                } else {
+                    st.report.busy_dropped += 1;
+                }
+            }
+            std::thread::sleep(cfg.busy_backoff);
+        }
         Response::Stats { .. }
         | Response::Flushed { .. }
         | Response::Goodbye { .. }
+        | Response::MapResp { .. }
+        | Response::Migrated { .. }
         | Response::HelloAck { .. } => {
             // Never solicited by the load loop (HelloAck returns early
             // above); resolve the tag so it is not left dangling, but
@@ -995,6 +1106,7 @@ mod tests {
             p999_us: 1500.0,
             mean_us: 200.0,
             throughput_rps: 6.7,
+            wrong_shard: 3,
             ..LoadReport::default()
         };
         let j = r.to_json();
@@ -1003,8 +1115,44 @@ mod tests {
         assert!(j.contains("\"p99\":900.0"));
         assert!(j.contains("\"timed_out\":0"));
         assert!(j.contains("\"failed\":0"));
+        assert!(j.contains("\"wrong_shard\":3"));
         assert_eq!(j, r.clone().to_json(), "rendering must be deterministic");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn reconnect_backoff_survives_a_single_success() {
+        let mut b = ReconnectBackoff::new();
+        let mut rng = SimRng::stream(7, 0);
+        let base = Duration::from_millis(10);
+        // Straight failures escalate: each delay's floor doubles.
+        let delays: Vec<Duration> = (0..5).map(|_| b.next_delay(base, &mut rng)).collect();
+        for (i, d) in delays.iter().enumerate() {
+            assert!(
+                *d >= base * (1 << i),
+                "attempt {i} delay {d:?} below its floor"
+            );
+        }
+        assert_eq!(b.strikes(), 5);
+
+        // THE regression this type exists for: one success must NOT
+        // reset the history. A flapping node (connect, die, reconnect)
+        // keeps paying near-full backoff.
+        b.note_success();
+        assert_eq!(b.strikes(), 4);
+        let after_success = b.next_delay(base, &mut rng);
+        assert!(
+            after_success >= base * 16,
+            "one success dropped the backoff to {after_success:?} — flapping endpoint hammered"
+        );
+
+        // Only a run of successes walks the delay back to the base.
+        for _ in 0..8 {
+            b.note_success();
+        }
+        assert_eq!(b.strikes(), 0);
+        let recovered = b.next_delay(base, &mut rng);
+        assert!(recovered <= base * 2, "recovered delay {recovered:?}");
     }
 
     #[test]

@@ -35,8 +35,8 @@ use crate::poller::{best_poller, Interest, PollEvent, Poller, Waker};
 use crate::protocol::{BusyReason, ErrorCode, Response, PROTOCOL_VERSION};
 use crate::ring::{decode_request_view, RecvBuffer, RequestView, WriteQueue};
 use crate::server::{
-    admit_batch, admit_io, at_conn_limit, refuse_over_limit, reject_unnegotiated_batch,
-    render_stats, Shared,
+    admit_batch, admit_io, at_conn_limit, handle_map_push, handle_migrate_in, handle_migrate_out,
+    refuse_over_limit, reject_unnegotiated_batch, render_stats, RangeStatus, Shared,
 };
 use crate::shard::{ReplyTo, ShardMsg};
 use rif_workloads::IoOp;
@@ -478,7 +478,17 @@ fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>, reply: &ReplyTo) -> bool 
                 if overloaded {
                     shed(shared, reply, tag, 1);
                 } else {
-                    admit_io(shared, reply, tenant, tag, offset, bytes, IoOp::Read, 0);
+                    admit_io(
+                        shared,
+                        reply,
+                        tenant,
+                        tag,
+                        offset,
+                        bytes,
+                        IoOp::Read,
+                        0,
+                        conn.negotiated,
+                    );
                 }
             }
             RequestView::Write {
@@ -490,7 +500,17 @@ fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>, reply: &ReplyTo) -> bool 
                 if overloaded {
                     shed(shared, reply, tag, 1);
                 } else {
-                    admit_io(shared, reply, tenant, tag, offset, bytes, IoOp::Write, 0);
+                    admit_io(
+                        shared,
+                        reply,
+                        tenant,
+                        tag,
+                        offset,
+                        bytes,
+                        IoOp::Write,
+                        0,
+                        conn.negotiated,
+                    );
                 }
             }
             RequestView::Batch(batch) => {
@@ -510,8 +530,52 @@ fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>, reply: &ReplyTo) -> bool 
                         .metrics()
                         .inc("server.busy.writeq", batch.count() as u64);
                 } else {
-                    admit_batch(shared, reply, batch.iter());
+                    admit_batch(shared, reply, batch.iter(), conn.negotiated);
                 }
+            }
+            RequestView::MapGet { tag } => {
+                let (epoch, text) = match &shared.cluster {
+                    Some(_) => {
+                        let cl = shared.cluster_state();
+                        (cl.epoch, cl.map_text.clone())
+                    }
+                    None => (0, String::new()),
+                };
+                reply.send(Response::MapResp { tag, epoch, text });
+            }
+            RequestView::MapPush {
+                tag,
+                epoch,
+                capacity_bytes,
+                ranges,
+                owned,
+                map_text,
+            } => {
+                let owned: Vec<u32> = owned.iter().collect();
+                handle_map_push(
+                    shared,
+                    reply,
+                    tag,
+                    epoch,
+                    capacity_bytes,
+                    ranges,
+                    &owned,
+                    map_text.to_string(),
+                );
+            }
+            RequestView::MigrateOut { tag, range } => {
+                migrate_out_async(shared, reply, tag, range);
+            }
+            RequestView::MigrateIn { tag, range, state } => {
+                handle_migrate_in(shared, reply, tag, range, state.to_string());
+            }
+            RequestView::Migrate { tag, .. } => {
+                // Directory-only operation; a node refuses it.
+                shared.metrics().inc("server.protocol_errors", 1);
+                reply.send(Response::Error {
+                    tag,
+                    code: ErrorCode::BadRequest,
+                });
             }
             RequestView::Hello { tag, version } => {
                 conn.negotiated = version.min(PROTOCOL_VERSION).max(1);
@@ -569,6 +633,36 @@ fn flush_async(shared: &Arc<Shared>, reply: &ReplyTo, tag: u64) {
         eprintln!("rif-server: flush thread spawn failed ({e}); flushing inline");
         wait_shards_flushed(shared);
         reply.send(Response::Flushed { tag });
+    }
+}
+
+/// MIGRATE_OUT without stalling the loop: the range is sealed inline
+/// (so the bounce takes effect before the next frame is read), then an
+/// ephemeral thread waits out the shard drain and sends the `Migrated`
+/// reply through the completion channel.
+fn migrate_out_async(shared: &Arc<Shared>, reply: &ReplyTo, tag: u64, range: u32) {
+    if shared.cluster.is_none() || range as usize >= shared.cfg.shards {
+        shared.metrics().inc("server.protocol_errors", 1);
+        reply.send(Response::Error {
+            tag,
+            code: ErrorCode::BadRequest,
+        });
+        return;
+    }
+    // Seal before the loop reads the next frame, so no request pipelined
+    // behind the MIGRATE_OUT can slip into the shard after the drain
+    // starts (the handler's own seal is then a harmless re-set).
+    shared.cluster_state().status[range as usize] = RangeStatus::Moving;
+    let sh = Arc::clone(shared);
+    let thread_reply = reply.clone();
+    let spawned = std::thread::Builder::new()
+        .name("rif-migrate".into())
+        .spawn(move || {
+            handle_migrate_out(&sh, &thread_reply, tag, range);
+        });
+    if let Err(e) = spawned {
+        eprintln!("rif-server: migrate thread spawn failed ({e}); draining inline");
+        handle_migrate_out(shared, reply, tag, range);
     }
 }
 

@@ -55,8 +55,8 @@ pub mod server;
 pub mod shard;
 
 pub use client::{
-    run_load, run_load_journaled, run_plans, Journal, LoadConfig, LoadReport, Outcome, PlannedIo,
-    TagRecord,
+    run_load, run_load_journaled, run_plans, Conn, Journal, LoadConfig, LoadReport, Outcome,
+    PlannedIo, ReconnectBackoff, TagRecord,
 };
 pub use protocol::{
     BatchEntry, FrameBuffer, Request, Response, WireError, MAX_BATCH_ENTRIES, MAX_FRAME_BYTES,

@@ -447,7 +447,10 @@ fn handle_response(
         | Response::Stats { tag, .. }
         | Response::Flushed { tag }
         | Response::Goodbye { tag }
-        | Response::HelloAck { tag, .. } => *tag,
+        | Response::HelloAck { tag, .. }
+        | Response::MapResp { tag, .. }
+        | Response::WrongShard { tag, .. }
+        | Response::Migrated { tag, .. } => *tag,
     };
     let Some(idx) = pending.iter().position(|p| p.tag == tag) else {
         tally.report.unknown_receipts += 1;
@@ -466,7 +469,7 @@ fn handle_response(
             match reason {
                 BusyReason::Queue => tally.report.busy_queue += 1,
                 BusyReason::RateLimit => tally.report.busy_ratelimit += 1,
-                BusyReason::Unavailable => tally.report.busy_unavailable += 1,
+                BusyReason::Unavailable | BusyReason::Moving => tally.report.busy_unavailable += 1,
             }
             let p = &mut pending[idx];
             if p.busy_retries >= cfg.max_busy_retries {

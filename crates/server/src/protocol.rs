@@ -18,6 +18,13 @@
 //! BATCH   : op u8 | count u16 | count × entry
 //!   entry : op u8 (READ|WRITE) | tenant u32 | tag u64 | offset u64
 //!         | bytes u32 | retry_of u64
+//! MAP_GET : op u8 | tag u64
+//! MAP_PUSH : op u8 | tag u64 | epoch u64 | capacity u64 | ranges u32
+//!          | owned_count u16 | owned_count × range u32
+//!          | map text (UTF-8, rest of frame)
+//! MIGRATE_OUT : op u8 | tag u64 | range u32
+//! MIGRATE_IN  : op u8 | tag u64 | range u32 | state text (UTF-8, rest)
+//! MIGRATE : op u8 | tag u64 | range u32 | node id text (UTF-8, rest)
 //! ```
 //!
 //! Response payloads:
@@ -29,6 +36,9 @@
 //! STATS   : op u8 | tag u64 | text (UTF-8, rest of frame)
 //! FLUSHED / GOODBYE : op u8 | tag u64
 //! HELLO_ACK : op u8 | tag u64 | version u32
+//! MAP_RESP : op u8 | tag u64 | epoch u64 | map text (UTF-8, rest)
+//! WRONG_SHARD : op u8 | tag u64 | epoch u64
+//! MIGRATED : op u8 | tag u64 | range u32 | state text (UTF-8, rest)
 //! ```
 //!
 //! BATCH and HELLO are protocol-version-2 messages. A v2 client opens
@@ -40,6 +50,20 @@
 //! prefix; each entry keeps its own tag (responses stay per-request and
 //! may interleave with other traffic) and a `retry_of` field naming the
 //! original tag when the entry is a client re-issue (zero otherwise).
+//!
+//! The MAP_* and MIGRATE_* messages are protocol-version-3 (cluster)
+//! messages. MAP_GET asks any node or the directory for its current
+//! shard map (answered with MAP_RESP); MAP_PUSH installs new range
+//! ownership on a node (the map text rides along verbatim so the node
+//! can serve it back without parsing it). MIGRATE_OUT seals a range on
+//! its source node and returns the drained shard's learner state;
+//! MIGRATE_IN seeds that state into the target. MIGRATE is the
+//! directory's admin entry point ("move this range to that node").
+//! WRONG_SHARD(epoch) rejects an I/O routed to a node that does not own
+//! the range — never admitted, so re-routing is always safe — and
+//! BUSY(moving) bounces arrivals for a range mid-handoff. Both are only
+//! sent to connections that negotiated v3; older clients see
+//! BUSY(unavailable), which carries the same not-admitted guarantee.
 //!
 //! The `tag` is an opaque client-chosen correlation id echoed verbatim;
 //! responses may arrive out of submission order (the simulator completes
@@ -58,10 +82,12 @@ use rif_workloads::IoOp;
 /// gigabytes.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024;
 
-/// The protocol version this build speaks. Version 2 added HELLO
-/// negotiation and BATCH frames; version 1 (single-request frames only)
-/// remains the wire baseline for peers that never say HELLO.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// The protocol version this build speaks. Version 3 added the cluster
+/// messages (MAP_GET/MAP_PUSH/MIGRATE_*) and the WRONG_SHARD and
+/// BUSY(moving) rejections; version 2 added HELLO negotiation and BATCH
+/// frames; version 1 (single-request frames only) remains the wire
+/// baseline for peers that never say HELLO.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on entries in one BATCH frame. At 33 bytes per entry a
 /// full batch stays well under [`MAX_FRAME_BYTES`].
@@ -76,6 +102,11 @@ pub(crate) const OP_FLUSH: u8 = 0x04;
 pub(crate) const OP_SHUTDOWN: u8 = 0x05;
 pub(crate) const OP_HELLO: u8 = 0x06;
 pub(crate) const OP_BATCH: u8 = 0x07;
+pub(crate) const OP_MAP_GET: u8 = 0x08;
+pub(crate) const OP_MAP_PUSH: u8 = 0x09;
+pub(crate) const OP_MIGRATE_OUT: u8 = 0x0A;
+pub(crate) const OP_MIGRATE_IN: u8 = 0x0B;
+pub(crate) const OP_MIGRATE: u8 = 0x0C;
 
 const OP_DONE: u8 = 0x81;
 const OP_BUSY: u8 = 0x82;
@@ -84,6 +115,9 @@ const OP_STATS_RESP: u8 = 0x84;
 const OP_FLUSHED: u8 = 0x85;
 const OP_GOODBYE: u8 = 0x86;
 const OP_HELLO_ACK: u8 = 0x87;
+const OP_MAP_RESP: u8 = 0x88;
+const OP_WRONG_SHARD: u8 = 0x89;
+const OP_MIGRATED: u8 = 0x8A;
 
 /// Why the server refused a request without simulating it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +129,10 @@ pub enum BusyReason {
     /// The target shard's worker is dead and has not restarted yet. The
     /// request was *not* admitted, so retrying is always safe.
     Unavailable,
+    /// The addressed LBA range is mid-migration to another node. The
+    /// request was *not* admitted; the client should refresh its shard
+    /// map and re-route. Only sent to v3 connections.
+    Moving,
 }
 
 /// Terminal error codes carried in ERROR responses.
@@ -186,6 +224,60 @@ pub enum Request {
     /// Up to [`MAX_BATCH_ENTRIES`] I/O submissions in one frame.
     /// Admission is per-entry: each entry gets its own DONE/BUSY/ERROR.
     Batch(Vec<BatchEntry>),
+    /// Ask for the peer's current shard map (v3). Answered with
+    /// [`Response::MapResp`].
+    MapGet {
+        /// Client correlation tag.
+        tag: u64,
+    },
+    /// Install range ownership on a node (v3, directory → node). The
+    /// canonical map text rides along verbatim so the node can serve it
+    /// back on MAP_GET without parsing it.
+    MapPush {
+        /// Client correlation tag.
+        tag: u64,
+        /// The map's monotonic epoch.
+        epoch: u64,
+        /// Logical capacity the range grid divides (must match the
+        /// node's configured capacity).
+        capacity_bytes: u64,
+        /// Total ranges in the grid (must match the node's shard count).
+        ranges: u32,
+        /// The range indices this node now owns.
+        owned: Vec<u32>,
+        /// Canonical shard-map serialization, stored verbatim.
+        map_text: String,
+    },
+    /// Seal a range on its source node (v3): drain its in-flight
+    /// requests and return the shard's learner state via
+    /// [`Response::Migrated`]. The range bounces `BUSY(moving)` until a
+    /// later MAP_PUSH settles ownership.
+    MigrateOut {
+        /// Client correlation tag.
+        tag: u64,
+        /// The range index to seal.
+        range: u32,
+    },
+    /// Seed a migrated range's learner state into the target node (v3).
+    MigrateIn {
+        /// Client correlation tag.
+        tag: u64,
+        /// The range index being adopted.
+        range: u32,
+        /// The source shard's learner state (may be empty on failover).
+        state: String,
+    },
+    /// Directory admin entry point (v3): move `range` to node `node`.
+    /// The directory orchestrates MIGRATE_OUT/MIGRATE_IN/MAP_PUSH and
+    /// answers with [`Response::MapResp`] carrying the new map.
+    Migrate {
+        /// Client correlation tag.
+        tag: u64,
+        /// The range index to move.
+        range: u32,
+        /// Id of the destination node in the map.
+        node: String,
+    },
 }
 
 impl Request {
@@ -199,7 +291,12 @@ impl Request {
             | Request::Stats { tag }
             | Request::Flush { tag }
             | Request::Shutdown { tag }
-            | Request::Hello { tag, .. } => *tag,
+            | Request::Hello { tag, .. }
+            | Request::MapGet { tag }
+            | Request::MapPush { tag, .. }
+            | Request::MigrateOut { tag, .. }
+            | Request::MigrateIn { tag, .. }
+            | Request::Migrate { tag, .. } => *tag,
             Request::Batch(entries) => entries.first().map_or(0, |e| e.tag),
         }
     }
@@ -254,6 +351,37 @@ pub enum Response {
         /// The negotiated protocol version.
         version: u32,
     },
+    /// The peer's current shard map (v3).
+    MapResp {
+        /// The MAP_GET's correlation tag.
+        tag: u64,
+        /// The map's monotonic epoch.
+        epoch: u64,
+        /// Canonical shard-map serialization (empty if the node has not
+        /// received a map yet).
+        text: String,
+    },
+    /// The addressed LBA range is not owned by this node (v3). The
+    /// request was *not* admitted; the client should refetch the map
+    /// and re-route. `epoch` is the node's current map epoch, a
+    /// staleness hint for the client's cache.
+    WrongShard {
+        /// The request's correlation tag.
+        tag: u64,
+        /// The responding node's current map epoch.
+        epoch: u64,
+    },
+    /// A MIGRATE_OUT or MIGRATE_IN completed (v3). For MIGRATE_OUT,
+    /// `state` carries the drained shard's learner snapshot; for
+    /// MIGRATE_IN it is empty.
+    Migrated {
+        /// The request's correlation tag.
+        tag: u64,
+        /// The range index that moved.
+        range: u32,
+        /// Learner state text (empty when none).
+        state: String,
+    },
 }
 
 impl Response {
@@ -266,7 +394,10 @@ impl Response {
             | Response::Stats { tag, .. }
             | Response::Flushed { tag }
             | Response::Goodbye { tag }
-            | Response::HelloAck { tag, .. } => tag,
+            | Response::HelloAck { tag, .. }
+            | Response::MapResp { tag, .. }
+            | Response::WrongShard { tag, .. }
+            | Response::Migrated { tag, .. } => tag,
         }
     }
 }
@@ -392,7 +523,7 @@ impl<'a> Reader<'a> {
         ]))
     }
 
-    fn rest(&mut self) -> &'a [u8] {
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
         let s = &self.buf[self.pos..];
         self.pos = self.buf.len();
         s
@@ -483,6 +614,51 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
                 b.extend_from_slice(&e.retry_of.to_le_bytes());
             }
         }
+        Request::MapGet { tag } => {
+            b.push(OP_MAP_GET);
+            b.extend_from_slice(&tag.to_le_bytes());
+        }
+        Request::MapPush {
+            tag,
+            epoch,
+            capacity_bytes,
+            ranges,
+            owned,
+            map_text,
+        } => {
+            assert!(
+                owned.len() <= u16::MAX as usize,
+                "owned list of {} ranges exceeds the u16 count field",
+                owned.len()
+            );
+            b.push(OP_MAP_PUSH);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&epoch.to_le_bytes());
+            b.extend_from_slice(&capacity_bytes.to_le_bytes());
+            b.extend_from_slice(&ranges.to_le_bytes());
+            b.extend_from_slice(&(owned.len() as u16).to_le_bytes());
+            for r in owned {
+                b.extend_from_slice(&r.to_le_bytes());
+            }
+            b.extend_from_slice(map_text.as_bytes());
+        }
+        Request::MigrateOut { tag, range } => {
+            b.push(OP_MIGRATE_OUT);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&range.to_le_bytes());
+        }
+        Request::MigrateIn { tag, range, state } => {
+            b.push(OP_MIGRATE_IN);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&range.to_le_bytes());
+            b.extend_from_slice(state.as_bytes());
+        }
+        Request::Migrate { tag, range, node } => {
+            b.push(OP_MIGRATE);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&range.to_le_bytes());
+            b.extend_from_slice(node.as_bytes());
+        }
     }
     b
 }
@@ -551,6 +727,49 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             }
             Request::Batch(entries)
         }
+        OP_MAP_GET => Request::MapGet { tag: r.u64()? },
+        OP_MAP_PUSH => {
+            let tag = r.u64()?;
+            let epoch = r.u64()?;
+            let capacity_bytes = r.u64()?;
+            let ranges = r.u32()?;
+            let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
+            let mut owned = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                owned.push(r.u32()?);
+            }
+            let map_text = std::str::from_utf8(r.rest())
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Request::MapPush {
+                tag,
+                epoch,
+                capacity_bytes,
+                ranges,
+                owned,
+                map_text,
+            }
+        }
+        OP_MIGRATE_OUT => Request::MigrateOut {
+            tag: r.u64()?,
+            range: r.u32()?,
+        },
+        OP_MIGRATE_IN => {
+            let tag = r.u64()?;
+            let range = r.u32()?;
+            let state = std::str::from_utf8(r.rest())
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Request::MigrateIn { tag, range, state }
+        }
+        OP_MIGRATE => {
+            let tag = r.u64()?;
+            let range = r.u32()?;
+            let node = std::str::from_utf8(r.rest())
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Request::Migrate { tag, range, node }
+        }
         other => return Err(WireError::UnknownOpcode(other)),
     };
     r.done()?;
@@ -593,6 +812,7 @@ fn encode_response_payload_into(r: &Response, b: &mut Vec<u8>) {
                 BusyReason::Queue => 1,
                 BusyReason::RateLimit => 2,
                 BusyReason::Unavailable => 3,
+                BusyReason::Moving => 4,
             });
         }
         Response::Error { tag, code } => {
@@ -624,6 +844,23 @@ fn encode_response_payload_into(r: &Response, b: &mut Vec<u8>) {
             b.extend_from_slice(&tag.to_le_bytes());
             b.extend_from_slice(&version.to_le_bytes());
         }
+        Response::MapResp { tag, epoch, text } => {
+            b.push(OP_MAP_RESP);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&epoch.to_le_bytes());
+            b.extend_from_slice(text.as_bytes());
+        }
+        Response::WrongShard { tag, epoch } => {
+            b.push(OP_WRONG_SHARD);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&epoch.to_le_bytes());
+        }
+        Response::Migrated { tag, range, state } => {
+            b.push(OP_MIGRATED);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&range.to_le_bytes());
+            b.extend_from_slice(state.as_bytes());
+        }
     }
 }
 
@@ -642,6 +879,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 1 => BusyReason::Queue,
                 2 => BusyReason::RateLimit,
                 3 => BusyReason::Unavailable,
+                4 => BusyReason::Moving,
                 v => {
                     return Err(WireError::BadEnum {
                         field: "busy_reason",
@@ -681,9 +919,32 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             tag: r.u64()?,
             version: r.u32()?,
         },
+        OP_MAP_RESP => {
+            let tag = r.u64()?;
+            let epoch = r.u64()?;
+            let text = std::str::from_utf8(r.rest())
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Response::MapResp { tag, epoch, text }
+        }
+        OP_WRONG_SHARD => Response::WrongShard {
+            tag: r.u64()?,
+            epoch: r.u64()?,
+        },
+        OP_MIGRATED => {
+            let tag = r.u64()?;
+            let range = r.u32()?;
+            let state = std::str::from_utf8(r.rest())
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Response::Migrated { tag, range, state }
+        }
         other => return Err(WireError::UnknownOpcode(other)),
     };
-    if !matches!(resp, Response::Stats { .. }) {
+    if !matches!(
+        resp,
+        Response::Stats { .. } | Response::MapResp { .. } | Response::Migrated { .. }
+    ) {
         r.done()?;
     }
     Ok(resp)
@@ -829,6 +1090,39 @@ mod tests {
                     retry_of: 11,
                 },
             ]),
+            Request::MapGet { tag: 13 },
+            Request::MapPush {
+                tag: 14,
+                epoch: 3,
+                capacity_bytes: 8 << 30,
+                ranges: 4,
+                owned: vec![0, 2],
+                map_text: "# rif-shardmap v1 epoch=3 capacity=8589934592 ranges=4\n".to_string(),
+            },
+            Request::MapPush {
+                tag: 15,
+                epoch: 0,
+                capacity_bytes: 1,
+                ranges: 1,
+                owned: vec![],
+                map_text: String::new(),
+            },
+            Request::MigrateOut { tag: 16, range: 2 },
+            Request::MigrateIn {
+                tag: 17,
+                range: 2,
+                state: "block 5 -0.0125\n".to_string(),
+            },
+            Request::MigrateIn {
+                tag: 18,
+                range: 0,
+                state: String::new(),
+            },
+            Request::Migrate {
+                tag: 19,
+                range: 1,
+                node: "b".to_string(),
+            },
         ];
         for r in reqs {
             let enc = encode_request(&r);
@@ -956,6 +1250,31 @@ mod tests {
                 tag: 7,
                 version: PROTOCOL_VERSION,
             },
+            Response::Busy {
+                tag: 8,
+                reason: BusyReason::Moving,
+            },
+            Response::MapResp {
+                tag: 9,
+                epoch: 12,
+                text: "# rif-shardmap v1 epoch=12 capacity=1024 ranges=2\n".to_string(),
+            },
+            Response::MapResp {
+                tag: 10,
+                epoch: 0,
+                text: String::new(),
+            },
+            Response::WrongShard { tag: 11, epoch: 4 },
+            Response::Migrated {
+                tag: 12,
+                range: 3,
+                state: "block 1 0.05\n".to_string(),
+            },
+            Response::Migrated {
+                tag: 13,
+                range: 0,
+                state: String::new(),
+            },
         ];
         for r in resps {
             let enc = encode_response(&r);
@@ -978,6 +1297,88 @@ mod tests {
                 "cut {cut}: {e:?}"
             );
         }
+    }
+
+    #[test]
+    fn truncated_cluster_payloads_are_rejected() {
+        // Fixed-size prefixes of the v3 messages must reject every cut
+        // before the text tail begins (the tail itself may be empty).
+        let reqs = [
+            encode_request(&Request::MapGet { tag: 5 }),
+            encode_request(&Request::MigrateOut { tag: 6, range: 1 }),
+            encode_request(&Request::MapPush {
+                tag: 7,
+                epoch: 1,
+                capacity_bytes: 64,
+                ranges: 2,
+                owned: vec![0, 1],
+                map_text: String::new(),
+            }),
+            encode_request(&Request::MigrateIn {
+                tag: 8,
+                range: 0,
+                state: String::new(),
+            }),
+            encode_request(&Request::Migrate {
+                tag: 9,
+                range: 0,
+                node: String::new(),
+            }),
+        ];
+        for full in reqs {
+            for cut in 0..full.len() {
+                let e = decode_request(&full[..cut]).expect_err("must reject");
+                assert!(
+                    matches!(e, WireError::Truncated { .. } | WireError::Empty),
+                    "cut {cut}: {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_text_fields_must_be_utf8() {
+        let mut enc = encode_request(&Request::Migrate {
+            tag: 1,
+            range: 0,
+            node: "x".to_string(),
+        });
+        *enc.last_mut().unwrap() = 0xFF;
+        assert_eq!(decode_request(&enc), Err(WireError::BadUtf8));
+
+        let mut enc = encode_response(&Response::MapResp {
+            tag: 1,
+            epoch: 1,
+            text: "x".to_string(),
+        });
+        *enc.last_mut().unwrap() = 0xFF;
+        assert_eq!(decode_response(&enc), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn map_push_owned_count_lies_are_rejected() {
+        let mut enc = encode_request(&Request::MapPush {
+            tag: 1,
+            epoch: 1,
+            capacity_bytes: 64,
+            ranges: 2,
+            owned: vec![0, 1],
+            map_text: String::new(),
+        });
+        // Count says 3, only 2 owned entries follow → truncated.
+        let count_at = 1 + 8 + 8 + 8 + 4;
+        enc[count_at..count_at + 2].copy_from_slice(&3u16.to_le_bytes());
+        assert!(matches!(
+            decode_request(&enc),
+            Err(WireError::Truncated { .. })
+        ));
+        // Count says 1: the second owned entry is consumed as map text,
+        // which is not valid UTF-8-agnostic here but IS bytes 01 00 00 00
+        // — valid UTF-8 control chars, so it decodes with a bogus text.
+        // The directory's map parser rejects it downstream; the wire
+        // layer cannot tell text from numbers.
+        enc[count_at..count_at + 2].copy_from_slice(&1u16.to_le_bytes());
+        assert!(decode_request(&enc).is_ok());
     }
 
     #[test]

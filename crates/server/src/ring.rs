@@ -27,8 +27,9 @@ use rif_workloads::IoOp;
 
 use crate::protocol::{
     encode_response_frame_into, BatchEntry, Reader, Request, Response, WireError,
-    BATCH_ENTRY_BYTES, MAX_BATCH_ENTRIES, MAX_FRAME_BYTES, OP_BATCH, OP_FLUSH, OP_HELLO, OP_READ,
-    OP_SHUTDOWN, OP_STATS, OP_WRITE,
+    BATCH_ENTRY_BYTES, MAX_BATCH_ENTRIES, MAX_FRAME_BYTES, OP_BATCH, OP_FLUSH, OP_HELLO,
+    OP_MAP_GET, OP_MAP_PUSH, OP_MIGRATE, OP_MIGRATE_IN, OP_MIGRATE_OUT, OP_READ, OP_SHUTDOWN,
+    OP_STATS, OP_WRITE,
 };
 
 /// How much tail room [`RecvBuffer::read_from`] guarantees before each
@@ -187,6 +188,53 @@ pub enum RequestView<'a> {
     },
     /// A validated batch body, iterated without allocation.
     Batch(BatchView<'a>),
+    /// Shard-map fetch, as [`Request::MapGet`].
+    MapGet {
+        /// Client correlation tag.
+        tag: u64,
+    },
+    /// Range-ownership install, as [`Request::MapPush`]. The owned-range
+    /// list and map text stay borrows of the frame.
+    MapPush {
+        /// Client correlation tag.
+        tag: u64,
+        /// The map's monotonic epoch.
+        epoch: u64,
+        /// Logical capacity the range grid divides.
+        capacity_bytes: u64,
+        /// Total ranges in the grid.
+        ranges: u32,
+        /// The validated owned-range list.
+        owned: RangeListView<'a>,
+        /// Canonical shard-map serialization.
+        map_text: &'a str,
+    },
+    /// Range seal on the source node, as [`Request::MigrateOut`].
+    MigrateOut {
+        /// Client correlation tag.
+        tag: u64,
+        /// The range index to seal.
+        range: u32,
+    },
+    /// Learner-state adoption on the target node, as
+    /// [`Request::MigrateIn`].
+    MigrateIn {
+        /// Client correlation tag.
+        tag: u64,
+        /// The range index being adopted.
+        range: u32,
+        /// The source shard's learner state.
+        state: &'a str,
+    },
+    /// Directory admin migration, as [`Request::Migrate`].
+    Migrate {
+        /// Client correlation tag.
+        tag: u64,
+        /// The range index to move.
+        range: u32,
+        /// Id of the destination node.
+        node: &'a str,
+    },
 }
 
 impl RequestView<'_> {
@@ -198,7 +246,12 @@ impl RequestView<'_> {
             | RequestView::Stats { tag }
             | RequestView::Flush { tag }
             | RequestView::Shutdown { tag }
-            | RequestView::Hello { tag, .. } => *tag,
+            | RequestView::Hello { tag, .. }
+            | RequestView::MapGet { tag }
+            | RequestView::MapPush { tag, .. }
+            | RequestView::MigrateOut { tag, .. }
+            | RequestView::MigrateIn { tag, .. }
+            | RequestView::Migrate { tag, .. } => *tag,
             RequestView::Batch(b) => {
                 if b.count() == 0 {
                     0
@@ -240,7 +293,67 @@ impl RequestView<'_> {
             RequestView::Shutdown { tag } => Request::Shutdown { tag },
             RequestView::Hello { tag, version } => Request::Hello { tag, version },
             RequestView::Batch(b) => Request::Batch(b.iter().collect()),
+            RequestView::MapGet { tag } => Request::MapGet { tag },
+            RequestView::MapPush {
+                tag,
+                epoch,
+                capacity_bytes,
+                ranges,
+                owned,
+                map_text,
+            } => Request::MapPush {
+                tag,
+                epoch,
+                capacity_bytes,
+                ranges,
+                owned: owned.iter().collect(),
+                map_text: map_text.to_string(),
+            },
+            RequestView::MigrateOut { tag, range } => Request::MigrateOut { tag, range },
+            RequestView::MigrateIn { tag, range, state } => Request::MigrateIn {
+                tag,
+                range,
+                state: state.to_string(),
+            },
+            RequestView::Migrate { tag, range, node } => Request::Migrate {
+                tag,
+                range,
+                node: node.to_string(),
+            },
         }
+    }
+}
+
+/// The owned-range bytes of a validated MAP_PUSH frame: `count × 4`
+/// little-endian `u32`s, decoded lazily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeListView<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> RangeListView<'a> {
+    /// Number of range indices in the list.
+    pub fn count(&self) -> usize {
+        self.data.len() / 4
+    }
+
+    /// Decodes index `i`. Infallible: the frame was validated up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count()`.
+    pub fn get(&self, i: usize) -> u32 {
+        u32::from_le_bytes(
+            self.data[i * 4..(i + 1) * 4]
+                .try_into()
+                .expect("fixed width"),
+        )
+    }
+
+    /// Lazily decodes every range index in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        let v = *self;
+        (0..v.count()).map(move |i| v.get(i))
     }
 }
 
@@ -350,6 +463,49 @@ pub fn decode_request_view(payload: &[u8]) -> Result<RequestView<'_>, WireError>
             }
             let body = &payload[3..3 + count as usize * BATCH_ENTRY_BYTES];
             RequestView::Batch(BatchView { data: body })
+        }
+        OP_MAP_GET => RequestView::MapGet { tag: r.u64()? },
+        OP_MAP_PUSH => {
+            let tag = r.u64()?;
+            let epoch = r.u64()?;
+            let capacity_bytes = r.u64()?;
+            let ranges = r.u32()?;
+            let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
+            // Validate with the same cursor steps the owning decoder
+            // takes, so a short list reports the identical
+            // `Truncated { need, got }`.
+            for _ in 0..count {
+                r.u32()?;
+            }
+            let list_at = 1 + 8 + 8 + 8 + 4 + 2;
+            let owned = RangeListView {
+                data: &payload[list_at..list_at + count as usize * 4],
+            };
+            let map_text = std::str::from_utf8(r.rest()).map_err(|_| WireError::BadUtf8)?;
+            RequestView::MapPush {
+                tag,
+                epoch,
+                capacity_bytes,
+                ranges,
+                owned,
+                map_text,
+            }
+        }
+        OP_MIGRATE_OUT => RequestView::MigrateOut {
+            tag: r.u64()?,
+            range: r.u32()?,
+        },
+        OP_MIGRATE_IN => {
+            let tag = r.u64()?;
+            let range = r.u32()?;
+            let state = std::str::from_utf8(r.rest()).map_err(|_| WireError::BadUtf8)?;
+            RequestView::MigrateIn { tag, range, state }
+        }
+        OP_MIGRATE => {
+            let tag = r.u64()?;
+            let range = r.u32()?;
+            let node = std::str::from_utf8(r.rest()).map_err(|_| WireError::BadUtf8)?;
+            RequestView::Migrate { tag, range, node }
         }
         other => return Err(WireError::UnknownOpcode(other)),
     };
@@ -514,6 +670,34 @@ mod tests {
                     retry_of: 0,
                 },
             ]),
+            Request::MapGet { tag: 14 },
+            Request::MapPush {
+                tag: 15,
+                epoch: 2,
+                capacity_bytes: 8 << 30,
+                ranges: 4,
+                owned: vec![1, 3],
+                map_text: "# rif-shardmap v1 epoch=2 capacity=8589934592 ranges=4\n".to_string(),
+            },
+            Request::MapPush {
+                tag: 16,
+                epoch: 0,
+                capacity_bytes: 1,
+                ranges: 1,
+                owned: vec![],
+                map_text: String::new(),
+            },
+            Request::MigrateOut { tag: 17, range: 3 },
+            Request::MigrateIn {
+                tag: 18,
+                range: 3,
+                state: "block 9 -0.02\n".to_string(),
+            },
+            Request::Migrate {
+                tag: 19,
+                range: 0,
+                node: "node-b".to_string(),
+            },
         ]
     }
 
@@ -574,6 +758,28 @@ mod tests {
         let mut bad_op2 = batch;
         bad_op2[3 + BATCH_ENTRY_BYTES] = 0xFF;
         cases.push(bad_op2);
+        // v3 hostile inputs: invalid UTF-8 text tails and a lying
+        // owned-range count.
+        let mut bad_text = encode_request(&Request::MigrateIn {
+            tag: 1,
+            range: 0,
+            state: "x".to_string(),
+        });
+        *bad_text.last_mut().unwrap() = 0xFF;
+        cases.push(bad_text);
+        let mut bad_map = encode_request(&Request::MapPush {
+            tag: 1,
+            epoch: 1,
+            capacity_bytes: 64,
+            ranges: 2,
+            owned: vec![0, 1],
+            map_text: "m".to_string(),
+        });
+        *bad_map.last_mut().unwrap() = 0xFE;
+        cases.push(bad_map.clone());
+        let count_at = 1 + 8 + 8 + 8 + 4;
+        bad_map[count_at..count_at + 2].copy_from_slice(&9u16.to_le_bytes());
+        cases.push(bad_map);
 
         for payload in cases {
             let owned = decode_request(&payload);

@@ -107,6 +107,14 @@ pub struct ServerConfig {
     /// Lifetime drift rate for the shard simulators, in extra retention
     /// days per simulated second. `0` (default) disables drift.
     pub drift_days_per_sec: f64,
+    /// Run as one node of a cluster: the server starts owning **no**
+    /// LBA ranges (every request bounces until the directory's first
+    /// MAP_PUSH arrives) and enforces range ownership on admission —
+    /// non-owned ranges answer `WRONG_SHARD(epoch)` and migrating ones
+    /// `BUSY(moving)` on v3 connections (`BUSY(unavailable)` on older).
+    /// In cluster mode `shards` is the *total* range count of the
+    /// cluster map, so range indices and shard indices coincide.
+    pub cluster: bool,
 }
 
 impl Default for ServerConfig {
@@ -128,8 +136,31 @@ impl Default for ServerConfig {
             write_queue_limit: 256 << 10,
             learn: false,
             drift_days_per_sec: 0.0,
+            cluster: false,
         }
     }
+}
+
+/// Ownership of one LBA range on a cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RangeStatus {
+    /// This node serves the range.
+    Owned,
+    /// A handoff is draining: new arrivals bounce with `BUSY(moving)`.
+    Moving,
+    /// Another node serves the range: arrivals answer `WRONG_SHARD`.
+    NotOwned,
+}
+
+/// A cluster node's view of the shard map: the directory's last push,
+/// plus the per-range ownership the admission gate enforces. The map
+/// text is carried verbatim (the node never parses it) so MAP_GET can
+/// serve it back to clients without the server depending on the cluster
+/// crate's parser.
+pub(crate) struct ClusterState {
+    pub(crate) epoch: u64,
+    pub(crate) map_text: String,
+    pub(crate) status: Vec<RangeStatus>,
 }
 
 /// Front-door saturation counters, shared by both cores and surfaced in
@@ -164,6 +195,8 @@ pub(crate) struct Shared {
     pub(crate) started: Instant,
     pub(crate) recorder: Arc<TraceRecorder>,
     pub(crate) front_door: FrontDoor,
+    /// `Some` iff [`ServerConfig::cluster`] — the node's map view.
+    pub(crate) cluster: Option<Mutex<ClusterState>>,
 }
 
 impl Shared {
@@ -178,6 +211,16 @@ impl Shared {
     /// Locks the tenant buckets with the same poisoned-lock recovery.
     pub(crate) fn buckets(&self) -> std::sync::MutexGuard<'_, TenantBuckets> {
         self.buckets.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Locks the cluster state (must only be called in cluster mode),
+    /// with the same poisoned-lock recovery.
+    pub(crate) fn cluster_state(&self) -> std::sync::MutexGuard<'_, ClusterState> {
+        self.cluster
+            .as_ref()
+            .expect("cluster state accessed outside cluster mode")
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -247,6 +290,13 @@ impl Server {
             shard_handles.push(handle);
         }
 
+        let cluster = cfg.cluster.then(|| {
+            Mutex::new(ClusterState {
+                epoch: 0,
+                map_text: String::new(),
+                status: vec![RangeStatus::NotOwned; cfg.shards],
+            })
+        });
         let shared = Arc::new(Shared {
             buckets: Mutex::new(TenantBuckets::new(cfg.rate_per_sec, cfg.burst)),
             cfg,
@@ -257,6 +307,7 @@ impl Server {
             started: Instant::now(),
             recorder,
             front_door: FrontDoor::default(),
+            cluster,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -348,6 +399,18 @@ impl Server {
     /// Number of shard workers (for harnesses picking a crash target).
     pub fn shard_count(&self) -> usize {
         self.shared.shards.len()
+    }
+
+    /// Hard-kills the whole node, for cluster fault injection: every
+    /// shard worker crashes (in-flight requests resolve to
+    /// `ERROR(Internal)`, nothing hangs), then the node stops serving.
+    /// The directory notices via connection failure and rebalances the
+    /// node's ranges away.
+    pub fn kill(self) {
+        for i in 0..self.shard_count() {
+            self.inject_shard_crash(i, Duration::from_secs(3600));
+        }
+        self.stop();
     }
 
     /// The request journal (empty unless [`ServerConfig::capture`] was
@@ -500,13 +563,33 @@ fn handle_request(req: Request, shared: &Shared, reply: &ReplyTo, negotiated: &m
             tag,
             offset,
             bytes,
-        } => admit_io(shared, reply, tenant, tag, offset, bytes, IoOp::Read, 0),
+        } => admit_io(
+            shared,
+            reply,
+            tenant,
+            tag,
+            offset,
+            bytes,
+            IoOp::Read,
+            0,
+            *negotiated,
+        ),
         Request::Write {
             tenant,
             tag,
             offset,
             bytes,
-        } => admit_io(shared, reply, tenant, tag, offset, bytes, IoOp::Write, 0),
+        } => admit_io(
+            shared,
+            reply,
+            tenant,
+            tag,
+            offset,
+            bytes,
+            IoOp::Write,
+            0,
+            *negotiated,
+        ),
         Request::Hello { tag, version } => {
             *negotiated = version.min(PROTOCOL_VERSION).max(1);
             reply.send(Response::HelloAck {
@@ -519,7 +602,54 @@ fn handle_request(req: Request, shared: &Shared, reply: &ReplyTo, negotiated: &m
                 reject_unnegotiated_batch(shared, reply, entries.first().map_or(0, |e| e.tag));
                 return;
             }
-            admit_batch(shared, reply, entries);
+            admit_batch(shared, reply, entries, *negotiated);
+        }
+        Request::MapGet { tag } => {
+            let (epoch, text) = match &shared.cluster {
+                Some(_) => {
+                    let cl = shared.cluster_state();
+                    (cl.epoch, cl.map_text.clone())
+                }
+                None => (0, String::new()),
+            };
+            reply.send(Response::MapResp { tag, epoch, text });
+        }
+        Request::MapPush {
+            tag,
+            epoch,
+            capacity_bytes,
+            ranges,
+            owned,
+            map_text,
+        } => {
+            handle_map_push(
+                shared,
+                reply,
+                tag,
+                epoch,
+                capacity_bytes,
+                ranges,
+                &owned,
+                map_text,
+            );
+        }
+        Request::MigrateOut { tag, range } => {
+            // The threaded core blocks the connection's reader thread for
+            // the drain, exactly like Flush; the event loop offloads to an
+            // ephemeral thread before calling this.
+            handle_migrate_out(shared, reply, tag, range);
+        }
+        Request::MigrateIn { tag, range, state } => {
+            handle_migrate_in(shared, reply, tag, range, state);
+        }
+        Request::Migrate { tag, .. } => {
+            // A node never orchestrates: MIGRATE is a directory-only
+            // operation.
+            shared.metrics().inc("server.protocol_errors", 1);
+            reply.send(Response::Error {
+                tag,
+                code: ErrorCode::BadRequest,
+            });
         }
         Request::Stats { tag } => {
             let text = render_stats(shared);
@@ -552,6 +682,172 @@ pub(crate) fn reject_unnegotiated_batch(shared: &Shared, reply: &ReplyTo, tag: u
     });
 }
 
+/// Handles MAP_PUSH: installs a newer map's ownership, or acks an
+/// equal/older epoch idempotently without touching state (directory
+/// retries are harmless).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_map_push(
+    shared: &Shared,
+    reply: &ReplyTo,
+    tag: u64,
+    epoch: u64,
+    capacity_bytes: u64,
+    ranges: u32,
+    owned: &[u32],
+    map_text: String,
+) {
+    let bad = shared.cluster.is_none()
+        || capacity_bytes != shared.cfg.capacity_bytes
+        || ranges as usize != shared.cfg.shards
+        || owned.iter().any(|&r| r as usize >= shared.cfg.shards);
+    if bad {
+        shared.metrics().inc("server.protocol_errors", 1);
+        reply.send(Response::Error {
+            tag,
+            code: ErrorCode::BadRequest,
+        });
+        return;
+    }
+    let (cur_epoch, text) = {
+        let mut cl = shared.cluster_state();
+        if epoch > cl.epoch {
+            cl.epoch = epoch;
+            cl.map_text = map_text;
+            // A push settles every range: Moving survives only within an
+            // epoch, never across one.
+            for s in cl.status.iter_mut() {
+                *s = RangeStatus::NotOwned;
+            }
+            for &r in owned {
+                cl.status[r as usize] = RangeStatus::Owned;
+            }
+        }
+        (cl.epoch, cl.map_text.clone())
+    };
+    shared.metrics().inc("server.map_pushes", 1);
+    reply.send(Response::MapResp {
+        tag,
+        epoch: cur_epoch,
+        text,
+    });
+}
+
+/// Handles MIGRATE_OUT: seals the range (new arrivals bounce with
+/// `BUSY(moving)` from this point on), drains the shard, and replies
+/// with the learner snapshot. Blocks until the drain completes — the
+/// event loop calls this from an ephemeral thread.
+pub(crate) fn handle_migrate_out(shared: &Shared, reply: &ReplyTo, tag: u64, range: u32) {
+    if shared.cluster.is_none() || range as usize >= shared.cfg.shards {
+        shared.metrics().inc("server.protocol_errors", 1);
+        reply.send(Response::Error {
+            tag,
+            code: ErrorCode::BadRequest,
+        });
+        return;
+    }
+    // Seal strictly before the Yield is queued: everything admitted
+    // earlier is already in the worker's channel ahead of the Yield, so
+    // the drain covers it; everything later bounces at admission.
+    shared.cluster_state().status[range as usize] = RangeStatus::Moving;
+    shared.metrics().inc("server.migrations.out", 1);
+    let (state_tx, state_rx) = mpsc::channel();
+    let sent = shared.shards[range as usize]
+        .tx
+        .send(ShardMsg::Yield(state_tx));
+    let state = match sent {
+        Ok(()) => state_rx.recv().unwrap_or_default(),
+        // Worker gone (stopping node): hand off without a snapshot —
+        // the learner state is a performance hint, the seal above is
+        // what correctness needs.
+        Err(_) => String::new(),
+    };
+    reply.send(Response::Migrated { tag, range, state });
+}
+
+/// Handles MIGRATE_IN: seeds the range's learner from the transferred
+/// snapshot and acks. Ownership itself arrives with the directory's
+/// subsequent MAP_PUSH, never here.
+pub(crate) fn handle_migrate_in(
+    shared: &Shared,
+    reply: &ReplyTo,
+    tag: u64,
+    range: u32,
+    state: String,
+) {
+    if shared.cluster.is_none() || range as usize >= shared.cfg.shards {
+        shared.metrics().inc("server.protocol_errors", 1);
+        reply.send(Response::Error {
+            tag,
+            code: ErrorCode::BadRequest,
+        });
+        return;
+    }
+    shared.metrics().inc("server.migrations.in", 1);
+    let (ack_tx, ack_rx) = mpsc::channel();
+    let sent = shared.shards[range as usize]
+        .tx
+        .send(ShardMsg::Adopt { state, ack: ack_tx });
+    if sent.is_ok() {
+        let _ = ack_rx.recv();
+    }
+    reply.send(Response::Migrated {
+        tag,
+        range,
+        state: String::new(),
+    });
+}
+
+/// Cluster admission gate: answers `true` when this node currently owns
+/// the range `offset` routes to (or when not in cluster mode). A
+/// non-owned range refuses with `WRONG_SHARD(epoch)` so the client
+/// refetches the map; a migrating range refuses with `BUSY(moving)`.
+/// Connections below v3 get `BUSY(unavailable)` instead — same
+/// never-admitted guarantee, spelled in a vocabulary they know.
+fn cluster_admits(
+    shared: &Shared,
+    reply: &ReplyTo,
+    tag: u64,
+    offset: u64,
+    negotiated: u32,
+) -> bool {
+    if shared.cluster.is_none() {
+        return true;
+    }
+    let wrapped = offset % shared.cfg.capacity_bytes;
+    let idx = ShardSpec::route(shared.cfg.capacity_bytes, shared.cfg.shards, wrapped);
+    let (status, epoch) = {
+        let cl = shared.cluster_state();
+        (cl.status[idx], cl.epoch)
+    };
+    match status {
+        RangeStatus::Owned => true,
+        RangeStatus::Moving => {
+            shared.metrics().inc("server.busy.moving", 1);
+            reply.send(Response::Busy {
+                tag,
+                reason: if negotiated >= 3 {
+                    BusyReason::Moving
+                } else {
+                    BusyReason::Unavailable
+                },
+            });
+            false
+        }
+        RangeStatus::NotOwned => {
+            shared.metrics().inc("server.wrong_shard", 1);
+            if negotiated >= 3 {
+                reply.send(Response::WrongShard { tag, epoch });
+            } else {
+                reply.send(Response::Busy {
+                    tag,
+                    reason: BusyReason::Unavailable,
+                });
+            }
+            false
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn admit_io(
     shared: &Shared,
@@ -562,6 +858,7 @@ pub(crate) fn admit_io(
     bytes: u32,
     op: IoOp,
     retry_of: u64,
+    negotiated: u32,
 ) {
     if shared.shutdown.load(Ordering::Acquire) {
         reply.send(Response::Error {
@@ -576,6 +873,9 @@ pub(crate) fn admit_io(
             tag,
             code: ErrorCode::BadLength,
         });
+        return;
+    }
+    if !cluster_admits(shared, reply, tag, offset, negotiated) {
         return;
     }
 
@@ -677,7 +977,7 @@ pub(crate) fn admit_io(
 /// Malformed entries (zero/oversized length) are answered individually
 /// with `ERROR(BadLength)` and do not count against the batch — they
 /// could never be admitted, so they cannot hold the rest hostage.
-pub(crate) fn admit_batch<I>(shared: &Shared, reply: &ReplyTo, entries: I)
+pub(crate) fn admit_batch<I>(shared: &Shared, reply: &ReplyTo, entries: I, negotiated: u32)
 where
     I: IntoIterator<Item = BatchEntry>,
 {
@@ -703,6 +1003,11 @@ where
                 tag: e.tag,
                 code: ErrorCode::BadLength,
             });
+            continue;
+        }
+        // The cluster gate refuses per entry, like BadLength: a stray
+        // entry for a moved range must not hold the batch hostage.
+        if !cluster_admits(shared, reply, e.tag, e.offset, negotiated) {
             continue;
         }
         if e.op == IoOp::Read {

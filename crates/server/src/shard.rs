@@ -154,6 +154,20 @@ pub enum ShardMsg {
         /// How long the shard stays dead before restarting.
         restart_after: Duration,
     },
+    /// Drain everything in flight, then reply with the shard's
+    /// serialized [`rif_ssd::LearnerState`] text (empty in oracle mode).
+    /// The worker stays alive and keeps serving afterwards — the cluster
+    /// layer uses this to snapshot a migrating shard without killing it.
+    Yield(Sender<String>),
+    /// Preseed the shard's threshold learner from serialized state
+    /// received during a migration, then ack. Malformed or empty state
+    /// is ignored (the learner is a performance hint, not correctness).
+    Adopt {
+        /// Serialized learner state, as produced by [`ShardMsg::Yield`].
+        state: String,
+        /// Acked once the state is installed.
+        ack: Sender<()>,
+    },
     /// Drain and exit.
     Stop,
 }
@@ -214,6 +228,8 @@ struct Worker {
     /// sim request id -> (client tag, reply destination)
     pending: HashMap<u64, (u64, ReplyTo)>,
     flush_waiters: Vec<Sender<()>>,
+    /// Migration snapshots waiting for the in-flight set to drain.
+    yield_waiters: Vec<Sender<String>>,
     stopping: bool,
     /// `Some(t)` while the shard is dead; it restarts once `Instant::now() >= t`.
     dead_until: Option<Instant>,
@@ -268,9 +284,26 @@ impl Worker {
                 }
             }
             ShardMsg::Flush(done) => self.flush_waiters.push(done),
+            ShardMsg::Yield(out) => self.yield_waiters.push(out),
+            ShardMsg::Adopt { state, ack } => {
+                if let Ok(s) = rif_ssd::LearnerState::parse_text(&state) {
+                    self.sim.preseed_learner(&s);
+                }
+                let _ = ack.send(());
+            }
             ShardMsg::Crash { restart_after } => self.crash(restart_after),
             ShardMsg::Stop => self.stopping = true,
         }
+    }
+
+    /// The learner snapshot handed over during a migration, bounded so
+    /// it always fits in one wire frame (lowest-numbered blocks win).
+    fn learner_snapshot_text(&self) -> String {
+        let cap = crate::protocol::MAX_FRAME_BYTES as usize - 64;
+        self.sim
+            .learner_state()
+            .map(|s| s.to_text_capped(cap))
+            .unwrap_or_default()
     }
 
     /// Kills the simulator state: fails every pending request and enters
@@ -317,11 +350,12 @@ impl Worker {
         // simulator is advanced until nothing is left in flight. Later
         // submissions clamp their arrival to the simulator clock, so time
         // stays monotonic.
-        let horizon = if self.stopping || !self.flush_waiters.is_empty() {
-            SimTime::MAX
-        } else {
-            self.clock.now()
-        };
+        let horizon =
+            if self.stopping || !self.flush_waiters.is_empty() || !self.yield_waiters.is_empty() {
+                SimTime::MAX
+            } else {
+                self.clock.now()
+            };
         self.sim.advance_until(horizon);
 
         let done = self.sim.drain_completions();
@@ -385,6 +419,7 @@ fn run_worker(
         recorder,
         pending: HashMap::new(),
         flush_waiters: Vec::new(),
+        yield_waiters: Vec::new(),
         stopping: false,
         dead_until: None,
         generation: 0,
@@ -408,6 +443,15 @@ fn run_worker(
         if w.pending.is_empty() && !w.flush_waiters.is_empty() {
             for waiter in w.flush_waiters.drain(..) {
                 let _ = waiter.send(());
+            }
+        }
+        // Same drain condition for migration snapshots: everything that
+        // was admitted before the Yield has completed, so the learner
+        // state captures all of it.
+        if w.pending.is_empty() && !w.yield_waiters.is_empty() {
+            let snapshot = w.learner_snapshot_text();
+            for waiter in w.yield_waiters.drain(..) {
+                let _ = waiter.send(snapshot.clone());
             }
         }
         if w.stopping && w.pending.is_empty() {
@@ -636,5 +680,110 @@ mod tests {
             .expect("error gauge present");
         assert!(err.is_finite() && err >= 0.0);
         handle.stop();
+    }
+
+    #[test]
+    fn yield_then_adopt_carries_learner_state_across_workers() {
+        use rif_ssd::{LearnerConfig, LearnerState, LearningMode, RetryKind};
+        use std::sync::mpsc;
+
+        let clock = VirtualClock::start(10_000.0);
+        let mut cfg = SsdConfig::small(RetryKind::Rif, 2000);
+        cfg.learning = LearningMode::Learned(LearnerConfig::default_paper());
+        let spawn = |index: usize| {
+            let (tx, rx) = mpsc::channel();
+            let spec = ShardSpec {
+                index,
+                base_offset: 0,
+                span_bytes: 1 << 30,
+            };
+            let h = spawn_shard(
+                spec,
+                cfg.clone(),
+                clock.clone(),
+                Arc::new(Mutex::new(MetricsRegistry::new())),
+                Arc::new(TraceRecorder::new(false)),
+                rx,
+                tx.clone(),
+            )
+            .expect("spawn shard");
+            (tx, h)
+        };
+        let (src_tx, src) = spawn(0);
+        let (dst_tx, dst) = spawn(1);
+
+        // Warm the source learner, with the last submission still in
+        // flight when the Yield lands — the drain must cover it.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for i in 0..8u64 {
+            src.inflight.fetch_add(1, Ordering::AcqRel);
+            src_tx
+                .send(ShardMsg::Submit(Submission {
+                    tag: i,
+                    op: IoOp::Read,
+                    offset: i * 65536,
+                    bytes: 65536,
+                    reply: ReplyTo::Channel(reply_tx.clone()),
+                }))
+                .unwrap();
+        }
+        let (yield_tx, yield_rx) = mpsc::channel();
+        src_tx.send(ShardMsg::Yield(yield_tx)).unwrap();
+        let state_text = yield_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("yield must answer");
+        // All 8 submissions preceded the Yield in the channel, so the
+        // snapshot reflects every one of them.
+        for _ in 0..8 {
+            let r = reply_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("yield must not drop in-flight requests");
+            assert!(matches!(r, Response::Done { .. }), "unexpected: {r:?}");
+        }
+        let state = LearnerState::parse_text(&state_text).expect("learned mode exports state");
+        assert!(state.stats.updates >= 8, "updates {}", state.stats.updates);
+
+        // Adopt on the target: its learner resumes the source's counters.
+        let (ack_tx, ack_rx) = mpsc::channel();
+        dst_tx
+            .send(ShardMsg::Adopt {
+                state: state_text,
+                ack: ack_tx,
+            })
+            .unwrap();
+        ack_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("adopt must ack");
+        let (y2_tx, y2_rx) = mpsc::channel();
+        dst_tx.send(ShardMsg::Yield(y2_tx)).unwrap();
+        let adopted = LearnerState::parse_text(
+            &y2_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("second yield answers"),
+        )
+        .expect("adopted state parses");
+        assert_eq!(adopted, state, "state must survive the handoff intact");
+
+        // The source keeps serving after a Yield — no dead window.
+        src.inflight.fetch_add(1, Ordering::AcqRel);
+        src_tx
+            .send(ShardMsg::Submit(Submission {
+                tag: 99,
+                op: IoOp::Read,
+                offset: 0,
+                bytes: 4096,
+                reply: ReplyTo::Channel(reply_tx),
+            }))
+            .unwrap();
+        let r = reply_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("source keeps serving after yield");
+        assert!(
+            matches!(r, Response::Done { tag: 99, .. }),
+            "unexpected: {r:?}"
+        );
+
+        src.stop();
+        dst.stop();
     }
 }

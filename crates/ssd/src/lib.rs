@@ -38,6 +38,6 @@ pub mod tracecheck;
 pub use config::{LearningMode, SsdConfig};
 pub use report::{ChannelUsage, LearnerSummary, SimReport};
 pub use retry::RetryKind;
-pub use rif_flash::learn::{DriftClock, LearnerConfig};
+pub use rif_flash::learn::{DriftClock, LearnerConfig, LearnerState, LearnerStateError};
 pub use simulator::{Completion, Simulator};
 pub use tracecheck::{TraceChecker, Violation};

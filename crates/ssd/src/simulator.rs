@@ -513,6 +513,22 @@ impl Simulator {
         })
     }
 
+    /// Exports the threshold learner's full transferable state (`None`
+    /// in oracle mode). The cluster layer serializes this to hand a
+    /// migrating shard's learned offsets to the target node.
+    pub fn learner_state(&self) -> Option<rif_flash::learn::LearnerState> {
+        self.learner.as_ref().map(|l| l.export_state())
+    }
+
+    /// Preseeds the threshold learner from a transferred snapshot,
+    /// replacing any estimates and counters accumulated so far. A no-op
+    /// in oracle mode (there is no learner to seed).
+    pub fn preseed_learner(&mut self, state: &rif_flash::learn::LearnerState) {
+        if let Some(cfg) = self.cfg.learning.learner_config() {
+            self.learner = Some(ThresholdLearner::restore(*cfg, state));
+        }
+    }
+
     /// Consumes the simulator and produces the aggregate report for
     /// everything simulated so far.
     pub fn finish(mut self) -> SimReport {

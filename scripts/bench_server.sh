@@ -11,7 +11,10 @@
 #   core can still serve) — throughput and p99.9 ratios come from here;
 # - scale (full mode only): both cores at 10k connections, where the
 #   thread-per-connection core is expected to degrade or fail outright
-#   — a failure is recorded as {"error": ...}, not papered over.
+#   — a failure is recorded as {"error": ...}, not papered over;
+# - cluster: the same routed closed loop against a one-node and a
+#   two-node cluster (rif-cluster directory + rif-server --cluster),
+#   reporting aggregate throughput and p99 of two nodes vs one.
 #
 # `--smoke` is the CI-sized variant (head-to-head only, fewer
 # requests) that finishes in a couple minutes.
@@ -53,33 +56,42 @@ if [ "$MODE" = smoke ]; then
     THREADS=2
     LIMIT=180
     DEADLINE_MS=60000
+    CLUSTER_REQUESTS=10000
 else
     REQUESTS=100000
     THREADS=4
     LIMIT=600
     DEADLINE_MS=240000
+    CLUSTER_REQUESTS=50000
 fi
 
 # Each connection is one fd on both sides, plus listener/waker/pipes.
 ulimit -n 20000 2>/dev/null || echo "bench: warning: cannot raise fd limit" >&2
 
-cargo build -q --release -p rif-server
+cargo build -q --release -p rif-server -p rif-cluster
 SRV=./target/release/rif-server
 CLI=./target/release/rif-client
+CLU=./target/release/rif-cluster
 
 tmpdir="$(mktemp -d)"
 server_pid=""
+cluster_pids=""
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    for _p in $cluster_pids; do
+        kill "$_p" 2>/dev/null || true
+    done
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
 
+# wait_addr LOG [PREFIX] — wait for a daemon's sentinel, echo "host:port".
 wait_addr() {
     _log="$1"
+    _prefix="${2:-rif-server listening on}"
     _i=0
     while [ "$_i" -lt 100 ]; do
-        _addr="$(sed -n 's/^rif-server listening on //p' "$_log")"
+        _addr="$(sed -n "s/^$_prefix //p" "$_log")"
         if [ -n "$_addr" ]; then
             printf '%s\n' "$_addr"
             return 0
@@ -87,7 +99,7 @@ wait_addr() {
         sleep 0.1
         _i=$((_i + 1))
     done
-    echo "rif-server never came up; log:" >&2
+    echo "daemon never came up; log:" >&2
     cat "$_log" >&2
     return 1
 }
@@ -119,12 +131,57 @@ run_core() {
     server_pid=""
 }
 
+# run_cluster NAME NNODES OUTFILE — NNODES `--cluster` servers behind a
+# shard directory, one routed closed-loop load through the cluster
+# client. Node and directory processes are torn down before returning.
+run_cluster() {
+    _name="$1"
+    _nnodes="$2"
+    _cjson="$3"
+    echo "==> cluster: $_nnodes node(s), $CLUSTER_REQUESTS requests" >&2
+    cluster_pids=""
+    set --
+    _i=0
+    while [ "$_i" -lt "$_nnodes" ]; do
+        "$SRV" --port 0 --shards 4 --cluster --time-scale 2000 \
+            --inflight-limit 65536 --max-connections 0 --seed $((60 + _i)) \
+            > "$tmpdir/$_name.node$_i.log" &
+        cluster_pids="$cluster_pids $!"
+        _i=$((_i + 1))
+    done
+    _i=0
+    while [ "$_i" -lt "$_nnodes" ]; do
+        _naddr="$(wait_addr "$tmpdir/$_name.node$_i.log")"
+        set -- "$@" --node "n$_i=$_naddr"
+        _i=$((_i + 1))
+    done
+    "$CLU" directory "$@" --ranges 4 > "$tmpdir/$_name.dir.log" &
+    cluster_pids="$cluster_pids $!"
+    _daddr="$(wait_addr "$tmpdir/$_name.dir.log" \
+        "rif-cluster directory listening on")"
+    if timeout "$LIMIT" "$CLU" load --directory "$_daddr" \
+        --requests "$CLUSTER_REQUESTS" --depth 64 --seed 7 > "$_cjson"; then
+        cat "$_cjson" >&2
+    else
+        echo "bench: $_name cluster run failed or exceeded ${LIMIT}s" >&2
+        printf '{"error":"%s cluster run failed or exceeded %ss"}\n' \
+            "$_name" "$LIMIT" > "$_cjson"
+    fi
+    for _p in $cluster_pids; do
+        kill "$_p" 2>/dev/null || true
+        wait "$_p" 2>/dev/null || true
+    done
+    cluster_pids=""
+}
+
 run_core event_loop epoll "$H2H_CONNS" "$tmpdir/evt.json"
 run_core threaded legacy "$H2H_CONNS" "$tmpdir/thr.json"
 if [ "$MODE" = full ]; then
     run_core event_loop_10k epoll "$SCALE_CONNS" "$tmpdir/evt10k.json"
     run_core threaded_10k legacy "$SCALE_CONNS" "$tmpdir/thr10k.json"
 fi
+run_cluster cluster1 1 "$tmpdir/clu1.json"
+run_cluster cluster2 2 "$tmpdir/clu2.json"
 
 # field FILE KEY — pull one numeric field out of a flat report.
 field() {
@@ -144,6 +201,19 @@ else
     p999_ratio=null
 fi
 
+clu1_rps="$(field "$tmpdir/clu1.json" throughput_rps)"
+clu2_rps="$(field "$tmpdir/clu2.json" throughput_rps)"
+clu1_p99="$(field "$tmpdir/clu1.json" p99)"
+clu2_p99="$(field "$tmpdir/clu2.json" p99)"
+
+if [ -n "$clu1_rps" ] && [ -n "$clu2_rps" ]; then
+    cluster_speedup="$(awk "BEGIN { printf \"%.3f\", $clu2_rps / $clu1_rps }")"
+    cluster_p99_ratio="$(awk "BEGIN { printf \"%.3f\", $clu1_p99 / $clu2_p99 }")"
+else
+    cluster_speedup=null
+    cluster_p99_ratio=null
+fi
+
 {
     printf '{\n'
     printf '  "bench": "server_core_event_loop_vs_threaded",\n'
@@ -156,16 +226,21 @@ fi
     printf '    "threaded": %s\n' "$(cat "$tmpdir/thr.json")"
     printf '  },\n'
     printf '  "throughput_speedup": %s,\n' "$speedup"
-    printf '  "p999_improvement": %s' "$p999_ratio"
+    printf '  "p999_improvement": %s,\n' "$p999_ratio"
     if [ "$MODE" = full ]; then
-        printf ',\n  "scale": {\n'
+        printf '  "scale": {\n'
         printf '    "connections": %s,\n' "$SCALE_CONNS"
         printf '    "event_loop": %s,\n' "$(cat "$tmpdir/evt10k.json")"
         printf '    "threaded": %s\n' "$(cat "$tmpdir/thr10k.json")"
-        printf '  }\n'
-    else
-        printf '\n'
+        printf '  },\n'
     fi
+    printf '  "cluster": {\n'
+    printf '    "requests": %s,\n' "$CLUSTER_REQUESTS"
+    printf '    "single_node": %s,\n' "$(cat "$tmpdir/clu1.json")"
+    printf '    "two_node": %s,\n' "$(cat "$tmpdir/clu2.json")"
+    printf '    "aggregate_speedup": %s,\n' "$cluster_speedup"
+    printf '    "p99_improvement": %s\n' "$cluster_p99_ratio"
+    printf '  }\n'
     printf '}\n'
 } > "$OUT"
 

@@ -11,8 +11,10 @@
 # checked-in envelope),
 # a loopback serving smoke (rif-server + rif-client over TCP), the
 # event-loop high-concurrency gate (1k multiplexed connections), a
-# two-core bench smoke, and the chaos gate (which runs on the default
-# event-loop core).
+# two-core bench smoke, the chaos gate (which runs on the default
+# event-loop core), the cluster serving gate (two cluster nodes behind
+# the shard directory: routed load, live migration, cluster STATS), and
+# the cluster chaos gate (kill-and-rebalance under load, contract PASS).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,12 +25,18 @@ rl_pid=""
 cap_pid=""
 rp_pid=""
 mux_pid=""
+node_a_pid=""
+node_b_pid=""
+dir_pid=""
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
     [ -n "$rl_pid" ] && kill "$rl_pid" 2>/dev/null || true
     [ -n "$cap_pid" ] && kill "$cap_pid" 2>/dev/null || true
     [ -n "$rp_pid" ] && kill "$rp_pid" 2>/dev/null || true
     [ -n "$mux_pid" ] && kill "$mux_pid" 2>/dev/null || true
+    [ -n "$node_a_pid" ] && kill "$node_a_pid" 2>/dev/null || true
+    [ -n "$node_b_pid" ] && kill "$node_b_pid" 2>/dev/null || true
+    [ -n "$dir_pid" ] && kill "$dir_pid" 2>/dev/null || true
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -49,6 +57,7 @@ echo "==> cargo test -q --features proptest (vendored shim)"
 cargo test -q --features proptest --test proptest_invariants --test proptest_parser \
     --test proptest_capture --test learner_convergence
 cargo test -q -p rif-server --features proptest --test proptest_frames
+cargo test -q -p rif-cluster --features proptest --test proptest_map
 
 echo "==> perf_smoke --quick"
 cargo run -q --release -p rif-bench --bin perf_smoke -- --quick
@@ -80,12 +89,15 @@ cargo build -q --release -p rif-server
 SRV=./target/release/rif-server
 CLI=./target/release/rif-client
 
-# Wait for a background server to print its listening line, echo "host:port".
+# Wait for a background daemon to print its listening line, echo
+# "host:port". The optional second argument overrides the sentinel
+# prefix (default: the rif-server one).
 wait_addr() {
     _log="$1"
+    _prefix="${2:-rif-server listening on}"
     _i=0
     while [ "$_i" -lt 100 ]; do
-        _addr="$(sed -n 's/^rif-server listening on //p' "$_log")"
+        _addr="$(sed -n "s/^$_prefix //p" "$_log")"
         if [ -n "$_addr" ]; then
             printf '%s\n' "$_addr"
             return 0
@@ -93,7 +105,7 @@ wait_addr() {
         sleep 0.1
         _i=$((_i + 1))
     done
-    echo "rif-server never came up; log:" >&2
+    echo "daemon never came up; log:" >&2
     cat "$_log" >&2
     return 1
 }
@@ -230,6 +242,82 @@ grep -q '"verdict":"PASS"' "$tmpdir/chaos.json"
 grep -q '"kills_fired":1' "$tmpdir/chaos.json"
 if grep -q '"dropped":0,' "$tmpdir/chaos.json"; then
     echo "proxy injected no drops"
+    exit 1
+fi
+
+# Cluster serving gate: two `--cluster` nodes behind the shard
+# directory. The routed client must complete every request, cluster
+# STATS must aggregate both nodes, and a live migration (forced to both
+# owners in turn, so at least one actually moves) must bump the epoch
+# and leave the cluster serving.
+echo "==> cluster serving gate (directory + 2 nodes + routed load + migration)"
+cargo build -q --release -p rif-cluster
+CLU=./target/release/rif-cluster
+"$SRV" --port 0 --shards 4 --cluster --learn --time-scale 500 \
+    --seed 50 > "$tmpdir/node_a.log" &
+node_a_pid=$!
+"$SRV" --port 0 --shards 4 --cluster --learn --time-scale 500 \
+    --seed 51 > "$tmpdir/node_b.log" &
+node_b_pid=$!
+addr_a="$(wait_addr "$tmpdir/node_a.log")"
+addr_b="$(wait_addr "$tmpdir/node_b.log")"
+"$CLU" directory --node "a=$addr_a" --node "b=$addr_b" --ranges 4 \
+    > "$tmpdir/dir.log" &
+dir_pid=$!
+addr_dir="$(wait_addr "$tmpdir/dir.log" "rif-cluster directory listening on")"
+
+timeout 180 "$CLU" load --directory "$addr_dir" --requests 5000 \
+    --depth 16 --seed 7 > "$tmpdir/cluster_load.json"
+cat "$tmpdir/cluster_load.json"
+grep -q '"completed":5000' "$tmpdir/cluster_load.json"
+grep -q '"protocol_errors":0' "$tmpdir/cluster_load.json"
+
+timeout 30 "$CLU" stats --directory "$addr_dir" > "$tmpdir/cluster_stats.txt"
+grep -q '^# rif-cluster-stats v1 nodes=2$' "$tmpdir/cluster_stats.txt"
+grep -q '^cluster counter server\.requests\.read ' "$tmpdir/cluster_stats.txt"
+grep -q '^node a counter ' "$tmpdir/cluster_stats.txt"
+grep -q '^node b counter ' "$tmpdir/cluster_stats.txt"
+
+# Whichever node owns range 0, migrating it to b and then to a moves it
+# at least once; afterwards a owns it and the epoch has advanced.
+timeout 30 "$CLU" migrate --directory "$addr_dir" --range 0 --node b \
+    > /dev/null
+timeout 30 "$CLU" migrate --directory "$addr_dir" --range 0 --node a \
+    > "$tmpdir/cluster_map.txt"
+grep -q '^assign 0 a$' "$tmpdir/cluster_map.txt"
+if grep -q 'epoch=1 ' "$tmpdir/cluster_map.txt"; then
+    echo "migration never bumped the epoch"
+    exit 1
+fi
+timeout 180 "$CLU" load --directory "$addr_dir" --requests 2000 \
+    --depth 16 --seed 8 > "$tmpdir/cluster_load2.json"
+grep -q '"completed":2000' "$tmpdir/cluster_load2.json"
+
+timeout 30 "$CLI" --addr "$addr_dir" --shutdown
+wait "$dir_pid" || { echo "directory exited non-zero"; exit 1; }
+dir_pid=""
+timeout 30 "$CLI" --addr "$addr_a" --shutdown
+wait "$node_a_pid" || { echo "cluster node a exited non-zero"; exit 1; }
+node_a_pid=""
+timeout 30 "$CLI" --addr "$addr_b" --shutdown
+wait "$node_b_pid" || { echo "cluster node b exited non-zero"; exit 1; }
+node_b_pid=""
+
+# Cluster chaos gate: kill one node mid-load, rebalance its ranges onto
+# the survivor — the strict contract checker must still pass and the
+# directory must really have moved ranges.
+echo "==> cluster chaos gate (kill + rebalance, contract checker)"
+timeout 300 "$CHAOS" cluster --requests 20000 --seed 3 > "$tmpdir/cluster_chaos.json"
+cat "$tmpdir/cluster_chaos.json"
+grep -q '"verdict":"PASS"' "$tmpdir/cluster_chaos.json"
+if grep -q '"ranges_moved":0' "$tmpdir/cluster_chaos.json"; then
+    echo "rebalance moved no ranges"
+    exit 1
+fi
+# The kill must land mid-run: the router's connection to the dead node
+# shows up as at least one journal-level connection loss.
+if grep -q '"conn_losses":0' "$tmpdir/cluster_chaos.json"; then
+    echo "kill was not client-visible (load finished before the kill?)"
     exit 1
 fi
 
