@@ -1,20 +1,29 @@
 //! Extension — TLC vs QLC retry pressure (paper §VII).
 //!
 //! The paper argues read-retry optimization matters even more for denser
-//! cells. This harness quantifies it with the generalized MLC model:
-//! QLC's sixteen states share the TLC V_TH window, so the same retention
-//! drift crosses the ECC capability in a fraction of the time —
-//! compressing the usable refresh interval and multiplying the retry rate
-//! that RiF eliminates.
+//! cells. This harness quantifies it in two ways, both sourced from the
+//! hybrid subsystem's [`CellMode`] models (DESIGN §14) so there is a
+//! single definition of "QLC" in the tree:
+//!
+//! 1. analytically, with the generalized MLC model: QLC's sixteen states
+//!    share the TLC V_TH window, so the same retention drift crosses the
+//!    ECC capability in a fraction of the time — compressing the usable
+//!    refresh interval and multiplying the retry rate RiF eliminates;
+//! 2. by simulation, running the same trace through a TLC device and a
+//!    QLC one configured via `SsdConfig.hybrid = HybridConfig::qlc()` —
+//!    the config path the hybrid_sweep harness and `rif-server --hybrid`
+//!    use.
 
 use rif_bench::{HarnessOpts, TableWriter};
-use rif_flash::mlc::MlcModel;
 use rif_flash::vth::OperatingPoint;
+use rif_ssd::hybrid::{CellMode, HybridConfig};
+use rif_ssd::{RetryKind, Simulator, SsdConfig};
+use rif_workloads::SynthConfig;
 
 fn main() {
     let opts = HarnessOpts::parse();
-    let tlc = MlcModel::tlc();
-    let qlc = MlcModel::qlc();
+    let tlc = CellMode::Tlc.model();
+    let qlc = CellMode::Qlc.model();
 
     let t = TableWriter::new(opts.csv, &[6, 14, 14, 16, 16]);
     t.heading("Extension: TLC vs QLC capability-crossing days and retry pressure");
@@ -48,6 +57,53 @@ fn main() {
             let ratio = qlc.rber_avg(op, 1.0) / tlc.rber_avg(op, 1.0).max(1e-12);
             println!("  {pe:>4} P/E, {days:>3.0} days: {ratio:.0}x");
         }
+    }
+
+    // Simulated confirmation through the hybrid config path: the same
+    // trace on a TLC device (hybrid: None) and an all-QLC one.
+    let n_requests = opts.pick(1200, 300);
+    let trace = SynthConfig {
+        read_ratio: 0.8,
+        cold_read_ratio: 0.5,
+        hot_region_bytes: 4 << 20,
+        cold_region_bytes: 64 << 20,
+        ..SynthConfig::default()
+    }
+    .generate(n_requests, opts.seed);
+
+    let t = TableWriter::new(opts.csv, &[10, 12, 12, 12, 12]);
+    t.heading("Simulated mean read latency (µs) and retries, TLC vs QLC (hybrid config path)");
+    t.row(&[
+        "scheme".into(),
+        "tlc_us".into(),
+        "qlc_us".into(),
+        "tlc_retry".into(),
+        "qlc_retry".into(),
+    ]);
+    for &retry in &[
+        RetryKind::Zero,
+        RetryKind::SwiftRead,
+        RetryKind::RpSsd,
+        RetryKind::Rif,
+    ] {
+        let run = |hybrid: Option<HybridConfig>| {
+            let mut cfg = SsdConfig::small(retry, 1000);
+            cfg.seed = opts.seed;
+            cfg.hybrid = hybrid;
+            Simulator::new(cfg).run(&trace)
+        };
+        let rt = run(None);
+        let rq = run(Some(HybridConfig::qlc()));
+        t.row(&[
+            format!("{retry:?}"),
+            format!("{:.1}", rt.read_latency.mean().as_ns() as f64 / 1e3),
+            format!("{:.1}", rq.read_latency.mean().as_ns() as f64 / 1e3),
+            (rt.decode_failures + rt.in_die_retries).to_string(),
+            (rq.decode_failures + rq.in_die_retries).to_string(),
+        ]);
+    }
+
+    if !opts.csv {
         println!("\nWith QLC, nearly every cold read needs a retry within days of");
         println!("programming — deciding retries on-die stops being an optimization");
         println!("and becomes the only way to keep the channel usable.");

@@ -62,6 +62,31 @@ impl MlcModel {
         Self::with_bits(4, 0.075)
     }
 
+    /// An SLC-mode instance for hybrid-flash cache regions: TLC/QLC
+    /// blocks programmed with 1 bit/cell. The single programmed state
+    /// sits at the top of the shared V_TH window, so the erased/programmed
+    /// gap is the full window and the RBER stays orders of magnitude
+    /// below any multi-bit mode under the same stress laws.
+    ///
+    /// Built directly rather than via [`MlcModel::with_bits`]: the even
+    /// spread formula needs ≥ 2 programmed states, and 1-bit cells stay
+    /// rejected there by design.
+    pub fn slc_like() -> Self {
+        MlcModel {
+            bits: 1,
+            gray: vec![0, 1],
+            means: vec![-1.0, 7.0],
+            sigma_prog: 0.14,
+            sigma_erase: 0.30,
+            retention_a: 0.094,
+            wear_amp: 0.28,
+            wear_exp: 0.65,
+            state_gamma: 0.5,
+            widen_pe: 0.05,
+            widen_ret: 0.02,
+        }
+    }
+
     /// Builds a `bits`-per-cell model sharing the calibrated TLC stress
     /// laws, with programmed states evenly spread over the TLC window
     /// `[1.0, 7.0]`.
@@ -409,5 +434,28 @@ mod tests {
     #[should_panic(expected = "unsupported")]
     fn rejects_single_bit_cells() {
         let _ = MlcModel::with_bits(1, 0.1);
+    }
+
+    #[test]
+    fn slc_like_is_orders_of_magnitude_more_reliable() {
+        let slc = MlcModel::slc_like();
+        let tlc = MlcModel::tlc();
+        assert_eq!(slc.bits(), 1);
+        assert_eq!(slc.refs_of(0), vec![1]);
+        for &(pe, days) in &[(500u32, 10.0), (2000, 30.0)] {
+            let op = OperatingPoint::new(pe, days);
+            let rs = slc.rber_avg(op, 1.0);
+            let rt = tlc.rber_avg(op, 1.0);
+            assert!(
+                rs < rt / 100.0,
+                "pe={pe} d={days}: SLC RBER {rs} not ≪ TLC {rt}"
+            );
+        }
+    }
+
+    #[test]
+    fn slc_like_never_crosses_capability_in_device_lifetime() {
+        let slc = MlcModel::slc_like();
+        assert_eq!(slc.days_to_exceed(3000, 0.0085, 365.0), None);
     }
 }

@@ -8,7 +8,7 @@
 //!            [--time-scale X] [--capacity-gib N] [--queue-depth N]
 //!            [--seed N] [--capture FILE] [--core epoll|legacy]
 //!            [--max-connections N] [--write-queue-kib N]
-//!            [--learn] [--drift-days-per-sec X] [--cluster]
+//!            [--learn] [--drift-days-per-sec X] [--hybrid] [--cluster]
 //! ```
 //!
 //! `--core epoll` (default) serves every connection from one
@@ -28,7 +28,10 @@
 //! `--learn` switches the shard simulators from the oracle threshold
 //! tables to online per-block threshold learning (progress appears under
 //! `server.learner.*` in STATS); `--drift-days-per-sec` ages the flash
-//! while serving. `--cluster` runs the server as one node of a
+//! while serving. `--hybrid` runs each shard as a hybrid SLC/QLC device:
+//! writes land in the SLC cache and destage to QLC capacity through the
+//! background scheduler, whose live counters appear under `server.bg.*`
+//! in STATS. `--cluster` runs the server as one node of a
 //! multi-node cluster: it starts owning no LBA ranges (everything
 //! bounces with `WRONG_SHARD` until the `rif-cluster` directory's first
 //! MAP_PUSH) and `--shards` becomes the cluster's total range count.
@@ -42,7 +45,7 @@ fn usage() -> ! {
          \x20                 [--inflight-limit N] [--rate N] [--burst N] [--time-scale X]\n\
          \x20                 [--capacity-gib N] [--queue-depth N] [--seed N] [--capture FILE]\n\
          \x20                 [--core epoll|legacy] [--max-connections N] [--write-queue-kib N]\n\
-         \x20                 [--learn] [--drift-days-per-sec X] [--cluster]\n\
+         \x20                 [--learn] [--drift-days-per-sec X] [--hybrid] [--cluster]\n\
          schemes: SENC SWR SWR+ RPSSD RiFSSD SSDone SSDzero"
     );
     std::process::exit(2);
@@ -100,6 +103,7 @@ fn main() {
                 cfg.write_queue_limit = kib * 1024;
             }
             "--learn" => cfg.learn = true,
+            "--hybrid" => cfg.hybrid = true,
             "--cluster" => cfg.cluster = true,
             "--drift-days-per-sec" => {
                 cfg.drift_days_per_sec = val("--drift-days-per-sec")

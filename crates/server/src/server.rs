@@ -107,6 +107,11 @@ pub struct ServerConfig {
     /// Lifetime drift rate for the shard simulators, in extra retention
     /// days per simulated second. `0` (default) disables drift.
     pub drift_days_per_sec: f64,
+    /// Run the shard simulators as hybrid SLC/QLC devices (DESIGN §14):
+    /// writes land in each die's SLC cache and destage to QLC capacity
+    /// through the background scheduler, whose live counters are
+    /// exported under `server.bg.*` in STATS.
+    pub hybrid: bool,
     /// Run as one node of a cluster: the server starts owning **no**
     /// LBA ranges (every request bounces until the directory's first
     /// MAP_PUSH arrives) and enforces range ownership on admission —
@@ -136,6 +141,7 @@ impl Default for ServerConfig {
             write_queue_limit: 256 << 10,
             learn: false,
             drift_days_per_sec: 0.0,
+            hybrid: false,
             cluster: false,
         }
     }
@@ -271,6 +277,21 @@ impl Server {
                     days_per_sec: cfg.drift_days_per_sec,
                     pe_per_sec: 0.0,
                 };
+            }
+            if cfg.hybrid {
+                let mut h = rif_ssd::HybridConfig::slc_qlc();
+                // A serving shard destages its SLC cache eagerly (any
+                // cached slot starts a drain, like idle-time destaging on
+                // real drives) and unconditionally: the reliability gate
+                // evaluates worst-case QLC residency, which would defer
+                // every migration at high drift rates and leave the cache
+                // to fill until forced eviction. The refresh scan is kept
+                // small so drift-driven rewrites stay bounded per tick.
+                h.migration = rif_ssd::MigrationPolicy::Fifo;
+                h.bg.high_watermark = 0.0;
+                h.bg.low_watermark = 0.0;
+                h.bg.refresh_scan_batch = 8;
+                sim_cfg.hybrid = Some(h);
             }
             let (tx, rx) = mpsc::channel();
             let handle = spawn_shard(

@@ -361,6 +361,7 @@ impl Worker {
         let done = self.sim.drain_completions();
         if !done.is_empty() {
             let learner = self.sim.learner_summary();
+            let bg = self.sim.bg_summary();
             let mut m = self.metrics();
             for c in &done {
                 m.inc("server.completed", 1);
@@ -384,6 +385,25 @@ impl Worker {
                     &format!("server.learner.{tag}.mean_abs_error"),
                     l.mean_abs_error,
                 );
+            }
+            // Hybrid mode: export the shard's live background-traffic
+            // state so STATS shows cache destaging and refresh progress
+            // while the server runs.
+            if let Some(h) = bg {
+                let tag = &self.shard_label;
+                m.set_gauge(
+                    &format!("server.bg.{tag}.cache_occupancy"),
+                    h.cache_occupancy,
+                );
+                m.set_gauge(
+                    &format!("server.bg.{tag}.migrated_slots"),
+                    h.migrated_slots as f64,
+                );
+                m.set_gauge(
+                    &format!("server.bg.{tag}.refreshed_slots"),
+                    h.refreshed_slots as f64,
+                );
+                m.set_gauge(&format!("server.bg.{tag}.bg_ops"), h.bg_ops as f64);
             }
         }
         for c in done {
@@ -679,6 +699,87 @@ mod tests {
             .gauge("server.learner.shard0.mean_abs_error")
             .expect("error gauge present");
         assert!(err.is_finite() && err >= 0.0);
+        handle.stop();
+    }
+
+    #[test]
+    fn hybrid_shard_exports_bg_gauges() {
+        use rif_ssd::{HybridConfig, MigrationPolicy, RetryKind};
+        use std::sync::mpsc;
+
+        let clock = VirtualClock::start(10_000.0);
+        let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let (tx, rx) = mpsc::channel();
+        let spec = ShardSpec {
+            index: 0,
+            base_offset: 0,
+            span_bytes: 1 << 30,
+        };
+        let mut cfg = SsdConfig::small(RetryKind::Rif, 2000);
+        // The server's --hybrid wiring: eager unconditional destage.
+        let mut h = HybridConfig::slc_qlc();
+        h.migration = MigrationPolicy::Fifo;
+        h.bg.high_watermark = 0.0;
+        h.bg.low_watermark = 0.0;
+        h.bg.refresh_scan_batch = 8;
+        cfg.hybrid = Some(h);
+        let recorder = Arc::new(TraceRecorder::new(false));
+        let handle = spawn_shard(
+            spec,
+            cfg,
+            clock,
+            Arc::clone(&metrics),
+            recorder,
+            rx,
+            tx.clone(),
+        )
+        .expect("spawn shard");
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut submit = |tag: u64, op: IoOp| {
+            handle.inflight.fetch_add(1, Ordering::AcqRel);
+            tx.send(ShardMsg::Submit(Submission {
+                tag,
+                op,
+                offset: tag * 65536,
+                bytes: 65536,
+                reply: ReplyTo::Channel(reply_tx.clone()),
+            }))
+            .unwrap();
+        };
+        // Writes land in the SLC cache; the eager drain migrates them as
+        // soon as the scheduler ticks.
+        for i in 0..8u64 {
+            submit(i, IoOp::Write);
+        }
+        for _ in 0..8 {
+            let r = reply_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("hybrid shard must serve writes");
+            assert!(matches!(r, Response::Done { .. }), "unexpected: {r:?}");
+        }
+        // Give the virtual clock room for several scheduler ticks, then
+        // read: the completion drain re-exports the bg gauges.
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 8..16u64 {
+            submit(i, IoOp::Read);
+        }
+        for _ in 0..8 {
+            let r = reply_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("hybrid shard must serve reads");
+            assert!(matches!(r, Response::Done { .. }), "unexpected: {r:?}");
+        }
+        let m = metrics.lock().unwrap().clone();
+        assert!(
+            m.gauge("server.bg.shard0.migrated_slots").unwrap_or(0.0) > 0.0,
+            "eager destage must have migrated the cached writes"
+        );
+        assert!(m.gauge("server.bg.shard0.bg_ops").unwrap_or(0.0) > 0.0);
+        let occ = m
+            .gauge("server.bg.shard0.cache_occupancy")
+            .expect("occupancy gauge present");
+        assert!((0.0..=1.0).contains(&occ));
         handle.stop();
     }
 

@@ -8,6 +8,7 @@ use rif_flash::rber::ErrorModel;
 use rif_ldpc::EccModel;
 use rif_odear::RpBehavior;
 
+use crate::hybrid::HybridConfig;
 use crate::retry::RetryKind;
 
 /// How the simulated controller obtains per-block read thresholds.
@@ -100,6 +101,10 @@ pub struct SsdConfig {
     /// decode of slot `s` fails iff `s` is in this list, and retried reads
     /// always succeed. Used by the Fig. 7/8 timeline and unit tests.
     pub forced_failure_slots: Option<Vec<u64>>,
+    /// Hybrid SLC/QLC subsystem (DESIGN §14): cell-mode regions, SLC→QLC
+    /// migration, and background GC/refresh traffic. `None` (the default)
+    /// keeps the pure-TLC device, byte-identical to earlier versions.
+    pub hybrid: Option<HybridConfig>,
 }
 
 impl SsdConfig {
@@ -123,6 +128,7 @@ impl SsdConfig {
             read_suspend: false,
             suspend_overhead: SimDuration::from_us(20),
             forced_failure_slots: None,
+            hybrid: None,
         }
     }
 
@@ -166,6 +172,9 @@ impl SsdConfig {
         self.drift.validate();
         if let Some(learn) = self.learning.learner_config() {
             learn.validate();
+        }
+        if let Some(h) = &self.hybrid {
+            h.validate();
         }
     }
 }

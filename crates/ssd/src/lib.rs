@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod ftl;
+pub mod hybrid;
 pub mod refresh;
 pub mod report;
 pub mod retention;
@@ -36,7 +37,8 @@ pub mod timeline;
 pub mod tracecheck;
 
 pub use config::{LearningMode, SsdConfig};
-pub use report::{ChannelUsage, LearnerSummary, SimReport};
+pub use hybrid::{BgConfig, BgKind, CellMode, HybridConfig, HybridFtl, MigrationPolicy};
+pub use report::{ChannelUsage, HybridSummary, LearnerSummary, SimReport};
 pub use retry::RetryKind;
 pub use rif_flash::learn::{DriftClock, LearnerConfig, LearnerState, LearnerStateError};
 pub use simulator::{Completion, Simulator};

@@ -68,6 +68,20 @@ impl RefreshPolicy {
         365.25 / self.interval_days
     }
 
+    /// Filters a scan window of `(slot, age_days)` pairs down to the
+    /// slots whose retention age has reached the interval — the rewrite
+    /// work the background scheduler turns into die operations (DESIGN
+    /// §14). Order is preserved, so a deterministic scan stays
+    /// deterministic.
+    pub fn refresh_due<I>(&self, ages: I) -> impl Iterator<Item = u64>
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        let interval = self.interval_days;
+        ages.into_iter()
+            .filter_map(move |(slot, age)| (age >= interval).then_some(slot))
+    }
+
     /// Fraction of *cold* reads that need a retry under this policy at
     /// `pe_cycles`: cold ages are uniform over the interval, so the
     /// fraction is the share of the interval past the median block's
@@ -123,5 +137,50 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_interval() {
         let _ = RefreshPolicy::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_negative_interval() {
+        let _ = RefreshPolicy::new(-3.0);
+    }
+
+    #[test]
+    fn refresh_due_selects_exactly_the_aged_slots() {
+        let p = RefreshPolicy::new(10.0);
+        let window = vec![(1u64, 3.0), (2, 10.0), (3, 25.0), (4, 9.999)];
+        let due: Vec<u64> = p.refresh_due(window).collect();
+        // The boundary age counts as due; order is preserved.
+        assert_eq!(due, vec![2, 3]);
+    }
+
+    #[test]
+    fn refresh_due_on_fresh_data_is_empty() {
+        let p = RefreshPolicy::monthly();
+        let due: Vec<u64> = p.refresh_due((0..50u64).map(|s| (s, 0.5))).collect();
+        assert!(due.is_empty());
+    }
+
+    #[test]
+    fn cold_retry_fraction_saturates_at_capability_extremes() {
+        let model = ErrorModel::calibrated();
+        let p = RefreshPolicy::monthly();
+        // A capability no block ever exceeds → no cold read retries.
+        assert_eq!(p.cold_retry_fraction(&model, 2000, 0.5), 0.0);
+        // A capability exceeded immediately → every cold read retries,
+        // and the clamp keeps the fraction at exactly 1.
+        let f = p.cold_retry_fraction(&model, 2000, 1e-9);
+        assert!((f - 1.0).abs() < 1e-9, "fraction {f}");
+    }
+
+    #[test]
+    fn cold_retry_fraction_stays_in_unit_interval_across_wear() {
+        let model = ErrorModel::calibrated();
+        for pe in [0u32, 500, 1000, 2000, 5000] {
+            for interval in [0.5, 7.0, 30.0, 365.0] {
+                let f = RefreshPolicy::new(interval).cold_retry_fraction(&model, pe, 0.0085);
+                assert!((0.0..=1.0).contains(&f), "pe {pe} interval {interval}: {f}");
+            }
+        }
     }
 }

@@ -84,6 +84,22 @@ pub struct LearnerSummary {
     pub mean_abs_error: f64,
 }
 
+/// Aggregate state of the hybrid SLC/QLC subsystem at the end of a run
+/// (DESIGN §14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridSummary {
+    /// Final SLC-cache occupancy in `[0, 1]`.
+    pub cache_occupancy: f64,
+    /// Slots migrated SLC→QLC (background drain + forced evictions).
+    pub migrated_slots: u64,
+    /// Migrations forced by cache-overflow pressure on the write path.
+    pub forced_evictions: u64,
+    /// Slots rewritten by the retention-refresh scan.
+    pub refreshed_slots: u64,
+    /// Background die operations issued (GC + migrate + refresh).
+    pub bg_ops: u64,
+}
+
 /// The results of one simulated run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -121,6 +137,9 @@ pub struct SimReport {
     pub page_senses: u64,
     /// Valid-slot relocations performed by garbage collection.
     pub gc_relocations: u64,
+    /// Hybrid-subsystem summary; `None` on a pure-TLC run (which also
+    /// keeps non-hybrid JSON byte-identical to pre-hybrid reports).
+    pub hybrid: Option<HybridSummary>,
 }
 
 impl SimReport {
@@ -208,6 +227,16 @@ impl SimReport {
             s.push_str(&format!(
                 "  \"learner\": {{\"updates\": {}, \"recalibrations\": {}, \"clamps\": {}, \"blocks_tracked\": {}, \"mean_abs_error\": {}}},\n",
                 l.updates, l.recalibrations, l.clamps, l.blocks_tracked, f(l.mean_abs_error),
+            ));
+        }
+        if let Some(h) = &self.hybrid {
+            s.push_str(&format!(
+                "  \"hybrid\": {{\"cache_occupancy\": {}, \"migrated_slots\": {}, \"forced_evictions\": {}, \"refreshed_slots\": {}, \"bg_ops\": {}}},\n",
+                f(h.cache_occupancy),
+                h.migrated_slots,
+                h.forced_evictions,
+                h.refreshed_slots,
+                h.bg_ops,
             ));
         }
         s.push_str("  \"metrics\": [");
@@ -304,6 +333,7 @@ mod tests {
             uncor_page_transfers: 0,
             page_senses: 0,
             gc_relocations: 0,
+            hybrid: None,
         }
     }
 
@@ -320,23 +350,7 @@ mod tests {
 
     #[test]
     fn bandwidth_computation() {
-        let r = SimReport {
-            metrics: None,
-            learner: None,
-            scheme: RetryKind::Zero,
-            pe_cycles: 0,
-            completed_requests: 1,
-            completed_bytes: 8_000_000_000,
-            read_bytes: 8_000_000_000,
-            makespan: SimDuration::from_secs(1),
-            read_latency: LatencyHistogram::new(),
-            per_channel_usage: vec![],
-            decode_failures: 0,
-            in_die_retries: 0,
-            uncor_page_transfers: 0,
-            page_senses: 0,
-            gc_relocations: 0,
-        };
+        let r = sample_report();
         assert!((r.io_bandwidth_mbps() - 8000.0).abs() < 1e-9);
     }
 
@@ -364,5 +378,25 @@ mod tests {
              \"clamps\": 1, \"blocks_tracked\": 4, \"mean_abs_error\": 0.012346}"
         ));
         assert_eq!(j.to_string(), learned.to_json(), "canonical across calls");
+    }
+
+    #[test]
+    fn hybrid_summary_appears_only_in_hybrid_reports() {
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("\"hybrid\""));
+        let mut hybrid = sample_report();
+        hybrid.hybrid = Some(HybridSummary {
+            cache_occupancy: 0.375,
+            migrated_slots: 20,
+            forced_evictions: 2,
+            refreshed_slots: 5,
+            bg_ops: 27,
+        });
+        let j = hybrid.to_json();
+        assert!(j.contains(
+            "\"hybrid\": {\"cache_occupancy\": 0.375000, \"migrated_slots\": 20, \
+             \"forced_evictions\": 2, \"refreshed_slots\": 5, \"bg_ops\": 27}"
+        ));
+        assert_eq!(j, hybrid.to_json(), "canonical across calls");
     }
 }

@@ -30,7 +30,12 @@ use rif_workloads::{IoOp, IoRequest, Trace};
 
 use crate::config::SsdConfig;
 use crate::ftl::{Ftl, SlotLocation};
-use crate::report::{ChannelUsage, LearnerSummary, SimReport};
+use crate::hybrid::{
+    AmpTable, BgKind, HybridConfig, HybridFtl, MigrationPolicy, AMPLIFIED_RBER_CAP,
+    AMPLIFIED_RBER_FLOOR,
+};
+use crate::refresh::RefreshPolicy;
+use crate::report::{ChannelUsage, HybridSummary, LearnerSummary, SimReport};
 use crate::retention::RetentionTracker;
 use crate::retry::RetryKind;
 
@@ -49,6 +54,9 @@ enum Ev {
     ChanDone(usize),
     EccDone(usize),
     HostDone,
+    /// Periodic background-scheduler tick (hybrid mode only). Disarms
+    /// itself when no requests are left, so `run()` still terminates.
+    BgTick,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +103,9 @@ struct ReadGroup {
     attempt: u32,
     /// RiF: whether the ODEAR engine retried before the transfer.
     rif_retried_in_die: bool,
+    /// RBER amplification of the cell mode holding the slot (1 for TLC;
+    /// set from the [`AmpTable`] in hybrid mode).
+    amp: f64,
     /// Trace span covering the group's life (0 when tracing is off).
     span: u64,
 }
@@ -110,7 +121,10 @@ enum DieCmd {
         duration: SimDuration,
         suspensions: u8,
     },
-    Gc {
+    /// Background work occupying the die: GC relocation+erase, SLC→QLC
+    /// migration copyback, or a refresh rewrite.
+    Bg {
+        kind: BgKind,
         duration: SimDuration,
         suspensions: u8,
     },
@@ -228,6 +242,24 @@ enum HostJob {
     WriteIngress { req: usize },
 }
 
+/// Live state of the hybrid subsystem (DESIGN §14): the hybrid FTL, the
+/// precomputed cell-mode RBER amplification table, and the background
+/// scheduler's bookkeeping.
+struct HybridState {
+    ftl: HybridFtl,
+    amp: AmpTable,
+    conf: HybridConfig,
+    /// Whether a `BgTick` event is pending in the queue.
+    tick_armed: bool,
+    /// Next position in the FTL's touched-slot list the refresh scan
+    /// examines (wraps).
+    refresh_cursor: usize,
+    migrated_slots: u64,
+    refreshed_slots: u64,
+    forced_evictions: u64,
+    bg_ops: u64,
+}
+
 /// The simulator: owns the configuration, consumes a trace, produces a
 /// [`SimReport`].
 ///
@@ -246,6 +278,9 @@ pub struct Simulator {
     rng: SimRng,
     events: EventQueue<Ev>,
     ftl: Ftl,
+    /// Hybrid SLC/QLC subsystem; `None` keeps the pure-TLC device and
+    /// `self.ftl` authoritative.
+    hybrid: Option<HybridState>,
     retention: RetentionTracker,
     dies: Vec<Die>,
     channels: Vec<Channel>,
@@ -307,9 +342,23 @@ impl Simulator {
         let swift = learner
             .as_ref()
             .map(|_| SwiftRead::new(cfg.error_model.tlc().clone()));
+        let hybrid = cfg.hybrid.clone().map(|conf| HybridState {
+            ftl: HybridFtl::new(cfg.geometry, conf.cache_fraction),
+            // The table covers ages up to twice the refresh horizon;
+            // clamped lookups handle deeper drift.
+            amp: AmpTable::build(cfg.pe_cycles, cfg.refresh_days * 2.0),
+            conf,
+            tick_armed: false,
+            refresh_cursor: 0,
+            migrated_slots: 0,
+            refreshed_slots: 0,
+            forced_evictions: 0,
+            bg_ops: 0,
+        });
         Simulator {
             rng: SimRng::seed_from(cfg.seed),
             ftl: Ftl::new(cfg.geometry),
+            hybrid,
             learner,
             swift,
             learn_err_sum: 0.0,
@@ -440,7 +489,22 @@ impl Simulator {
             span: 0,
         });
         self.events.schedule(arrival, Ev::Arrive(id));
+        self.arm_bg_tick();
         id as u64
+    }
+
+    /// Schedules the next background-scheduler tick if hybrid mode is on
+    /// and none is pending.
+    fn arm_bg_tick(&mut self) {
+        let tick = match self.hybrid.as_mut() {
+            Some(h) if !h.tick_armed => {
+                h.tick_armed = true;
+                h.conf.bg.tick
+            }
+            _ => return,
+        };
+        let at = self.events.now() + tick;
+        self.events.schedule(at, Ev::BgTick);
     }
 
     /// Processes every pending event with a timestamp at or before
@@ -460,6 +524,7 @@ impl Simulator {
                 Ev::ChanDone(c) => self.on_chan_done(now, c),
                 Ev::EccDone(c) => self.on_ecc_done(now, c),
                 Ev::HostDone => self.on_host_done(now),
+                Ev::BgTick => self.on_bg_tick(now),
             }
             handled += 1;
         }
@@ -534,6 +599,7 @@ impl Simulator {
     pub fn finish(mut self) -> SimReport {
         let end = self.last_completion;
         let learner_summary = self.learner_summary();
+        let hybrid_summary = self.bg_summary();
         self.tracer.flush();
         let per_channel_usage: Vec<ChannelUsage> = std::mem::take(&mut self.channels)
             .into_iter()
@@ -566,6 +632,11 @@ impl Simulator {
                 m.set_gauge("learner.blocks_tracked", ls.blocks_tracked as f64);
                 m.set_gauge("learner.mean_abs_error", ls.mean_abs_error);
             }
+            if let Some(hs) = &hybrid_summary {
+                m.set_gauge("bg.cache_occupancy", hs.cache_occupancy);
+                m.set_gauge("bg.migrated_slots", hs.migrated_slots as f64);
+                m.set_gauge("bg.refreshed_slots", hs.refreshed_slots as f64);
+            }
             m.set_gauge("makespan_us", end.as_us());
             m
         });
@@ -584,8 +655,26 @@ impl Simulator {
             in_die_retries: self.in_die_retries,
             uncor_page_transfers: self.uncor_page_transfers,
             page_senses: self.page_senses,
-            gc_relocations: self.ftl.relocations(),
+            gc_relocations: match &self.hybrid {
+                Some(h) => h.ftl.relocations(),
+                None => self.ftl.relocations(),
+            },
+            hybrid: hybrid_summary,
         }
+    }
+
+    /// Snapshot of the hybrid subsystem's background-traffic state
+    /// (`None` on a pure-TLC device). Live during a stepper-driven run,
+    /// so the serving layer can export `bg.*` gauges while requests are
+    /// in flight.
+    pub fn bg_summary(&self) -> Option<HybridSummary> {
+        self.hybrid.as_ref().map(|h| HybridSummary {
+            cache_occupancy: h.ftl.cache_occupancy(),
+            migrated_slots: h.migrated_slots,
+            forced_evictions: h.forced_evictions,
+            refreshed_slots: h.refreshed_slots,
+            bg_ops: h.bg_ops,
+        })
     }
 
     // ----- admission -----------------------------------------------------
@@ -666,9 +755,25 @@ impl Simulator {
         }
     }
 
+    /// Resolves a read mapping through the active FTL.
+    fn ftl_locate_read(&mut self, slot: u64) -> SlotLocation {
+        match self.hybrid.as_mut() {
+            Some(h) => h.ftl.locate_read(slot),
+            None => self.ftl.locate_read(slot),
+        }
+    }
+
+    /// Bumps the read-disturb counter through the active FTL.
+    fn ftl_note_read(&mut self, loc: SlotLocation) -> u64 {
+        match self.hybrid.as_mut() {
+            Some(h) => h.ftl.note_read(loc),
+            None => self.ftl.note_read(loc),
+        }
+    }
+
     fn new_read_group(&mut self, now: SimTime, req: usize, slot: u64, n_pages: usize) -> usize {
-        let loc = self.ftl.locate_read(slot);
-        let reads = self.ftl.note_read(loc);
+        let loc = self.ftl_locate_read(slot);
+        let reads = self.ftl_note_read(loc);
         let age = self.retention.age_days(slot, now);
         let mut op = OperatingPoint {
             pe_cycles: self.cfg.pe_cycles,
@@ -685,14 +790,24 @@ impl Simulator {
         let block = self.block_profile(loc);
         let block_id = loc.global_block(&self.cfg.geometry);
         let kind = loc.kind();
-        let rber_default = self.cfg.error_model.rber_default(block, op, kind);
-        let rber_optimal = self.cfg.error_model.rber_optimal(block, op, kind);
+        // Hybrid mode reads the TLC-calibrated error model through the
+        // cell mode's amplification factor: SLC-cache reads are
+        // effectively error-free, QLC capacity reads far noisier.
+        let amp = match self.hybrid.as_ref() {
+            Some(h) => h
+                .amp
+                .factor(h.ftl.mode_of(loc, h.conf.capacity_mode), op.retention_days),
+            None => 1.0,
+        };
+        let amplify = |r: f64| (r * amp).clamp(AMPLIFIED_RBER_FLOOR, AMPLIFIED_RBER_CAP);
+        let rber_default = amplify(self.cfg.error_model.rber_default(block, op, kind));
+        let rber_optimal = amplify(self.cfg.error_model.rber_optimal(block, op, kind));
         let initial = match &self.learner {
             // Learned mode: every scheme starts from the controller's
             // current per-block V_REF estimate, not the oracle tables.
             Some(l) => {
                 let refs = l.refs_for(block_id, self.cfg.error_model.default_refs());
-                self.cfg.error_model.rber_at(block, op, refs, kind)
+                amplify(self.cfg.error_model.rber_at(block, op, refs, kind))
             }
             None => self.cfg.retry.initial_rber(rber_default, rber_optimal),
         };
@@ -716,6 +831,7 @@ impl Simulator {
             phase: GroupPhase::Initial,
             attempt: 0,
             rif_retried_in_die: false,
+            amp,
             span: 0,
         });
         self.setup_initial_phase(gid);
@@ -831,7 +947,9 @@ impl Simulator {
             .map(|(r, d)| r - d)
             .sum::<f64>()
             / 7.0;
-        let rber = self.cfg.error_model.rber_at(block, op, refs, kind);
+        let amp = self.groups[gid].amp;
+        let rber = (self.cfg.error_model.rber_at(block, op, refs, kind) * amp)
+            .clamp(AMPLIFIED_RBER_FLOOR, AMPLIFIED_RBER_CAP);
         (rber, offset)
     }
 
@@ -924,7 +1042,7 @@ impl Simulator {
         let duration = match &cmd {
             DieCmd::Sense { duration, .. } => *duration,
             DieCmd::Program { duration, .. } => *duration,
-            DieCmd::Gc { duration, .. } => *duration,
+            DieCmd::Bg { duration, .. } => *duration,
         };
         let span = if self.tracer.enabled() {
             let (name, parent, req) = match &cmd {
@@ -936,7 +1054,10 @@ impl Simulator {
                 DieCmd::Program { req, .. } => {
                     ("program", self.requests[*req].span, Some(*req as u64))
                 }
-                DieCmd::Gc { .. } => ("gc", 0, None),
+                // Background work gets root spans (no owning request) on
+                // the die resource, so the trace checker's exclusivity
+                // rule covers them automatically.
+                DieCmd::Bg { kind, .. } => (kind.span_name(), 0, None),
             };
             self.tracer.span_begin(
                 now,
@@ -967,7 +1088,7 @@ impl Simulator {
             && self.dies[die].busy
             && match &self.dies[die].current {
                 Some(DieCmd::Program { suspensions, .. })
-                | Some(DieCmd::Gc { suspensions, .. }) => *suspensions < 2,
+                | Some(DieCmd::Bg { suspensions, .. }) => *suspensions < 2,
                 _ => false,
             }
             && self.dies[die].busy_until.saturating_since(now) > SimDuration::from_us(5);
@@ -992,7 +1113,10 @@ impl Simulator {
                     duration: remaining,
                     suspensions: suspensions + 1,
                 },
-                DieCmd::Gc { suspensions, .. } => DieCmd::Gc {
+                DieCmd::Bg {
+                    kind, suspensions, ..
+                } => DieCmd::Bg {
+                    kind,
                     duration: remaining,
                     suspensions: suspensions + 1,
                 },
@@ -1002,6 +1126,16 @@ impl Simulator {
             d.busy = false;
             d.queue.push_front(resumed);
             d.queue.push_front(cmd);
+        } else if self.hybrid.as_ref().is_some_and(|h| h.conf.bg.fg_priority) {
+            // Foreground-preempts policy: the read sense jumps ahead of
+            // queued background work (never ahead of other foreground
+            // commands, preserving read/program ordering).
+            let q = &mut self.dies[die].queue;
+            let at = q
+                .iter()
+                .position(|c| matches!(c, DieCmd::Bg { .. }))
+                .unwrap_or(q.len());
+            q.insert(at, cmd);
         } else {
             self.dies[die].queue.push_back(cmd);
         }
@@ -1038,7 +1172,7 @@ impl Simulator {
                     self.complete_request(now, req);
                 }
             }
-            DieCmd::Gc { .. } => {}
+            DieCmd::Bg { .. } => {}
         }
         self.die_try_start(now, die);
     }
@@ -1158,10 +1292,17 @@ impl Simulator {
                     let die = self.write_jobs[job].die_linear;
                     let gc = self.write_jobs[job].gc_duration;
                     if !gc.is_zero() {
-                        self.dies[die].queue.push_back(DieCmd::Gc {
+                        self.dies[die].queue.push_back(DieCmd::Bg {
+                            kind: BgKind::Gc,
                             duration: gc,
                             suspensions: 0,
                         });
+                        if let Some(h) = self.hybrid.as_mut() {
+                            h.bg_ops += 1;
+                        }
+                        if self.observing() && self.hybrid.is_some() {
+                            self.count(now, "bg.ops", 1);
+                        }
                     }
                     self.dies[die].queue.push_back(DieCmd::Program {
                         req: self.write_jobs[job].req,
@@ -1423,10 +1564,43 @@ impl Simulator {
         let t = self.cfg.timing;
         for (slot, pages) in slots {
             self.retention.record_write(slot, now);
-            let (loc, gc) = self.ftl.write(slot);
-            let gc_duration = gc
-                .map(|w| (t.t_r + t.t_prog) * w.relocated as u64 + t.t_bers)
-                .unwrap_or(SimDuration::ZERO);
+            let gc_of = |w: Option<crate::ftl::GcWork>| {
+                w.map(|w| (t.t_r + t.t_prog) * w.relocated as u64 + t.t_bers)
+                    .unwrap_or(SimDuration::ZERO)
+            };
+            let (loc, gc_duration) = match self.hybrid.take() {
+                Some(mut h) => {
+                    let out = h.ftl.write(slot);
+                    // Cache-overflow evictions become immediate migrate
+                    // work on their dies, ahead of this write's program.
+                    let forced = out.evicted.len() as u64;
+                    for w in out.evicted {
+                        self.retention.record_write(w.slot, now);
+                        let dur = t.t_r + t.t_prog + gc_of(w.gc);
+                        self.dies[w.die_linear].queue.push_back(DieCmd::Bg {
+                            kind: BgKind::Migrate,
+                            duration: dur,
+                            suspensions: 0,
+                        });
+                        self.note_die_queue(now, w.die_linear);
+                        self.die_try_start(now, w.die_linear);
+                    }
+                    h.forced_evictions += forced;
+                    h.migrated_slots += forced;
+                    h.bg_ops += forced;
+                    self.hybrid = Some(h);
+                    if forced > 0 && self.observing() {
+                        self.count(now, "bg.forced_evictions", forced);
+                        self.count(now, "bg.migrated_slots", forced);
+                        self.count(now, "bg.ops", forced);
+                    }
+                    (out.loc, gc_of(out.gc))
+                }
+                None => {
+                    let (loc, gc) = self.ftl.write(slot);
+                    (loc, gc_of(gc))
+                }
+            };
             let job = self.write_jobs.len();
             self.write_jobs.push(WriteJob {
                 req,
@@ -1443,6 +1617,146 @@ impl Simulator {
                 });
             }
             self.chan_try_start(now, ch);
+        }
+    }
+
+    // ----- background scheduler (hybrid mode) -----------------------------
+
+    /// One background-scheduler tick: drains the SLC cache toward the low
+    /// watermark (subject to the migration policy's destination-RBER
+    /// gate), turns due refresh rewrites into die work, and re-arms
+    /// itself while foreground requests remain.
+    fn on_bg_tick(&mut self, now: SimTime) {
+        let Some(mut h) = self.hybrid.take() else {
+            return;
+        };
+        h.tick_armed = false;
+        let t = self.cfg.timing;
+        let gc_of = |w: &Option<crate::ftl::GcWork>| {
+            w.as_ref()
+                .map(|w| (t.t_r + t.t_prog) * w.relocated as u64 + t.t_bers)
+                .unwrap_or(SimDuration::ZERO)
+        };
+        let drift_secs = now.since(SimTime::ZERO).as_ns() as f64 / 1e9;
+        let drift_days = if self.cfg.drift.enabled() {
+            self.cfg.drift.extra_days(drift_secs)
+        } else {
+            0.0
+        };
+
+        // --- SLC→QLC cache drain ---------------------------------------
+        let mut migrated = 0u64;
+        if h.ftl.cache_occupancy() > h.conf.bg.high_watermark {
+            let allow = match h.conf.migration {
+                MigrationPolicy::Fifo => true,
+                MigrationPolicy::ReliabilityAware { dest_rber_margin } => {
+                    // RARO gate: defer the background drain while data
+                    // migrated now would exceed the RBER budget midway
+                    // through its expected QLC residence (half the
+                    // refresh interval). Forced evictions on the write
+                    // path bypass this — the cache must not overflow.
+                    let residence = if h.conf.bg.refresh_interval_days > 0.0 {
+                        h.conf.bg.refresh_interval_days
+                    } else {
+                        self.cfg.refresh_days
+                    } * 0.5;
+                    let mut pe = self.cfg.pe_cycles;
+                    if self.cfg.drift.enabled() {
+                        pe = pe.saturating_add(self.cfg.drift.extra_pe(drift_secs));
+                    }
+                    let op = OperatingPoint {
+                        pe_cycles: pe,
+                        retention_days: residence,
+                        reads: 0,
+                    };
+                    let dest_rber = h.conf.capacity_mode.model().rber_avg(op, 1.0);
+                    dest_rber <= dest_rber_margin * self.cfg.ecc.correction_capability()
+                }
+            };
+            if allow {
+                for slot in h.ftl.migration_candidates(h.conf.bg.migrate_batch) {
+                    if h.ftl.cache_occupancy() <= h.conf.bg.low_watermark {
+                        break;
+                    }
+                    let Some(w) = h.ftl.migrate(slot) else {
+                        continue;
+                    };
+                    // The copyback physically reprograms the data: its
+                    // retention age restarts.
+                    self.retention.record_write(slot, now);
+                    self.dies[w.die_linear].queue.push_back(DieCmd::Bg {
+                        kind: BgKind::Migrate,
+                        duration: t.t_r + t.t_prog + gc_of(&w.gc),
+                        suspensions: 0,
+                    });
+                    self.note_die_queue(now, w.die_linear);
+                    self.die_try_start(now, w.die_linear);
+                    migrated += 1;
+                }
+            } else if self.observing() {
+                self.count(now, "bg.migration_gated_ticks", 1);
+            }
+        }
+
+        // --- retention refresh ------------------------------------------
+        let mut refreshed = 0u64;
+        if h.conf.bg.refresh_interval_days > 0.0 && !h.ftl.touched().is_empty() {
+            let policy = RefreshPolicy::new(h.conf.bg.refresh_interval_days);
+            let n = h.ftl.touched().len();
+            let batch = h.conf.bg.refresh_scan_batch.min(n);
+            let window: Vec<(u64, f64)> = (0..batch)
+                .map(|k| {
+                    let slot = h.ftl.touched()[(h.refresh_cursor + k) % n];
+                    (slot, self.retention.age_days(slot, now) + drift_days)
+                })
+                .collect();
+            h.refresh_cursor = (h.refresh_cursor + batch) % n;
+            for slot in policy.refresh_due(window) {
+                // The rewrite resets the slot's age in place; the die
+                // pays a read + program.
+                self.retention.record_write(slot, now);
+                let loc = h.ftl.locate_read(slot);
+                self.dies[loc.die_linear].queue.push_back(DieCmd::Bg {
+                    kind: BgKind::Refresh,
+                    duration: t.t_r + t.t_prog,
+                    suspensions: 0,
+                });
+                self.note_die_queue(now, loc.die_linear);
+                self.die_try_start(now, loc.die_linear);
+                refreshed += 1;
+            }
+        }
+
+        h.migrated_slots += migrated;
+        h.refreshed_slots += refreshed;
+        h.bg_ops += migrated + refreshed;
+        // Re-arm only while foreground work remains, so `run()`'s
+        // advance-to-MAX still terminates. An idle tick (nothing moved)
+        // fast-forwards to the next pending event rather than grinding
+        // through dead time one period at a time: a submission landing
+        // after a long virtual-time idle gap would otherwise make the
+        // scheduler replay every elapsed period before serving it.
+        if self.unfinished_requests() > 0 {
+            h.tick_armed = true;
+            let mut at = now + h.conf.bg.tick;
+            if migrated + refreshed == 0 {
+                if let Some(next) = self.events.peek_time() {
+                    at = at.max(next);
+                }
+            }
+            self.events.schedule(at, Ev::BgTick);
+        }
+        self.hybrid = Some(h);
+        if self.observing() {
+            if migrated > 0 {
+                self.count(now, "bg.migrated_slots", migrated);
+            }
+            if refreshed > 0 {
+                self.count(now, "bg.refreshed_slots", refreshed);
+            }
+            if migrated + refreshed > 0 {
+                self.count(now, "bg.ops", migrated + refreshed);
+            }
         }
     }
 
@@ -1986,6 +2300,136 @@ mod tests {
             drifted.to_json(),
             "drift clock had no observable effect"
         );
+    }
+
+    fn hybrid_cfg(retry: RetryKind, pe: u32) -> SsdConfig {
+        let mut cfg = SsdConfig::small(retry, pe);
+        cfg.hybrid = Some(crate::hybrid::HybridConfig::slc_qlc());
+        cfg
+    }
+
+    fn mixed_trace(n: usize, seed: u64) -> Trace {
+        SynthConfig {
+            read_ratio: 0.5,
+            cold_read_ratio: 0.5,
+            hot_region_bytes: 4 << 20,
+            cold_region_bytes: 64 << 20,
+            ..SynthConfig::default()
+        }
+        .generate(n, seed)
+    }
+
+    #[test]
+    fn hybrid_run_completes_and_summarizes() {
+        let trace = mixed_trace(300, 21);
+        let plain = Simulator::new(SsdConfig::small(RetryKind::Rif, 1000)).run(&trace);
+        assert!(plain.hybrid.is_none());
+        assert!(!plain.to_json().contains("\"hybrid\""));
+        let report = Simulator::new(hybrid_cfg(RetryKind::Rif, 1000)).run(&trace);
+        assert_eq!(report.completed_requests, 300);
+        let h = report.hybrid.expect("hybrid run must summarize");
+        assert!(report.to_json().contains("\"hybrid\""));
+        assert!((0.0..=1.0).contains(&h.cache_occupancy));
+        assert!(h.bg_ops >= h.migrated_slots + h.refreshed_slots);
+    }
+
+    #[test]
+    fn hybrid_cache_drains_under_write_pressure() {
+        // A write-heavy trace pushes the cache past the high watermark:
+        // the scheduler must migrate, and occupancy must end at or below
+        // the point where draining stops making progress.
+        let mut cfg = hybrid_cfg(RetryKind::Rif, 1000);
+        // FIFO drain: no reliability gate, so migration always runs, and
+        // near-zero watermarks so this short trace reaches them.
+        let h = cfg.hybrid.as_mut().unwrap();
+        h.migration = crate::hybrid::MigrationPolicy::Fifo;
+        h.bg.high_watermark = 0.001;
+        h.bg.low_watermark = 0.0;
+        let trace = SynthConfig {
+            read_ratio: 0.1,
+            cold_read_ratio: 0.2,
+            hot_region_bytes: 16 << 20,
+            cold_region_bytes: 64 << 20,
+            ..SynthConfig::default()
+        }
+        .generate(500, 23);
+        let report = Simulator::new(cfg).run(&trace);
+        assert_eq!(report.completed_requests, 500);
+        let h = report.hybrid.unwrap();
+        assert!(h.migrated_slots > 0, "cache never drained: {h:?}");
+    }
+
+    #[test]
+    fn hybrid_qlc_reads_retry_more_than_tlc() {
+        // Same trace, same seed: pure-QLC capacity reads see amplified
+        // RBER, so decode failures + in-die retries must exceed TLC's.
+        let trace = SynthConfig {
+            read_ratio: 0.95,
+            cold_read_ratio: 0.8,
+            ..SynthConfig::default()
+        }
+        .generate(400, 25);
+        let tlc = Simulator::new(SsdConfig::small(RetryKind::IdealOne, 1000)).run(&trace);
+        let mut qcfg = SsdConfig::small(RetryKind::IdealOne, 1000);
+        qcfg.hybrid = Some(crate::hybrid::HybridConfig::qlc());
+        let qlc = Simulator::new(qcfg).run(&trace);
+        assert!(
+            qlc.decode_failures > tlc.decode_failures,
+            "QLC {} vs TLC {} decode failures",
+            qlc.decode_failures,
+            tlc.decode_failures
+        );
+        assert!(qlc.read_latency.mean() >= tlc.read_latency.mean());
+    }
+
+    #[test]
+    fn hybrid_refresh_fires_under_drift() {
+        let mut cfg = hybrid_cfg(RetryKind::Rif, 1000);
+        // Extreme drift: simulated microseconds become retention days, so
+        // written slots age past the refresh interval mid-run.
+        cfg.drift = rif_flash::learn::DriftClock {
+            days_per_sec: 5e6,
+            pe_per_sec: 0.0,
+        };
+        let trace = mixed_trace(400, 27);
+        let report = Simulator::new(cfg).run(&trace);
+        let h = report.hybrid.unwrap();
+        assert!(
+            h.refreshed_slots > 0,
+            "drift never triggered refresh: {h:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_runs_are_deterministic() {
+        let trace = mixed_trace(250, 29);
+        let run = || {
+            let mut cfg = hybrid_cfg(RetryKind::Rif, 1500);
+            cfg.drift = rif_flash::learn::DriftClock {
+                days_per_sec: 1e6,
+                pe_per_sec: 0.0,
+            };
+            Simulator::new(cfg).with_metrics().run(&trace).to_json()
+        };
+        assert_eq!(run(), run(), "hybrid mode must stay reproducible");
+    }
+
+    #[test]
+    fn hybrid_stepper_terminates_without_foreground_work() {
+        // The BgTick must disarm once the last request completes, or
+        // advance_until(MAX) would spin forever.
+        let mut sim = Simulator::new(hybrid_cfg(RetryKind::Rif, 1000));
+        sim.submit(write_req(0, 0, 65536));
+        sim.submit(read_req(10, 0, 65536));
+        sim.advance_until(SimTime::MAX);
+        assert_eq!(sim.pending_events(), 0, "BgTick failed to disarm");
+        assert_eq!(sim.unfinished_requests(), 0);
+        assert!(sim.bg_summary().is_some());
+        // Resubmitting re-arms the scheduler.
+        sim.submit(write_req(0, 65536, 65536));
+        sim.advance_until(SimTime::MAX);
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.unfinished_requests(), 0);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 # the lifetime-sweep smoke (learned-threshold retry activity against its
 # checked-in envelope),
 # a loopback serving smoke (rif-server + rif-client over TCP), the
+# hybrid serving gate (rif-server --hybrid: clean foreground I/O while
+# background migrations and refresh run, nonzero server.bg.* gauges),
+# the hybrid sweep smoke (RiF's QLC+background win must widen vs
+# TLC-only — the binary self-gates via its exit code), the
 # event-loop high-concurrency gate (1k multiplexed connections), a
 # two-core bench smoke, the chaos gate (which runs on the default
 # event-loop core), the cluster serving gate (two cluster nodes behind
@@ -22,6 +26,7 @@ cd "$(dirname "$0")/.."
 tmpdir="$(mktemp -d)"
 server_pid=""
 rl_pid=""
+hy_pid=""
 cap_pid=""
 rp_pid=""
 mux_pid=""
@@ -31,6 +36,7 @@ dir_pid=""
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
     [ -n "$rl_pid" ] && kill "$rl_pid" 2>/dev/null || true
+    [ -n "$hy_pid" ] && kill "$hy_pid" 2>/dev/null || true
     [ -n "$cap_pid" ] && kill "$cap_pid" 2>/dev/null || true
     [ -n "$rp_pid" ] && kill "$rp_pid" 2>/dev/null || true
     [ -n "$mux_pid" ] && kill "$mux_pid" 2>/dev/null || true
@@ -55,7 +61,7 @@ cargo test -q --workspace
 
 echo "==> cargo test -q --features proptest (vendored shim)"
 cargo test -q --features proptest --test proptest_invariants --test proptest_parser \
-    --test proptest_capture --test learner_convergence
+    --test proptest_capture --test proptest_hybrid --test learner_convergence
 cargo test -q -p rif-server --features proptest --test proptest_frames
 cargo test -q -p rif-cluster --features proptest --test proptest_map
 
@@ -159,6 +165,40 @@ timeout 30 "$CLI" --addr "$addr_rl" --shutdown
 wait "$rl_pid" || { echo "rate-limited server exited non-zero"; exit 1; }
 rl_pid=""
 
+# Hybrid serving gate: the shards run as hybrid SLC/QLC devices with a
+# drift clock ageing the flash while serving. Foreground I/O must stay
+# error-free while the background scheduler destages the SLC cache and
+# refreshes aged slots — both visible as nonzero server.bg.* gauges.
+# The drift rate is sized so a slot comes due for refresh roughly once
+# within the run (cold slots start up to 30 days old); much faster and
+# every refreshed slot is due again moments later, and the resulting
+# rewrite storm starves foreground I/O on the dies.
+echo "==> hybrid serving gate (rif-server --hybrid, bg traffic + clean fg)"
+"$SRV" --port 0 --shards 2 --time-scale 200 --seed 47 --hybrid \
+    --drift-days-per-sec 0.02 > "$tmpdir/server_hy.log" &
+hy_pid=$!
+addr_hy="$(wait_addr "$tmpdir/server_hy.log")"
+timeout 180 "$CLI" --addr "$addr_hy" --requests 5000 --connections 4 \
+    --depth 16 --read-ratio 0.8 --seed 11 > "$tmpdir/hybrid.json"
+cat "$tmpdir/hybrid.json"
+grep -q '"completed":5000' "$tmpdir/hybrid.json"
+grep -q '"protocol_errors":0' "$tmpdir/hybrid.json"
+grep -q '"failed":0' "$tmpdir/hybrid.json"
+timeout 30 "$CLI" --addr "$addr_hy" --stats > "$tmpdir/hybrid_stats.txt"
+grep -q '^gauge server\.bg\.shard0\.migrated_slots ' "$tmpdir/hybrid_stats.txt"
+if grep -q '^gauge server\.bg\.shard0\.migrated_slots 0\.000000$' "$tmpdir/hybrid_stats.txt"; then
+    echo "hybrid shards migrated nothing"
+    exit 1
+fi
+grep -q '^gauge server\.bg\.shard0\.bg_ops ' "$tmpdir/hybrid_stats.txt"
+if grep -q '^gauge server\.bg\.shard0\.bg_ops 0\.000000$' "$tmpdir/hybrid_stats.txt"; then
+    echo "hybrid shards ran no background ops"
+    exit 1
+fi
+timeout 30 "$CLI" --addr "$addr_hy" --shutdown
+wait "$hy_pid" || { echo "hybrid server exited non-zero"; exit 1; }
+hy_pid=""
+
 # Capture -> replay gate: journal a served load, replay it offline twice
 # (byte-identical SimReports), then drive it back through a fresh live
 # server and require the wire diff to pass.
@@ -223,6 +263,12 @@ echo "==> bench smoke (scripts/bench_server.sh --smoke)"
 sh scripts/bench_server.sh --smoke --out "$tmpdir/BENCH_server.json" > /dev/null
 grep -q '"event_loop": {"completed":20000' "$tmpdir/BENCH_server.json"
 grep -q '"threaded": {"completed":20000' "$tmpdir/BENCH_server.json"
+
+# Hybrid sweep smoke: the binary exits non-zero unless RiF's relative
+# win under QLC+background exceeds its TLC-only win (the tentpole
+# acceptance criterion), so running it IS the gate.
+echo "==> hybrid sweep smoke (QLC+bg win must widen vs TLC-only)"
+cargo run -q --release -p rif-bench --bin hybrid_sweep -- --quick > /dev/null
 
 # Chaos gate: 10k requests through the fault-injecting proxy — 10% drop,
 # 5% delay, 2% duplicate, one mid-run worker kill — must finish under the

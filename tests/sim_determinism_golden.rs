@@ -7,7 +7,10 @@
 use rif_events::parallel_trials;
 use rif_events::trace::{JsonlSink, SharedBuf};
 use rif_events::{SimDuration, SimTime};
-use rif_ssd::{DriftClock, LearnerConfig, LearningMode, RetryKind, Simulator, SsdConfig};
+use rif_ssd::{
+    DriftClock, HybridConfig, LearnerConfig, LearningMode, MigrationPolicy, RetryKind, Simulator,
+    SsdConfig,
+};
 use rif_workloads::{SynthConfig, Trace};
 
 /// One fully-observed run: returns the canonical report JSON and the
@@ -227,6 +230,78 @@ fn drift_schedule_actually_changes_learned_runs() {
     let (static_json, _) = learned_run(RetryKind::Rif, 0.0, 300);
     let (drifted_json, _) = learned_run(RetryKind::Rif, 400.0, 300);
     assert_ne!(static_json, drifted_json);
+}
+
+/// One fully-observed *hybrid-mode* run: SLC cache over QLC capacity,
+/// background migrations draining under a write-heavy mix, and the drift
+/// clock ageing data fast enough that refresh rewrites fire mid-run.
+fn hybrid_run(seed: u64) -> (String, String) {
+    let trace = SynthConfig {
+        read_ratio: 0.4,
+        cold_read_ratio: 0.5,
+        hot_region_bytes: 4 << 20,
+        cold_region_bytes: 64 << 20,
+        ..SynthConfig::default()
+    }
+    .generate(150, seed);
+    let mut cfg = SsdConfig::small(RetryKind::Rif, 1500);
+    cfg.queue_depth = 16;
+    cfg.seed = seed;
+    let mut hybrid = HybridConfig::slc_qlc();
+    // Fifo instead of the reliability-aware gate: at this drift rate the
+    // QLC destination RBER always exceeds the margin, which would
+    // (correctly) starve migrations and leave the grid testing an idle
+    // scheduler.
+    hybrid.migration = MigrationPolicy::Fifo;
+    hybrid.bg.high_watermark = 0.001;
+    hybrid.bg.low_watermark = 0.0;
+    // At this drift rate every slot is perpetually due; cap the scan
+    // batch so the refresh stream stays below the dies' drain rate.
+    hybrid.bg.refresh_scan_batch = 4;
+    cfg.hybrid = Some(hybrid);
+    cfg.drift = DriftClock {
+        days_per_sec: 5e6,
+        pe_per_sec: 0.0,
+    };
+    let buf = SharedBuf::new();
+    let report = Simulator::new(cfg)
+        .with_tracer(Box::new(JsonlSink::new(buf.clone())))
+        .with_metrics()
+        .run(&trace);
+    (report.to_json(), buf.contents())
+}
+
+const HYBRID_SEEDS: [u64; 3] = [500, 501, 502];
+
+fn hybrid_trial(i: usize) -> (String, String) {
+    hybrid_run(HYBRID_SEEDS[i % HYBRID_SEEDS.len()])
+}
+
+#[test]
+fn hybrid_reports_identical_across_thread_counts_and_reruns() {
+    let n = HYBRID_SEEDS.len();
+    let serial = parallel_trials(1, n, hybrid_trial);
+    let threaded = parallel_trials(8, n, hybrid_trial);
+    let again = parallel_trials(8, n, hybrid_trial);
+    for (i, (s, t)) in serial.iter().zip(threaded.iter()).enumerate() {
+        let seed = HYBRID_SEEDS[i];
+        assert!(
+            s.0.contains("\"hybrid\""),
+            "seed {seed}: hybrid report missing hybrid summary"
+        );
+        assert!(!s.1.is_empty(), "seed {seed}: no trace log");
+        assert_eq!(s.0, t.0, "seed {seed}: report JSON diverged");
+        assert_eq!(s.1, t.1, "seed {seed}: trace log diverged");
+    }
+    assert_eq!(threaded, again, "back-to-back hybrid runs must agree");
+    // The grid must actually exercise background traffic, or the
+    // byte-equality above tests an idle scheduler.
+    let (json, _) = serial[0].clone();
+    assert!(
+        !json.contains("\"migrated_slots\": 0,"),
+        "seed {}: no migrations ran:\n{json}",
+        HYBRID_SEEDS[0]
+    );
 }
 
 #[test]

@@ -185,6 +185,69 @@ fn learned_mode_traces_clean_with_recal_markers() {
 }
 
 #[test]
+fn hybrid_background_traffic_traces_clean() {
+    // A hybrid run with background traffic enabled: SLC→QLC migrations
+    // drain under write pressure while drift-driven refresh rewrites
+    // fire, all contending with foreground reads on the same dies. Every
+    // invariant — including per-die resource exclusivity, which now
+    // covers gc/migrate/refresh spans — must hold, and the bg spans must
+    // actually appear (otherwise exclusivity passes vacuously).
+    use rif_ssd::{HybridConfig, MigrationPolicy};
+    let trace = SynthConfig {
+        read_ratio: 0.4,
+        cold_read_ratio: 0.5,
+        hot_region_bytes: 4 << 20,
+        cold_region_bytes: 64 << 20,
+        ..SynthConfig::default()
+    }
+    .generate(250, 19);
+    for retry in [RetryKind::Rif, RetryKind::RpSsd] {
+        let mut cfg = SsdConfig::small(retry, 1500);
+        cfg.queue_depth = 16;
+        let mut hybrid = HybridConfig::slc_qlc();
+        hybrid.migration = MigrationPolicy::Fifo;
+        hybrid.bg.high_watermark = 0.001;
+        hybrid.bg.low_watermark = 0.0;
+        // At this drift rate every slot is perpetually due; cap the scan
+        // batch so the refresh stream stays below the dies' drain rate
+        // (otherwise queued bg work grows faster than simulated time).
+        hybrid.bg.refresh_scan_batch = 4;
+        cfg.hybrid = Some(hybrid);
+        cfg.drift = DriftClock {
+            days_per_sec: 5e6,
+            pe_per_sec: 0.0,
+        };
+        let buf = SharedBuf::new();
+        let report = Simulator::new(cfg)
+            .with_tracer(Box::new(JsonlSink::new(buf.clone())))
+            .with_metrics()
+            .run(&trace);
+        assert_eq!(report.completed_requests, trace.len() as u64);
+        let records = TraceRecord::parse_jsonl(&buf.contents()).expect("emitted trace parses");
+        let violations = TraceChecker::check(&records);
+        assert!(
+            violations.is_empty(),
+            "hybrid-bg/{retry} violated invariants:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let spans = |wanted: &str| {
+            records
+                .iter()
+                .filter(|r| matches!(r, TraceRecord::SpanBegin { name, .. } if name == wanted))
+                .count()
+        };
+        assert!(spans("migrate") > 0, "hybrid-bg/{retry}: no migrate spans");
+        assert!(spans("refresh") > 0, "hybrid-bg/{retry}: no refresh spans");
+        let h = report.hybrid.expect("hybrid summary");
+        assert!(h.migrated_slots > 0 && h.refreshed_slots > 0 && h.bg_ops > 0);
+    }
+}
+
+#[test]
 fn metrics_registry_accounts_for_the_run() {
     let trace = mixed();
     let mut cfg = SsdConfig::small(RetryKind::Rif, 2000);
