@@ -10,6 +10,8 @@
 //! rif-chaos schedule [--seed N] [--plan SPEC] [--conns N] [--frames N]
 //! rif-chaos cluster [--requests N] [--depth N] [--ranges N] [--seed N]
 //!                   [--read-ratio X] [--kill-after-ms N] [--rebalance-after-ms N]
+//!                   [--nodes N] [--replicas N] [--proxied 1] [--plan SPEC]
+//!                   [--deadline-ms N] [--migrate-after-ms N] [--dir-restart-ms N]
 //! ```
 //!
 //! `run` executes a full in-process scenario (server + fault proxy +
@@ -24,10 +26,15 @@
 //! `schedule` prints the deterministic fault schedule for a plan — the
 //! reproducibility artifact: same seed, same bytes.
 //!
-//! `cluster` runs the kill-and-rebalance scenario: two cluster nodes
-//! behind a shard directory, routed load, one node hard-killed mid-run
-//! and its ranges rebalanced onto the survivor. Prints `report`,
-//! `cluster`, and `verdict` JSON lines; exits 0 only on PASS.
+//! `cluster` runs the cluster chaos scenario: `--nodes` cluster nodes
+//! behind a shard directory, optionally replicated (`--replicas 2`) and
+//! proxied through the fault plane (`--proxied 1`, implied by any rates
+//! or `part=` windows in `--plan`), with node kills (`nodekill=` in the
+//! plan, or the legacy hottest-node kill at `--kill-after-ms`),
+//! asymmetric partitions, an optional migration in flight, and an
+//! optional directory restart from its persisted map. Prints `report`,
+//! `cluster`, optional `faults`, and `verdict` JSON lines; exits 0 only
+//! on PASS (and, when replicated, zero failed replicated reads).
 //!
 //! A `--seed` flag overrides any `seed=` inside `--plan`.
 
@@ -46,9 +53,12 @@ fn usage() -> ! {
          \x20      rif-chaos schedule [--seed N] [--plan SPEC] [--conns N] [--frames N]\n\
          \x20      rif-chaos cluster [--requests N] [--depth N] [--ranges N] [--seed N]\n\
          \x20                        [--read-ratio X] [--kill-after-ms N] [--rebalance-after-ms N]\n\
+         \x20                        [--nodes N] [--replicas N] [--proxied 1] [--plan SPEC]\n\
+         \x20                        [--deadline-ms N] [--migrate-after-ms N] [--dir-restart-ms N]\n\
          plan spec: key=value[,key=value...] with keys seed, up.drop, up.delay,\n\
          up.delay_us, up.dup, up.corrupt, up.trunc, up.reset (same for down.*),\n\
-         and kill=<shard>@<frames>+<restart_ms> (repeatable)"
+         kill=<shard>@<frames>+<restart_ms>, nodekill=<node>@<after_ms>, and\n\
+         part=<node>:<up|down>@<after_ms>+<dur_ms> (all repeatable)"
     );
     std::process::exit(2);
 }
@@ -212,20 +222,59 @@ fn cluster_cmd(rest: &[String]) {
     if let Some(v) = get(&flags, "--rebalance-after-ms") {
         cfg.rebalance_after = Duration::from_millis(parse_or_usage(v, "--rebalance-after-ms"));
     }
+    if let Some(v) = get(&flags, "--nodes") {
+        cfg.nodes = parse_or_usage(v, "--nodes");
+    }
+    if let Some(v) = get(&flags, "--replicas") {
+        cfg.replicas = parse_or_usage(v, "--replicas");
+    }
+    if let Some(v) = get(&flags, "--proxied") {
+        cfg.proxied = parse_or_usage::<u32>(v, "--proxied") != 0;
+    }
+    if let Some(v) = get(&flags, "--deadline-ms") {
+        cfg.request_deadline = Duration::from_millis(parse_or_usage(v, "--deadline-ms"));
+    }
+    if let Some(v) = get(&flags, "--migrate-after-ms") {
+        cfg.migrate_after = Some(Duration::from_millis(parse_or_usage(
+            v,
+            "--migrate-after-ms",
+        )));
+    }
+    if let Some(v) = get(&flags, "--dir-restart-ms") {
+        cfg.dir_restart_after = Some(Duration::from_millis(parse_or_usage(v, "--dir-restart-ms")));
+    }
+    let seed = get(&flags, "--seed").map(|v| parse_or_usage(v, "--seed"));
+    cfg.plan = parse_plan(get(&flags, "--plan").unwrap_or(""), seed.or(Some(cfg.seed)));
 
     match run_cluster_scenario(&cfg) {
         Ok(outcome) => {
             println!("{{\"report\":{}}}", outcome.report.to_json());
             println!(
                 "{{\"cluster\":{{\"killed\":\"{}\",\"final_epoch\":{},\"ranges_moved\":{},\
-                 \"conn_losses\":{}}}}}",
+                 \"conn_losses\":{},\"kills_fired\":{},\"partitions_fired\":{},\
+                 \"failed_replicated_reads\":{},\"dir_restart_identical\":{}}}}}",
                 outcome.killed,
                 outcome.final_epoch,
                 outcome.ranges_moved,
-                outcome.journal.conn_losses
+                outcome.journal.conn_losses,
+                outcome.kills_fired,
+                outcome.partitions_fired,
+                outcome.failed_replicated_reads,
+                match outcome.dir_restart_identical {
+                    Some(b) => b.to_string(),
+                    None => "null".into(),
+                },
             );
+            if let Some(f) = outcome.faults {
+                println!("{{\"faults\":{}}}", f.to_json());
+            }
             println!("{}", outcome.verdict.to_json());
-            std::process::exit(if outcome.verdict.pass { 0 } else { 1 });
+            let reads_ok = cfg.replicas < 2 || outcome.failed_replicated_reads == 0;
+            std::process::exit(if outcome.verdict.pass && reads_ok {
+                0
+            } else {
+                1
+            });
         }
         Err(e) => {
             eprintln!("rif-chaos: cluster scenario failed: {e}");

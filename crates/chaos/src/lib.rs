@@ -18,9 +18,12 @@
 //!   duplicate completions;
 //! - [`scenario`] — one-call harness (server + proxy + journaled client
 //!   + worker-kill watcher + audit) used by the ci chaos gate;
-//! - [`cluster`] — the multi-node harness: two cluster nodes behind a
-//!   shard directory, a routed client, one node hard-killed mid-load and
-//!   its ranges rebalanced away, audited with the same checker.
+//! - [`cluster`] — the multi-node harness: `N` cluster nodes behind a
+//!   shard directory, optionally replicated (`replicas >= 2`) and
+//!   optionally proxied through the fault plane, with a scheduled
+//!   timeline of node hard-kills, asymmetric one-way partitions,
+//!   migrations in flight, and directory restarts — audited with the
+//!   same checker, plus a replicated-read availability count.
 //!
 //! Like `rif-server`, everything is plain `std`.
 //!
@@ -50,6 +53,9 @@ pub mod scenario;
 
 pub use cluster::{run_cluster_scenario, ClusterOutcome, ClusterScenarioConfig};
 pub use contract::{ContractChecker, ContractVerdict};
-pub use plan::{Decision, DecisionStream, DirRates, Direction, FaultPlan, KillSpec};
-pub use proxy::{ChaosProxy, FaultStats, FaultStatsSnapshot};
+pub use plan::{
+    seeded_multi_kills, Decision, DecisionStream, DirRates, Direction, FaultPlan, KillSpec,
+    NodeKillSpec, PartitionSpec,
+};
+pub use proxy::{ChaosProxy, FaultStats, FaultStatsSnapshot, PartitionSwitch};
 pub use scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};

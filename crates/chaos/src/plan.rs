@@ -68,6 +68,63 @@ pub struct KillSpec {
     pub restart_after_ms: u64,
 }
 
+/// One scheduled *node* hard-kill in a cluster scenario: node index
+/// `node` (wrapped into the cluster size at run time) is killed
+/// `after_ms` milliseconds into the load and never restarts. The
+/// directory rebalances it away after the scenario's outage window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeKillSpec {
+    /// Cluster node index.
+    pub node: usize,
+    /// Load runtime before the kill fires, milliseconds.
+    pub after_ms: u64,
+}
+
+/// One scheduled asymmetric network partition: the named direction of
+/// node `node`'s fault proxy blackholes every frame from `after_ms` for
+/// `dur_ms`. One direction only — the other keeps flowing, which is the
+/// nasty case: requests that arrive but whose answers vanish (or the
+/// reverse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Cluster node index whose proxy partitions.
+    pub node: usize,
+    /// Which direction goes dark (`Up` = toward the node).
+    pub dir: Direction,
+    /// Load runtime before the partition starts, milliseconds.
+    pub after_ms: u64,
+    /// Partition duration, milliseconds.
+    pub dur_ms: u64,
+}
+
+/// Stream salt for [`seeded_multi_kills`] schedules.
+const KILL_SCHEDULE_SALT: u64 = 0xC4A0_5EED_4B11_0000;
+
+/// Derives a deterministic multi-kill schedule from `seed`: up to
+/// `count` distinct nodes (never all of them — at least one survivor
+/// always remains) killed at seeded instants spread across
+/// `window_ms`, sorted by fire time.
+pub fn seeded_multi_kills(
+    seed: u64,
+    nodes: usize,
+    count: usize,
+    window_ms: u64,
+) -> Vec<NodeKillSpec> {
+    let mut rng = SimRng::stream(seed, KILL_SCHEDULE_SALT);
+    let mut avail: Vec<usize> = (0..nodes).collect();
+    let count = count.min(nodes.saturating_sub(1));
+    let mut kills = Vec::with_capacity(count);
+    for i in 0..count as u64 {
+        let pick = (rng.next_u64() % avail.len() as u64) as usize;
+        let node = avail.swap_remove(pick);
+        let slot = (window_ms / (count as u64 + 1)).max(1);
+        let after_ms = slot * (i + 1) + rng.next_u64() % slot;
+        kills.push(NodeKillSpec { node, after_ms });
+    }
+    kills.sort_by_key(|k| k.after_ms);
+    kills
+}
+
 /// A complete, reproducible chaos experiment description.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
@@ -79,6 +136,10 @@ pub struct FaultPlan {
     pub down: DirRates,
     /// Scheduled worker kills.
     pub kills: Vec<KillSpec>,
+    /// Scheduled cluster-node hard-kills (cluster scenarios only).
+    pub node_kills: Vec<NodeKillSpec>,
+    /// Scheduled asymmetric partitions (cluster scenarios only).
+    pub partitions: Vec<PartitionSpec>,
 }
 
 /// Parse failure for a plan spec string.
@@ -121,7 +182,10 @@ impl FaultPlan {
     /// Keys: `seed`, `<dir>.drop`, `<dir>.delay`, `<dir>.delay_us`,
     /// `<dir>.dup`, `<dir>.corrupt`, `<dir>.trunc`, `<dir>.reset` with
     /// `<dir>` ∈ {`up`, `down`}, plus repeatable
-    /// `kill=<shard>@<frames>+<restart_ms>`. Empty string → no faults.
+    /// `kill=<shard>@<frames>+<restart_ms>`,
+    /// `nodekill=<node>@<after_ms>`, and
+    /// `part=<node>:<up|down>@<after_ms>+<dur_ms>`. Empty string → no
+    /// faults.
     pub fn parse(spec: &str) -> Result<FaultPlan, PlanParseError> {
         let mut plan = FaultPlan::default();
         for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
@@ -131,6 +195,8 @@ impl FaultPlan {
             match key {
                 "seed" => plan.seed = parse_u64(key, value)?,
                 "kill" => plan.kills.push(parse_kill(value)?),
+                "nodekill" => plan.node_kills.push(parse_node_kill(value)?),
+                "part" => plan.partitions.push(parse_partition(value)?),
                 _ => {
                     let (dir, field) = key
                         .split_once('.')
@@ -187,6 +253,19 @@ impl FaultPlan {
                 k.shard, k.after_frames, k.restart_after_ms
             ));
         }
+        for k in &self.node_kills {
+            parts.push(format!("nodekill={}@{}", k.node, k.after_ms));
+        }
+        for p in &self.partitions {
+            let dir = match p.dir {
+                Direction::Up => "up",
+                Direction::Down => "down",
+            };
+            parts.push(format!(
+                "part={}:{}@{}+{}",
+                p.node, dir, p.after_ms, p.dur_ms
+            ));
+        }
         parts.join(",")
     }
 }
@@ -207,6 +286,37 @@ fn parse_u64(key: &str, value: &str) -> Result<u64, PlanParseError> {
     value
         .parse()
         .map_err(|_| PlanParseError(format!("`{key}={value}`: not an integer")))
+}
+
+fn parse_node_kill(value: &str) -> Result<NodeKillSpec, PlanParseError> {
+    let bad = || PlanParseError(format!("`nodekill={value}`: want <node>@<after_ms>"));
+    let (node, after) = value.split_once('@').ok_or_else(bad)?;
+    Ok(NodeKillSpec {
+        node: node.parse().map_err(|_| bad())?,
+        after_ms: after.parse().map_err(|_| bad())?,
+    })
+}
+
+fn parse_partition(value: &str) -> Result<PartitionSpec, PlanParseError> {
+    let bad = || {
+        PlanParseError(format!(
+            "`part={value}`: want <node>:<up|down>@<after_ms>+<dur_ms>"
+        ))
+    };
+    let (node, rest) = value.split_once(':').ok_or_else(bad)?;
+    let (dir, rest) = rest.split_once('@').ok_or_else(bad)?;
+    let (after, dur) = rest.split_once('+').ok_or_else(bad)?;
+    let dir = match dir {
+        "up" => Direction::Up,
+        "down" => Direction::Down,
+        _ => return Err(bad()),
+    };
+    Ok(PartitionSpec {
+        node: node.parse().map_err(|_| bad())?,
+        dir,
+        after_ms: after.parse().map_err(|_| bad())?,
+        dur_ms: dur.parse().map_err(|_| bad())?,
+    })
 }
 
 fn parse_kill(value: &str) -> Result<KillSpec, PlanParseError> {
@@ -407,6 +517,62 @@ mod tests {
         assert!(FaultPlan::parse("up.drop").is_err());
         assert!(FaultPlan::parse("kill=0@x+1").is_err());
         assert!(FaultPlan::parse("up.drop=0.6,up.delay=0.6").is_err());
+        assert!(FaultPlan::parse("nodekill=1").is_err());
+        assert!(FaultPlan::parse("part=1:sideways@100+200").is_err());
+        assert!(FaultPlan::parse("part=1:up@100").is_err());
+    }
+
+    #[test]
+    fn cluster_specs_round_trip() {
+        let spec = "seed=5,nodekill=1@200,nodekill=0@450,part=1:up@150+300,part=0:down@500+100";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(
+            plan.node_kills,
+            vec![
+                NodeKillSpec {
+                    node: 1,
+                    after_ms: 200
+                },
+                NodeKillSpec {
+                    node: 0,
+                    after_ms: 450
+                },
+            ]
+        );
+        assert_eq!(
+            plan.partitions,
+            vec![
+                PartitionSpec {
+                    node: 1,
+                    dir: Direction::Up,
+                    after_ms: 150,
+                    dur_ms: 300
+                },
+                PartitionSpec {
+                    node: 0,
+                    dir: Direction::Down,
+                    after_ms: 500,
+                    dur_ms: 100
+                },
+            ]
+        );
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn seeded_multi_kills_are_deterministic_and_spare_a_survivor() {
+        let a = seeded_multi_kills(9, 3, 2, 600);
+        let b = seeded_multi_kills(9, 3, 2, 600);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        // Distinct victims, ordered fire times, all inside the window.
+        assert_ne!(a[0].node, a[1].node);
+        assert!(a[0].after_ms <= a[1].after_ms);
+        assert!(a.iter().all(|k| k.after_ms <= 600));
+        // Asking for more kills than nodes still leaves one standing.
+        assert_eq!(seeded_multi_kills(9, 3, 99, 600).len(), 2);
+        // Different seeds give different schedules.
+        assert_ne!(seeded_multi_kills(10, 3, 2, 600), a);
     }
 
     #[test]

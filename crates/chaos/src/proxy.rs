@@ -11,6 +11,13 @@
 //! Because decisions are drawn per frame index from a seeded stream, the
 //! fault *schedule* is reproducible; the *applied* faults (what traffic
 //! actually flowed) are tallied separately in [`FaultStats`].
+//!
+//! On top of the seeded schedule the proxy supports *asymmetric
+//! partitions*: each direction has a [`PartitionSwitch`] flag that, while
+//! set, blackholes every complete frame in that direction only. The check
+//! runs *before* the decision stream draws, so toggling a partition never
+//! consumes RNG draws and never shifts the seeded schedule for the frames
+//! that do get through.
 
 use std::io;
 use std::io::{Read, Write};
@@ -28,6 +35,35 @@ use crate::plan::{Decision, DecisionStream, Direction, FaultPlan};
 const PUMP_POLL: Duration = Duration::from_millis(10);
 /// Accept-loop poll interval.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Shared per-direction partition flags. While a direction is set, every
+/// complete frame in that direction is blackholed — the connection stays
+/// up, the bytes just vanish, which is exactly what a one-way network
+/// partition looks like from both ends.
+#[derive(Debug, Default)]
+pub struct PartitionSwitch {
+    up: AtomicBool,
+    down: AtomicBool,
+}
+
+impl PartitionSwitch {
+    fn flag(&self, dir: Direction) -> &AtomicBool {
+        match dir {
+            Direction::Up => &self.up,
+            Direction::Down => &self.down,
+        }
+    }
+
+    /// Starts (`true`) or heals (`false`) the partition in `dir`.
+    pub fn set(&self, dir: Direction, on: bool) {
+        self.flag(dir).store(on, Ordering::SeqCst);
+    }
+
+    /// Whether `dir` is currently partitioned.
+    pub fn get(&self, dir: Direction) -> bool {
+        self.flag(dir).load(Ordering::SeqCst)
+    }
+}
 
 /// Live fault counters, shared across all pump threads.
 #[derive(Debug, Default)]
@@ -52,6 +88,8 @@ pub struct FaultStats {
     pub truncated: AtomicU64,
     /// Connections reset by decision.
     pub resets: AtomicU64,
+    /// Frames blackholed by an active partition.
+    pub partitioned: AtomicU64,
 }
 
 /// Point-in-time copy of [`FaultStats`].
@@ -77,6 +115,8 @@ pub struct FaultStatsSnapshot {
     pub truncated: u64,
     /// Connections reset by decision.
     pub resets: u64,
+    /// Frames blackholed by an active partition.
+    pub partitioned: u64,
 }
 
 impl FaultStatsSnapshot {
@@ -88,6 +128,7 @@ impl FaultStatsSnapshot {
             + self.corrupted
             + self.truncated
             + self.resets
+            + self.partitioned
     }
 
     /// Canonical JSON rendering.
@@ -97,7 +138,7 @@ impl FaultStatsSnapshot {
                 "{{\"conns\":{},\"frames_up\":{},\"frames_down\":{},",
                 "\"forwarded\":{},\"dropped\":{},\"delayed\":{},",
                 "\"duplicated\":{},\"corrupted\":{},\"truncated\":{},",
-                "\"resets\":{}}}"
+                "\"resets\":{},\"partitioned\":{}}}"
             ),
             self.conns,
             self.frames_up,
@@ -109,6 +150,7 @@ impl FaultStatsSnapshot {
             self.corrupted,
             self.truncated,
             self.resets,
+            self.partitioned,
         )
     }
 }
@@ -126,6 +168,7 @@ impl FaultStats {
             corrupted: self.corrupted.load(Ordering::Relaxed),
             truncated: self.truncated.load(Ordering::Relaxed),
             resets: self.resets.load(Ordering::Relaxed),
+            partitioned: self.partitioned.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,6 +178,7 @@ pub struct ChaosProxy {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<FaultStats>,
+    partition: Arc<PartitionSwitch>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -147,20 +191,23 @@ impl ChaosProxy {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(FaultStats::default());
+        let partition = Arc::new(PartitionSwitch::default());
 
         let t_shutdown = Arc::clone(&shutdown);
         let t_stats = Arc::clone(&stats);
+        let t_partition = Arc::clone(&partition);
         let accept_thread =
             thread::Builder::new()
                 .name("chaos-accept".into())
                 .spawn(move || {
-                    accept_loop(listener, upstream, plan, t_shutdown, t_stats);
+                    accept_loop(listener, upstream, plan, t_shutdown, t_stats, t_partition);
                 })?;
 
         Ok(ChaosProxy {
             addr,
             shutdown,
             stats,
+            partition,
             accept_thread: Some(accept_thread),
         })
     }
@@ -179,6 +226,16 @@ impl ChaosProxy {
     /// triggers are scheduled against.
     pub fn frames_up(&self) -> u64 {
         self.stats.frames_up.load(Ordering::Relaxed)
+    }
+
+    /// Starts (`true`) or heals (`false`) a one-direction partition.
+    pub fn set_partition(&self, dir: Direction, on: bool) {
+        self.partition.set(dir, on);
+    }
+
+    /// The shared partition switch, for schedulers that outlive `&self`.
+    pub fn partition_switch(&self) -> Arc<PartitionSwitch> {
+        Arc::clone(&self.partition)
     }
 
     /// Stops accepting, severs pumps, and joins the accept thread.
@@ -205,6 +262,7 @@ fn accept_loop(
     plan: FaultPlan,
     shutdown: Arc<AtomicBool>,
     stats: Arc<FaultStats>,
+    partition: Arc<PartitionSwitch>,
 ) {
     let mut pumps: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut conn_id: u64 = 0;
@@ -216,7 +274,9 @@ fn accept_loop(
                 stats.conns.fetch_add(1, Ordering::Relaxed);
                 match TcpStream::connect_timeout(&upstream, Duration::from_secs(2)) {
                     Ok(server) => {
-                        spawn_conn_pumps(id, client, server, &plan, &shutdown, &stats, &mut pumps);
+                        spawn_conn_pumps(
+                            id, client, server, &plan, &shutdown, &stats, &partition, &mut pumps,
+                        );
                     }
                     Err(_) => {
                         // Upstream refused: drop the client; it sees a
@@ -243,11 +303,17 @@ fn spawn_conn_pumps(
     plan: &FaultPlan,
     shutdown: &Arc<AtomicBool>,
     stats: &Arc<FaultStats>,
+    partition: &Arc<PartitionSwitch>,
     pumps: &mut Vec<thread::JoinHandle<()>>,
 ) {
     // One shared liveness flag: either direction dying severs both, so a
     // Reset decision looks like a whole-connection loss to the client.
     let alive = Arc::new(AtomicBool::new(true));
+    // Without nodelay, the per-frame prefix+payload writes interact with
+    // Nagle/delayed-ACK into ~40ms stalls per hop — the proxy must add
+    // faults, not latency.
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
     for dir in [Direction::Up, Direction::Down] {
         let (src, dst) = match dir {
             Direction::Up => (client.try_clone(), server.try_clone()),
@@ -266,6 +332,7 @@ fn spawn_conn_pumps(
         let t_alive = Arc::clone(&alive);
         let t_shutdown = Arc::clone(shutdown);
         let t_stats = Arc::clone(stats);
+        let t_partition = Arc::clone(partition);
         let name = format!(
             "chaos-{}-{id}",
             if matches!(dir, Direction::Up) {
@@ -275,7 +342,16 @@ fn spawn_conn_pumps(
             }
         );
         if let Ok(h) = thread::Builder::new().name(name).spawn(move || {
-            pump(src, dst, dir, stream, t_alive, t_shutdown, &t_stats);
+            pump(
+                src,
+                dst,
+                dir,
+                stream,
+                t_alive,
+                t_shutdown,
+                &t_stats,
+                &t_partition,
+            );
         }) {
             pumps.push(h);
         } else {
@@ -285,6 +361,7 @@ fn spawn_conn_pumps(
 }
 
 /// Forwards frames from `src` to `dst`, applying one decision per frame.
+#[allow(clippy::too_many_arguments)]
 fn pump(
     src: TcpStream,
     dst: TcpStream,
@@ -293,6 +370,7 @@ fn pump(
     alive: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
     stats: &FaultStats,
+    partition: &PartitionSwitch,
 ) {
     let _ = src.set_read_timeout(Some(PUMP_POLL));
     let mut src = src;
@@ -330,6 +408,13 @@ fn pump(
                 Direction::Down => &stats.frames_down,
             };
             frame_counter.fetch_add(1, Ordering::Relaxed);
+            // An active partition blackholes the frame before any
+            // decision is drawn: the seeded schedule stays aligned with
+            // the frames that actually get a decision.
+            if partition.get(dir) {
+                stats.partitioned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
             match decisions.next_decision() {
                 Decision::Forward => {
                     stats.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -390,7 +475,11 @@ fn pump(
 }
 
 fn emit(dst: &mut TcpStream, frame: &[u8]) -> io::Result<()> {
-    dst.write_all(&(frame.len() as u32).to_le_bytes())?;
-    dst.write_all(frame)?;
+    // One write per frame: a separate prefix write would hand Nagle a
+    // tiny segment to sit on.
+    let mut out = Vec::with_capacity(4 + frame.len());
+    out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    out.extend_from_slice(frame);
+    dst.write_all(&out)?;
     dst.flush()
 }

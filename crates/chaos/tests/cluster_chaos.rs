@@ -7,11 +7,17 @@
 //! flapping proxy (frequent connection resets with successes in between)
 //! must not snowball the client's backoff, because one success resets
 //! the per-endpoint strike decay.
+//!
+//! On top of the single-kill gate sits the durability matrix
+//! ([`durability_matrix_partition_x_kills_x_migration`]): a grid of
+//! partition direction × kill schedule × migration-in-flight cells over
+//! a replicated 3-node cluster, every cell audited with the same
+//! checker and required to keep replicated reads at 100% availability.
 
 use std::time::Duration;
 
 use rif_chaos::cluster::{run_cluster_scenario, ClusterScenarioConfig};
-use rif_chaos::plan::FaultPlan;
+use rif_chaos::plan::{seeded_multi_kills, FaultPlan};
 use rif_chaos::scenario::{run_scenario, ScenarioConfig};
 
 #[test]
@@ -54,6 +60,134 @@ fn kill_and_rebalance_passes_the_contract() {
         "ledger gap: {:?}",
         outcome.report
     );
+}
+
+/// The ISSUE's acceptance gate, verbatim: replication factor 2, a
+/// seeded schedule that hard-kills the primary of the hottest range
+/// (legacy hottest-node kill — node `b` on this map) and imposes a
+/// one-way partition on a *second* node mid-20k-request-load. The
+/// strict checker must PASS, no read of a replicated range may fail,
+/// and a directory restart mid-run must restore the same epoch/map
+/// byte-identically.
+#[test]
+fn replication_gate_kill_plus_partition_keeps_reads_flowing() {
+    let plan = FaultPlan::parse("seed=9,part=2:up@120+250").expect("valid plan");
+    let outcome = run_cluster_scenario(&ClusterScenarioConfig {
+        requests: 20_000,
+        nodes: 3,
+        replicas: 2,
+        seed: 11,
+        plan,
+        kill_after: Duration::from_millis(150),
+        rebalance_after: Duration::from_millis(100),
+        request_deadline: Duration::from_millis(300),
+        dir_restart_after: Some(Duration::from_millis(350)),
+        ..ClusterScenarioConfig::default()
+    })
+    .expect("cluster scenario runs");
+    assert!(outcome.verdict.pass, "{}", outcome.verdict.to_json());
+    assert_eq!(outcome.killed, "b", "hottest-range primary must die");
+    assert_eq!(outcome.kills_fired, 1);
+    assert!(outcome.partitions_fired >= 1, "partition never opened");
+    assert!(
+        outcome.journal.conn_losses > 0,
+        "kill was not client-visible"
+    );
+    assert_eq!(
+        outcome.failed_replicated_reads, 0,
+        "replicated reads failed: {:?}",
+        outcome.report
+    );
+    assert_eq!(
+        outcome.dir_restart_identical,
+        Some(true),
+        "directory restart did not restore the map byte-identically"
+    );
+    assert_eq!(
+        outcome.report.completed + outcome.report.failed + outcome.report.busy_dropped,
+        20_000,
+        "ledger gap: {:?}",
+        outcome.report
+    );
+}
+
+/// The durability matrix: partition direction × kill schedule ×
+/// migration-in-flight, every cell on a replicated map. Single-kill
+/// cells run 3 nodes (the validated minimum where the fault set always
+/// leaves each replica set a live member); seeded multi-kill cells run
+/// 4 nodes so two kills still leave a replicated fleet. Every cell
+/// must pass the strict contract AND keep replicated reads at 100%.
+#[test]
+fn durability_matrix_partition_x_kills_x_migration() {
+    use rif_chaos::plan::Direction;
+
+    for &dir in &[Direction::Up, Direction::Down] {
+        for &multi_kill in &[false, true] {
+            for &migrate in &[false, true] {
+                let dir_word = match dir {
+                    Direction::Up => "up",
+                    Direction::Down => "down",
+                };
+                let cell = format!("dir={dir_word} multi_kill={multi_kill} migrate={migrate}");
+                let nodes = if multi_kill { 4 } else { 3 };
+                let mut plan = FaultPlan::parse(&format!("seed=9,part=1:{dir_word}@120+250"))
+                    .expect("valid plan");
+                let expected_kills = if multi_kill {
+                    // A seeded schedule: deterministic targets and fire
+                    // times, never the whole fleet.
+                    plan.node_kills = seeded_multi_kills(42, nodes, 2, 500);
+                    plan.node_kills.len()
+                } else {
+                    1 // legacy hottest-node kill
+                };
+                let outcome = run_cluster_scenario(&ClusterScenarioConfig {
+                    requests: 12_000,
+                    nodes,
+                    replicas: 2,
+                    seed: 11,
+                    plan,
+                    kill_after: Duration::from_millis(150),
+                    rebalance_after: Duration::from_millis(100),
+                    request_deadline: Duration::from_millis(300),
+                    migrate_after: migrate.then(|| Duration::from_millis(200)),
+                    dir_restart_after: migrate.then(|| Duration::from_millis(350)),
+                    ..ClusterScenarioConfig::default()
+                })
+                .expect("cell runs");
+                assert!(
+                    outcome.verdict.pass,
+                    "[{cell}] {}",
+                    outcome.verdict.to_json()
+                );
+                assert_eq!(
+                    outcome.kills_fired, expected_kills,
+                    "[{cell}] kills missing"
+                );
+                assert!(
+                    outcome.partitions_fired >= 1,
+                    "[{cell}] partition never opened"
+                );
+                assert_eq!(
+                    outcome.failed_replicated_reads, 0,
+                    "[{cell}] replicated reads failed: {:?}",
+                    outcome.report
+                );
+                if migrate {
+                    assert_eq!(
+                        outcome.dir_restart_identical,
+                        Some(true),
+                        "[{cell}] directory restart diverged"
+                    );
+                }
+                assert_eq!(
+                    outcome.report.completed + outcome.report.failed + outcome.report.busy_dropped,
+                    12_000,
+                    "[{cell}] ledger gap: {:?}",
+                    outcome.report
+                );
+            }
+        }
+    }
 }
 
 #[test]

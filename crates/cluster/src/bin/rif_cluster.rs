@@ -5,6 +5,7 @@
 //! ```text
 //! rif-cluster directory --node ID=ADDR [--node ID=ADDR ...]
 //!                       [--port N] [--capacity-gib N] [--ranges N]
+//!                       [--replicas N] [--persist PATH]
 //! rif-cluster map --directory ADDR
 //! rif-cluster migrate --directory ADDR --range N --node ID
 //! rif-cluster stats --directory ADDR
@@ -15,7 +16,11 @@
 //! `directory` starts the shard directory over the listed nodes (each a
 //! running `rif-server --cluster`), pushes the initial map to them, and
 //! serves until a wire `SHUTDOWN`. It prints the sentinel line
-//! `rif-cluster directory listening on ADDR` once ready.
+//! `rif-cluster directory listening on ADDR` once ready. `--replicas 2`
+//! builds a replicated map (each range a primary plus rendezvous-ranked
+//! followers); `--persist PATH` makes the map durable — a restarted
+//! directory resumes from the persisted epoch, ignoring the argument
+//! map, and refuses a corrupt file instead of silently starting over.
 //!
 //! `map`, `migrate`, and `stats` are one-shot admin RPCs against a
 //! running directory. `load` runs the routed closed-loop client and
@@ -30,6 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rif-cluster directory --node ID=ADDR [--node ID=ADDR ...]\n\
          \x20                          [--port N] [--capacity-gib N] [--ranges N]\n\
+         \x20                          [--replicas N] [--persist PATH]\n\
          \x20      rif-cluster map --directory ADDR\n\
          \x20      rif-cluster migrate --directory ADDR --range N --node ID\n\
          \x20      rif-cluster stats --directory ADDR\n\
@@ -125,10 +131,20 @@ fn directory_cmd(rest: &[String]) {
     let ranges: u32 = get(&flags, "--ranges")
         .map(|v| parse_or_usage(v, "--ranges"))
         .unwrap_or(4);
+    let replicas: u32 = get(&flags, "--replicas")
+        .map(|v| parse_or_usage(v, "--replicas"))
+        .unwrap_or(1);
 
-    let map =
-        ShardMap::rebalanced(1, capacity_gib << 30, ranges, nodes).unwrap_or_else(|e| fail(e));
-    let dir = Directory::start(map, port).unwrap_or_else(|e| fail(e));
+    let map = if replicas > 1 {
+        ShardMap::replicated(1, capacity_gib << 30, ranges, nodes, replicas)
+            .unwrap_or_else(|e| fail(e))
+    } else {
+        ShardMap::rebalanced(1, capacity_gib << 30, ranges, nodes).unwrap_or_else(|e| fail(e))
+    };
+    let dir = match get(&flags, "--persist") {
+        Some(path) => Directory::start_persistent(map, port, path).unwrap_or_else(|e| fail(e)),
+        None => Directory::start(map, port).unwrap_or_else(|e| fail(e)),
+    };
     // The sentinel line scripts wait for.
     println!("rif-cluster directory listening on {}", dir.addr());
     while !dir.stopped() {

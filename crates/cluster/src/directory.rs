@@ -38,6 +38,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -49,7 +50,7 @@ use rif_server::protocol::{
     PROTOCOL_VERSION,
 };
 
-use crate::map::ShardMap;
+use crate::map::{ShardMap, ShardMapError};
 use crate::stats::{cluster_report, NodeStats};
 
 /// Correlation tag the directory uses on the RPCs it originates.
@@ -68,6 +69,46 @@ struct Inner {
     /// never interleave their epoch bumps.
     admin: Mutex<()>,
     stop: AtomicBool,
+    /// When set, every installed map (epoch included) is written here
+    /// atomically, and a restarting directory restores from it.
+    persist: Option<PathBuf>,
+}
+
+/// Why a persisted directory map could not be restored.
+#[derive(Debug)]
+pub enum MapLoadError {
+    /// The file could not be read (missing counts as this too).
+    Io(io::Error),
+    /// The file's contents are not a valid canonical map serialization
+    /// — a crash mid-write without the atomic rename, or corruption.
+    Malformed(ShardMapError),
+}
+
+impl std::fmt::Display for MapLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapLoadError::Io(e) => write!(f, "reading persisted map: {e}"),
+            MapLoadError::Malformed(e) => write!(f, "persisted map is corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapLoadError {}
+
+/// Loads a persisted directory map (the canonical text serialization,
+/// epoch included) with typed errors, so a restarting directory can
+/// tell "no file yet" from "the file is corrupt".
+pub fn load_map(path: &Path) -> Result<ShardMap, MapLoadError> {
+    let text = std::fs::read_to_string(path).map_err(MapLoadError::Io)?;
+    ShardMap::parse_text(&text).map_err(MapLoadError::Malformed)
+}
+
+/// Atomically persists `map` to `path`: write to a sibling tmp file,
+/// then rename over — a crash mid-write leaves the old file intact.
+fn persist_map(path: &Path, map: &ShardMap) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, map.to_text())?;
+    std::fs::rename(&tmp, path)
 }
 
 /// A running directory service (see the module docs).
@@ -95,9 +136,19 @@ fn rpc(conn: &mut Conn, req: &Request) -> io::Result<Response> {
     Err(io::ErrorKind::TimedOut.into())
 }
 
-/// Pushes `map` to the node at `addr`, telling it which ranges it owns.
+/// Pushes `map` to the node at `addr`, telling it which ranges it owns,
+/// which it follows, and where to ship each owned range's replicas.
 /// Returns the epoch the node acknowledged.
 fn push_to(addr: &str, map: &ShardMap, id: &str) -> io::Result<u64> {
+    let owned = map.owned_ranges(id);
+    let replicas: Vec<(u32, String)> = owned
+        .iter()
+        .flat_map(|&r| {
+            map.followers_of(r)
+                .into_iter()
+                .map(move |n| (r, n.addr.clone()))
+        })
+        .collect();
     let mut conn = Conn::connect(addr)?;
     let resp = rpc(
         &mut conn,
@@ -106,7 +157,9 @@ fn push_to(addr: &str, map: &ShardMap, id: &str) -> io::Result<u64> {
             epoch: map.epoch,
             capacity_bytes: map.capacity_bytes,
             ranges: map.ranges,
-            owned: map.owned_ranges(id),
+            owned,
+            followed: map.followed_ranges(id),
+            replicas,
             map_text: map.to_text(),
         },
     )?;
@@ -125,6 +178,37 @@ impl Directory {
     /// not up yet are skipped — call [`push_all`](Directory::push_all)
     /// once they are.
     pub fn start(map: ShardMap, port: u16) -> io::Result<Directory> {
+        Directory::start_inner(map, port, None)
+    }
+
+    /// Like [`start`](Directory::start), but durable: the map (epoch
+    /// included) is persisted to `path` on boot and after every epoch
+    /// bump, and a directory restarting over an existing file restores
+    /// the persisted map **instead of** the `map` argument — same
+    /// epoch, byte-identical text — then re-pushes it to every node, so
+    /// a directory kill loses no placement and forces no re-migration.
+    /// A corrupt file fails the boot with [`MapLoadError::Malformed`]
+    /// (wrapped in `InvalidData`) rather than silently restarting from
+    /// scratch; use [`load_map`] to inspect.
+    pub fn start_persistent(
+        map: ShardMap,
+        port: u16,
+        path: impl Into<PathBuf>,
+    ) -> io::Result<Directory> {
+        let path = path.into();
+        let map = match load_map(&path) {
+            Ok(restored) => restored,
+            Err(MapLoadError::Io(e)) if e.kind() == io::ErrorKind::NotFound => map,
+            Err(MapLoadError::Io(e)) => return Err(e),
+            Err(e @ MapLoadError::Malformed(_)) => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+        };
+        persist_map(&path, &map)?;
+        Directory::start_inner(map, port, Some(path))
+    }
+
+    fn start_inner(map: ShardMap, port: u16, persist: Option<PathBuf>) -> io::Result<Directory> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -132,6 +216,7 @@ impl Directory {
             map: Mutex::new(map),
             admin: Mutex::new(()),
             stop: AtomicBool::new(false),
+            persist,
         });
         let dir = Directory {
             addr,
@@ -254,6 +339,11 @@ fn unexpected(what: &str, got: &Response) -> io::Error {
 fn install_and_push(inner: &Inner, next: ShardMap) -> io::Result<u64> {
     let epoch = next.epoch;
     *lock(&inner.map) = next.clone();
+    // Persist before pushing: once any node has seen the new epoch, a
+    // restarting directory must never come back with an older one.
+    if let Some(path) = &inner.persist {
+        persist_map(path, &next).ok();
+    }
     for n in &next.nodes {
         push_to(&n.addr, &next, &n.id).ok();
     }

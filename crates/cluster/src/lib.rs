@@ -28,7 +28,7 @@ pub mod map;
 pub mod router;
 pub mod stats;
 
-pub use directory::Directory;
+pub use directory::{load_map, Directory, MapLoadError};
 pub use map::{NodeInfo, ShardMap, ShardMapError};
 pub use router::{run_routed, RouterConfig};
 pub use stats::{cluster_report, NodeStats};

@@ -22,6 +22,21 @@
 //! that are guaranteed pre-admission (BUSY, WRONG_SHARD, or a failed
 //! connect); a write whose connection died mid-flight has unknown fate
 //! and is counted `failed`, never resent.
+//!
+//! On a replicated map (`replicas >= 2`) reads additionally fail over:
+//! each [`Work`] carries a replica preference that rotates to the next
+//! replica of the range on WRONG_SHARD, connection loss, a down
+//! endpoint, or an in-flight deadline expiry, so a dead or partitioned
+//! primary costs latency but not the read. Reads are idempotent, so a
+//! timed-out read re-issues against another replica instead of failing;
+//! a timed-out *write* stays terminal (its fate on the primary is
+//! unknown). Every re-issue links `retry_of` to the chain's ROOT tag
+//! (the first submission) — on v2+ links the link travels on the wire
+//! as a one-entry BATCH frame so the server-side trace recorder
+//! journals the logical request once, not once per retry, even when an
+//! intermediate re-issue never reached admission. Tags resolved by the
+//! deadline sweep stay tombstoned: a straggler response for one lands
+//! as a duplicate receipt on its record, never as an unknown receipt.
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -30,7 +45,7 @@ use std::time::{Duration, Instant};
 use rif_events::stats::LatencyHistogram;
 use rif_events::{SimDuration, SimRng};
 use rif_server::client::{Conn, Journal, LoadReport, Outcome, ReconnectBackoff, TagRecord};
-use rif_server::protocol::{BusyReason, ErrorCode, Request, Response};
+use rif_server::protocol::{BatchEntry, BusyReason, ErrorCode, Request, Response};
 use rif_workloads::{IoOp, SynthConfig};
 
 use crate::map::ShardMap;
@@ -100,6 +115,9 @@ struct Work {
     busy: u32,
     /// Tag of the submission this one re-issues, if any.
     retry_of: Option<u64>,
+    /// Which replica of the range a read targets (`pref % replicas`).
+    /// Failover bumps it; writes ignore it and always hit the primary.
+    replica_pref: u32,
     /// Earliest instant this work may be sent.
     not_before: Instant,
 }
@@ -125,6 +143,10 @@ struct Endpoint {
     /// Whether this endpoint has ever held a live connection (the first
     /// connect is not a *re*connect).
     ever_connected: bool,
+    /// Whether the current v1 connection was already kicked once to
+    /// renegotiate HELLO before carrying a `retry_of` re-issue (see
+    /// [`try_send`]). Cleared whenever a v2+ link is observed.
+    v1_kicked: bool,
 }
 
 /// Shared mutable run state (journal, ledger, latency histogram).
@@ -133,6 +155,10 @@ struct RunState {
     report: LoadReport,
     hist: LatencyHistogram,
     next_tag: u64,
+    /// Tags the deadline sweep resolved, mapped to their journal record.
+    /// A straggler response for one counts as a duplicate receipt on the
+    /// record rather than an unknown receipt.
+    expired: HashMap<u64, usize>,
 }
 
 /// Runs `cfg.requests` synthetic operations through the cluster behind
@@ -158,6 +184,7 @@ pub fn run_routed(cfg: &RouterConfig) -> io::Result<(LoadReport, Journal)> {
             bytes: r.bytes,
             busy: 0,
             retry_of: None,
+            replica_pref: 0,
             not_before: now,
         })
         .collect();
@@ -169,6 +196,7 @@ pub fn run_routed(cfg: &RouterConfig) -> io::Result<(LoadReport, Journal)> {
         report: LoadReport::default(),
         hist: LatencyHistogram::new(),
         next_tag: 1,
+        expired: HashMap::new(),
     };
     let mut jitter = SimRng::stream(cfg.seed, JITTER_SALT);
     let started = Instant::now();
@@ -221,6 +249,7 @@ pub fn run_routed(cfg: &RouterConfig) -> io::Result<(LoadReport, Journal)> {
                             progressed = true;
                             handle_frame(
                                 cfg,
+                                &map,
                                 &payload,
                                 ep.index,
                                 &mut inflight,
@@ -282,9 +311,26 @@ pub fn run_routed(cfg: &RouterConfig) -> io::Result<(LoadReport, Journal)> {
             let inf = inflight.remove(&tag).expect("expired tag present");
             st.journal.records[inf.rec].outcome = Some(Outcome::TimedOut);
             st.report.timed_out += 1;
-            st.report.failed += 1;
-            settled += 1;
+            // Tombstone the tag: the server (or a one-way partition that
+            // only ate the request) may still answer it later.
+            st.expired.insert(tag, inf.rec);
             progressed = true;
+            let mut work = inf.work;
+            let (range, _) = map.route(work.offset);
+            if work.op == IoOp::Read && map.replicas_of(range).len() > 1 {
+                // Idempotent and replicated: fail the read over to the
+                // next replica instead of failing the run, linking
+                // `retry_of` so capture dedup sees one logical request.
+                work.retry_of = work.retry_of.or(Some(tag));
+                work.replica_pref = work.replica_pref.wrapping_add(1);
+                match refuse(cfg, &mut st, work, now) {
+                    SendResult::Requeued(w) => queue.push_back(w),
+                    _ => settled += 1,
+                }
+            } else {
+                st.report.failed += 1;
+                settled += 1;
+            }
         }
 
         if !progressed {
@@ -360,7 +406,15 @@ fn try_send(
     jitter: &mut SimRng,
     now: Instant,
 ) -> SendResult {
-    let (_, node) = map.route(work.offset);
+    let (range, primary) = map.route(work.offset);
+    // Writes always target the primary (it owns admission and ships the
+    // followers); reads may target any replica, rotated by failover.
+    let node = if work.op == IoOp::Read {
+        let replicas = map.replicas_of(range);
+        replicas[work.replica_pref as usize % replicas.len()]
+    } else {
+        primary
+    };
     let next_index = endpoints.len() as u32;
     let ep = endpoints
         .entry(node.id.clone())
@@ -371,6 +425,7 @@ fn try_send(
             backoff: ReconnectBackoff::new(),
             down_until: now,
             ever_connected: false,
+            v1_kicked: false,
         });
     // The map may have re-addressed the node (not typical, but cheap to
     // honor).
@@ -381,7 +436,7 @@ fn try_send(
 
     if ep.conn.is_none() {
         if now < ep.down_until {
-            return refuse(cfg, st, work, now);
+            return refuse(cfg, st, bump_replica(work), now);
         }
         match Conn::connect(&ep.addr) {
             Ok(mut conn) => {
@@ -402,25 +457,54 @@ fn try_send(
             }
             Err(_) => {
                 ep.down_until = now + ep.backoff.next_delay(POLL_TICK, jitter);
-                return refuse(cfg, st, work, now);
+                return refuse(cfg, st, bump_replica(work), now);
             }
         }
     }
 
     let tag = st.next_tag;
     st.next_tag += 1;
-    let req = match work.op {
-        IoOp::Read => Request::Read {
+    // Re-issues on a v2+ link travel as one-entry BATCH frames — the
+    // only frame kind that carries `retry_of` — so the server's trace
+    // recorder aliases the retry onto the original logical request.
+    let version = ep.conn.as_ref().expect("connected above").version();
+    // A re-issue must carry its `retry_of` link or the server-side
+    // recorder double-counts the logical request (capture dedup keys on
+    // the link). A v1 link here almost always means a lossy path ate
+    // the HELLO ack at connect time — drop the connection once so the
+    // reconnect renegotiates; a peer that is *still* v1 after the kick
+    // gets the plain frame, there is nothing better to send it.
+    if work.retry_of.is_some() && version < 2 {
+        if !ep.v1_kicked {
+            ep.v1_kicked = true;
+            ep.conn = None;
+            return SendResult::Requeued(work);
+        }
+    } else if version >= 2 {
+        ep.v1_kicked = false;
+    }
+    let req = match work.retry_of {
+        Some(prior) if version >= 2 => Request::Batch(vec![BatchEntry {
+            op: work.op,
             tenant: cfg.tenant,
             tag,
             offset: work.offset,
             bytes: work.bytes,
-        },
-        IoOp::Write => Request::Write {
-            tenant: cfg.tenant,
-            tag,
-            offset: work.offset,
-            bytes: work.bytes,
+            retry_of: prior,
+        }]),
+        _ => match work.op {
+            IoOp::Read => Request::Read {
+                tenant: cfg.tenant,
+                tag,
+                offset: work.offset,
+                bytes: work.bytes,
+            },
+            IoOp::Write => Request::Write {
+                tenant: cfg.tenant,
+                tag,
+                offset: work.offset,
+                bytes: work.bytes,
+            },
         },
     };
     let rec = st.journal.records.len();
@@ -448,8 +532,8 @@ fn try_send(
         ep.conn = None;
         ep.down_until = now + ep.backoff.next_delay(POLL_TICK, jitter);
         let mut work = work;
-        work.retry_of = Some(tag);
-        return refuse(cfg, st, work, now);
+        work.retry_of = work.retry_of.or(Some(tag));
+        return refuse(cfg, st, bump_replica(work), now);
     }
     SendResult::Sent(
         tag,
@@ -460,6 +544,15 @@ fn try_send(
             sent: Instant::now(),
         },
     )
+}
+
+/// Rotates a read to the next replica of its range; writes pass through
+/// untouched (they only ever target the primary).
+fn bump_replica(mut work: Work) -> Work {
+    if work.op == IoOp::Read {
+        work.replica_pref = work.replica_pref.wrapping_add(1);
+    }
+    work
 }
 
 /// One pre-admission refusal: consume a retry or drop the operation.
@@ -476,6 +569,7 @@ fn refuse(cfg: &RouterConfig, st: &mut RunState, mut work: Work, now: Instant) -
 #[allow(clippy::too_many_arguments)]
 fn handle_frame(
     cfg: &RouterConfig,
+    map: &ShardMap,
     payload: &[u8],
     endpoint: u32,
     inflight: &mut HashMap<u64, Inflight>,
@@ -490,14 +584,26 @@ fn handle_frame(
     };
     let tag = resp.tag();
     let Some(inf) = inflight.remove(&tag) else {
-        st.journal.unknown_receipts += 1;
-        st.report.unknown_receipts += 1;
+        if let Some(&rec) = st.expired.get(&tag) {
+            // Straggler answer for a tag the deadline sweep already
+            // resolved: benign, but worth counting on its record.
+            st.journal.records[rec].duplicate_receipts += 1;
+        } else {
+            st.journal.unknown_receipts += 1;
+            st.report.unknown_receipts += 1;
+        }
         return;
     };
     debug_assert_eq!(inf.endpoint, endpoint);
     let rec = inf.rec;
     let mut work = inf.work;
-    work.retry_of = Some(tag);
+    // Chain links always carry the ROOT tag of the logical request: the
+    // server-side recorder dedups by looking the link up among admitted
+    // tags, and only the root is guaranteed to stay resolvable when an
+    // intermediate re-issue never reached admission (send error, bounce
+    // before admit). An immediate-predecessor link would orphan the
+    // chain at the first unseen hop and double-count the capture.
+    work.retry_of = work.retry_of.or(Some(tag));
     let now = Instant::now();
     match resp {
         Response::Done { .. } => {
@@ -513,6 +619,11 @@ fn handle_frame(
                 BusyReason::RateLimit => st.report.busy_ratelimit += 1,
                 BusyReason::Unavailable | BusyReason::Moving => st.report.busy_unavailable += 1,
             }
+            // A range mid-handoff (or an unavailable node) may already be
+            // readable on a replica; reads rotate, writes wait it out.
+            if matches!(reason, BusyReason::Moving | BusyReason::Unavailable) {
+                work = bump_replica(work);
+            }
             st.journal.records[rec].outcome = Some(Outcome::Busy);
             match refuse(cfg, st, work, now) {
                 SendResult::Requeued(w) => requeue.push(w),
@@ -525,7 +636,7 @@ fn handle_frame(
             // this counter move.
             st.report.wrong_shard += 1;
             st.journal.records[rec].outcome = Some(Outcome::Busy);
-            match refuse(cfg, st, work, now) {
+            match refuse(cfg, st, bump_replica(work), now) {
                 SendResult::Requeued(w) => requeue.push(w),
                 _ => *settled += 1,
             }
@@ -536,8 +647,21 @@ fn handle_frame(
                 _ => st.report.protocol_errors += 1,
             }
             st.journal.records[rec].outcome = Some(Outcome::Error);
-            st.report.failed += 1;
-            *settled += 1;
+            let (range, _) = map.route(work.offset);
+            if work.op == IoOp::Read && map.replicas_of(range).len() > 1 {
+                // A crashing shard resolves its in-flight requests with
+                // ERROR before the node drops (`Server::kill`). The read
+                // is idempotent and the range still has live replicas —
+                // fail it over instead of dooming the chain on a node
+                // that is about to disappear anyway.
+                match refuse(cfg, st, bump_replica(work), now) {
+                    SendResult::Requeued(w) => requeue.push(w),
+                    _ => *settled += 1,
+                }
+            } else {
+                st.report.failed += 1;
+                *settled += 1;
+            }
         }
         _ => {
             // DONE/BUSY/ERROR/WRONG_SHARD are the only solicited kinds
@@ -571,9 +695,9 @@ fn fail_endpoint_inflight(
         st.journal.records[inf.rec].outcome = Some(Outcome::ConnError);
         st.report.conn_errors += 1;
         let mut work = inf.work;
-        work.retry_of = Some(tag);
+        work.retry_of = work.retry_of.or(Some(tag));
         if work.op == IoOp::Read {
-            match refuse(cfg, st, work, now) {
+            match refuse(cfg, st, bump_replica(work), now) {
                 SendResult::Requeued(w) => requeue.push(w),
                 _ => *settled += 1,
             }

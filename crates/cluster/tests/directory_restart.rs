@@ -1,0 +1,173 @@
+//! Directory durability: the shard map survives a directory restart.
+//!
+//! Regression scenario for the replicated-cluster hardening work: the
+//! directory persists its map (epoch included) to a canonical text
+//! file on every install, and `start_persistent` restores that file on
+//! boot — *overriding* whatever map the caller passed in. A restarted
+//! directory therefore converges routers back onto the exact epoch the
+//! fleet already runs, with no forced re-migration.
+//!
+//! Also covers the typed-error path: a corrupted persisted file must
+//! fail loudly (`MapLoadError::Malformed` / `InvalidData`), never be
+//! silently replaced, while a *missing* file means "first boot" and the
+//! argument map is used.
+
+use std::time::{Duration, Instant};
+
+use rif_cluster::{load_map, Directory, MapLoadError, NodeInfo, ShardMap};
+use rif_server::client::Conn;
+use rif_server::protocol::{Request, Response};
+use rif_server::server::{Server, ServerConfig};
+
+const RANGES: u32 = 4;
+const CAPACITY: u64 = 8 << 30;
+
+fn start_node(seed: u64) -> Server {
+    Server::start(
+        ServerConfig {
+            shards: RANGES as usize,
+            capacity_bytes: CAPACITY,
+            cluster: true,
+            time_scale: 200.0,
+            seed,
+            ..ServerConfig::default()
+        },
+        0,
+    )
+    .expect("node starts")
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rif-dir-restart-{}-{tag}.txt", std::process::id()))
+}
+
+fn wait_response(conn: &mut Conn) -> Response {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if let Ok(Some(payload)) = conn.next_frame() {
+            return rif_server::protocol::decode_response(&payload).expect("decodable");
+        }
+        conn.pump().expect("conn alive");
+    }
+    panic!("no response before deadline");
+}
+
+#[test]
+fn restarted_directory_restores_epoch_and_map_byte_identically() {
+    let node_a = start_node(41);
+    let node_b = start_node(42);
+    let nodes = vec![
+        NodeInfo {
+            id: "a".into(),
+            addr: node_a.local_addr().to_string(),
+        },
+        NodeInfo {
+            id: "b".into(),
+            addr: node_b.local_addr().to_string(),
+        },
+    ];
+    let map =
+        ShardMap::replicated(1, CAPACITY, RANGES, nodes.clone(), 2).expect("valid replicated map");
+    let path = temp_path("happy");
+    let _ = std::fs::remove_file(&path);
+
+    let dir = Directory::start_persistent(map.clone(), 0, &path).expect("directory starts");
+    // Bump the epoch past the seed map so a restart has something real
+    // to prove: migrate one range to the node that doesn't own it.
+    let before = dir.map();
+    let (range, owner) = before.route(0);
+    let target = nodes
+        .iter()
+        .find(|n| n.id != owner.id)
+        .expect("two nodes")
+        .id
+        .clone();
+    dir.migrate(range, &target).expect("migration completes");
+    let live = dir.map();
+    assert!(live.epoch > map.epoch, "migration must bump the epoch");
+    let live_text = live.to_text();
+    dir.stop();
+
+    // The persisted file already matches what was live.
+    let persisted = load_map(&path).expect("persisted map loads");
+    assert_eq!(persisted.to_text(), live_text, "persisted map diverged");
+
+    // Restart with a *stale* argument map (the original, epoch 1). The
+    // persisted state must win, byte for byte.
+    let dir2 = Directory::start_persistent(map.clone(), 0, &path).expect("directory restarts");
+    let restored = dir2.map();
+    assert_eq!(restored.epoch, live.epoch, "epoch regressed on restart");
+    assert_eq!(
+        restored.to_text(),
+        live_text,
+        "restored map is not byte-identical"
+    );
+
+    // Routers converge on the same epoch over the wire too, and the
+    // fleet keeps serving without any re-migration: the node that took
+    // the migrated range still answers Done for it.
+    let (epoch, text) =
+        rif_cluster::directory::fetch_map_text(&dir2.addr().to_string()).expect("MAP_GET works");
+    assert_eq!(epoch, live.epoch);
+    assert_eq!(text, live_text);
+    let owner_now = restored.route(0).1.addr.clone();
+    let mut conn = Conn::connect(&owner_now).expect("connect new owner");
+    conn.send(&Request::Read {
+        tenant: 0,
+        tag: 7,
+        offset: 0,
+        bytes: 4096,
+    })
+    .expect("send read");
+    let resp = wait_response(&mut conn);
+    assert!(
+        matches!(resp, Response::Done { .. }),
+        "owner after restart must serve its range, got {resp:?}"
+    );
+
+    dir2.stop();
+    node_a.stop();
+    node_b.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_map_file_is_a_typed_error_and_missing_means_first_boot() {
+    let nodes = vec![NodeInfo {
+        id: "a".into(),
+        addr: "127.0.0.1:1".into(),
+    }];
+    let map = ShardMap::rebalanced(1, CAPACITY, RANGES, nodes).expect("valid map");
+
+    // Corrupted file: load_map reports Malformed, start_persistent
+    // refuses to boot rather than quietly clobbering operator state.
+    let path = temp_path("corrupt");
+    std::fs::write(&path, "epoch=borked\nthis is not a shard map\n").expect("write garbage");
+    match load_map(&path) {
+        Err(MapLoadError::Malformed(_)) => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    match Directory::start_persistent(map.clone(), 0, &path) {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+        Ok(_) => panic!("corrupt file must refuse boot"),
+    }
+    let _ = std::fs::remove_file(&path);
+
+    // Missing file: a clean Io error from load_map, and first boot uses
+    // the argument map.
+    let path = temp_path("fresh");
+    let _ = std::fs::remove_file(&path);
+    match load_map(&path) {
+        Err(MapLoadError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+        other => panic!("expected Io(NotFound), got {other:?}"),
+    }
+    let dir = Directory::start_persistent(map.clone(), 0, &path).expect("first boot works");
+    assert_eq!(dir.map().to_text(), map.to_text());
+    // And the first boot persisted it for next time.
+    assert_eq!(
+        load_map(&path).expect("now persisted").to_text(),
+        map.to_text()
+    );
+    dir.stop();
+    let _ = std::fs::remove_file(&path);
+}

@@ -909,7 +909,10 @@ fn requeue_or_fail_cfg(
     let idempotent = !maybe_admitted || op.io.op == IoOp::Read;
     if idempotent && op.resends < cfg.max_resends {
         op.resends += 1;
-        op.prior_tag = Some(prior_tag);
+        // Link the chain's ROOT tag (first submission): the server-side
+        // recorder resolves the link among admitted tags, and only the
+        // root survives intermediate attempts that never got admitted.
+        op.prior_tag = op.prior_tag.or(Some(prior_tag));
         st.queue.push_back(op);
     } else {
         st.fail_op();
@@ -973,7 +976,7 @@ fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
             if let Some(mut op) = st.resolve(tag, Outcome::Busy, fp) {
                 if op.busy_retries < cfg.max_busy_retries {
                     op.busy_retries += 1;
-                    op.prior_tag = Some(tag);
+                    op.prior_tag = op.prior_tag.or(Some(tag));
                     st.queue.push_back(op);
                 } else {
                     st.report.busy_dropped += 1;
@@ -1010,7 +1013,7 @@ fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
             if let Some(mut op) = st.resolve(tag, Outcome::Busy, fp) {
                 if op.busy_retries < cfg.max_busy_retries {
                     op.busy_retries += 1;
-                    op.prior_tag = Some(tag);
+                    op.prior_tag = op.prior_tag.or(Some(tag));
                     st.queue.push_back(op);
                 } else {
                     st.report.busy_dropped += 1;
@@ -1023,6 +1026,7 @@ fn handle_frame(cfg: &LoadConfig, st: &mut ConnState, payload: &[u8]) {
         | Response::Goodbye { .. }
         | Response::MapResp { .. }
         | Response::Migrated { .. }
+        | Response::ReplAck { .. }
         | Response::HelloAck { .. } => {
             // Never solicited by the load loop (HelloAck returns early
             // above); resolve the tag so it is not left dangling, but

@@ -36,7 +36,8 @@ use crate::protocol::{BusyReason, ErrorCode, Response, PROTOCOL_VERSION};
 use crate::ring::{decode_request_view, RecvBuffer, RequestView, WriteQueue};
 use crate::server::{
     admit_batch, admit_io, at_conn_limit, handle_map_push, handle_migrate_in, handle_migrate_out,
-    refuse_over_limit, reject_unnegotiated_batch, render_stats, RangeStatus, Shared,
+    handle_replicate, refuse_over_limit, reject_unnegotiated_batch, render_stats, RangeStatus,
+    Shared,
 };
 use crate::shard::{ReplyTo, ShardMsg};
 use rif_workloads::IoOp;
@@ -549,9 +550,14 @@ fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>, reply: &ReplyTo) -> bool 
                 capacity_bytes,
                 ranges,
                 owned,
+                followed,
+                replicas,
                 map_text,
             } => {
                 let owned: Vec<u32> = owned.iter().collect();
+                let followed: Vec<u32> = followed.iter().collect();
+                let replicas: Vec<(u32, String)> =
+                    replicas.iter().map(|(r, a)| (r, a.to_string())).collect();
                 handle_map_push(
                     shared,
                     reply,
@@ -560,6 +566,8 @@ fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>, reply: &ReplyTo) -> bool 
                     capacity_bytes,
                     ranges,
                     &owned,
+                    &followed,
+                    &replicas,
                     map_text.to_string(),
                 );
             }
@@ -576,6 +584,20 @@ fn drain_frames(conn: &mut Conn, shared: &Arc<Shared>, reply: &ReplyTo) -> bool 
                     tag,
                     code: ErrorCode::BadRequest,
                 });
+            }
+            RequestView::Replicate {
+                tag,
+                range,
+                epoch,
+                seq,
+                tenant,
+                offset,
+                bytes,
+            } => {
+                // Internal primary→follower traffic: never shed (the
+                // primary's watermark would stall on a transient queue),
+                // admitted through its own slot-reserving gate.
+                handle_replicate(shared, reply, tag, range, epoch, seq, tenant, offset, bytes);
             }
             RequestView::Hello { tag, version } => {
                 conn.negotiated = version.min(PROTOCOL_VERSION).max(1);

@@ -50,6 +50,7 @@ pub mod poller;
 pub mod protocol;
 pub mod recorder;
 pub mod replay;
+pub(crate) mod replicate;
 pub mod ring;
 pub mod server;
 pub mod shard;

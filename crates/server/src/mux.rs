@@ -450,7 +450,8 @@ fn handle_response(
         | Response::HelloAck { tag, .. }
         | Response::MapResp { tag, .. }
         | Response::WrongShard { tag, .. }
-        | Response::Migrated { tag, .. } => *tag,
+        | Response::Migrated { tag, .. }
+        | Response::ReplAck { tag, .. } => *tag,
     };
     let Some(idx) = pending.iter().position(|p| p.tag == tag) else {
         tally.report.unknown_receipts += 1;

@@ -21,10 +21,15 @@
 //! MAP_GET : op u8 | tag u64
 //! MAP_PUSH : op u8 | tag u64 | epoch u64 | capacity u64 | ranges u32
 //!          | owned_count u16 | owned_count × range u32
+//!          | follow_count u16 | follow_count × range u32
+//!          | repl_count u16 | repl_count × (range u32 | addr_len u16
+//!          | addr bytes (UTF-8))
 //!          | map text (UTF-8, rest of frame)
 //! MIGRATE_OUT : op u8 | tag u64 | range u32
 //! MIGRATE_IN  : op u8 | tag u64 | range u32 | state text (UTF-8, rest)
 //! MIGRATE : op u8 | tag u64 | range u32 | node id text (UTF-8, rest)
+//! REPLICATE : op u8 | tag u64 | range u32 | epoch u64 | seq u64
+//!           | tenant u32 | offset u64 | bytes u32
 //! ```
 //!
 //! Response payloads:
@@ -39,6 +44,7 @@
 //! MAP_RESP : op u8 | tag u64 | epoch u64 | map text (UTF-8, rest)
 //! WRONG_SHARD : op u8 | tag u64 | epoch u64
 //! MIGRATED : op u8 | tag u64 | range u32 | state text (UTF-8, rest)
+//! REPL_ACK : op u8 | tag u64 | range u32 | seq u64
 //! ```
 //!
 //! BATCH and HELLO are protocol-version-2 messages. A v2 client opens
@@ -51,11 +57,20 @@
 //! may interleave with other traffic) and a `retry_of` field naming the
 //! original tag when the entry is a client re-issue (zero otherwise).
 //!
-//! The MAP_* and MIGRATE_* messages are protocol-version-3 (cluster)
-//! messages. MAP_GET asks any node or the directory for its current
-//! shard map (answered with MAP_RESP); MAP_PUSH installs new range
-//! ownership on a node (the map text rides along verbatim so the node
-//! can serve it back without parsing it). MIGRATE_OUT seals a range on
+//! The MAP_*, MIGRATE_*, and REPLICATE messages are protocol-version-3
+//! (cluster) messages. MAP_GET asks any node or the directory for its
+//! current shard map (answered with MAP_RESP); MAP_PUSH installs new
+//! range ownership on a node (the map text rides along verbatim so the
+//! node can serve it back without parsing it). MAP_PUSH additionally
+//! names the ranges the node **follows** (replica apply targets) and,
+//! per owned range, the follower endpoints the node must ship its
+//! writes to — both lists sit before the text tail, and both sides of
+//! MAP_PUSH (directory and node) always ship in the same build, so the
+//! layout can grow without a version gate. REPLICATE ships one primary
+//! write to a follower, version-stamped with the primary's map `epoch`
+//! and a per-range monotone `seq`; the follower applies it and answers
+//! REPL_ACK with the same stamp, advancing the primary's per-range
+//! replication watermark. MIGRATE_OUT seals a range on
 //! its source node and returns the drained shard's learner state;
 //! MIGRATE_IN seeds that state into the target. MIGRATE is the
 //! directory's admin entry point ("move this range to that node").
@@ -107,6 +122,7 @@ pub(crate) const OP_MAP_PUSH: u8 = 0x09;
 pub(crate) const OP_MIGRATE_OUT: u8 = 0x0A;
 pub(crate) const OP_MIGRATE_IN: u8 = 0x0B;
 pub(crate) const OP_MIGRATE: u8 = 0x0C;
+pub(crate) const OP_REPLICATE: u8 = 0x0D;
 
 const OP_DONE: u8 = 0x81;
 const OP_BUSY: u8 = 0x82;
@@ -118,6 +134,7 @@ const OP_HELLO_ACK: u8 = 0x87;
 const OP_MAP_RESP: u8 = 0x88;
 const OP_WRONG_SHARD: u8 = 0x89;
 const OP_MIGRATED: u8 = 0x8A;
+const OP_REPL_ACK: u8 = 0x8B;
 
 /// Why the server refused a request without simulating it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,6 +262,14 @@ pub enum Request {
         ranges: u32,
         /// The range indices this node now owns.
         owned: Vec<u32>,
+        /// The range indices this node now **follows**: it accepts
+        /// REPLICATE applies (and serves reads for failover) but bounces
+        /// client writes back to the primary.
+        followed: Vec<u32>,
+        /// Per owned range, the follower endpoints this node ships its
+        /// writes to — one `(range, addr)` pair per follower, so a range
+        /// with two followers appears twice.
+        replicas: Vec<(u32, String)>,
         /// Canonical shard-map serialization, stored verbatim.
         map_text: String,
     },
@@ -278,6 +303,29 @@ pub enum Request {
         /// Id of the destination node in the map.
         node: String,
     },
+    /// Ship one primary write to a follower (v3, node → node). The
+    /// follower applies it to its local shard and answers
+    /// [`Response::ReplAck`] echoing the `(range, seq)` stamp.
+    Replicate {
+        /// Shipper correlation tag (the primary's replication stream
+        /// numbers these independently of any client tag space).
+        tag: u64,
+        /// The range the write belongs to.
+        range: u32,
+        /// The primary's map epoch when it shipped the write — a
+        /// staleness stamp, so a follower that moved on can refuse.
+        epoch: u64,
+        /// Per-range monotone sequence number of this write on the
+        /// primary; acks gate the range's replication watermark.
+        seq: u64,
+        /// Originating tenant (follower-side accounting only; the
+        /// primary already charged admission).
+        tenant: u32,
+        /// Wrapped global byte offset of the write.
+        offset: u64,
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
 }
 
 impl Request {
@@ -296,7 +344,8 @@ impl Request {
             | Request::MapPush { tag, .. }
             | Request::MigrateOut { tag, .. }
             | Request::MigrateIn { tag, .. }
-            | Request::Migrate { tag, .. } => *tag,
+            | Request::Migrate { tag, .. }
+            | Request::Replicate { tag, .. } => *tag,
             Request::Batch(entries) => entries.first().map_or(0, |e| e.tag),
         }
     }
@@ -382,6 +431,17 @@ pub enum Response {
         /// Learner state text (empty when none).
         state: String,
     },
+    /// A follower applied a [`Request::Replicate`] (v3). Echoes the
+    /// write's `(range, seq)` stamp; the primary advances the range's
+    /// replication watermark to `seq` once every follower acked it.
+    ReplAck {
+        /// The REPLICATE's correlation tag.
+        tag: u64,
+        /// The range the write belonged to.
+        range: u32,
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
 }
 
 impl Response {
@@ -397,7 +457,8 @@ impl Response {
             | Response::HelloAck { tag, .. }
             | Response::MapResp { tag, .. }
             | Response::WrongShard { tag, .. }
-            | Response::Migrated { tag, .. } => tag,
+            | Response::Migrated { tag, .. }
+            | Response::ReplAck { tag, .. } => tag,
         }
     }
 }
@@ -624,12 +685,15 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
             capacity_bytes,
             ranges,
             owned,
+            followed,
+            replicas,
             map_text,
         } => {
             assert!(
-                owned.len() <= u16::MAX as usize,
-                "owned list of {} ranges exceeds the u16 count field",
-                owned.len()
+                owned.len() <= u16::MAX as usize
+                    && followed.len() <= u16::MAX as usize
+                    && replicas.len() <= u16::MAX as usize,
+                "map-push list exceeds the u16 count field"
             );
             b.push(OP_MAP_PUSH);
             b.extend_from_slice(&tag.to_le_bytes());
@@ -639,6 +703,20 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
             b.extend_from_slice(&(owned.len() as u16).to_le_bytes());
             for r in owned {
                 b.extend_from_slice(&r.to_le_bytes());
+            }
+            b.extend_from_slice(&(followed.len() as u16).to_le_bytes());
+            for r in followed {
+                b.extend_from_slice(&r.to_le_bytes());
+            }
+            b.extend_from_slice(&(replicas.len() as u16).to_le_bytes());
+            for (r, addr) in replicas {
+                assert!(
+                    addr.len() <= u16::MAX as usize,
+                    "replica addr exceeds the u16 length field"
+                );
+                b.extend_from_slice(&r.to_le_bytes());
+                b.extend_from_slice(&(addr.len() as u16).to_le_bytes());
+                b.extend_from_slice(addr.as_bytes());
             }
             b.extend_from_slice(map_text.as_bytes());
         }
@@ -658,6 +736,24 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
             b.extend_from_slice(&tag.to_le_bytes());
             b.extend_from_slice(&range.to_le_bytes());
             b.extend_from_slice(node.as_bytes());
+        }
+        Request::Replicate {
+            tag,
+            range,
+            epoch,
+            seq,
+            tenant,
+            offset,
+            bytes,
+        } => {
+            b.push(OP_REPLICATE);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&range.to_le_bytes());
+            b.extend_from_slice(&epoch.to_le_bytes());
+            b.extend_from_slice(&seq.to_le_bytes());
+            b.extend_from_slice(&tenant.to_le_bytes());
+            b.extend_from_slice(&offset.to_le_bytes());
+            b.extend_from_slice(&bytes.to_le_bytes());
         }
     }
     b
@@ -738,6 +834,21 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             for _ in 0..count {
                 owned.push(r.u32()?);
             }
+            let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
+            let mut followed = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                followed.push(r.u32()?);
+            }
+            let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
+            let mut replicas = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let range = r.u32()?;
+                let len = u16::from_le_bytes([r.u8()?, r.u8()?]);
+                let addr = std::str::from_utf8(r.take(len as usize)?)
+                    .map_err(|_| WireError::BadUtf8)?
+                    .to_string();
+                replicas.push((range, addr));
+            }
             let map_text = std::str::from_utf8(r.rest())
                 .map_err(|_| WireError::BadUtf8)?
                 .to_string();
@@ -747,6 +858,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 capacity_bytes,
                 ranges,
                 owned,
+                followed,
+                replicas,
                 map_text,
             }
         }
@@ -770,6 +883,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 .to_string();
             Request::Migrate { tag, range, node }
         }
+        OP_REPLICATE => Request::Replicate {
+            tag: r.u64()?,
+            range: r.u32()?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+            tenant: r.u32()?,
+            offset: r.u64()?,
+            bytes: r.u32()?,
+        },
         other => return Err(WireError::UnknownOpcode(other)),
     };
     r.done()?;
@@ -861,6 +983,12 @@ fn encode_response_payload_into(r: &Response, b: &mut Vec<u8>) {
             b.extend_from_slice(&range.to_le_bytes());
             b.extend_from_slice(state.as_bytes());
         }
+        Response::ReplAck { tag, range, seq } => {
+            b.push(OP_REPL_ACK);
+            b.extend_from_slice(&tag.to_le_bytes());
+            b.extend_from_slice(&range.to_le_bytes());
+            b.extend_from_slice(&seq.to_le_bytes());
+        }
     }
 }
 
@@ -939,6 +1067,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 .to_string();
             Response::Migrated { tag, range, state }
         }
+        OP_REPL_ACK => Response::ReplAck {
+            tag: r.u64()?,
+            range: r.u32()?,
+            seq: r.u64()?,
+        },
         other => return Err(WireError::UnknownOpcode(other)),
     };
     if !matches!(
@@ -1097,6 +1230,11 @@ mod tests {
                 capacity_bytes: 8 << 30,
                 ranges: 4,
                 owned: vec![0, 2],
+                followed: vec![1, 3],
+                replicas: vec![
+                    (0, "127.0.0.1:4002".to_string()),
+                    (2, "127.0.0.1:4003".to_string()),
+                ],
                 map_text: "# rif-shardmap v1 epoch=3 capacity=8589934592 ranges=4\n".to_string(),
             },
             Request::MapPush {
@@ -1105,6 +1243,8 @@ mod tests {
                 capacity_bytes: 1,
                 ranges: 1,
                 owned: vec![],
+                followed: vec![],
+                replicas: vec![],
                 map_text: String::new(),
             },
             Request::MigrateOut { tag: 16, range: 2 },
@@ -1122,6 +1262,15 @@ mod tests {
                 tag: 19,
                 range: 1,
                 node: "b".to_string(),
+            },
+            Request::Replicate {
+                tag: 20,
+                range: 3,
+                epoch: 7,
+                seq: 41,
+                tenant: 2,
+                offset: 1 << 34,
+                bytes: 65536,
             },
         ];
         for r in reqs {
@@ -1275,6 +1424,11 @@ mod tests {
                 range: 0,
                 state: String::new(),
             },
+            Response::ReplAck {
+                tag: 14,
+                range: 6,
+                seq: 99,
+            },
         ];
         for r in resps {
             let enc = encode_response(&r);
@@ -1312,6 +1466,18 @@ mod tests {
                 capacity_bytes: 64,
                 ranges: 2,
                 owned: vec![0, 1],
+                followed: vec![],
+                replicas: vec![],
+                map_text: String::new(),
+            }),
+            encode_request(&Request::MapPush {
+                tag: 7,
+                epoch: 1,
+                capacity_bytes: 64,
+                ranges: 2,
+                owned: vec![0],
+                followed: vec![1],
+                replicas: vec![(0, "n".to_string())],
                 map_text: String::new(),
             }),
             encode_request(&Request::MigrateIn {
@@ -1363,6 +1529,8 @@ mod tests {
             capacity_bytes: 64,
             ranges: 2,
             owned: vec![0, 1],
+            followed: vec![],
+            replicas: vec![],
             map_text: String::new(),
         });
         // Count says 3, only 2 owned entries follow → truncated.
@@ -1372,13 +1540,66 @@ mod tests {
             decode_request(&enc),
             Err(WireError::Truncated { .. })
         ));
-        // Count says 1: the second owned entry is consumed as map text,
-        // which is not valid UTF-8-agnostic here but IS bytes 01 00 00 00
-        // — valid UTF-8 control chars, so it decodes with a bogus text.
-        // The directory's map parser rejects it downstream; the wire
-        // layer cannot tell text from numbers.
+        // Count says 1: the second owned entry's bytes are re-parsed as
+        // the follow section, which happens to stay well-formed — the
+        // wire layer cannot tell lists from numbers. The node's
+        // MAP_PUSH validation rejects the nonsense ranges downstream.
         enc[count_at..count_at + 2].copy_from_slice(&1u16.to_le_bytes());
         assert!(decode_request(&enc).is_ok());
+    }
+
+    #[test]
+    fn replicate_truncations_and_bad_replica_addrs_are_rejected() {
+        // REPLICATE is fixed-size: every cut of the frame must reject.
+        let full = encode_request(&Request::Replicate {
+            tag: 1,
+            range: 2,
+            epoch: 3,
+            seq: 4,
+            tenant: 5,
+            offset: 4096,
+            bytes: 4096,
+        });
+        for cut in 0..full.len() {
+            let e = decode_request(&full[..cut]).expect_err("must reject");
+            assert!(
+                matches!(e, WireError::Truncated { .. } | WireError::Empty),
+                "cut {cut}: {e:?}"
+            );
+        }
+        // REPL_ACK likewise, and trailing garbage is caught.
+        let full = encode_response(&Response::ReplAck {
+            tag: 1,
+            range: 2,
+            seq: 3,
+        });
+        for cut in 0..full.len() {
+            let e = decode_response(&full[..cut]).expect_err("must reject");
+            assert!(
+                matches!(e, WireError::Truncated { .. } | WireError::Empty),
+                "cut {cut}: {e:?}"
+            );
+        }
+        let mut enc = full;
+        enc.push(0);
+        assert_eq!(
+            decode_response(&enc),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+        // A replica address that is not UTF-8 is rejected at the wire.
+        let mut enc = encode_request(&Request::MapPush {
+            tag: 1,
+            epoch: 1,
+            capacity_bytes: 64,
+            ranges: 2,
+            owned: vec![0],
+            followed: vec![1],
+            replicas: vec![(0, "y".to_string())],
+            map_text: String::new(),
+        });
+        // The 1-byte address is the last byte before the (empty) map text.
+        *enc.last_mut().unwrap() = 0xFF;
+        assert_eq!(decode_request(&enc), Err(WireError::BadUtf8));
     }
 
     #[test]

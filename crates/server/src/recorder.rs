@@ -93,9 +93,13 @@ impl TraceRecorder {
     }
 
     /// Journals an admission: the request was handed to shard worker
-    /// `shard`. `retry_of` is the original tag when this is a client
-    /// re-issue (zero otherwise); a known `retry_of` aliases this tag
-    /// onto the original record instead of journaling a second request.
+    /// `shard`. `retry_of` is the ROOT tag of the client's retry chain
+    /// when this is a re-issue (zero otherwise); a known `retry_of`
+    /// aliases this tag onto the original record instead of journaling
+    /// a second request. An *unknown* `retry_of` (the root was never
+    /// admitted — lost before reaching this server) is registered as an
+    /// alias of the fresh record, so every later re-issue of the same
+    /// chain still dedups onto it.
     #[allow(clippy::too_many_arguments)]
     pub fn admit(
         &self,
@@ -137,6 +141,9 @@ impl TraceRecorder {
             admissions: 1,
         });
         s.by_tag.insert(tag, idx);
+        if retry_of != 0 {
+            s.by_tag.insert(retry_of, idx);
+        }
     }
 
     /// Journals a terminal outcome (`ok` = DONE, else ERROR) for `tag`.

@@ -28,8 +28,8 @@ use rif_workloads::IoOp;
 use crate::protocol::{
     encode_response_frame_into, BatchEntry, Reader, Request, Response, WireError,
     BATCH_ENTRY_BYTES, MAX_BATCH_ENTRIES, MAX_FRAME_BYTES, OP_BATCH, OP_FLUSH, OP_HELLO,
-    OP_MAP_GET, OP_MAP_PUSH, OP_MIGRATE, OP_MIGRATE_IN, OP_MIGRATE_OUT, OP_READ, OP_SHUTDOWN,
-    OP_STATS, OP_WRITE,
+    OP_MAP_GET, OP_MAP_PUSH, OP_MIGRATE, OP_MIGRATE_IN, OP_MIGRATE_OUT, OP_READ, OP_REPLICATE,
+    OP_SHUTDOWN, OP_STATS, OP_WRITE,
 };
 
 /// How much tail room [`RecvBuffer::read_from`] guarantees before each
@@ -206,6 +206,11 @@ pub enum RequestView<'a> {
         ranges: u32,
         /// The validated owned-range list.
         owned: RangeListView<'a>,
+        /// The validated followed-range list (ranges this node serves
+        /// as a replica follower).
+        followed: RangeListView<'a>,
+        /// The validated `(range, follower addr)` shipping targets.
+        replicas: ReplicaListView<'a>,
         /// Canonical shard-map serialization.
         map_text: &'a str,
     },
@@ -235,6 +240,23 @@ pub enum RequestView<'a> {
         /// Id of the destination node.
         node: &'a str,
     },
+    /// Primary-to-follower write shipment, as [`Request::Replicate`].
+    Replicate {
+        /// Primary-chosen shipment tag.
+        tag: u64,
+        /// The range the write belongs to.
+        range: u32,
+        /// Map epoch the primary shipped under.
+        epoch: u64,
+        /// Per-range replication sequence number.
+        seq: u64,
+        /// Tenant id of the original write.
+        tenant: u32,
+        /// Logical byte offset of the original write.
+        offset: u64,
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
 }
 
 impl RequestView<'_> {
@@ -251,7 +273,8 @@ impl RequestView<'_> {
             | RequestView::MapPush { tag, .. }
             | RequestView::MigrateOut { tag, .. }
             | RequestView::MigrateIn { tag, .. }
-            | RequestView::Migrate { tag, .. } => *tag,
+            | RequestView::Migrate { tag, .. }
+            | RequestView::Replicate { tag, .. } => *tag,
             RequestView::Batch(b) => {
                 if b.count() == 0 {
                     0
@@ -300,6 +323,8 @@ impl RequestView<'_> {
                 capacity_bytes,
                 ranges,
                 owned,
+                followed,
+                replicas,
                 map_text,
             } => Request::MapPush {
                 tag,
@@ -307,6 +332,8 @@ impl RequestView<'_> {
                 capacity_bytes,
                 ranges,
                 owned: owned.iter().collect(),
+                followed: followed.iter().collect(),
+                replicas: replicas.iter().map(|(r, a)| (r, a.to_string())).collect(),
                 map_text: map_text.to_string(),
             },
             RequestView::MigrateOut { tag, range } => Request::MigrateOut { tag, range },
@@ -319,6 +346,23 @@ impl RequestView<'_> {
                 tag,
                 range,
                 node: node.to_string(),
+            },
+            RequestView::Replicate {
+                tag,
+                range,
+                epoch,
+                seq,
+                tenant,
+                offset,
+                bytes,
+            } => Request::Replicate {
+                tag,
+                range,
+                epoch,
+                seq,
+                tenant,
+                offset,
+                bytes,
             },
         }
     }
@@ -354,6 +398,35 @@ impl<'a> RangeListView<'a> {
     pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
         let v = *self;
         (0..v.count()).map(move |i| v.get(i))
+    }
+}
+
+/// The replica-target bytes of a validated MAP_PUSH frame:
+/// `count × (range u32 | addr_len u16 | addr bytes)`, decoded lazily.
+/// Entries are variable-width, so iteration walks the slice in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaListView<'a> {
+    data: &'a [u8],
+    count: u16,
+}
+
+impl<'a> ReplicaListView<'a> {
+    /// Number of `(range, addr)` targets in the list.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Lazily decodes every target in order. Infallible: the frame was
+    /// validated (bounds and UTF-8) up front.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &'a str)> + 'a {
+        let mut data = self.data;
+        (0..self.count).map(move |_| {
+            let range = u32::from_le_bytes(data[..4].try_into().expect("fixed width"));
+            let len = usize::from(u16::from_le_bytes([data[4], data[5]]));
+            let addr = std::str::from_utf8(&data[6..6 + len]).expect("validated utf8");
+            data = &data[6 + len..];
+            (range, addr)
+        })
     }
 }
 
@@ -470,16 +543,37 @@ pub fn decode_request_view(payload: &[u8]) -> Result<RequestView<'_>, WireError>
             let epoch = r.u64()?;
             let capacity_bytes = r.u64()?;
             let ranges = r.u32()?;
+            // Validate each section with the same cursor steps the
+            // owning decoder takes, so a short list reports the
+            // identical `Truncated { need, got }`.
             let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
-            // Validate with the same cursor steps the owning decoder
-            // takes, so a short list reports the identical
-            // `Truncated { need, got }`.
             for _ in 0..count {
                 r.u32()?;
             }
             let list_at = 1 + 8 + 8 + 8 + 4 + 2;
             let owned = RangeListView {
                 data: &payload[list_at..list_at + count as usize * 4],
+            };
+            let follow_at = list_at + count as usize * 4 + 2;
+            let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
+            for _ in 0..count {
+                r.u32()?;
+            }
+            let followed = RangeListView {
+                data: &payload[follow_at..follow_at + count as usize * 4],
+            };
+            let repl_at = follow_at + count as usize * 4 + 2;
+            let count = u16::from_le_bytes([r.u8()?, r.u8()?]);
+            let mut repl_bytes = 0usize;
+            for _ in 0..count {
+                r.u32()?;
+                let len = u16::from_le_bytes([r.u8()?, r.u8()?]);
+                std::str::from_utf8(r.take(len as usize)?).map_err(|_| WireError::BadUtf8)?;
+                repl_bytes += 4 + 2 + len as usize;
+            }
+            let replicas = ReplicaListView {
+                data: &payload[repl_at..repl_at + repl_bytes],
+                count,
             };
             let map_text = std::str::from_utf8(r.rest()).map_err(|_| WireError::BadUtf8)?;
             RequestView::MapPush {
@@ -488,6 +582,8 @@ pub fn decode_request_view(payload: &[u8]) -> Result<RequestView<'_>, WireError>
                 capacity_bytes,
                 ranges,
                 owned,
+                followed,
+                replicas,
                 map_text,
             }
         }
@@ -507,6 +603,15 @@ pub fn decode_request_view(payload: &[u8]) -> Result<RequestView<'_>, WireError>
             let node = std::str::from_utf8(r.rest()).map_err(|_| WireError::BadUtf8)?;
             RequestView::Migrate { tag, range, node }
         }
+        OP_REPLICATE => RequestView::Replicate {
+            tag: r.u64()?,
+            range: r.u32()?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+            tenant: r.u32()?,
+            offset: r.u64()?,
+            bytes: r.u32()?,
+        },
         other => return Err(WireError::UnknownOpcode(other)),
     };
     r.done()?;
@@ -677,6 +782,8 @@ mod tests {
                 capacity_bytes: 8 << 30,
                 ranges: 4,
                 owned: vec![1, 3],
+                followed: vec![0],
+                replicas: vec![(1, "127.0.0.1:9001".to_string()), (3, "n2".to_string())],
                 map_text: "# rif-shardmap v1 epoch=2 capacity=8589934592 ranges=4\n".to_string(),
             },
             Request::MapPush {
@@ -685,6 +792,8 @@ mod tests {
                 capacity_bytes: 1,
                 ranges: 1,
                 owned: vec![],
+                followed: vec![],
+                replicas: vec![],
                 map_text: String::new(),
             },
             Request::MigrateOut { tag: 17, range: 3 },
@@ -697,6 +806,15 @@ mod tests {
                 tag: 19,
                 range: 0,
                 node: "node-b".to_string(),
+            },
+            Request::Replicate {
+                tag: 20,
+                range: 2,
+                epoch: 5,
+                seq: 17,
+                tenant: 1,
+                offset: 1 << 30,
+                bytes: 4096,
             },
         ]
     }
@@ -773,6 +891,8 @@ mod tests {
             capacity_bytes: 64,
             ranges: 2,
             owned: vec![0, 1],
+            followed: vec![],
+            replicas: vec![],
             map_text: "m".to_string(),
         });
         *bad_map.last_mut().unwrap() = 0xFE;
@@ -780,6 +900,24 @@ mod tests {
         let count_at = 1 + 8 + 8 + 8 + 4;
         bad_map[count_at..count_at + 2].copy_from_slice(&9u16.to_le_bytes());
         cases.push(bad_map);
+        // A lying replica count and an invalid-UTF-8 replica addr.
+        let repl_map = encode_request(&Request::MapPush {
+            tag: 1,
+            epoch: 1,
+            capacity_bytes: 64,
+            ranges: 2,
+            owned: vec![0],
+            followed: vec![1],
+            replicas: vec![(0, "a".to_string())],
+            map_text: String::new(),
+        });
+        let repl_count_at = count_at + 2 + 4 + 2 + 4;
+        let mut lying = repl_map.clone();
+        lying[repl_count_at..repl_count_at + 2].copy_from_slice(&7u16.to_le_bytes());
+        cases.push(lying);
+        let mut bad_addr = repl_map;
+        *bad_addr.last_mut().unwrap() = 0xFF;
+        cases.push(bad_addr);
 
         for payload in cases {
             let owned = decode_request(&payload);

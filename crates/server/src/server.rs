@@ -35,6 +35,7 @@ use crate::protocol::{
     Request, Response, PROTOCOL_VERSION,
 };
 use crate::recorder::TraceRecorder;
+use crate::replicate::Replicator;
 use crate::shard::{spawn_shard, ReplyTo, ShardHandle, ShardMsg, ShardSpec, Submission};
 
 /// Largest single transfer the service accepts: 1 MiB keeps one request
@@ -156,6 +157,11 @@ pub(crate) enum RangeStatus {
     Moving,
     /// Another node serves the range: arrivals answer `WRONG_SHARD`.
     NotOwned,
+    /// This node replicates the range: REPLICATE shipments from the
+    /// primary are applied, client *reads* are served (the router's
+    /// failover path), and client writes still answer `WRONG_SHARD` —
+    /// only the primary may originate writes.
+    Following,
 }
 
 /// A cluster node's view of the shard map: the directory's last push,
@@ -203,6 +209,9 @@ pub(crate) struct Shared {
     pub(crate) front_door: FrontDoor,
     /// `Some` iff [`ServerConfig::cluster`] — the node's map view.
     pub(crate) cluster: Option<Mutex<ClusterState>>,
+    /// `Some` iff [`ServerConfig::cluster`] — the primary-side
+    /// replication shipper (DESIGN §15).
+    pub(crate) repl: Option<Arc<Replicator>>,
 }
 
 impl Shared {
@@ -318,6 +327,11 @@ impl Server {
                 status: vec![RangeStatus::NotOwned; cfg.shards],
             })
         });
+        let repl = if cfg.cluster {
+            Some(Replicator::start(cfg.shards)?)
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             buckets: Mutex::new(TenantBuckets::new(cfg.rate_per_sec, cfg.burst)),
             cfg,
@@ -329,6 +343,7 @@ impl Server {
             recorder,
             front_door: FrontDoor::default(),
             cluster,
+            repl,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -392,6 +407,9 @@ impl Server {
         self.request_shutdown();
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
+        }
+        if let Some(repl) = &self.shared.repl {
+            repl.stop();
         }
         for h in self.shard_handles.drain(..) {
             h.stop();
@@ -641,6 +659,8 @@ fn handle_request(req: Request, shared: &Shared, reply: &ReplyTo, negotiated: &m
             capacity_bytes,
             ranges,
             owned,
+            followed,
+            replicas,
             map_text,
         } => {
             handle_map_push(
@@ -651,6 +671,8 @@ fn handle_request(req: Request, shared: &Shared, reply: &ReplyTo, negotiated: &m
                 capacity_bytes,
                 ranges,
                 &owned,
+                &followed,
+                &replicas,
                 map_text,
             );
         }
@@ -671,6 +693,17 @@ fn handle_request(req: Request, shared: &Shared, reply: &ReplyTo, negotiated: &m
                 tag,
                 code: ErrorCode::BadRequest,
             });
+        }
+        Request::Replicate {
+            tag,
+            range,
+            epoch,
+            seq,
+            tenant,
+            offset,
+            bytes,
+        } => {
+            handle_replicate(shared, reply, tag, range, epoch, seq, tenant, offset, bytes);
         }
         Request::Stats { tag } => {
             let text = render_stats(shared);
@@ -703,9 +736,10 @@ pub(crate) fn reject_unnegotiated_batch(shared: &Shared, reply: &ReplyTo, tag: u
     });
 }
 
-/// Handles MAP_PUSH: installs a newer map's ownership, or acks an
-/// equal/older epoch idempotently without touching state (directory
-/// retries are harmless).
+/// Handles MAP_PUSH: installs a newer map's ownership (owned ranges
+/// serve, followed ranges apply REPLICATE and serve failover reads) and
+/// the replication shipping targets, or acks an equal/older epoch
+/// idempotently without touching state (directory retries are harmless).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn handle_map_push(
     shared: &Shared,
@@ -715,12 +749,18 @@ pub(crate) fn handle_map_push(
     capacity_bytes: u64,
     ranges: u32,
     owned: &[u32],
+    followed: &[u32],
+    replicas: &[(u32, String)],
     map_text: String,
 ) {
     let bad = shared.cluster.is_none()
         || capacity_bytes != shared.cfg.capacity_bytes
         || ranges as usize != shared.cfg.shards
-        || owned.iter().any(|&r| r as usize >= shared.cfg.shards);
+        || owned.iter().any(|&r| r as usize >= shared.cfg.shards)
+        || followed.iter().any(|&r| r as usize >= shared.cfg.shards)
+        || replicas
+            .iter()
+            .any(|&(r, _)| r as usize >= shared.cfg.shards);
     if bad {
         shared.metrics().inc("server.protocol_errors", 1);
         reply.send(Response::Error {
@@ -735,12 +775,19 @@ pub(crate) fn handle_map_push(
             cl.epoch = epoch;
             cl.map_text = map_text;
             // A push settles every range: Moving survives only within an
-            // epoch, never across one.
+            // epoch, never across one. Owned wins over Following if the
+            // directory ever lists a range as both.
             for s in cl.status.iter_mut() {
                 *s = RangeStatus::NotOwned;
             }
+            for &r in followed {
+                cl.status[r as usize] = RangeStatus::Following;
+            }
             for &r in owned {
                 cl.status[r as usize] = RangeStatus::Owned;
+            }
+            if let Some(repl) = &shared.repl {
+                repl.update_targets(epoch, replicas);
             }
         }
         (cl.epoch, cl.map_text.clone())
@@ -751,6 +798,125 @@ pub(crate) fn handle_map_push(
         epoch: cur_epoch,
         text,
     });
+}
+
+/// Handles a primary's REPLICATE shipment on a follower: applies the
+/// write to the range's shard and acks with `REPL_ACK(range, seq)` via
+/// the [`ReplyTo::Replication`] wrapper. Shipments skip the recorder
+/// and the tenant rate limiter — they are internal traffic mirroring a
+/// write the primary already admitted, journaled, and charged.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_replicate(
+    shared: &Shared,
+    reply: &ReplyTo,
+    tag: u64,
+    range: u32,
+    epoch: u64,
+    seq: u64,
+    tenant: u32,
+    offset: u64,
+    bytes: u32,
+) {
+    let _ = tenant;
+    if shared.shutdown.load(Ordering::Acquire) {
+        reply.send(Response::Error {
+            tag,
+            code: ErrorCode::ShuttingDown,
+        });
+        return;
+    }
+    if shared.cluster.is_none() || range as usize >= shared.cfg.shards {
+        shared.metrics().inc("server.protocol_errors", 1);
+        reply.send(Response::Error {
+            tag,
+            code: ErrorCode::BadRequest,
+        });
+        return;
+    }
+    if bytes == 0 || bytes > MAX_IO_BYTES {
+        shared.metrics().inc("server.protocol_errors", 1);
+        reply.send(Response::Error {
+            tag,
+            code: ErrorCode::BadLength,
+        });
+        return;
+    }
+    let wrapped = offset % shared.cfg.capacity_bytes;
+    let idx = ShardSpec::route(shared.cfg.capacity_bytes, shared.cfg.shards, wrapped);
+    if idx != range as usize {
+        shared.metrics().inc("server.protocol_errors", 1);
+        reply.send(Response::Error {
+            tag,
+            code: ErrorCode::BadRequest,
+        });
+        return;
+    }
+    let (status, cur_epoch) = {
+        let cl = shared.cluster_state();
+        (cl.status[idx], cl.epoch)
+    };
+    // A stale primary (shipping under an epoch this node has already
+    // moved past) is told to refetch; a primary *ahead* of us is fine —
+    // its directory push is merely still in flight to this node.
+    let stale = epoch < cur_epoch;
+    if stale || !matches!(status, RangeStatus::Following | RangeStatus::Owned) {
+        if status == RangeStatus::Moving && !stale {
+            shared.metrics().inc("server.busy.moving", 1);
+            reply.send(Response::Busy {
+                tag,
+                reason: BusyReason::Moving,
+            });
+        } else {
+            shared.metrics().inc("server.wrong_shard", 1);
+            reply.send(Response::WrongShard {
+                tag,
+                epoch: cur_epoch,
+            });
+        }
+        return;
+    }
+    let target = &shared.shards[idx];
+    let local = wrapped - target.spec.base_offset;
+    let reserved = target
+        .inflight
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < shared.cfg.inflight_limit).then_some(n + 1)
+        });
+    if reserved.is_err() {
+        shared.metrics().inc("server.busy.queue", 1);
+        reply.send(Response::Busy {
+            tag,
+            reason: BusyReason::Queue,
+        });
+        return;
+    }
+    shared.metrics().inc("server.repl.applied", 1);
+    let sent = target.tx.send(ShardMsg::Submit(Submission {
+        tag,
+        op: IoOp::Write,
+        offset: local,
+        bytes,
+        reply: ReplyTo::Replication {
+            inner: Box::new(reply.clone()),
+            range,
+            seq,
+        },
+    }));
+    if sent.is_err() {
+        target.inflight.fetch_sub(1, Ordering::AcqRel);
+        if shared.shutdown.load(Ordering::Acquire) {
+            reply.send(Response::Error {
+                tag,
+                code: ErrorCode::ShuttingDown,
+            });
+        } else {
+            shared.metrics().inc("server.busy.unavailable", 1);
+            reply.send(Response::Busy {
+                tag,
+                reason: BusyReason::Unavailable,
+            });
+        }
+    }
 }
 
 /// Handles MIGRATE_OUT: seals the range (new arrivals bounce with
@@ -822,6 +988,9 @@ pub(crate) fn handle_migrate_in(
 /// the range `offset` routes to (or when not in cluster mode). A
 /// non-owned range refuses with `WRONG_SHARD(epoch)` so the client
 /// refetches the map; a migrating range refuses with `BUSY(moving)`.
+/// A *followed* range admits reads (the router's failover path reads
+/// from replicas) but bounces writes — only the primary may originate
+/// a write, or exactly-once and the replication stream fall apart.
 /// Connections below v3 get `BUSY(unavailable)` instead — same
 /// never-admitted guarantee, spelled in a vocabulary they know.
 fn cluster_admits(
@@ -829,6 +998,7 @@ fn cluster_admits(
     reply: &ReplyTo,
     tag: u64,
     offset: u64,
+    op: IoOp,
     negotiated: u32,
 ) -> bool {
     if shared.cluster.is_none() {
@@ -842,6 +1012,10 @@ fn cluster_admits(
     };
     match status {
         RangeStatus::Owned => true,
+        RangeStatus::Following if op == IoOp::Read => {
+            shared.metrics().inc("server.repl.follower_reads", 1);
+            true
+        }
         RangeStatus::Moving => {
             shared.metrics().inc("server.busy.moving", 1);
             reply.send(Response::Busy {
@@ -854,7 +1028,7 @@ fn cluster_admits(
             });
             false
         }
-        RangeStatus::NotOwned => {
+        RangeStatus::NotOwned | RangeStatus::Following => {
             shared.metrics().inc("server.wrong_shard", 1);
             if negotiated >= 3 {
                 reply.send(Response::WrongShard { tag, epoch });
@@ -896,7 +1070,7 @@ pub(crate) fn admit_io(
         });
         return;
     }
-    if !cluster_admits(shared, reply, tag, offset, negotiated) {
+    if !cluster_admits(shared, reply, tag, offset, op, negotiated) {
         return;
     }
 
@@ -961,7 +1135,16 @@ pub(crate) fn admit_io(
         bytes,
         reply: reply.clone(),
     }));
-    if sent.is_err() {
+    if sent.is_ok() {
+        // Admitted for real: offer writes to the replication shipper
+        // (no-op unless this node is the range's primary with
+        // followers).
+        if op == IoOp::Write {
+            if let Some(repl) = &shared.repl {
+                repl.offer(idx as u32, tenant, wrapped, bytes);
+            }
+        }
+    } else {
         // The worker never saw it: retract the admission.
         shared.recorder.reject(tag);
         // Worker channel gone: release the slot and report. During
@@ -1028,7 +1211,7 @@ where
         }
         // The cluster gate refuses per entry, like BadLength: a stray
         // entry for a moved range must not hold the batch hostage.
-        if !cluster_admits(shared, reply, e.tag, e.offset, negotiated) {
+        if !cluster_admits(shared, reply, e.tag, e.offset, e.op, negotiated) {
             continue;
         }
         if e.op == IoOp::Read {
@@ -1166,10 +1349,33 @@ where
             reply: reply.clone(),
         });
     }
+    // Writes to offer to the replication shipper per shard, mirrored
+    // from `valid` so a failed SubmitMany ships nothing for its group.
+    let mut offers: Vec<(usize, u32, u64, u32)> = Vec::new();
+    if shared.repl.is_some() {
+        for (e, idx, _) in &valid {
+            if e.op == IoOp::Write {
+                offers.push((
+                    *idx,
+                    e.tenant,
+                    e.offset % shared.cfg.capacity_bytes,
+                    e.bytes,
+                ));
+            }
+        }
+    }
     for (idx, batch) in groups {
         let k = batch.len();
         match shared.shards[idx].tx.send(ShardMsg::SubmitMany(batch)) {
-            Ok(()) => {}
+            Ok(()) => {
+                if let Some(repl) = &shared.repl {
+                    for &(oidx, tenant, wrapped, bytes) in &offers {
+                        if oidx == idx {
+                            repl.offer(idx as u32, tenant, wrapped, bytes);
+                        }
+                    }
+                }
+            }
             Err(mpsc::SendError(msg)) => {
                 // The worker never saw the group: retract the admissions,
                 // release the slots, and answer every entry.
@@ -1235,6 +1441,19 @@ pub(crate) fn fold_runtime_gauges(shared: &Shared, m: &mut MetricsRegistry) {
     );
     m.set_gauge("server.uptime_secs", shared.started.elapsed().as_secs_f64());
     m.set_gauge("server.virtual_now_us", shared.clock.now().as_us());
+    if let Some(repl) = &shared.repl {
+        let c = &repl.counters;
+        m.inc("server.repl.shipped", c.shipped.load(Ordering::Relaxed));
+        m.inc("server.repl.acked", c.acked.load(Ordering::Relaxed));
+        m.inc("server.repl.skipped", c.skipped.load(Ordering::Relaxed));
+        m.inc("server.repl.failed", c.failed.load(Ordering::Relaxed));
+        for r in 0..repl.shards() {
+            m.set_gauge(
+                &format!("server.repl.watermark.range{r}"),
+                repl.watermark(r) as f64,
+            );
+        }
+    }
 }
 
 pub(crate) fn render_stats(shared: &Shared) -> String {

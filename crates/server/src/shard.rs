@@ -65,6 +65,18 @@ pub enum ReplyTo {
         /// Wakes the loop out of a blocking poll wait.
         waker: Waker,
     },
+    /// A follower applying a REPLICATE shipment: the shard's `Done`
+    /// becomes the `REPL_ACK` the primary's watermark waits on, while
+    /// refusals (`Busy`, `Error`) pass through unchanged so the primary
+    /// sees the shipment did not land.
+    Replication {
+        /// The underlying destination (connection channel or loop queue).
+        inner: Box<ReplyTo>,
+        /// The range the shipment belongs to, echoed in the ack.
+        range: u32,
+        /// The primary's per-range sequence number, echoed in the ack.
+        seq: u64,
+    },
 }
 
 impl ReplyTo {
@@ -80,6 +92,17 @@ impl ReplyTo {
                 if tx.send((*key, resp)).is_ok() {
                     waker.wake();
                 }
+            }
+            ReplyTo::Replication { inner, range, seq } => {
+                let resp = match resp {
+                    Response::Done { tag, .. } => Response::ReplAck {
+                        tag,
+                        range: *range,
+                        seq: *seq,
+                    },
+                    other => other,
+                };
+                inner.send(resp);
             }
         }
     }

@@ -17,8 +17,13 @@
 # event-loop high-concurrency gate (1k multiplexed connections), a
 # two-core bench smoke, the chaos gate (which runs on the default
 # event-loop core), the cluster serving gate (two cluster nodes behind
-# the shard directory: routed load, live migration, cluster STATS), and
-# the cluster chaos gate (kill-and-rebalance under load, contract PASS).
+# the shard directory: routed load, live migration, cluster STATS),
+# the cluster chaos gate (kill-and-rebalance under load, contract PASS),
+# the replication gate (RF=2: hard-kill the hottest-range primary AND
+# one-way-partition a second node mid-load — contract PASS, zero failed
+# reads on replicated ranges, byte-identical directory restart), and the
+# multi-kill chaos gate (two seeded node kills plus a partition through
+# the fault proxy on a four-node cluster, same bar).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -364,6 +369,50 @@ fi
 # shows up as at least one journal-level connection loss.
 if grep -q '"conn_losses":0' "$tmpdir/cluster_chaos.json"; then
     echo "kill was not client-visible (load finished before the kill?)"
+    exit 1
+fi
+
+# Replication gate (the cluster-hardening acceptance bar): three RF=2
+# nodes, hard-kill the hottest-range primary at 150ms AND one-way
+# partition a second node for 250ms, restart the directory mid-run.
+# The binary exits non-zero unless the strict contract checker passes
+# AND no replicated-range read chain failed, so its exit code is the
+# gate; the greps pin the fault schedule actually fired and the
+# restarted directory restored the map byte-identically.
+echo "==> replication gate (RF=2, kill primary + one-way partition)"
+timeout 300 "$CHAOS" cluster --requests 20000 --nodes 3 --replicas 2 \
+    --seed 11 --deadline-ms 300 --kill-after-ms 150 \
+    --rebalance-after-ms 100 --dir-restart-ms 350 \
+    --plan "seed=9,part=2:up@120+250" > "$tmpdir/repl_gate.json"
+cat "$tmpdir/repl_gate.json"
+grep -q '"verdict":"PASS"' "$tmpdir/repl_gate.json"
+grep -q '"kills_fired":1,' "$tmpdir/repl_gate.json"
+grep -q '"failed_replicated_reads":0,' "$tmpdir/repl_gate.json"
+grep -q '"dir_restart_identical":true' "$tmpdir/repl_gate.json"
+if grep -q '"partitions_fired":0,' "$tmpdir/repl_gate.json"; then
+    echo "partition window never fired"
+    exit 1
+fi
+if grep -q '"conn_losses":0,' "$tmpdir/repl_gate.json"; then
+    echo "node kill was not client-visible"
+    exit 1
+fi
+
+# Multi-kill chaos gate: four RF=2 nodes behind the fault proxy, two
+# seeded node kills (150ms and 450ms) plus a one-way partition window —
+# the two survivors must keep every range at full replication, so the
+# same zero-failed-replicated-reads bar applies.
+echo "==> multi-kill chaos gate (4 nodes, 2 seeded kills + partition)"
+timeout 300 "$CHAOS" cluster --requests 12000 --nodes 4 --replicas 2 \
+    --seed 11 --deadline-ms 300 --rebalance-after-ms 100 \
+    --plan "seed=9,part=1:up@120+250,nodekill=1@150,nodekill=3@450" \
+    > "$tmpdir/multikill_gate.json"
+cat "$tmpdir/multikill_gate.json"
+grep -q '"verdict":"PASS"' "$tmpdir/multikill_gate.json"
+grep -q '"kills_fired":2,' "$tmpdir/multikill_gate.json"
+grep -q '"failed_replicated_reads":0,' "$tmpdir/multikill_gate.json"
+if grep -q '"partitions_fired":0,' "$tmpdir/multikill_gate.json"; then
+    echo "partition window never fired"
     exit 1
 fi
 
